@@ -1,0 +1,99 @@
+//! Baseline-1: MACO with CPU-only.
+//!
+//! All sixteen general-purpose cores run blocked GEMM on their FMAC pipes
+//! (71 GFLOPS FP32 peak each, Table IV), partitioning every layer's output
+//! columns across cores. The per-core sustained fraction comes from
+//! [`CpuGemmModel`]; multi-core runs additionally pay a parallel-efficiency
+//! factor for partition skew and barrier synchronisation.
+
+use maco_cpu::kernels::CpuGemmModel;
+use maco_cpu::CpuConfig;
+use maco_isa::Precision;
+use maco_sim::SimDuration;
+
+use crate::GemmEngine;
+
+/// The CPU-only system.
+#[derive(Debug, Clone)]
+pub struct CpuOnly {
+    config: CpuConfig,
+    model: CpuGemmModel,
+    cores: u64,
+    /// Fraction of linear speed-up retained across cores (partition skew,
+    /// barriers, shared-L3 interference).
+    parallel_efficiency: f64,
+}
+
+impl CpuOnly {
+    /// The Fig. 8 configuration: 16 cores.
+    pub fn paper() -> Self {
+        CpuOnly {
+            config: CpuConfig::default(),
+            model: CpuGemmModel::default(),
+            cores: 16,
+            parallel_efficiency: 0.85,
+        }
+    }
+
+    /// A custom core count (for ablations).
+    pub fn with_cores(mut self, cores: u64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        self.cores = cores;
+        self
+    }
+}
+
+impl GemmEngine for CpuOnly {
+    fn name(&self) -> &'static str {
+        "Baseline-1 (CPU-only)"
+    }
+
+    fn peak_gflops(&self) -> f64 {
+        self.config.peak_gflops(Precision::Fp32) * self.cores as f64
+    }
+
+    fn gemm_time(&mut self, m: u64, n: u64, k: u64, precision: Precision) -> SimDuration {
+        // Columns partitioned across cores; the widest slice bounds the
+        // layer, scaled by the parallel-efficiency factor.
+        let cols = n.div_ceil(self.cores).max(1);
+        let slice = self.model.time(&self.config, m, cols, k, precision);
+        if self.cores == 1 {
+            slice
+        } else {
+            SimDuration::from_fs((slice.as_fs() as f64 / self.parallel_efficiency) as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_sixteen_cores() {
+        let b1 = CpuOnly::paper();
+        assert!((b1.peak_gflops() - 16.0 * 70.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn large_gemm_lands_near_a_third_of_peak() {
+        let mut b1 = CpuOnly::paper();
+        let t = b1.gemm_time(4096, 4096, 4096, Precision::Fp32);
+        let gflops = 2.0 * 4096f64.powi(3) / t.as_ns();
+        let frac = gflops / b1.peak_gflops();
+        assert!(
+            (0.22..0.38).contains(&frac),
+            "CPU-only sustains {frac} of peak"
+        );
+    }
+
+    #[test]
+    fn more_cores_help_until_partition_starves() {
+        let mut one = CpuOnly::paper().with_cores(1);
+        let mut sixteen = CpuOnly::paper();
+        let t1 = one.gemm_time(2048, 2048, 2048, Precision::Fp32);
+        let t16 = sixteen.gemm_time(2048, 2048, 2048, Precision::Fp32);
+        let speedup = t1.as_ns() / t16.as_ns();
+        assert!((10.0..16.0).contains(&speedup), "speed-up {speedup}");
+    }
+}

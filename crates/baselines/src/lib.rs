@@ -1,0 +1,84 @@
+//! # maco-baselines — the Fig. 8 comparator systems
+//!
+//! The paper compares MACO against four solutions on DNN inference, "all
+//! solutions with the same number of processing elements (16×16)":
+//!
+//! * **Baseline-1** — MACO with CPU-only: the sixteen cores run blocked
+//!   GEMM on their FMAC pipes ([`cpu_only`]).
+//! * **Baseline-2** — MACO with MMAEs but *without* the Section IV.B
+//!   mapping scheme (no stash/lock, no CPU/MMAE overlap). Built directly
+//!   from `maco-core` with those knobs off ([`no_mapping`]).
+//! * **Gem5-RASA** — a tightly-coupled matrix engine inside the CPU
+//!   pipeline with sub-stage pipelining (Jeong et al., MICRO 2021)
+//!   ([`rasa`]).
+//! * **Gemmini** — a loosely-coupled scratchpad accelerator with its own
+//!   TLB but no predictive translation and no L3 stash/lock (Genc et al.,
+//!   DAC 2021) ([`gemmini`]).
+//!
+//! RASA and Gemmini are closed testbeds we cannot rebuild gate-for-gate;
+//! they are modelled analytically with shape-sensitive systolic-array
+//! geometry plus documented first-order contention terms (see each
+//! module). The MACO rows of Fig. 8 come from the full `maco-core`
+//! simulator.
+
+pub mod cpu_only;
+pub mod gemmini;
+pub mod no_mapping;
+pub mod rasa;
+
+use maco_isa::Precision;
+use maco_sim::SimDuration;
+use maco_workloads::dnn::DnnModel;
+
+/// A GEMM execution engine comparable in Fig. 8.
+pub trait GemmEngine {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Theoretical peak at the comparison precision (FP32, one MAC per PE).
+    fn peak_gflops(&self) -> f64;
+
+    /// Execution time of one `m×n×k` GEMM.
+    fn gemm_time(&mut self, m: u64, n: u64, k: u64, precision: Precision) -> SimDuration;
+}
+
+/// Runs a DNN GEMM stream through an engine and reports average throughput
+/// in GFLOPS (the Fig. 8 y-axis).
+pub fn dnn_throughput(engine: &mut dyn GemmEngine, model: &DnnModel) -> f64 {
+    let mut total = SimDuration::ZERO;
+    let mut flops = 0u64;
+    for layer in model.unrolled() {
+        total += engine.gemm_time(
+            layer.shape.m,
+            layer.shape.n,
+            layer.shape.k,
+            Precision::Fp32,
+        );
+        flops += layer.shape.flops();
+    }
+    if total.is_zero() {
+        0.0
+    } else {
+        flops as f64 / total.as_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maco_workloads::resnet::resnet50;
+
+    #[test]
+    fn throughput_orders_engines_as_the_paper_does() {
+        let model = resnet50(8);
+        let mut b1 = cpu_only::CpuOnly::paper();
+        let mut rasa = rasa::RasaLike::paper();
+        let mut gemmini = gemmini::GemminiLike::paper();
+        let g_b1 = dnn_throughput(&mut b1, &model);
+        let g_rasa = dnn_throughput(&mut rasa, &model);
+        let g_gemmini = dnn_throughput(&mut gemmini, &model);
+        assert!(g_b1 < g_rasa, "CPU-only {g_b1} < RASA {g_rasa}");
+        assert!(g_rasa < g_gemmini * 1.25, "RASA and Gemmini comparable");
+        assert!(g_gemmini < 1100.0, "Gemmini below MACO's headline");
+    }
+}

@@ -1,0 +1,142 @@
+//! Baseline-2: MACO without the GEMM⁺ mapping scheme.
+//!
+//! The same sixteen CPU+MMAE nodes, but with Section IV.B disabled: no
+//! stash-and-lock (tile streams miss the thrashed L3 and pay DRAM), and no
+//! CPU/MMAE overlap (epilogues serialise after each layer). Built directly
+//! on the `maco-core` simulator — this baseline is an *ablation* of the
+//! real system, not an analytic stand-in.
+
+use maco_core::gemm_plus::{run_gemm_plus, GemmPlusTask};
+use maco_core::runner::Maco;
+use maco_cpu::kernels::Kernel;
+use maco_isa::Precision;
+use maco_sim::SimDuration;
+use maco_workloads::dnn::{DnnModel, EpilogueClass};
+
+use crate::GemmEngine;
+
+/// Builds a Fig. 8 MACO machine: 16 nodes, 4×4 SAs (256 PEs total), one
+/// FP32 MAC per PE (the paper's PE-count normalisation), with the mapping
+/// scheme on or off.
+pub fn fig8_maco(mapping: bool) -> Maco {
+    Maco::builder()
+        .nodes(16)
+        .lanes_override(1)
+        .prediction(true)
+        .stash_lock(mapping)
+        .build()
+}
+
+/// The epilogue kernel for a layer's class.
+pub fn epilogue_kernel(class: EpilogueClass) -> Option<Kernel> {
+    match class {
+        EpilogueClass::None => None,
+        EpilogueClass::Relu => Some(Kernel::relu()),
+        EpilogueClass::Gelu => Some(Kernel::gelu()),
+        EpilogueClass::Norm => Some(Kernel::layernorm()),
+        EpilogueClass::Softmax => Some(Kernel::softmax()),
+    }
+}
+
+/// Runs a DNN stream on a MACO machine (mapping on = the MACO bar of
+/// Fig. 8; mapping off = Baseline-2) and returns average GFLOPS.
+///
+/// # Panics
+///
+/// Panics if the address-space mapping fails (cannot happen for valid
+/// layer shapes).
+pub fn maco_dnn_throughput(maco: &mut Maco, model: &DnnModel, mapping: bool) -> f64 {
+    let mut total = SimDuration::ZERO;
+    let mut flops = 0u64;
+    for layer in model.unrolled() {
+        let mut task = GemmPlusTask::gemm(
+            layer.shape.m,
+            layer.shape.n,
+            layer.shape.k,
+            Precision::Fp32,
+        );
+        if let Some(kernel) = epilogue_kernel(layer.epilogue) {
+            task = task.with_epilogue(kernel);
+        }
+        if !mapping {
+            task = task.without_overlap();
+        }
+        let report = run_gemm_plus(maco.system_mut(), &task).expect("valid layer shapes");
+        total += report.elapsed;
+        flops += layer.shape.flops();
+    }
+    if total.is_zero() {
+        0.0
+    } else {
+        flops as f64 / total.as_ns()
+    }
+}
+
+/// Baseline-2 wrapped as a [`GemmEngine`] (GEMM part only; epilogue
+/// serialisation is applied by [`maco_dnn_throughput`]).
+pub struct NoMapping {
+    maco: Maco,
+}
+
+impl NoMapping {
+    /// The Fig. 8 configuration.
+    pub fn paper() -> Self {
+        NoMapping {
+            maco: fig8_maco(false),
+        }
+    }
+}
+
+impl GemmEngine for NoMapping {
+    fn name(&self) -> &'static str {
+        "Baseline-2 (no mapping)"
+    }
+
+    fn peak_gflops(&self) -> f64 {
+        // 256 PEs × 1 FP32 MAC × 2.5 GHz.
+        1280.0
+    }
+
+    fn gemm_time(&mut self, m: u64, n: u64, k: u64, precision: Precision) -> SimDuration {
+        let task = GemmPlusTask::gemm(m, n, k, precision).without_overlap();
+        run_gemm_plus(self.maco.system_mut(), &task)
+            .expect("valid shapes")
+            .elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_on_beats_mapping_off() {
+        let layer = DnnModel {
+            name: "probe",
+            layers: vec![maco_workloads::dnn::GemmLayer {
+                name: "l",
+                shape: maco_workloads::GemmShape::new(2048, 2048, 2048),
+                repeats: 1,
+                epilogue: EpilogueClass::Softmax,
+            }],
+        };
+        let mut with = fig8_maco(true);
+        let g_with = maco_dnn_throughput(&mut with, &layer, true);
+        let mut without = fig8_maco(false);
+        let g_without = maco_dnn_throughput(&mut without, &layer, false);
+        assert!(
+            g_with > g_without,
+            "mapping {g_with} must beat no-mapping {g_without}"
+        );
+    }
+
+    #[test]
+    fn epilogue_kernel_classes() {
+        assert!(epilogue_kernel(EpilogueClass::None).is_none());
+        assert_eq!(epilogue_kernel(EpilogueClass::Relu).unwrap().name, "relu");
+        assert_eq!(
+            epilogue_kernel(EpilogueClass::Softmax).unwrap().name,
+            "softmax"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks of the simulator substrate: the hot paths
+//! behind the figure harnesses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use maco_isa::{Asid, Precision};
+use maco_mem::cache::SetAssocCache;
+use maco_mmae::systolic::SystolicArray;
+use maco_noc::packet::{Packet, PacketKind};
+use maco_noc::router::MeshSim;
+use maco_noc::topology::MeshShape;
+use maco_vm::matlb::TileAccessPattern;
+use maco_vm::page_table::{AddressSpace, PageFlags};
+use maco_vm::tlb::{Tlb, TlbEntry};
+use maco_vm::{PhysAddr, VirtAddr};
+
+fn bench_systolic(c: &mut Criterion) {
+    let sa = SystolicArray::new(4, 4);
+    let a = vec![1.5f64; 32 * 32];
+    let b = vec![0.5f64; 32 * 32];
+    let cc = vec![0.25f64; 32 * 32];
+    c.bench_function("systolic/tile_matmul_32_fp64", |bench| {
+        bench.iter(|| sa.tile_matmul(black_box(&a), &b, &cc, 32, 32, 32, Precision::Fp64))
+    });
+    c.bench_function("systolic/tile_cycles_64", |bench| {
+        bench.iter(|| sa.tile_cycles(black_box(64), 64, 64, Precision::Fp32))
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb/lookup_hit_1024", |bench| {
+        let mut tlb = Tlb::new(1024);
+        let asid = Asid::new(1);
+        for vpn in 0..1024u64 {
+            tlb.insert(asid, vpn, TlbEntry { frame: vpn, flags: PageFlags::rw() });
+        }
+        let mut vpn = 0u64;
+        bench.iter(|| {
+            vpn = (vpn + 1) % 1024;
+            black_box(tlb.lookup(asid, vpn))
+        })
+    });
+    c.bench_function("tlb/thrash_insert", |bench| {
+        let mut tlb = Tlb::new(48);
+        let asid = Asid::new(1);
+        let mut vpn = 0u64;
+        bench.iter(|| {
+            vpn += 1;
+            tlb.insert(asid, vpn, TlbEntry { frame: vpn, flags: PageFlags::rw() })
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l2_streaming", |bench| {
+        let mut l2 = SetAssocCache::new(512 * 1024, 8);
+        let mut addr = 0u64;
+        bench.iter(|| {
+            addr += 64;
+            black_box(l2.read(addr))
+        })
+    });
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    c.bench_function("page_table/translate", |bench| {
+        let mut space = AddressSpace::new();
+        for i in 0..1024u64 {
+            space
+                .map(VirtAddr::new(i * 4096), PhysAddr::new(0x10_0000 + i * 4096), PageFlags::rw())
+                .unwrap();
+        }
+        let mut i = 0u64;
+        bench.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(space.translate(VirtAddr::new(i * 4096 + 8)).unwrap())
+        })
+    });
+}
+
+fn bench_matlb(c: &mut Criterion) {
+    c.bench_function("matlb/predict_64_rows", |bench| {
+        let tile = TileAccessPattern::new(VirtAddr::new(0), 64, 512, 8192);
+        bench.iter(|| black_box(tile.predicted_pages().count()))
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc/flit_router_64_packets", |bench| {
+        bench.iter(|| {
+            let shape = MeshShape::new(4, 4);
+            let mut sim = MeshSim::new(shape, 2, 4);
+            for i in 0..64usize {
+                sim.inject(Packet::new(
+                    shape.node_at(i % 16),
+                    shape.node_at((i * 7) % 16),
+                    PacketKind::ReadResp,
+                    64,
+                ));
+            }
+            black_box(sim.run_until_drained(100_000).unwrap().len())
+        })
+    });
+}
+
+fn bench_system(c: &mut Criterion) {
+    use maco_core::system::{MacoSystem, SystemConfig};
+    c.bench_function("system/single_node_gemm_256", |bench| {
+        bench.iter(|| {
+            let mut sys = MacoSystem::new(SystemConfig::single_node());
+            black_box(
+                sys.run_parallel_gemm(256, 256, 256, Precision::Fp64)
+                    .unwrap()
+                    .avg_efficiency(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_systolic,
+    bench_tlb,
+    bench_cache,
+    bench_page_table,
+    bench_matlb,
+    bench_noc,
+    bench_system
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation: second-level tile size sensitivity (a design choice DESIGN.md
+//! calls out — the paper fixes ⟨ttr,ttc⟩ = ⟨64,64⟩).
+
+use maco_bench::{pct, row};
+use maco_core::system::{MacoSystem, SystemConfig};
+use maco_isa::Precision;
+use maco_mmae::config::TilingConfig;
+
+fn main() {
+    println!("Ablation — second-level tile size (single node, FP64, n=2048)");
+    println!("{}", "-".repeat(56));
+    let widths = [10, 12, 14];
+    println!(
+        "{}",
+        row(&["tile".into(), "efficiency".into(), "buffer fit".into()], &widths)
+    );
+    for tt in [16u64, 32, 64] {
+        let mut cfg = SystemConfig::single_node();
+        cfg.mmae.tiling = TilingConfig {
+            ttr: tt,
+            ttc: tt,
+            ttk: tt,
+            ..TilingConfig::default()
+        };
+        let fits = maco_mmae::buffers::BufferPlan::plan(
+            &cfg.mmae,
+            &cfg.mmae.tiling,
+            Precision::Fp64,
+        )
+        .map(|p| if p.double_buffered { "double" } else { "single" })
+        .unwrap_or("overflow");
+        let mut sys = MacoSystem::new(cfg);
+        let eff = sys
+            .run_parallel_gemm(2048, 2048, 2048, Precision::Fp64)
+            .expect("mapped")
+            .avg_efficiency();
+        println!(
+            "{}",
+            row(&[format!("{tt}x{tt}"), pct(eff), fits.to_string()], &widths)
+        );
+    }
+    println!();
+    println!("the paper's 64x64 choice maximises SA residency within the 192 KB buffers");
+}

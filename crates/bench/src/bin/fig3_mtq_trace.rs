@@ -1,0 +1,57 @@
+//! Regenerates Fig. 3: the MTQ entry state-transition diagram, traced by
+//! driving two processes and an exception through a real MTQ.
+
+use maco_isa::mtq::{MasterTaskQueue, QueryOutcome};
+use maco_isa::{Asid, ExceptionType};
+
+fn show(mtq: &MasterTaskQueue, label: &str) {
+    let (maid, e) = mtq.iter().next().expect("entry 0");
+    println!(
+        "{label:<42} [{maid}: Valid={} Done={} ASID={} Exc={}]",
+        e.valid as u8,
+        e.done as u8,
+        e.asid.map(|a| a.to_string()).unwrap_or("NULL".into()),
+        e.exception.map(|x| x.to_string()).unwrap_or("0".into()),
+    );
+}
+
+fn main() {
+    println!("Fig. 3 — state transitions of an MTQ entry");
+    println!("{}", "-".repeat(78));
+    let p0 = Asid::new(0);
+    let p1 = Asid::new(1);
+    let mut mtq = MasterTaskQueue::new(1);
+    show(&mtq, "initial (free entry)");
+
+    // ① Task is performing.
+    let maid = mtq.allocate(p0).unwrap();
+    show(&mtq, "MA_CFG by process #00  -> state 1 (running)");
+
+    // ② ③ Task completes without exceptions.
+    mtq.complete(maid).unwrap();
+    show(&mtq, "MMAE response          -> state 2 (done, clean)");
+    let out = mtq.query_release(maid, p0).unwrap();
+    show(&mtq, "MA_STATE (ASID match)  -> released");
+    println!("{:<42}   query outcome: {out:?}", "");
+
+    // Entry recycled by process #01; process #00 sees the mismatch.
+    let maid2 = mtq.allocate(p1).unwrap();
+    show(&mtq, "MA_CFG by process #01  -> entry recycled");
+    let stale = mtq.query(maid2, p0).unwrap();
+    println!(
+        "{:<42}   process #00 MA_STATE: {stale:?} (state 3: ASID mismatch => its task completed)",
+        ""
+    );
+
+    // ④ Task completes with exceptions.
+    let mut mtq = MasterTaskQueue::new(1);
+    let maid = mtq.allocate(p0).unwrap();
+    mtq.raise_exception(maid, ExceptionType::TranslationFault)
+        .unwrap();
+    show(&mtq, "execution w/ exception -> state 4 (Exc=1)");
+    let out = mtq.query_release(maid, p0).unwrap();
+    assert!(matches!(out, QueryOutcome::Done { exception: Some(_) }));
+    show(&mtq, "MA_STATE               -> entry NOT released");
+    mtq.clear(maid).unwrap();
+    show(&mtq, "MA_CLEAR               -> cleared");
+}

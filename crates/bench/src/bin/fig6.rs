@@ -1,0 +1,47 @@
+//! Regenerates Fig. 6: computational efficiency of a single compute node
+//! with and without predictive address translation, over the paper's
+//! matrix sizes (FP64, 4 KB pages, ⟨Tr,Tc⟩=⟨1024,1024⟩, ⟨ttr,ttc⟩=⟨64,64⟩).
+
+use maco_bench::{pct, quick_mode, row};
+use maco_core::system::{MacoSystem, SystemConfig};
+use maco_isa::Precision;
+use maco_workloads::gemm::fig6_sizes;
+
+fn main() {
+    println!("Fig. 6 — performance of MACO with/without page table prediction");
+    println!("single compute node, FP64, 4 KB pages, tiling <1024,1024>/<64,64>");
+    println!("{}", "-".repeat(64));
+    let widths = [8, 16, 19, 8];
+    println!(
+        "{}",
+        row(
+            &["size".into(), "with prediction".into(), "without prediction".into(), "gap".into()],
+            &widths
+        )
+    );
+    let mut sizes = fig6_sizes();
+    if quick_mode() {
+        sizes.retain(|&n| n <= 4096);
+    }
+    for n in sizes {
+        let run = |prediction: bool| {
+            let mut cfg = SystemConfig::single_node();
+            cfg.prediction = prediction;
+            let mut sys = MacoSystem::new(cfg);
+            sys.run_parallel_gemm(n, n, n, Precision::Fp64)
+                .expect("mapped")
+                .avg_efficiency()
+        };
+        let with = run(true);
+        let without = run(false);
+        println!(
+            "{}",
+            row(
+                &[n.to_string(), pct(with), pct(without), pct(with - without)],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("paper: gap peaks ~6.5% at n=1024, ~6.3% for n>=2048, <2% below 512");
+}

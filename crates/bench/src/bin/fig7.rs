@@ -1,0 +1,59 @@
+//! Regenerates Fig. 7: scalability — average per-node computational
+//! efficiency for 1/2/4/8/16 compute nodes across matrix sizes, each node
+//! running an independent FP64 GEMM.
+
+use maco_bench::{pct, quick_mode, row};
+use maco_core::system::{MacoSystem, SystemConfig};
+use maco_isa::Precision;
+use maco_workloads::gemm::{fig7_node_counts, fig7_sizes};
+
+fn main() {
+    println!("Fig. 7 — scalability of MACO (avg per-node efficiency, FP64)");
+    println!("{}", "-".repeat(72));
+    let mut sizes = fig7_sizes();
+    if quick_mode() {
+        sizes.retain(|&n| n <= 3072);
+    }
+    let counts = fig7_node_counts();
+    let widths = vec![7; counts.len() + 1];
+    let mut header = vec!["size".to_string()];
+    header.extend(counts.iter().map(|c| format!("{c}-node")));
+    println!("{}", row(&header, &widths));
+
+    let mut grand_total = 0.0;
+    let mut grand_n = 0usize;
+    let mut sixteen_total = 0.0;
+    let mut single_total = 0.0;
+    for &n in &sizes {
+        let mut cells = vec![n.to_string()];
+        for &nodes in &counts {
+            let mut cfg = SystemConfig::default();
+            cfg.nodes = nodes;
+            let mut sys = MacoSystem::new(cfg);
+            let eff = sys
+                .run_parallel_gemm(n, n, n, Precision::Fp64)
+                .expect("mapped")
+                .avg_efficiency();
+            cells.push(pct(eff));
+            grand_total += eff;
+            grand_n += 1;
+            if nodes == 16 {
+                sixteen_total += eff;
+            }
+            if nodes == 1 {
+                single_total += eff;
+            }
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    println!();
+    println!(
+        "average efficiency over all cells: {}",
+        pct(grand_total / grand_n as f64)
+    );
+    println!(
+        "average 1->16 node loss: {}",
+        pct((single_total - sixteen_total) / sizes.len() as f64)
+    );
+    println!("paper: ~90% average efficiency, ~10% average loss scaling to 16 nodes");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table I: architectural parameters of a CPU core.
+
+use maco_cpu::CpuConfig;
+
+fn main() {
+    println!("Table I — Architectural parameters of a CPU core");
+    println!("{}", "-".repeat(60));
+    print!("{}", CpuConfig::default());
+}

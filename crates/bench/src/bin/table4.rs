@@ -1,0 +1,26 @@
+//! Regenerates Table IV: CPU core vs MMAE physical comparison, plus the
+//! derived ratios quoted in Section V.B.1.
+
+use maco_core::physical::PhysicalModel;
+use maco_isa::Precision;
+
+fn main() {
+    let model = PhysicalModel::default();
+    println!("Table IV — Comparisons of the CPU core and MMAE");
+    println!("{}", "-".repeat(66));
+    print!("{model}");
+    println!();
+    println!("Derived ratios (paper quotes in Section V.B.1):");
+    println!(
+        "  MMAE/CPU area ratio          : {:.2}  (paper: ~0.25)",
+        model.area_ratio()
+    );
+    println!(
+        "  area efficiency gain (FP64)  : {:.1}x (paper: ~9x)",
+        model.area_efficiency_gain(Precision::Fp64).unwrap()
+    );
+    println!(
+        "  power efficiency gain (FP64) : {:.1}x (paper text: 2x; Table IV numbers imply 3x)",
+        model.power_efficiency_gain(Precision::Fp64).unwrap()
+    );
+}

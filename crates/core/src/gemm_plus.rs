@@ -1,0 +1,321 @@
+//! The GEMM⁺ mapping scheme (Section IV.B, Fig. 5).
+//!
+//! Real workloads follow GEMM layers with non-GEMM work (normalisation,
+//! activation, softmax). MACO maps these **GEMM⁺** workloads by
+//!
+//! 1. tiling the output across compute nodes — Fig. 5(a) assigns each CN a
+//!    column slice of Y, with A shared among nodes;
+//! 2. stashing & locking the sub-matrices in L3 ahead of use — Fig. 5(b);
+//! 3. overlapping the CPU's non-GEMM work on finished output blocks with
+//!    the MMAE's remaining GEMM tiles — Fig. 5(c).
+//!
+//! [`run_gemm_plus`] executes one such layer on a [`MacoSystem`] and
+//! records a [`Timeline`] reproducing Fig. 5(c); [`run_dnn_stream`] chains
+//! layers for the Fig. 8 throughput runs.
+
+use maco_cpu::kernels::Kernel;
+use maco_isa::Precision;
+use maco_sim::{SimDuration, Timeline};
+use maco_vm::page_table::TranslateFault;
+
+use crate::system::{MacoSystem, SystemReport};
+
+/// One GEMM⁺ layer: a GEMM followed by an element-wise / row-wise epilogue.
+#[derive(Debug, Clone)]
+pub struct GemmPlusTask {
+    /// Output rows.
+    pub m: u64,
+    /// Output columns.
+    pub n: u64,
+    /// Reduction extent.
+    pub k: u64,
+    /// Compute precision.
+    pub precision: Precision,
+    /// Non-GEMM epilogue applied to Y, if any.
+    pub epilogue: Option<Kernel>,
+    /// Whether the CPU epilogue overlaps the MMAE (Fig. 5(c)); disabling
+    /// this serialises them, as Baseline-2 does.
+    pub overlap: bool,
+}
+
+impl GemmPlusTask {
+    /// A GEMM-only layer.
+    pub fn gemm(m: u64, n: u64, k: u64, precision: Precision) -> Self {
+        GemmPlusTask {
+            m,
+            n,
+            k,
+            precision,
+            epilogue: None,
+            overlap: true,
+        }
+    }
+
+    /// Attaches an epilogue kernel.
+    pub fn with_epilogue(mut self, kernel: Kernel) -> Self {
+        self.epilogue = Some(kernel);
+        self
+    }
+
+    /// Disables CPU/MMAE overlap (Baseline-2 behaviour).
+    pub fn without_overlap(mut self) -> Self {
+        self.overlap = false;
+        self
+    }
+
+    /// Total floating-point operations of the GEMM part.
+    pub fn flops(&self) -> u64 {
+        2 * self.m * self.n * self.k
+    }
+}
+
+/// Result of one GEMM⁺ layer.
+#[derive(Debug, Clone)]
+pub struct GemmPlusReport {
+    /// The underlying multi-node GEMM report.
+    pub gemm: SystemReport,
+    /// End-to-end layer latency including any non-overlapped epilogue tail.
+    pub elapsed: SimDuration,
+    /// Total CPU epilogue time across nodes.
+    pub epilogue_time: SimDuration,
+    /// Fig. 5(c)-style activity timeline.
+    pub timeline: Timeline,
+}
+
+impl GemmPlusReport {
+    /// Layer throughput in GFLOPS (GEMM flops over layer latency).
+    pub fn gflops(&self, task: &GemmPlusTask) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            task.flops() as f64 / self.elapsed.as_ns()
+        }
+    }
+}
+
+/// Splits `n` columns over `nodes` as evenly as possible (Fig. 5(a)).
+pub fn partition_columns(n: u64, nodes: usize) -> Vec<u64> {
+    let nodes = nodes as u64;
+    let base = n / nodes;
+    let extra = n % nodes;
+    (0..nodes)
+        .map(|i| base + if i < extra { 1 } else { 0 })
+        .filter(|&c| c > 0)
+        .collect()
+}
+
+/// Chooses the per-node GEMM shapes for one layer: Fig. 5(a) splits the
+/// output across nodes along its larger extent (columns for square/wide
+/// outputs, rows for the tall outputs im2col produces), so no node
+/// receives a degenerate sliver.
+pub fn partition_shapes(m: u64, n: u64, k: u64, nodes: usize) -> Vec<(u64, u64, u64)> {
+    if n >= m {
+        partition_columns(n, nodes)
+            .into_iter()
+            .map(|c| (m, c, k))
+            .collect()
+    } else {
+        partition_columns(m, nodes)
+            .into_iter()
+            .map(|r| (r, n, k))
+            .collect()
+    }
+}
+
+/// Executes one GEMM⁺ layer on the system.
+///
+/// # Errors
+///
+/// Propagates [`TranslateFault`]s from the mapping layer.
+pub fn run_gemm_plus(
+    system: &mut MacoSystem,
+    task: &GemmPlusTask,
+) -> Result<GemmPlusReport, TranslateFault> {
+    let nodes = system.node_count();
+    let shapes = partition_shapes(task.m, task.n, task.k, nodes);
+    let gemm = system.run_partitioned_gemm(&shapes, task.precision)?;
+
+    let mut timeline = Timeline::new();
+    let mut elapsed = SimDuration::ZERO;
+    let mut epilogue_total = SimDuration::ZERO;
+
+    for (i, node_report) in gemm.nodes.iter().enumerate() {
+        let lane_mmae = format!("CN{i}.MMAE");
+        let lane_cpu = format!("CN{i}.CPU");
+        let gemm_end = maco_sim::SimTime::ZERO + node_report.elapsed;
+        timeline.record(&lane_mmae, "gemm", maco_sim::SimTime::ZERO, gemm_end);
+
+        let node_elapsed = if let Some(kernel) = &task.epilogue {
+            let elems = shapes[i].0 * shapes[i].1;
+            let epi = kernel.time_on(&system.config().cpu, elems, task.precision);
+            epilogue_total += epi;
+            if task.overlap {
+                // Epilogue chunks run on finished output blocks while the
+                // MMAE continues (Fig. 5(c)). Only the tail that cannot
+                // overlap extends the layer: the epilogue of the final
+                // block.
+                let blocks = shapes[i].0.div_ceil(system.config().mmae.tiling.tr)
+                    * shapes[i].1.div_ceil(system.config().mmae.tiling.tc);
+                let per_block = SimDuration::from_fs(epi.as_fs() / blocks.max(1));
+                let overlap_start =
+                    gemm_end.saturating_since(maco_sim::SimTime::ZERO) - per_block.min(node_report.elapsed);
+                // Record interleaved CPU spans across the GEMM window.
+                for b in 0..blocks.min(8) {
+                    let frac_start = node_report.elapsed * (b + 1) / (blocks + 1);
+                    timeline.record(
+                        &lane_cpu,
+                        kernel.name,
+                        maco_sim::SimTime::ZERO + frac_start,
+                        maco_sim::SimTime::ZERO + frac_start + per_block,
+                    );
+                }
+                let _ = overlap_start;
+                node_report.elapsed + per_block
+            } else {
+                // Serial: the whole epilogue follows the GEMM.
+                timeline.record(
+                    &lane_cpu,
+                    kernel.name,
+                    gemm_end,
+                    gemm_end + epi,
+                );
+                node_report.elapsed + epi
+            }
+        } else {
+            node_report.elapsed
+        };
+        elapsed = elapsed.max(node_elapsed);
+    }
+
+    Ok(GemmPlusReport {
+        gemm,
+        elapsed,
+        epilogue_time: epilogue_total,
+        timeline,
+    })
+}
+
+/// Runs a sequence of GEMM⁺ layers back to back (a DNN inference pass);
+/// returns total flops, end-to-end latency and average throughput.
+///
+/// # Errors
+///
+/// Propagates [`TranslateFault`]s.
+pub fn run_dnn_stream(
+    system: &mut MacoSystem,
+    layers: &[GemmPlusTask],
+) -> Result<DnnReport, TranslateFault> {
+    let mut total = SimDuration::ZERO;
+    let mut flops = 0u64;
+    for layer in layers {
+        let report = run_gemm_plus(system, layer)?;
+        total += report.elapsed;
+        flops += layer.flops();
+    }
+    Ok(DnnReport {
+        layers: layers.len(),
+        flops,
+        elapsed: total,
+    })
+}
+
+/// Aggregate result of a DNN inference stream.
+#[derive(Debug, Clone, Copy)]
+pub struct DnnReport {
+    /// Number of GEMM⁺ layers executed.
+    pub layers: usize,
+    /// Total GEMM flops.
+    pub flops: u64,
+    /// End-to-end latency.
+    pub elapsed: SimDuration,
+}
+
+impl DnnReport {
+    /// Average throughput in GFLOPS — the Fig. 8 y-axis.
+    pub fn gflops(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.flops as f64 / self.elapsed.as_ns()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+
+    fn system(nodes: usize) -> MacoSystem {
+        MacoSystem::new(SystemConfig {
+            nodes,
+            ..SystemConfig::default()
+        })
+    }
+
+    #[test]
+    fn column_partition_covers_exactly() {
+        assert_eq!(partition_columns(1024, 4), vec![256; 4]);
+        assert_eq!(partition_columns(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(partition_columns(2, 4), vec![1, 1]);
+        let parts = partition_columns(9216, 16);
+        assert_eq!(parts.iter().sum::<u64>(), 9216);
+    }
+
+    #[test]
+    fn gemm_plus_overlap_hides_epilogue() {
+        let mut sys = system(4);
+        let base = GemmPlusTask::gemm(2048, 2048, 2048, Precision::Fp32);
+        let overlapped = run_gemm_plus(
+            &mut sys,
+            &base.clone().with_epilogue(Kernel::softmax()),
+        )
+        .unwrap();
+        let mut sys2 = system(4);
+        let serial = run_gemm_plus(
+            &mut sys2,
+            &base.with_epilogue(Kernel::softmax()).without_overlap(),
+        )
+        .unwrap();
+        assert!(
+            overlapped.elapsed < serial.elapsed,
+            "overlap {} vs serial {}",
+            overlapped.elapsed,
+            serial.elapsed
+        );
+    }
+
+    #[test]
+    fn timeline_shows_cpu_mmae_overlap() {
+        let mut sys = system(2);
+        let task = GemmPlusTask::gemm(2048, 2048, 1024, Precision::Fp32)
+            .with_epilogue(Kernel::gelu());
+        let report = run_gemm_plus(&mut sys, &task).unwrap();
+        let overlap = report.timeline.overlap_between("CN0.MMAE", "CN0.CPU");
+        assert!(overlap > SimDuration::ZERO, "Fig. 5(c) overlap exists");
+    }
+
+    #[test]
+    fn dnn_stream_accumulates() {
+        let mut sys = system(4);
+        let layers = vec![
+            GemmPlusTask::gemm(512, 512, 512, Precision::Fp32),
+            GemmPlusTask::gemm(512, 512, 512, Precision::Fp32)
+                .with_epilogue(Kernel::relu()),
+        ];
+        let report = run_dnn_stream(&mut sys, &layers).unwrap();
+        assert_eq!(report.layers, 2);
+        assert_eq!(report.flops, 2 * 2 * 512u64.pow(3));
+        assert!(report.gflops() > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_more_throughput() {
+        let task = GemmPlusTask::gemm(4096, 4096, 4096, Precision::Fp32);
+        let mut one = system(1);
+        let g1 = run_gemm_plus(&mut one, &task).unwrap().gflops(&task);
+        let mut four = system(4);
+        let g4 = run_gemm_plus(&mut four, &task).unwrap().gflops(&task);
+        assert!(g4 > g1 * 2.5, "scaling: 1 node {g1}, 4 nodes {g4}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # maco-core — the MACO loosely-coupled multi-core processor
+//!
+//! The paper's primary contribution, assembled from the substrate crates:
+//! up to 16 compute nodes (CPU core + MMAE) on a 4×4 mesh with distributed,
+//! lockable L3 and directory-based coherence (Section III.A), programmed
+//! through MPAIS, with predictive address translation (Section IV.A) and
+//! the GEMM⁺ stash-lock-overlap mapping scheme (Section IV.B).
+//!
+//! * [`physical`] — the Table IV area/power/peak-performance model.
+//! * [`node`] — one compute node: CPU + MMAE + address space + MPAIS task
+//!   round-trip.
+//! * [`system`] — the full-system timing simulator: nodes interleaved over
+//!   the shared NoC fabric, CCM slices and DRAM (Figs. 6, 7, 8).
+//! * [`gemm_plus`] — the GEMM⁺ mapping scheme: multi-node tiling
+//!   (Fig. 5(a)), stash & lock (Fig. 5(b)) and CPU/MMAE overlap
+//!   (Fig. 5(c)).
+//! * [`runner`] — a builder-style high-level API for examples and
+//!   harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use maco_core::runner::Maco;
+//! use maco_isa::Precision;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut maco = Maco::builder().nodes(1).build();
+//! let report = maco.gemm(256, 256, 256, Precision::Fp64)?;
+//! assert!(report.avg_efficiency() > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod gemm_plus;
+pub mod node;
+pub mod physical;
+pub mod runner;
+pub mod system;
+
+pub use gemm_plus::{GemmPlusReport, GemmPlusTask};
+pub use node::ComputeNode;
+pub use physical::{PhysicalModel, UnitPhysical};
+pub use runner::{Maco, MacoBuilder};
+pub use system::{MacoSystem, NodeReport, SystemConfig, SystemReport};

@@ -1,0 +1,366 @@
+//! A single compute node: CPU core + MMAE + address space.
+//!
+//! [`ComputeNode`] is the standalone (no NoC) node model used by examples,
+//! unit tests and the Fig. 3 exception scenarios: it wires the complete
+//! MPAIS round trip — `MA_CFG` on the CPU allocates an MTQ entry, the
+//! parameter block lands in the MMAE's STQ, the engine executes (or raises
+//! an exception), and the STQ responds to the MTQ where `MA_STATE` /
+//! `MA_CLEAR` observe the Fig. 3 state machine. The node's memory side is a
+//! private slice-less L3 + DRAM stack, enough for the Fig. 6 single-node
+//! style of run without the full-system event loop.
+
+use maco_cpu::core::CpuCore;
+use maco_cpu::CpuConfig;
+use maco_isa::mtq::{Maid, MtqError, QueryOutcome};
+use maco_isa::params::GemmParams;
+use maco_isa::stq::{SlaveTaskQueue, StqError, TaskKind};
+use maco_isa::{Asid, ExceptionType, Precision};
+use maco_mem::dram::{Dram, DramConfig};
+use maco_mem::l3::{DistributedL3, L3Config};
+use maco_mem::port::MemoryPort;
+use maco_mmae::config::MmaeConfig;
+use maco_mmae::engine::TaskReport;
+use maco_mmae::translate::TranslationContext;
+use maco_mmae::Mmae;
+use maco_sim::{SimDuration, SimTime};
+use maco_vm::matlb::Matlb;
+use maco_vm::page_table::{AddressSpace, PageFlags, TranslateFault};
+use maco_vm::{PhysAddr, VirtAddr, PAGE_SIZE};
+
+/// A memory port backed by the node's view of L3 + DRAM.
+#[derive(Debug)]
+pub struct NodePort {
+    l3: DistributedL3,
+    dram: Dram,
+    l3_latency: SimDuration,
+    l3_gbps: f64,
+}
+
+impl NodePort {
+    fn new(l3: L3Config, dram: DramConfig) -> Self {
+        NodePort {
+            l3: DistributedL3::new(l3),
+            dram: Dram::new(dram),
+            l3_latency: SimDuration::from_ns(30),
+            l3_gbps: 64.0,
+        }
+    }
+
+    /// The L3 model (stash/lock entry point).
+    pub fn l3_mut(&mut self) -> &mut DistributedL3 {
+        &mut self.l3
+    }
+
+    fn stream_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_ns_f64(bytes as f64 / self.l3_gbps)
+    }
+}
+
+impl MemoryPort for NodePort {
+    fn read(&mut self, pa: PhysAddr, bytes: u64, now: SimTime) -> SimTime {
+        // Bulk reads are priced at L3 streaming when resident, DRAM
+        // otherwise; residency sampled at the transfer's head line.
+        if self.l3.lookup(pa) {
+            now + self.l3_latency + self.stream_time(bytes)
+        } else {
+            self.dram.access_bulk(pa, bytes, now)
+        }
+    }
+
+    fn write(&mut self, pa: PhysAddr, bytes: u64, now: SimTime) -> SimTime {
+        let _ = self.l3.access_write(pa);
+        now + self.l3_latency + self.stream_time(bytes)
+    }
+}
+
+/// One MACO compute node.
+#[derive(Debug)]
+pub struct ComputeNode {
+    cpu: CpuCore,
+    mmae: Mmae,
+    matlb: Matlb,
+    stq: SlaveTaskQueue,
+    port: NodePort,
+    space: AddressSpace,
+    asid: Asid,
+    next_frame: u64,
+    prediction: bool,
+}
+
+impl ComputeNode {
+    /// Creates a node with default (paper) configurations for process
+    /// `asid`.
+    pub fn new(asid: Asid) -> Self {
+        ComputeNode::with_configs(asid, CpuConfig::default(), MmaeConfig::default())
+    }
+
+    /// Creates a node with explicit configurations.
+    pub fn with_configs(asid: Asid, cpu: CpuConfig, mmae: MmaeConfig) -> Self {
+        ComputeNode {
+            cpu: CpuCore::new(cpu),
+            matlb: Matlb::new(mmae.matlb_entries),
+            stq: SlaveTaskQueue::new(mmae.stq_entries),
+            mmae: Mmae::new(mmae),
+            port: NodePort::new(
+                L3Config {
+                    slices: 1,
+                    ..L3Config::default()
+                },
+                DramConfig::default(),
+            ),
+            space: AddressSpace::new(),
+            asid,
+            next_frame: 0x1_0000_0000,
+            prediction: true,
+        }
+    }
+
+    /// Enables/disables predictive address translation.
+    pub fn set_prediction(&mut self, on: bool) {
+        self.prediction = on;
+    }
+
+    /// The node's CPU core.
+    pub fn cpu(&self) -> &CpuCore {
+        &self.cpu
+    }
+
+    /// The node's MMAE.
+    pub fn mmae(&self) -> &Mmae {
+        &self.mmae
+    }
+
+    /// Maps `bytes` of fresh memory at `va` in the node's address space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TranslateFault::AlreadyMapped`] on overlap.
+    pub fn map(&mut self, va: u64, bytes: u64) -> Result<(), TranslateFault> {
+        let rounded = bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.space.map_range(
+            VirtAddr::new(va),
+            PhysAddr::new(self.next_frame),
+            rounded,
+            PageFlags::rw(),
+        )?;
+        self.next_frame += rounded;
+        Ok(())
+    }
+
+    /// Issues `MA_STASH`-style prefetch-and-lock of `[va, va+bytes)` into
+    /// the node's L3.
+    ///
+    /// # Errors
+    ///
+    /// Returns a translation fault for unmapped regions; lock-quota
+    /// exhaustion surfaces as `Ok(0)` lines… no — quota errors are
+    /// propagated as [`ExceptionType::BufferOverflow`]-class failures by
+    /// the caller; this method returns the fetched line count.
+    pub fn stash(&mut self, va: u64, bytes: u64, lock: bool) -> Result<u64, TranslateFault> {
+        let pa = self.space.translate(VirtAddr::new(va))?;
+        Ok(self
+            .port
+            .l3
+            .stash(pa, bytes, lock)
+            .map_err(|_| TranslateFault::NotMapped {
+                va: VirtAddr::new(va),
+                level: 3,
+            })?)
+    }
+
+    /// Full MPAIS round trip for a GEMM task: `MA_CFG` → STQ → execution →
+    /// response → (caller issues `MA_STATE`). Returns the MAID and, on
+    /// clean completion, the engine's report.
+    ///
+    /// A translation fault during execution is converted into the Fig. 3
+    /// exception path: the MTQ entry carries
+    /// [`ExceptionType::TranslationFault`] and the report is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError`] for MTQ/STQ resource exhaustion.
+    pub fn run_gemm(
+        &mut self,
+        params: &GemmParams,
+        start: SimTime,
+    ) -> Result<(Maid, Option<TaskReport>), NodeError> {
+        let (maid, _issue) = self.cpu.issue_ma_cfg(self.asid).map_err(NodeError::Mtq)?;
+        if let Some(resp) = self
+            .stq
+            .submit(maid, TaskKind::Gemm, &params.pack())
+            .map_err(NodeError::Stq)?
+        {
+            // Parameter parse failure: immediate InvalidConfig exception.
+            self.cpu
+                .mmae_response(resp.maid, resp.exception)
+                .map_err(NodeError::Mtq)?;
+            return Ok((maid, None));
+        }
+
+        let (stlb, walker) = self.cpu.mmu_mut().shared_parts_mut();
+        let mut ctx = TranslationContext {
+            asid: self.asid,
+            space: &self.space,
+            stlb,
+            walker,
+            matlb: if self.prediction {
+                Some(&mut self.matlb)
+            } else {
+                None
+            },
+            walk_read_latency: SimDuration::from_ns(6),
+        };
+        let result = self.mmae.run_gemm_timed(params, &mut ctx, &mut self.port, start);
+        match result {
+            Ok(report) => {
+                let resp = self.stq.complete_active(None).map_err(NodeError::Stq)?;
+                self.cpu.mmae_response(resp.maid, None).map_err(NodeError::Mtq)?;
+                Ok((maid, Some(report)))
+            }
+            Err(_fault) => {
+                let resp = self
+                    .stq
+                    .complete_active(Some(ExceptionType::TranslationFault))
+                    .map_err(NodeError::Stq)?;
+                self.cpu
+                    .mmae_response(resp.maid, resp.exception)
+                    .map_err(NodeError::Mtq)?;
+                Ok((maid, None))
+            }
+        }
+    }
+
+    /// Software-side `MA_STATE` for a previously submitted task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MtqError`].
+    pub fn query_release(&mut self, maid: Maid) -> Result<QueryOutcome, MtqError> {
+        let asid = self.asid;
+        self.cpu.issue_ma_state(maid, asid).map(|(o, _)| o)
+    }
+
+    /// Software-side `MA_CLEAR` (exception recovery).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MtqError`].
+    pub fn clear(&mut self, maid: Maid) -> Result<(), MtqError> {
+        self.cpu.issue_ma_clear(maid).map(|_| ())
+    }
+
+    /// Functional GEMM through the node's engine (tiled through the SA).
+    pub fn gemm_functional(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        c: &[f64],
+        m: usize,
+        n: usize,
+        k: usize,
+        precision: Precision,
+    ) -> Vec<f64> {
+        self.mmae.gemm_functional(a, b, c, m, n, k, precision)
+    }
+}
+
+/// Node-level resource errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeError {
+    /// Master-task-queue error.
+    Mtq(MtqError),
+    /// Slave-task-queue error.
+    Stq(StqError),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Mtq(e) => write!(f, "{e}"),
+            NodeError::Stq(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u64) -> GemmParams {
+        let bytes = n * n * 8;
+        GemmParams::new(0x1000_0000, 0x1000_0000 + bytes, 0x1000_0000 + 2 * bytes,
+            0x1000_0000 + 3 * bytes, n, n, n, Precision::Fp64)
+        .unwrap()
+    }
+
+    fn mapped_node(n: u64) -> ComputeNode {
+        let mut node = ComputeNode::new(Asid::new(1));
+        node.map(0x1000_0000, 4 * n * n * 8).unwrap();
+        node
+    }
+
+    #[test]
+    fn clean_task_lifecycle_end_to_end() {
+        let mut node = mapped_node(128);
+        let (maid, report) = node.run_gemm(&params(128), SimTime::ZERO).unwrap();
+        let report = report.expect("clean completion");
+        assert!(report.efficiency() > 0.3);
+        assert_eq!(
+            node.query_release(maid).unwrap(),
+            QueryOutcome::Done { exception: None }
+        );
+        assert_eq!(node.cpu().mtq().in_use(), 0);
+    }
+
+    #[test]
+    fn unmapped_task_raises_translation_exception() {
+        let mut node = ComputeNode::new(Asid::new(1)); // nothing mapped
+        let (maid, report) = node.run_gemm(&params(64), SimTime::ZERO).unwrap();
+        assert!(report.is_none());
+        assert_eq!(
+            node.query_release(maid).unwrap(),
+            QueryOutcome::Done {
+                exception: Some(ExceptionType::TranslationFault)
+            }
+        );
+        // Fig. 3 ④: entry persists until MA_CLEAR.
+        assert_eq!(node.cpu().mtq().in_use(), 1);
+        node.clear(maid).unwrap();
+        assert_eq!(node.cpu().mtq().in_use(), 0);
+    }
+
+    #[test]
+    fn stash_populates_l3_and_speeds_reads() {
+        let mut node = mapped_node(256);
+        let fetched = node.stash(0x1000_0000, 64 * 1024, true).unwrap();
+        assert_eq!(fetched, 1024, "64 KB = 1024 lines");
+        // Restash is free.
+        assert_eq!(node.stash(0x1000_0000, 64 * 1024, true).unwrap(), 0);
+    }
+
+    #[test]
+    fn functional_gemm_matches_engine() {
+        let node = ComputeNode::new(Asid::new(1));
+        let m = 8;
+        let a = vec![1.0; m * m];
+        let b = vec![1.0; m * m];
+        let c = vec![0.5; m * m];
+        let y = node.gemm_functional(&a, &b, &c, m, m, m, Precision::Fp64);
+        assert!(y.iter().all(|&v| (v - (m as f64 + 0.5)).abs() < 1e-12));
+    }
+
+    #[test]
+    fn prediction_toggle_changes_translation_behaviour() {
+        let mut with = mapped_node(512);
+        let (_, r1) = with.run_gemm(&params(512), SimTime::ZERO).unwrap();
+        let mut without = mapped_node(512);
+        without.set_prediction(false);
+        let (_, r2) = without.run_gemm(&params(512), SimTime::ZERO).unwrap();
+        let (r1, r2) = (r1.unwrap(), r2.unwrap());
+        assert_eq!(r1.translation.demand_walks, 0);
+        assert!(r2.translation.demand_walks > 0);
+        assert!(r1.elapsed <= r2.elapsed);
+    }
+}

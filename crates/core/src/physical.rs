@@ -1,0 +1,235 @@
+//! Area, power and peak-performance model (Table IV).
+//!
+//! The paper implements MACO in a 12 nm ASIC flow and reports, per unit:
+//! frequency, area, power, FMAC count and theoretical peak. The figures are
+//! static design parameters, so the reproduction models them as constants
+//! and *derives* the paper's headline ratios: the MMAE is ~25 % of the CPU
+//! core's area yet delivers >2× its peak, i.e. ~9× the area efficiency and
+//! ~2× the power efficiency.
+
+use std::fmt;
+
+use maco_isa::Precision;
+
+/// Physical characteristics of one unit (CPU core or MMAE).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitPhysical {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Area in mm² (12 nm, post-P&R).
+    pub area_mm2: f64,
+    /// Power in watts.
+    pub power_w: f64,
+    /// Fused MAC units.
+    pub fmacs: u32,
+    /// SIMD lanes per FMAC at each precision (FP64, FP32, FP16); zero
+    /// means the precision is unsupported.
+    pub lanes: [u32; 3],
+}
+
+impl UnitPhysical {
+    /// Theoretical peak in GFLOPS at `precision` (`2 × freq × FMACs ×
+    /// lanes`, Table IV note a).
+    pub fn peak_gflops(&self, precision: Precision) -> Option<f64> {
+        let lanes = match precision {
+            Precision::Fp64 => self.lanes[0],
+            Precision::Fp32 => self.lanes[1],
+            Precision::Fp16 => self.lanes[2],
+        };
+        if lanes == 0 {
+            None
+        } else {
+            Some(2.0 * self.freq_ghz * self.fmacs as f64 * lanes as f64)
+        }
+    }
+
+    /// GFLOPS per mm² at `precision`.
+    pub fn area_efficiency(&self, precision: Precision) -> Option<f64> {
+        self.peak_gflops(precision).map(|p| p / self.area_mm2)
+    }
+
+    /// GFLOPS per watt at `precision`.
+    pub fn power_efficiency(&self, precision: Precision) -> Option<f64> {
+        self.peak_gflops(precision).map(|p| p / self.power_w)
+    }
+}
+
+/// MMAE area breakdown from Table IV note b (percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmaeAreaBreakdown {
+    /// On-chip buffers.
+    pub buffers_pct: f64,
+    /// Systolic array.
+    pub sa_pct: f64,
+    /// Accelerator controller.
+    pub ac_pct: f64,
+    /// Accelerator data engine.
+    pub ade_pct: f64,
+}
+
+/// The Table IV model for one compute node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicalModel {
+    /// The CPU core row.
+    pub cpu: UnitPhysical,
+    /// The MMAE row.
+    pub mmae: UnitPhysical,
+    /// MMAE area breakdown.
+    pub breakdown: MmaeAreaBreakdown,
+}
+
+impl Default for PhysicalModel {
+    fn default() -> Self {
+        PhysicalModel {
+            cpu: UnitPhysical {
+                name: "CPU",
+                freq_ghz: 2.2,
+                area_mm2: 6.25,
+                power_w: 2.0,
+                fmacs: 8,
+                lanes: [1, 2, 0],
+            },
+            mmae: UnitPhysical {
+                name: "MMAE",
+                freq_ghz: 2.5,
+                area_mm2: 1.58,
+                power_w: 1.5,
+                fmacs: 16,
+                lanes: [1, 2, 4],
+            },
+            breakdown: MmaeAreaBreakdown {
+                buffers_pct: 36.7,
+                sa_pct: 24.7,
+                ac_pct: 23.4,
+                ade_pct: 15.8,
+            },
+        }
+    }
+}
+
+impl PhysicalModel {
+    /// MMAE area as a fraction of CPU area (the paper's "only 25 %").
+    pub fn area_ratio(&self) -> f64 {
+        self.mmae.area_mm2 / self.cpu.area_mm2
+    }
+
+    /// MMAE-vs-CPU area-efficiency ratio at `precision` (the paper's ~9×,
+    /// quoted at FP64).
+    pub fn area_efficiency_gain(&self, precision: Precision) -> Option<f64> {
+        Some(self.mmae.area_efficiency(precision)? / self.cpu.area_efficiency(precision)?)
+    }
+
+    /// MMAE-vs-CPU power-efficiency ratio at `precision` (the paper's ~2×).
+    pub fn power_efficiency_gain(&self, precision: Precision) -> Option<f64> {
+        Some(self.mmae.power_efficiency(precision)? / self.cpu.power_efficiency(precision)?)
+    }
+
+    /// Total node area (CPU + MMAE).
+    pub fn node_area_mm2(&self) -> f64 {
+        self.cpu.area_mm2 + self.mmae.area_mm2
+    }
+}
+
+impl fmt::Display for PhysicalModel {
+    /// Renders the Table IV layout.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<6} {:>6} {:>8} {:>7} {:>6}  {}",
+            "", "Freq", "Area", "Power", "FMACs", "Peak Perf (GFLOPS)"
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:>5}G {:>7.2} {:>6.1}W {:>6}  {}",
+            self.cpu.name,
+            self.cpu.freq_ghz,
+            self.cpu.area_mm2,
+            self.cpu.power_w,
+            self.cpu.fmacs,
+            format_args!(
+                "{:.1}(FP64)/{:.0}(FP32)",
+                self.cpu.peak_gflops(Precision::Fp64).unwrap_or(0.0),
+                self.cpu.peak_gflops(Precision::Fp32).unwrap_or(0.0)
+            )
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:>5}G {:>7.2} {:>6.1}W {:>6}  {}",
+            self.mmae.name,
+            self.mmae.freq_ghz,
+            self.mmae.area_mm2,
+            self.mmae.power_w,
+            self.mmae.fmacs,
+            format_args!(
+                "{:.0}(FP64)/{:.0}(FP32)/{:.0}(FP16)",
+                self.mmae.peak_gflops(Precision::Fp64).unwrap_or(0.0),
+                self.mmae.peak_gflops(Precision::Fp32).unwrap_or(0.0),
+                self.mmae.peak_gflops(Precision::Fp16).unwrap_or(0.0)
+            )
+        )?;
+        writeln!(
+            f,
+            "MMAE area breakdown: Buffers {:.1}%, SA {:.1}%, AC {:.1}%, ADE {:.1}%",
+            self.breakdown.buffers_pct,
+            self.breakdown.sa_pct,
+            self.breakdown.ac_pct,
+            self.breakdown.ade_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_peaks() {
+        let m = PhysicalModel::default();
+        assert!((m.cpu.peak_gflops(Precision::Fp64).unwrap() - 35.2).abs() < 0.01);
+        assert!((m.cpu.peak_gflops(Precision::Fp32).unwrap() - 70.4).abs() < 0.5);
+        assert_eq!(m.cpu.peak_gflops(Precision::Fp16), None, "CPU has no FP16");
+        assert!((m.mmae.peak_gflops(Precision::Fp64).unwrap() - 80.0).abs() < 0.01);
+        assert!((m.mmae.peak_gflops(Precision::Fp32).unwrap() - 160.0).abs() < 0.01);
+        assert!((m.mmae.peak_gflops(Precision::Fp16).unwrap() - 320.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_ratios_hold() {
+        let m = PhysicalModel::default();
+        // "the area of MMAE is only 25% of the size of CPU core"
+        assert!((m.area_ratio() - 0.25).abs() < 0.01);
+        // "a much higher (9×) area efficiency (GFLOPS/mm²)"
+        let gain = m.area_efficiency_gain(Precision::Fp64).unwrap();
+        assert!((8.0..10.0).contains(&gain), "area-efficiency gain {gain}");
+        // "power consumption of MMAE is 25% lower … 2× computation
+        // efficiency (GFLOPS/W)". Note: Table IV's own numbers give
+        // 53.3 / 17.6 ≈ 3.0× at FP64 — the paper's "2×" understates its
+        // own table, so the reproduction asserts the derived value.
+        assert!((m.mmae.power_w / m.cpu.power_w - 0.75).abs() < 0.01);
+        let pgain = m.power_efficiency_gain(Precision::Fp64).unwrap();
+        assert!((2.5..3.5).contains(&pgain), "power-efficiency gain {pgain}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_full_area() {
+        let b = PhysicalModel::default().breakdown;
+        let total = b.buffers_pct + b.sa_pct + b.ac_pct + b.ade_pct;
+        assert!((total - 100.0).abs() < 0.7, "breakdown sums to {total}%");
+    }
+
+    #[test]
+    fn display_contains_both_rows() {
+        let text = PhysicalModel::default().to_string();
+        assert!(text.contains("CPU"));
+        assert!(text.contains("MMAE"));
+        assert!(text.contains("Buffers 36.7%"));
+    }
+
+    #[test]
+    fn node_area() {
+        let m = PhysicalModel::default();
+        assert!((m.node_area_mm2() - 7.83).abs() < 0.01);
+    }
+}

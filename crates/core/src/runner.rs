@@ -1,0 +1,209 @@
+//! High-level builder API.
+//!
+//! [`Maco`] wraps [`MacoSystem`] behind the interface examples and
+//! harnesses want: build a machine, run GEMMs, GEMM⁺ layers or whole DNN
+//! streams, read back reports.
+//!
+//! ```
+//! use maco_core::runner::Maco;
+//! use maco_isa::Precision;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut maco = Maco::builder()
+//!     .nodes(4)
+//!     .prediction(true)
+//!     .stash_lock(true)
+//!     .build();
+//! let report = maco.parallel_gemm(512, 512, 512, Precision::Fp64)?;
+//! assert_eq!(report.nodes.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use maco_isa::Precision;
+use maco_mmae::config::TilingConfig;
+use maco_vm::page_table::TranslateFault;
+
+use crate::gemm_plus::{run_dnn_stream, run_gemm_plus, DnnReport, GemmPlusReport, GemmPlusTask};
+use crate::system::{MacoSystem, SystemConfig, SystemReport};
+
+/// Builder for a [`Maco`] machine.
+#[derive(Debug, Clone)]
+pub struct MacoBuilder {
+    config: SystemConfig,
+}
+
+impl MacoBuilder {
+    /// Starts from the paper's default configuration (16 nodes, prediction
+    /// and stash/lock enabled).
+    pub fn new() -> Self {
+        MacoBuilder {
+            config: SystemConfig::default(),
+        }
+    }
+
+    /// Sets the number of compute nodes (1..=16).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.config.nodes = nodes;
+        self
+    }
+
+    /// Enables or disables predictive address translation (Fig. 6 knob).
+    pub fn prediction(mut self, on: bool) -> Self {
+        self.config.prediction = on;
+        self
+    }
+
+    /// Enables or disables the stash & lock mapping scheme (Fig. 8
+    /// Baseline-2 knob).
+    pub fn stash_lock(mut self, on: bool) -> Self {
+        self.config.stash_lock = on;
+        self
+    }
+
+    /// Overrides the systolic-array geometry.
+    pub fn sa(mut self, rows: usize, cols: usize) -> Self {
+        self.config.mmae.sa_rows = rows;
+        self.config.mmae.sa_cols = cols;
+        self
+    }
+
+    /// Forces a per-PE SIMD width (Fig. 8 PE-count normalisation).
+    pub fn lanes_override(mut self, lanes: u64) -> Self {
+        self.config.mmae.lanes_override = Some(lanes);
+        self
+    }
+
+    /// Overrides the tiling scheme.
+    pub fn tiling(mut self, tiling: TilingConfig) -> Self {
+        self.config.mmae.tiling = tiling;
+        self
+    }
+
+    /// Direct access to the full configuration for less common knobs.
+    pub fn configure(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Builds the machine.
+    pub fn build(self) -> Maco {
+        Maco {
+            system: MacoSystem::new(self.config),
+        }
+    }
+}
+
+impl Default for MacoBuilder {
+    fn default() -> Self {
+        MacoBuilder::new()
+    }
+}
+
+/// A configured MACO machine.
+pub struct Maco {
+    system: MacoSystem,
+}
+
+impl Maco {
+    /// Starts a builder.
+    pub fn builder() -> MacoBuilder {
+        MacoBuilder::new()
+    }
+
+    /// The underlying system (full control for advanced experiments).
+    pub fn system_mut(&mut self) -> &mut MacoSystem {
+        &mut self.system
+    }
+
+    /// Runs one logical GEMM, partitioned column-wise across the nodes per
+    /// Fig. 5(a); with one node this is a plain single-engine GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping faults.
+    pub fn gemm(
+        &mut self,
+        m: u64,
+        n: u64,
+        k: u64,
+        precision: Precision,
+    ) -> Result<SystemReport, TranslateFault> {
+        let task = GemmPlusTask::gemm(m, n, k, precision);
+        run_gemm_plus(&mut self.system, &task).map(|r| r.gemm)
+    }
+
+    /// Runs the same independent GEMM on every node (Fig. 7 semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping faults.
+    pub fn parallel_gemm(
+        &mut self,
+        m: u64,
+        n: u64,
+        k: u64,
+        precision: Precision,
+    ) -> Result<SystemReport, TranslateFault> {
+        self.system.run_parallel_gemm(m, n, k, precision)
+    }
+
+    /// Runs one GEMM⁺ layer (Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping faults.
+    pub fn gemm_plus(&mut self, task: &GemmPlusTask) -> Result<GemmPlusReport, TranslateFault> {
+        run_gemm_plus(&mut self.system, task)
+    }
+
+    /// Runs a DNN inference stream of GEMM⁺ layers (Fig. 8 semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping faults.
+    pub fn dnn(&mut self, layers: &[GemmPlusTask]) -> Result<DnnReport, TranslateFault> {
+        run_dnn_stream(&mut self.system, layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_knobs() {
+        let maco = Maco::builder()
+            .nodes(2)
+            .prediction(false)
+            .stash_lock(false)
+            .sa(16, 16)
+            .lanes_override(1)
+            .configure(|c| c.ccm_gbps = 20.0)
+            .build();
+        let cfg = maco.system.config();
+        assert_eq!(cfg.nodes, 2);
+        assert!(!cfg.prediction);
+        assert!(!cfg.stash_lock);
+        assert_eq!(cfg.mmae.sa_rows, 16);
+        assert_eq!(cfg.mmae.lanes_override, Some(1));
+        assert_eq!(cfg.ccm_gbps, 20.0);
+    }
+
+    #[test]
+    fn single_node_gemm_via_facade() {
+        let mut maco = Maco::builder().nodes(1).build();
+        let r = maco.gemm(256, 256, 256, Precision::Fp64).unwrap();
+        assert_eq!(r.nodes.len(), 1);
+        assert!(r.avg_efficiency() > 0.5);
+    }
+
+    #[test]
+    fn partitioned_gemm_uses_all_nodes() {
+        let mut maco = Maco::builder().nodes(4).build();
+        let r = maco.gemm(1024, 1024, 1024, Precision::Fp32).unwrap();
+        assert_eq!(r.nodes.len(), 4);
+        let total: u64 = r.nodes.iter().map(|n| n.flops).sum();
+        assert_eq!(total, 2 * 1024u64.pow(3));
+    }
+}

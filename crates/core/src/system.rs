@@ -1,0 +1,855 @@
+//! The full-system timing simulator.
+//!
+//! Runs 1–16 compute nodes concurrently over the shared resources of
+//! Section III.A: the mesh fabric (per-link bandwidth), the CCM slices
+//! (directory + L3 service occupancy) and the DRAM channels. Nodes advance
+//! tile-step by tile-step through a global event loop in simulated-time
+//! order, so contention between nodes emerges from resource queuing — this
+//! is the machinery behind Fig. 6 (translation prediction), Fig. 7
+//! (scalability) and Fig. 8 (DNN throughput).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use maco_cpu::core::CpuCore;
+use maco_cpu::CpuConfig;
+use maco_isa::params::GemmParams;
+use maco_isa::stq::{SlaveTaskQueue, TaskKind};
+use maco_isa::{Asid, Precision};
+use maco_mem::dram::{Dram, DramConfig};
+use maco_mem::l3::L3Config;
+use maco_mmae::config::MmaeConfig;
+use maco_mmae::engine::TASK_ISSUE_CYCLES;
+use maco_mmae::tiling::{block_passes, tiles_in_pass, BlockPass, Tile};
+use maco_mmae::translate::{StreamTranslation, TranslationContext};
+use maco_mmae::Mmae;
+use maco_noc::fabric::{FabricConfig, MeshFabric};
+use maco_noc::topology::NodeId;
+use maco_sim::{LatencyBandwidthResource, SimDuration, SimTime};
+use maco_vm::matlb::Matlb;
+use maco_vm::page_table::{AddressSpace, PageFlags, TranslateFault};
+use maco_vm::{PhysAddr, VirtAddr, PAGE_SIZE};
+
+/// Full-system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Active compute nodes (1..=16), placed row-major on the mesh.
+    pub nodes: usize,
+    /// Per-node MMAE configuration.
+    pub mmae: MmaeConfig,
+    /// Per-node CPU configuration.
+    pub cpu: CpuConfig,
+    /// Distributed L3 configuration.
+    pub l3: L3Config,
+    /// DRAM configuration.
+    pub dram: DramConfig,
+    /// Mesh fabric configuration.
+    pub fabric: FabricConfig,
+    /// Fixed CCM lookup latency (directory + tag pipeline).
+    pub ccm_latency: SimDuration,
+    /// CCM service bandwidth per slice in GB/s — the occupancy of moving
+    /// lines through a slice. This is the shared-resource knee behind the
+    /// Fig. 7 multi-node loss.
+    pub ccm_gbps: f64,
+    /// How many slices one tile transfer spreads across (line interleave
+    /// means real transfers touch every slice; the simulator aggregates to
+    /// this fan-out per step for tractability).
+    pub ccm_fanout: usize,
+    /// Predictive address translation (Fig. 6 "with prediction").
+    pub prediction: bool,
+    /// GEMM⁺ stash & lock mapping scheme (Section IV.B); disabling it
+    /// reproduces Fig. 8's Baseline-2.
+    pub stash_lock: bool,
+    /// Per-level page-walk read latency (table nodes hit the cache
+    /// hierarchy).
+    pub walk_read: SimDuration,
+    /// Outstanding demand misses the DMA engines sustain without the
+    /// stash prefetch pipeline (MSHR depth). Bounds how much DRAM latency
+    /// Baseline-2 can hide.
+    pub dma_mshr: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            nodes: 16,
+            mmae: MmaeConfig::default(),
+            cpu: CpuConfig::default(),
+            l3: L3Config::default(),
+            dram: DramConfig::default(),
+            fabric: FabricConfig::default(),
+            ccm_latency: SimDuration::from_ns(20),
+            ccm_gbps: 20.0,
+            ccm_fanout: 4,
+            prediction: true,
+            stash_lock: true,
+            // ~4 CPU cycles per level: hot table nodes live in the L1/L2
+            // caches during a GEMM. Calibrated so the Fig. 6 gap magnitudes
+            // land on the paper's annotations (see EXPERIMENTS.md).
+            walk_read: SimDuration::from_ps(1_550),
+            dma_mshr: 4,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// A single-node configuration (Fig. 6 experiments).
+    pub fn single_node() -> Self {
+        SystemConfig {
+            nodes: 1,
+            ..SystemConfig::default()
+        }
+    }
+}
+
+/// Per-node result of a system run.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeReport {
+    /// Node index.
+    pub node: usize,
+    /// Task duration on this node.
+    pub elapsed: SimDuration,
+    /// Floating-point operations retired.
+    pub flops: u64,
+    /// Peak GFLOPS of the node's engine at the task precision.
+    pub peak_gflops: f64,
+    /// Translation statistics.
+    pub translation: StreamTranslation,
+    /// DMA bytes moved.
+    pub dma_bytes: u64,
+}
+
+impl NodeReport {
+    /// Achieved GFLOPS.
+    pub fn gflops(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.flops as f64 / self.elapsed.as_ns()
+        }
+    }
+
+    /// Computational efficiency (Fig. 6/7 y-axis).
+    pub fn efficiency(&self) -> f64 {
+        self.gflops() / self.peak_gflops
+    }
+}
+
+/// Whole-system result.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Per-node reports.
+    pub nodes: Vec<NodeReport>,
+    /// Time until the last node finished.
+    pub makespan: SimDuration,
+    /// Mean mesh-link utilisation over the makespan.
+    pub mean_link_utilization: f64,
+    /// Peak mesh-link utilisation over the makespan.
+    pub max_link_utilization: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: u64,
+}
+
+impl SystemReport {
+    /// Average per-node computational efficiency (Fig. 7 y-axis).
+    pub fn avg_efficiency(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.efficiency()).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Aggregate achieved throughput in GFLOPS (Fig. 8 y-axis): total
+    /// flops over the makespan.
+    pub fn total_gflops(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        let flops: u64 = self.nodes.iter().map(|n| n.flops).sum();
+        flops as f64 / self.makespan.as_ns()
+    }
+}
+
+/// Matrix base virtual addresses used by system-managed GEMM tasks.
+const A_BASE: u64 = 0x1_0000_0000;
+const B_BASE: u64 = 0x2_0000_0000;
+const C_BASE: u64 = 0x3_0000_0000;
+const Y_BASE: u64 = 0x4_0000_0000;
+/// Physical frame pool for system-managed mappings.
+const FRAME_BASE: u64 = 0x10_0000_0000;
+/// Cache-line size (matches `maco_mem::LINE_BYTES`).
+pub(crate) const LINE_BYTES: u64 = 64;
+
+struct NodeState {
+    cpu: CpuCore,
+    mmae: Mmae,
+    matlb: Matlb,
+    stq: SlaveTaskQueue,
+    asid: Asid,
+    pos: NodeId,
+}
+
+/// The MACO system.
+pub struct MacoSystem {
+    config: SystemConfig,
+    fabric: MeshFabric,
+    ccms: Vec<LatencyBandwidthResource>,
+    dram: Dram,
+    space: AddressSpace,
+    mapped: HashMap<u64, u64>, // region base → mapped bytes
+    nodes: Vec<NodeState>,
+    next_frame: u64,
+}
+
+impl MacoSystem {
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds the mesh capacity.
+    pub fn new(config: SystemConfig) -> Self {
+        assert!(config.nodes >= 1, "need at least one compute node");
+        assert!(
+            config.nodes <= config.fabric.shape.node_count(),
+            "more nodes than mesh positions"
+        );
+        let slices = config.l3.slices;
+        let nodes = (0..config.nodes)
+            .map(|i| NodeState {
+                cpu: CpuCore::new(config.cpu),
+                mmae: Mmae::new(config.mmae),
+                matlb: Matlb::new(config.mmae.matlb_entries),
+                stq: SlaveTaskQueue::new(config.mmae.stq_entries),
+                asid: Asid::new(i as u16 + 1),
+                pos: config.fabric.shape.node_at(i),
+            })
+            .collect();
+        MacoSystem {
+            fabric: MeshFabric::new(config.fabric),
+            ccms: (0..slices)
+                .map(|_| LatencyBandwidthResource::new(config.ccm_latency, config.ccm_gbps))
+                .collect(),
+            dram: Dram::new(config.dram),
+            space: AddressSpace::new(),
+            mapped: HashMap::new(),
+            nodes,
+            next_frame: FRAME_BASE,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of active compute nodes.
+    pub fn node_count(&self) -> usize {
+        self.config.nodes
+    }
+
+    /// Read access to a node's CPU (MTQ inspection in tests/examples).
+    pub fn cpu(&self, node: usize) -> &CpuCore {
+        &self.nodes[node].cpu
+    }
+
+    /// Ensures `[base, base+bytes)` is mapped in the shared layout.
+    fn ensure_mapped(&mut self, base: u64, bytes: u64) -> Result<(), TranslateFault> {
+        let have = self.mapped.get(&base).copied().unwrap_or(0);
+        if bytes <= have {
+            return Ok(());
+        }
+        let start = base + have;
+        let extra = (bytes - have).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.space.map_range(
+            VirtAddr::new(start),
+            PhysAddr::new(self.next_frame),
+            extra,
+            PageFlags::rw(),
+        )?;
+        self.next_frame += extra;
+        self.mapped.insert(base, have + extra);
+        Ok(())
+    }
+
+    /// Builds the GEMM descriptor for an `m×n×k` task in the shared layout.
+    fn build_params(
+        &mut self,
+        m: u64,
+        n: u64,
+        k: u64,
+        precision: Precision,
+    ) -> Result<GemmParams, TranslateFault> {
+        let e = precision.bytes();
+        self.ensure_mapped(A_BASE, m * k * e)?;
+        self.ensure_mapped(B_BASE, k * n * e)?;
+        self.ensure_mapped(C_BASE, m * n * e)?;
+        self.ensure_mapped(Y_BASE, m * n * e)?;
+        Ok(
+            GemmParams::new(A_BASE, B_BASE, C_BASE, Y_BASE, m, n, k, precision)
+                .expect("validated dimensions"),
+        )
+    }
+
+    /// Runs the same independent `m×n×k` GEMM on every active node
+    /// concurrently — the Fig. 7 experiment ("Each compute node was
+    /// assigned an independent GEMM workload, with no inter-node
+    /// interaction"). With one node this is the Fig. 6 configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TranslateFault`]s (mapping failures).
+    pub fn run_parallel_gemm(
+        &mut self,
+        m: u64,
+        n: u64,
+        k: u64,
+        precision: Precision,
+    ) -> Result<SystemReport, TranslateFault> {
+        let params = self.build_params(m, n, k, precision)?;
+        let shapes: Vec<GemmParams> = vec![params; self.config.nodes];
+        self.run_tasks(&shapes)
+    }
+
+    /// Runs a *different* GEMM per node concurrently (the multi-node
+    /// partitioned mapping of Fig. 5(a) uses this with per-node column
+    /// slices).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TranslateFault`]s (mapping failures).
+    pub fn run_partitioned_gemm(
+        &mut self,
+        shapes: &[(u64, u64, u64)],
+        precision: Precision,
+    ) -> Result<SystemReport, TranslateFault> {
+        assert!(
+            shapes.len() <= self.config.nodes,
+            "more partitions than nodes"
+        );
+        let mut params = Vec::with_capacity(shapes.len());
+        for &(m, n, k) in shapes {
+            params.push(self.build_params(m, n, k, precision)?);
+        }
+        self.run_tasks(&params)
+    }
+
+    /// The shared event loop: one GEMM task per entry of `tasks`, assigned
+    /// to nodes 0..tasks.len(), advanced tile-step by tile-step in global
+    /// time order.
+    fn run_tasks(&mut self, tasks: &[GemmParams]) -> Result<SystemReport, TranslateFault> {
+        assert!(!tasks.is_empty());
+        let start = SimTime::ZERO;
+        self.fabric.reset();
+        self.dram.reset();
+        for ccm in &mut self.ccms {
+            ccm.reset();
+        }
+
+        let mut runs: Vec<GemmRun> = Vec::with_capacity(tasks.len());
+        for (i, params) in tasks.iter().enumerate() {
+            // MPAIS round trip: MA_CFG on the CPU, STQ submission.
+            let node = &mut self.nodes[i];
+            let (maid, issue) = node
+                .cpu
+                .issue_ma_cfg(node.asid)
+                .expect("fresh MTQ has room");
+            node.stq
+                .submit(maid, TaskKind::Gemm, &params.pack())
+                .expect("fresh STQ has room");
+            let t0 = start
+                + issue
+                + self.config.mmae.clock.cycles(TASK_ISSUE_CYCLES);
+            runs.push(GemmRun::new(i, maid.index(), *params, &self.config, t0));
+        }
+
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = runs
+            .iter()
+            .map(|r| Reverse((r.now, r.node)))
+            .collect();
+        let mut reports: Vec<Option<NodeReport>> = vec![None; tasks.len()];
+
+        while let Some(Reverse((_, ni))) = heap.pop() {
+            let finished = self.advance_step(&mut runs[ni])?;
+            if let Some(report) = finished {
+                // MMAE responds to the MTQ; software then polls MA_STATE,
+                // observes Done and releases the entry (Fig. 3 state 2).
+                let node = &mut self.nodes[ni];
+                let asid = node.asid;
+                let resp = node.stq.complete_active(None).expect("task was active");
+                node.cpu.mmae_response(resp.maid, None).expect("running");
+                node.cpu
+                    .issue_ma_state(resp.maid, asid)
+                    .expect("entry exists");
+                reports[ni] = Some(report);
+            } else {
+                heap.push(Reverse((runs[ni].now, ni)));
+            }
+        }
+
+        let nodes: Vec<NodeReport> = reports.into_iter().map(|r| r.expect("finished")).collect();
+        let makespan = nodes
+            .iter()
+            .map(|n| n.elapsed)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        Ok(SystemReport {
+            mean_link_utilization: self.fabric.mean_link_utilization(makespan),
+            max_link_utilization: self.fabric.max_link_utilization(makespan),
+            dram_bytes: self.dram.bytes(),
+            nodes,
+            makespan,
+        })
+    }
+
+    /// Advances one tile step of `run`; returns the final report when the
+    /// task completes.
+    fn advance_step(&mut self, run: &mut GemmRun) -> Result<Option<NodeReport>, TranslateFault> {
+        if run.pass_idx >= run.passes.len() {
+            return Ok(Some(run.report()));
+        }
+
+        // Pass entry: wait for stash residency, translate the pass, kick
+        // off the next pass's stash.
+        if run.tile_idx == 0 {
+            let pass = run.passes[run.pass_idx];
+            if self.config.stash_lock {
+                // The first pass's blocks are stashed at task start. The
+                // DMA consumes the stash front cut-through, so only the
+                // first tile's share of the stream is exposed; the rest
+                // still occupies DRAM (and delays later stashes).
+                if run.pass_idx == 0 {
+                    let t = self.config.mmae.tiling;
+                    let e = run.params.elem_bytes();
+                    let bytes = pass.rows * pass.depth * e + pass.depth * pass.cols * e;
+                    let steps = (pass.rows.div_ceil(t.ttr) * pass.cols.div_ceil(t.ttc)).max(1);
+                    let first_share = bytes / steps;
+                    run.stash_ready = self.price_stash(run, first_share, run.now);
+                    if bytes > first_share {
+                        let _ = self.price_stash(run, bytes - first_share, run.now);
+                    }
+                }
+                run.now = run.now.max(run.stash_ready);
+                // Prefetch the *next* pass's blocks while this one computes.
+                if let Some(next) = run.passes.get(run.pass_idx + 1).copied() {
+                    let e = run.params.elem_bytes();
+                    let bytes = next.rows * next.depth * e + next.depth * next.cols * e;
+                    run.stash_ready = self.price_stash(run, bytes, run.now);
+                }
+            }
+            let key = (pass.rows, pass.cols, pass.depth, pass.first_k, pass.last_k);
+            let cached = run
+                .memo
+                .get(&key)
+                .filter(|(_, seen)| *seen >= 2)
+                .map(|(c, _)| *c);
+            let pass_tr = match cached {
+                Some(c) => c,
+                None => {
+                    let c = self.translate_pass_for(run.node, &run.params, &pass)?;
+                    let entry = run.memo.entry(key).or_insert((c, 0));
+                    entry.0 = c;
+                    entry.1 += 1;
+                    c
+                }
+            };
+            run.translation.merge(&pass_tr);
+            run.tiles = tiles_in_pass(&pass, &self.config.mmae.tiling);
+            run.step_stall =
+                SimDuration::from_fs(pass_tr.stall.as_fs() / run.tiles.len().max(1) as u64);
+            run.first_step = true;
+        }
+
+        let pass = run.passes[run.pass_idx];
+        let tile = run.tiles[run.tile_idx];
+        let step = self.price_tile_step(run, &pass, &tile);
+        run.now += step;
+
+        run.tile_idx += 1;
+        run.step_counter += 1;
+        if run.tile_idx == run.tiles.len() {
+            run.tile_idx = 0;
+            run.pass_idx += 1;
+            if run.pass_idx == run.passes.len() {
+                return Ok(Some(run.report()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Cost of one tile step: SA sweep overlapped with DMA in/out plus the
+    /// serialised translation stall.
+    fn price_tile_step(&mut self, run: &mut GemmRun, pass: &BlockPass, tile: &Tile) -> SimDuration {
+        let t = self.config.mmae.tiling;
+        let clock = self.config.mmae.clock;
+        let e = run.params.elem_bytes();
+        let precision = run.params.precision;
+        let now = run.now;
+
+        // SA time over the reduction sweep.
+        let lanes = self.config.mmae.lanes(precision);
+        let mut sa_cycles = 0u64;
+        let mut k_left = pass.depth;
+        while k_left > 0 {
+            let chunk = k_left.min(t.ttk);
+            sa_cycles += self.nodes[run.node]
+                .mmae
+                .sa()
+                .tile_cycles_lanes(tile.rows, tile.cols, chunk, lanes);
+            k_left -= chunk;
+        }
+        let sa_time = clock.cycles(sa_cycles);
+        run.sa_busy += sa_time;
+
+        // DMA byte counts.
+        let mut in_bytes = tile.rows * pass.depth * e + pass.depth * tile.cols * e;
+        if pass.first_k {
+            in_bytes += tile.rows * tile.cols * e;
+        }
+        let out_bytes = if pass.last_k {
+            tile.rows * tile.cols * e
+        } else {
+            0
+        };
+        run.dma_bytes += in_bytes + out_bytes;
+
+        // Shared-resource pricing. Each step's transfer fans out over a
+        // rotating window of CCM slices (line interleave aggregated per
+        // step).
+        let slice = (run.step_counter as usize + run.node) % self.ccms.len();
+        let dma_in = if self.config.stash_lock {
+            let done = self.price_l3_read(run.node, slice, in_bytes, now);
+            done.saturating_since(now)
+        } else {
+            // Baseline-2: streams miss the (unlocked, thrashed) L3 in
+            // proportion to the footprint exceeding this node's share. The
+            // missing portion refills from DRAM *through* the CCM — the
+            // request still performs the directory lookup — so the step
+            // pays DRAM + mesh on the miss share and then full CCM service.
+            let miss = self.unmapped_miss_fraction(pass, e);
+            let dram_bytes = (in_bytes as f64 * miss) as u64;
+            let refill_done = if dram_bytes > 0 {
+                let addr = PhysAddr::new(FRAME_BASE + run.step_counter * 4096);
+                let d = self.dram.access_bulk(addr, dram_bytes, now);
+                let mc = self.memory_controller_pos(run.node);
+                let home = self.slice_pos(slice);
+                self.fabric.send_bulk(mc, home, dram_bytes, d)
+            } else {
+                now
+            };
+            // Demand misses expose DRAM latency: with no stash pipeline the
+            // DMA overlaps at most `dma_mshr` line fills, so the stream
+            // pays latency / MSHR per missing line — a serial stall the SA
+            // cannot hide (recorded into the step below).
+            let lines = dram_bytes / crate::system::LINE_BYTES;
+            run.unmapped_stall = SimDuration::from_fs(
+                self.config.dram.latency.as_fs() * lines / self.config.dma_mshr.max(1),
+            );
+            let done = self.price_l3_read(run.node, slice, in_bytes, refill_done);
+            done.saturating_since(now)
+        };
+        let dma_in = dma_in.max(clock.cycles(in_bytes.div_ceil(64)));
+
+        let dma_out = if out_bytes > 0 {
+            let done = self.price_l3_write(run.node, slice, out_bytes, now);
+            done.saturating_since(now)
+                .max(clock.cycles(out_bytes.div_ceil(64)))
+        } else {
+            SimDuration::ZERO
+        };
+
+        let mut step = sa_time.max(dma_in).max(dma_out);
+        if run.first_step {
+            step += dma_in;
+            run.first_step = false;
+        }
+        let unmapped = run.unmapped_stall;
+        run.unmapped_stall = SimDuration::ZERO;
+        step + run.step_stall + unmapped
+    }
+
+    /// Read path: the transfer fans out over `ccm_fanout` slices starting
+    /// at `slice`; each shard is a header to the CCM, slice occupancy, and
+    /// data back to the node. Shards proceed in parallel; the slowest
+    /// bounds the transfer.
+    fn price_l3_read(&mut self, node: usize, slice: usize, bytes: u64, now: SimTime) -> SimTime {
+        let np = self.nodes[node].pos;
+        let fanout = self.config.ccm_fanout.min(self.ccms.len()).max(1);
+        let shard = bytes.div_ceil(fanout as u64);
+        let mut done = now;
+        for j in 0..fanout {
+            let s = (slice + j) % self.ccms.len();
+            let cp = self.slice_pos(s);
+            let req = self.fabric.send_control(np, cp, now);
+            let srv = self.ccms[s].access(req, shard);
+            done = done.max(self.fabric.send_bulk(cp, np, shard, srv));
+        }
+        done
+    }
+
+    /// Write path: data shards to the CCMs, occupancy, short acks back.
+    fn price_l3_write(&mut self, node: usize, slice: usize, bytes: u64, now: SimTime) -> SimTime {
+        let np = self.nodes[node].pos;
+        let fanout = self.config.ccm_fanout.min(self.ccms.len()).max(1);
+        let shard = bytes.div_ceil(fanout as u64);
+        let mut done = now;
+        for j in 0..fanout {
+            let s = (slice + j) % self.ccms.len();
+            let cp = self.slice_pos(s);
+            let data = self.fabric.send_bulk(np, cp, shard, now);
+            let srv = self.ccms[s].access(data, shard);
+            done = done.max(self.fabric.send_control(cp, np, srv));
+        }
+        done
+    }
+
+    /// Stash pricing: DRAM bulk read plus the mesh hop from the memory
+    /// controller into the L3 slices (aggregated as one transfer to the
+    /// pass's home region).
+    fn price_stash(&mut self, run: &GemmRun, bytes: u64, now: SimTime) -> SimTime {
+        let addr = PhysAddr::new(FRAME_BASE + (run.pass_idx as u64) * (1 << 20));
+        let d = self.dram.access_bulk(addr, bytes, now);
+        let mc = self.memory_controller_pos(run.node);
+        let home = self.slice_pos((run.pass_idx + run.node) % self.ccms.len());
+        self.fabric.send_bulk(mc, home, bytes, d)
+    }
+
+    /// Estimated L3 miss fraction for unmapped (no stash/lock) streaming.
+    ///
+    /// Two components, the larger governs:
+    /// * **compulsory** — the first touch of every A/B block byte in a pass
+    ///   must come from DRAM regardless of cache size: the block bytes over
+    ///   the pass's total (reuse-inflated) DMA traffic;
+    /// * **capacity** — reuse hits survive only for the fraction of the
+    ///   streaming footprint that fits this node's fair share of the L3.
+    fn unmapped_miss_fraction(&self, pass: &BlockPass, elem: u64) -> f64 {
+        let t = &self.config.mmae.tiling;
+        let block_bytes = (pass.rows * pass.depth + pass.depth * pass.cols) * elem;
+        let it = pass.rows.div_ceil(t.ttr);
+        let jt = pass.cols.div_ceil(t.ttc);
+        let traffic = it * jt * (t.ttr + t.ttc) * pass.depth * elem;
+        let compulsory = block_bytes as f64 / traffic.max(1) as f64;
+        let share = self.config.l3.total_bytes() as f64 / self.config.nodes as f64;
+        let capacity = (1.0 - (share / block_bytes as f64)).clamp(0.0, 1.0);
+        compulsory.max(capacity).clamp(0.0, 1.0)
+    }
+
+    /// Mesh position of an L3 slice's CCM (one per mesh node, Fig. 2).
+    fn slice_pos(&self, slice: usize) -> NodeId {
+        let count = self.config.fabric.shape.node_count();
+        self.config.fabric.shape.node_at(slice % count)
+    }
+
+    /// Mesh position of the memory controller a node's refills use (the
+    /// paper attaches controllers to NoC nodes; we place four at the
+    /// corners).
+    fn memory_controller_pos(&self, node: usize) -> NodeId {
+        let shape = self.config.fabric.shape;
+        let corners = [
+            NodeId::new(0, 0),
+            NodeId::new(shape.cols - 1, 0),
+            NodeId::new(0, shape.rows - 1),
+            NodeId::new(shape.cols - 1, shape.rows - 1),
+        ];
+        corners[node % corners.len()]
+    }
+
+    /// Exact pass translation through a node's MMU-shared TLB and mATLB.
+    fn translate_pass_for(
+        &mut self,
+        node: usize,
+        params: &GemmParams,
+        pass: &BlockPass,
+    ) -> Result<StreamTranslation, TranslateFault> {
+        let prediction = self.config.prediction;
+        let walk_read = self.config.walk_read;
+        let state = &mut self.nodes[node];
+        let asid = state.asid;
+        let (stlb, walker) = state.cpu.mmu_mut().shared_parts_mut();
+        let mut ctx = TranslationContext {
+            asid,
+            space: &self.space,
+            stlb,
+            walker,
+            matlb: if prediction {
+                Some(&mut state.matlb)
+            } else {
+                None
+            },
+            walk_read_latency: walk_read,
+        };
+        state.mmae.translate_pass(params, pass, &mut ctx)
+    }
+}
+
+/// Per-node GEMM execution state.
+struct GemmRun {
+    node: usize,
+    #[allow(dead_code)]
+    maid: u8,
+    params: GemmParams,
+    passes: Vec<BlockPass>,
+    tiles: Vec<Tile>,
+    pass_idx: usize,
+    tile_idx: usize,
+    step_counter: u64,
+    now: SimTime,
+    start: SimTime,
+    stash_ready: SimTime,
+    step_stall: SimDuration,
+    unmapped_stall: SimDuration,
+    first_step: bool,
+    sa_busy: SimDuration,
+    translation: StreamTranslation,
+    dma_bytes: u64,
+    peak_gflops: f64,
+    memo: HashMap<(u64, u64, u64, bool, bool), (StreamTranslation, u32)>,
+}
+
+impl GemmRun {
+    fn new(node: usize, maid: u8, params: GemmParams, config: &SystemConfig, t0: SimTime) -> Self {
+        GemmRun {
+            node,
+            maid,
+            passes: block_passes(params.m, params.n, params.k, &config.mmae.tiling),
+            tiles: Vec::new(),
+            pass_idx: 0,
+            tile_idx: 0,
+            step_counter: 0,
+            now: t0,
+            start: SimTime::ZERO,
+            stash_ready: SimTime::ZERO,
+            step_stall: SimDuration::ZERO,
+            unmapped_stall: SimDuration::ZERO,
+            first_step: true,
+            sa_busy: SimDuration::ZERO,
+            translation: StreamTranslation::default(),
+            dma_bytes: 0,
+            peak_gflops: config.mmae.peak_gflops(params.precision),
+            memo: HashMap::new(),
+            params,
+        }
+    }
+
+    fn report(&self) -> NodeReport {
+        NodeReport {
+            node: self.node,
+            elapsed: self.now.since(self.start),
+            flops: self.params.flops(),
+            peak_gflops: self.peak_gflops,
+            translation: self.translation,
+            dma_bytes: self.dma_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(nodes: usize) -> SystemConfig {
+        SystemConfig {
+            nodes,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_node_gemm_reports_sane_efficiency() {
+        let mut sys = MacoSystem::new(small_config(1));
+        let r = sys.run_parallel_gemm(512, 512, 512, Precision::Fp64).unwrap();
+        assert_eq!(r.nodes.len(), 1);
+        let eff = r.nodes[0].efficiency();
+        assert!((0.5..=1.0).contains(&eff), "efficiency {eff}");
+        assert!(r.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn prediction_improves_large_stride_gemm() {
+        let n = 1024;
+        let mut with = MacoSystem::new(small_config(1));
+        let r_with = with.run_parallel_gemm(n, n, n, Precision::Fp64).unwrap();
+
+        let mut cfg = small_config(1);
+        cfg.prediction = false;
+        let mut without = MacoSystem::new(cfg);
+        let r_without = without.run_parallel_gemm(n, n, n, Precision::Fp64).unwrap();
+
+        let gap = r_with.avg_efficiency() - r_without.avg_efficiency();
+        assert!(gap > 0.01, "prediction gap {gap} at n={n}");
+        assert!(r_without.nodes[0].translation.demand_walks > 0);
+        assert_eq!(r_with.nodes[0].translation.demand_walks, 0);
+    }
+
+    #[test]
+    fn multi_node_loses_some_efficiency() {
+        let n = 1024;
+        let mut one = MacoSystem::new(small_config(1));
+        let e1 = one
+            .run_parallel_gemm(n, n, n, Precision::Fp64)
+            .unwrap()
+            .avg_efficiency();
+        let mut sixteen = MacoSystem::new(small_config(16));
+        let e16 = sixteen
+            .run_parallel_gemm(n, n, n, Precision::Fp64)
+            .unwrap()
+            .avg_efficiency();
+        assert!(e16 < e1, "contention must cost something: {e1} vs {e16}");
+        assert!(e16 > 0.6, "but the system still performs: {e16}");
+    }
+
+    #[test]
+    fn stash_lock_beats_unmapped_at_scale() {
+        let n = 1024;
+        let mut mapped = MacoSystem::new(small_config(16));
+        let em = mapped
+            .run_parallel_gemm(n, n, n, Precision::Fp64)
+            .unwrap()
+            .avg_efficiency();
+        let mut cfg = small_config(16);
+        cfg.stash_lock = false;
+        let mut unmapped = MacoSystem::new(cfg);
+        let eu = unmapped
+            .run_parallel_gemm(n, n, n, Precision::Fp64)
+            .unwrap()
+            .avg_efficiency();
+        assert!(em > eu, "stash/lock must help: {em} vs {eu}");
+    }
+
+    #[test]
+    fn mtq_cycle_completes_and_releases() {
+        let mut sys = MacoSystem::new(small_config(2));
+        sys.run_parallel_gemm(256, 256, 256, Precision::Fp64).unwrap();
+        for i in 0..2 {
+            // The full MA_CFG → execute → respond → MA_STATE cycle ran, so
+            // every entry is free again (Fig. 3 back to the idle state).
+            assert_eq!(sys.cpu(i).mtq().in_use(), 0);
+            assert_eq!(sys.cpu(i).instructions_issued(), 2, "MA_CFG + MA_STATE");
+        }
+        // Queue never leaks across many tasks.
+        for _ in 0..10 {
+            sys.run_parallel_gemm(128, 128, 128, Precision::Fp64).unwrap();
+        }
+        assert_eq!(sys.cpu(0).mtq().in_use(), 0);
+    }
+
+    #[test]
+    fn partitioned_shapes_run_per_node() {
+        let mut sys = MacoSystem::new(small_config(4));
+        let shapes = vec![(512, 128, 512); 4];
+        let r = sys.run_partitioned_gemm(&shapes, Precision::Fp32).unwrap();
+        assert_eq!(r.nodes.len(), 4);
+        let total: u64 = r.nodes.iter().map(|n| n.flops).sum();
+        assert_eq!(total, 4 * 2 * 512 * 128 * 512);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let mut sys = MacoSystem::new(small_config(2));
+        let r = sys.run_parallel_gemm(256, 256, 256, Precision::Fp64).unwrap();
+        assert!(r.total_gflops() > 0.0);
+        assert!(r.makespan >= r.nodes.iter().map(|n| n.elapsed).max().unwrap());
+        assert!(r.max_link_utilization >= r.mean_link_utilization);
+    }
+}
+

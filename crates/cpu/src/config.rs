@@ -1,0 +1,163 @@
+//! CPU core configuration (Table I and Table IV of the paper).
+
+use std::fmt;
+
+use maco_isa::Precision;
+use maco_sim::ClockDomain;
+
+/// Architectural parameters of a MACO CPU core.
+///
+/// Defaults reproduce Table I (microarchitecture) and Table IV
+/// (frequency, FMAC count, peak performance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Core clock (2.2 GHz, Table IV).
+    pub clock: ClockDomain,
+    /// Instruction width in bits.
+    pub instruction_width: u32,
+    /// Data bus width in bits (CHI protocol).
+    pub data_bus_width: u32,
+    /// Instruction fetch width in bits.
+    pub fetch_width: u32,
+    /// Minimum pipeline depth ("12+").
+    pub pipeline_stages: u32,
+    /// Maximum instructions issued per cycle.
+    pub issue_width: u32,
+    /// L1 instruction cache bytes (48 KB four-way, Table I).
+    pub l1i_bytes: u64,
+    /// L1 data cache bytes (48 KB four-way).
+    pub l1d_bytes: u64,
+    /// L1 cache associativity.
+    pub l1_ways: usize,
+    /// Private L2 cache bytes (512 KB).
+    pub l2_bytes: u64,
+    /// L1 ITLB/DTLB entries (48, fully associative).
+    pub l1_tlb_entries: usize,
+    /// Shared L2 TLB entries (1024, fully associative).
+    pub l2_tlb_entries: usize,
+    /// Fused multiply-accumulate units (8, Table IV).
+    pub fmacs: u32,
+    /// Sustained core-to-memory streaming bandwidth in GB/s (roofline for
+    /// the non-GEMM kernels).
+    pub stream_gbps: f64,
+    /// MTQ entries for GEMM task tracking.
+    pub mtq_entries: usize,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            clock: ClockDomain::CPU,
+            instruction_width: 64,
+            data_bus_width: 256,
+            fetch_width: 128,
+            pipeline_stages: 12,
+            issue_width: 4,
+            l1i_bytes: 48 * 1024,
+            l1d_bytes: 48 * 1024,
+            l1_ways: 4,
+            l2_bytes: 512 * 1024,
+            l1_tlb_entries: 48,
+            l2_tlb_entries: 1024,
+            fmacs: 8,
+            stream_gbps: 32.0,
+            mtq_entries: 4,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// Theoretical peak in GFLOPS at `precision` (`2 × freq × FMACs`,
+    /// FP32/FP16 via 2-way SIMD over the 64-bit FMAC datapaths — Table IV
+    /// reports 35.2 FP64 / 71 FP32).
+    pub fn peak_gflops(&self, precision: Precision) -> f64 {
+        let lanes = match precision {
+            Precision::Fp64 => 1.0,
+            Precision::Fp32 | Precision::Fp16 => 2.0,
+        };
+        2.0 * self.clock.freq_ghz() * self.fmacs as f64 * lanes
+    }
+}
+
+impl fmt::Display for CpuConfig {
+    /// Renders the Table I layout.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<34} {}", "Architectural Parameters", "Value")?;
+        writeln!(f, "{:<34} {}-bit", "instruction width", self.instruction_width)?;
+        writeln!(
+            f,
+            "{:<34} {}-bit, CHI protocol",
+            "data bus width", self.data_bus_width
+        )?;
+        writeln!(f, "{:<34} {}-bit", "instruction fetch width", self.fetch_width)?;
+        writeln!(f, "{:<34} {}+", "pipeline stages", self.pipeline_stages)?;
+        writeln!(f, "{:<34} out-of-order", "instruction execution order")?;
+        writeln!(f, "{:<34} {}-issue", "multi-issue ability", self.issue_width)?;
+        writeln!(
+            f,
+            "{:<34} {} KB, {}-way set associate",
+            "L1 Instruction Cache (ICache)",
+            self.l1i_bytes / 1024,
+            self.l1_ways
+        )?;
+        writeln!(
+            f,
+            "{:<34} {} KB, {}-way set associate",
+            "L1 Data Cache (DCache)",
+            self.l1d_bytes / 1024,
+            self.l1_ways
+        )?;
+        writeln!(f, "{:<34} {} KB, private", "L2 Cache", self.l2_bytes / 1024)?;
+        writeln!(
+            f,
+            "{:<34} {} entries, fully associate",
+            "L1 ITLB/DTLB", self.l1_tlb_entries
+        )?;
+        writeln!(
+            f,
+            "{:<34} {} entries, fully associate",
+            "L2 TLB", self.l2_tlb_entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_iv_peaks() {
+        let c = CpuConfig::default();
+        assert!((c.peak_gflops(Precision::Fp64) - 35.2).abs() < 0.01);
+        assert!((c.peak_gflops(Precision::Fp32) - 70.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_renders_table_i_rows() {
+        let text = CpuConfig::default().to_string();
+        for needle in [
+            "64-bit",
+            "256-bit, CHI protocol",
+            "four" , // avoided: numeric form below
+        ] {
+            let _ = needle;
+        }
+        assert!(text.contains("instruction width"));
+        assert!(text.contains("out-of-order"));
+        assert!(text.contains("4-issue"));
+        assert!(text.contains("48 KB, 4-way"));
+        assert!(text.contains("512 KB, private"));
+        assert!(text.contains("48 entries"));
+        assert!(text.contains("1024 entries"));
+    }
+
+    #[test]
+    fn table_i_values() {
+        let c = CpuConfig::default();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.l1_tlb_entries, 48);
+        assert_eq!(c.l2_tlb_entries, 1024);
+        assert_eq!(c.l2_bytes, 512 * 1024);
+        assert!(c.pipeline_stages >= 12);
+    }
+}

@@ -1,0 +1,207 @@
+//! CPU-side computational kernels.
+//!
+//! Two families matter to the reproduction:
+//!
+//! * **Non-GEMM kernels** — "normalization, activation, and softmax
+//!   functions" (Section IV.B) that follow GEMM layers in real models. They
+//!   are modelled with a roofline: `time = max(flops / fp_peak,
+//!   bytes / stream_bw)`; all of them are memory-bound on a CPU core, which
+//!   is why overlapping them under MMAE GEMM time (Fig. 5(c)) is so
+//!   effective.
+//! * **Blocked CPU GEMM** — the Fig. 8 Baseline-1 ("MACO with CPU-only")
+//!   executes GEMM on the cores' FMAC pipes. [`CpuGemmModel`] prices it
+//!   with a cache-blocking efficiency model.
+
+use maco_isa::Precision;
+use maco_sim::SimDuration;
+
+use crate::config::CpuConfig;
+
+/// A non-GEMM kernel characterised by its per-element operational
+/// intensity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (for timelines and reports).
+    pub name: &'static str,
+    /// Floating-point operations per element.
+    pub flops_per_elem: f64,
+    /// Bytes moved per element (reads + writes).
+    pub bytes_per_elem: f64,
+}
+
+impl Kernel {
+    /// ReLU activation: one compare per element, read + write.
+    pub fn relu() -> Kernel {
+        Kernel {
+            name: "relu",
+            flops_per_elem: 1.0,
+            bytes_per_elem: 8.0,
+        }
+    }
+
+    /// GELU activation: fused SIMD tanh approximation, ~8 flops.
+    pub fn gelu() -> Kernel {
+        Kernel {
+            name: "gelu",
+            flops_per_elem: 8.0,
+            bytes_per_elem: 8.0,
+        }
+    }
+
+    /// LayerNorm: two reduction passes plus scale/shift, ~8 flops, three
+    /// street-crossings of the data.
+    pub fn layernorm() -> Kernel {
+        Kernel {
+            name: "layernorm",
+            flops_per_elem: 8.0,
+            bytes_per_elem: 12.0,
+        }
+    }
+
+    /// Softmax: max-reduce, exp, sum-reduce, divide; ~10 flops, two passes.
+    pub fn softmax() -> Kernel {
+        Kernel {
+            name: "softmax",
+            flops_per_elem: 10.0,
+            bytes_per_elem: 12.0,
+        }
+    }
+
+    /// Roofline execution time for `elems` elements on one core.
+    pub fn time_on(&self, config: &CpuConfig, elems: u64, precision: Precision) -> SimDuration {
+        let flops = self.flops_per_elem * elems as f64;
+        let bytes = self.bytes_per_elem * elems as f64 * precision.bytes() as f64 / 8.0;
+        let compute_ns = flops / config.peak_gflops(precision);
+        let memory_ns = bytes / config.stream_gbps;
+        SimDuration::from_ns_f64(compute_ns.max(memory_ns))
+    }
+
+    /// True if the kernel is memory-bound on this core at this precision.
+    pub fn memory_bound(&self, config: &CpuConfig, precision: Precision) -> bool {
+        let bytes = self.bytes_per_elem * precision.bytes() as f64 / 8.0;
+        self.flops_per_elem / config.peak_gflops(precision) < bytes / config.stream_gbps
+    }
+}
+
+/// Analytic model of blocked GEMM on the CPU core's FMAC pipes.
+///
+/// Calibration targets Fig. 8's Baseline-1: a well-tuned blocked GEMM on an
+/// OoO core sustains roughly a third of peak once real caches, TLBs and
+/// load/store pressure are accounted for (the FMAC pipes starve waiting on
+/// L2/L3 fills that the MMAE's dedicated buffers+DMA avoid).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuGemmModel {
+    /// Sustained fraction of FMAC peak for large, cache-blocked GEMM.
+    pub large_gemm_efficiency: f64,
+    /// Problem size (working-set bytes) below which loop and pack overheads
+    /// halve the sustained rate.
+    pub small_threshold_bytes: u64,
+}
+
+impl Default for CpuGemmModel {
+    fn default() -> Self {
+        CpuGemmModel {
+            large_gemm_efficiency: 0.34,
+            small_threshold_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl CpuGemmModel {
+    /// Execution time of an `m×n×k` GEMM at `precision` on one core.
+    pub fn time(
+        &self,
+        config: &CpuConfig,
+        m: u64,
+        n: u64,
+        k: u64,
+        precision: Precision,
+    ) -> SimDuration {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let working_set = (m * k + k * n + m * n) * precision.bytes();
+        let eff = if working_set < self.small_threshold_bytes {
+            self.large_gemm_efficiency * 0.5
+        } else {
+            self.large_gemm_efficiency
+        };
+        SimDuration::from_ns_f64(flops / (config.peak_gflops(precision) * eff))
+    }
+
+    /// Achieved GFLOPS for the same problem.
+    pub fn gflops(
+        &self,
+        config: &CpuConfig,
+        m: u64,
+        n: u64,
+        k: u64,
+        precision: Precision,
+    ) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        flops / self.time(config, m, n, k, precision).as_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_gemm_kernels_are_memory_bound() {
+        let cfg = CpuConfig::default();
+        for kernel in [Kernel::relu(), Kernel::gelu(), Kernel::layernorm(), Kernel::softmax()] {
+            assert!(
+                kernel.memory_bound(&cfg, Precision::Fp32),
+                "{} should be memory-bound",
+                kernel.name
+            );
+        }
+    }
+
+    #[test]
+    fn roofline_picks_the_higher_cost() {
+        let cfg = CpuConfig::default();
+        let k = Kernel::softmax();
+        let elems = 1_000_000u64;
+        let t = k.time_on(&cfg, elems, Precision::Fp32);
+        let bytes = 12.0 * elems as f64 * 0.5;
+        let expect_ns = bytes / cfg.stream_gbps;
+        assert!((t.as_ns() - expect_ns).abs() / expect_ns < 1e-9);
+    }
+
+    #[test]
+    fn kernel_time_scales_linearly() {
+        let cfg = CpuConfig::default();
+        let k = Kernel::gelu();
+        let t1 = k.time_on(&cfg, 1 << 16, Precision::Fp64);
+        let t2 = k.time_on(&cfg, 1 << 17, Precision::Fp64);
+        let ratio = t2.as_ns() / t1.as_ns();
+        assert!((ratio - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn cpu_gemm_lands_near_a_third_of_peak() {
+        let cfg = CpuConfig::default();
+        let model = CpuGemmModel::default();
+        let g = model.gflops(&cfg, 2048, 2048, 2048, Precision::Fp32);
+        let frac = g / cfg.peak_gflops(Precision::Fp32);
+        assert!((0.25..0.45).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn small_gemm_is_relatively_slower() {
+        let cfg = CpuConfig::default();
+        let model = CpuGemmModel::default();
+        let small = model.gflops(&cfg, 64, 64, 64, Precision::Fp32);
+        let large = model.gflops(&cfg, 2048, 2048, 2048, Precision::Fp32);
+        assert!(small < large * 0.6);
+    }
+
+    #[test]
+    fn fp64_gemm_is_half_rate() {
+        let cfg = CpuConfig::default();
+        let model = CpuGemmModel::default();
+        let f32r = model.gflops(&cfg, 2048, 2048, 2048, Precision::Fp32);
+        let f64r = model.gflops(&cfg, 2048, 2048, 2048, Precision::Fp64);
+        assert!((f32r / f64r - 2.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,38 @@
+//! # maco-cpu — the general-purpose core
+//!
+//! Each MACO compute node pairs an MMAE with a "64-bit high-performance
+//! general-purpose processor core with a multi-issue superscalar
+//! architecture" (Section III.A, Table I). For the reproduction the core is
+//! modelled at the granularity the experiments need:
+//!
+//! * [`config`] — the Table I microarchitectural parameters, printable as
+//!   the paper's table (`table1` harness).
+//! * [`mmu`] — the two-level TLB hierarchy (48-entry L1 I/D TLBs, 1024-entry
+//!   shared L2 TLB) plus the walker; the L2 TLB is the "sTLB" the MMAE
+//!   shares via customised interfaces.
+//! * [`kernels`] — roofline models of the non-GEMM workloads the GEMM⁺
+//!   mapping overlaps (normalisation, activation, softmax), and the blocked
+//!   CPU GEMM used by Fig. 8's Baseline-1.
+//! * [`core`] — the core facade: MPAIS issue timing, the master task queue,
+//!   and kernel execution.
+//!
+//! # Example
+//!
+//! ```
+//! use maco_cpu::core::CpuCore;
+//! use maco_cpu::kernels::Kernel;
+//!
+//! let mut cpu = CpuCore::new(Default::default());
+//! let t = cpu.run_kernel(&Kernel::softmax(), 1 << 20);
+//! assert!(t.as_us() > 0.0);
+//! ```
+
+pub mod config;
+pub mod core;
+pub mod kernels;
+pub mod mmu;
+
+pub use config::CpuConfig;
+pub use core::CpuCore;
+pub use kernels::{CpuGemmModel, Kernel};
+pub use mmu::Mmu;

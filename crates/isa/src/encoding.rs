@@ -1,0 +1,449 @@
+//! MPAIS instruction encodings.
+//!
+//! MPAIS extends the ARMv8 (A64) instruction set (Section III.B). We place
+//! the seven instructions of Table II in an unallocated A64 encoding hole:
+//!
+//! ```text
+//!  31      24 23   21 20    16 15        5 4      0
+//! +----------+-------+--------+-----------+--------+
+//! | 1110elf  | opc   |   Rn   |  0 (RES0) |   Rd   |
+//! | 0xE7     | 3 bits| 5 bits |           | 5 bits |
+//! +----------+-------+--------+-----------+--------+
+//! ```
+//!
+//! `Rn` names the first of the **six successive general registers**
+//! (`Rn … Rn+5`) holding the instruction's parameter block, so `Rn ≤ 25`.
+//! `Rd` receives the MAID (for `MA_CFG`-like instructions) or a status word
+//! (for `MA_READ`/`MA_STATE`). `MA_CLEAR` takes only `Rn` (Table II).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The fixed most-significant byte identifying an MPAIS instruction.
+pub const MPAIS_PREFIX: u32 = 0xE7;
+
+/// A general-purpose register index `X0..=X30`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Highest register usable as the *base* of a six-register parameter
+    /// block (`Rn+5` must stay within `X0..=X30`).
+    pub const MAX_PARAM_BASE: Reg = Reg(25);
+
+    /// Creates a register index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::BadRegister`] if `idx > 30` (X31 is SP/XZR and
+    /// not addressable by MPAIS).
+    pub fn new(idx: u8) -> Result<Self, EncodeError> {
+        if idx > 30 {
+            Err(EncodeError::BadRegister(idx))
+        } else {
+            Ok(Reg(idx))
+        }
+    }
+
+    /// The raw index.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The seven MPAIS mnemonics (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mnemonic {
+    /// Copy data from source address to destination address (DMA).
+    MaMove,
+    /// Set data in the destination space to zeros (DMA).
+    MaInit,
+    /// Prefetch data from external memory into the L3 cache.
+    MaStash,
+    /// Request an MTQ entry and submit a tile-GEMM task.
+    MaCfg,
+    /// Read the execution state of a GEMM task (non-destructive).
+    MaRead,
+    /// Read the execution state and release the MTQ entry.
+    MaState,
+    /// Clear an MTQ entry after an exception.
+    MaClear,
+}
+
+impl Mnemonic {
+    /// All mnemonics in opcode order.
+    pub const ALL: [Mnemonic; 7] = [
+        Mnemonic::MaMove,
+        Mnemonic::MaInit,
+        Mnemonic::MaStash,
+        Mnemonic::MaCfg,
+        Mnemonic::MaRead,
+        Mnemonic::MaState,
+        Mnemonic::MaClear,
+    ];
+
+    const fn opcode(self) -> u32 {
+        match self {
+            Mnemonic::MaMove => 0,
+            Mnemonic::MaInit => 1,
+            Mnemonic::MaStash => 2,
+            Mnemonic::MaCfg => 3,
+            Mnemonic::MaRead => 4,
+            Mnemonic::MaState => 5,
+            Mnemonic::MaClear => 6,
+        }
+    }
+
+    const fn from_opcode(op: u32) -> Option<Mnemonic> {
+        match op {
+            0 => Some(Mnemonic::MaMove),
+            1 => Some(Mnemonic::MaInit),
+            2 => Some(Mnemonic::MaStash),
+            3 => Some(Mnemonic::MaCfg),
+            4 => Some(Mnemonic::MaRead),
+            5 => Some(Mnemonic::MaState),
+            6 => Some(Mnemonic::MaClear),
+            _ => None,
+        }
+    }
+
+    /// True if the instruction writes a result (MAID or status) to `Rd`.
+    pub const fn writes_rd(self) -> bool {
+        !matches!(self, Mnemonic::MaClear)
+    }
+
+    /// True if `Rn` is the base of a six-register parameter block (the data
+    /// migration and GEMM instructions); `false` when `Rn` merely holds a
+    /// MAID (task management).
+    pub const fn rn_is_param_block(self) -> bool {
+        matches!(
+            self,
+            Mnemonic::MaMove | Mnemonic::MaInit | Mnemonic::MaStash | Mnemonic::MaCfg
+        )
+    }
+
+    /// Assembly spelling.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Mnemonic::MaMove => "ma_move",
+            Mnemonic::MaInit => "ma_init",
+            Mnemonic::MaStash => "ma_stash",
+            Mnemonic::MaCfg => "ma_cfg",
+            Mnemonic::MaRead => "ma_read",
+            Mnemonic::MaState => "ma_state",
+            Mnemonic::MaClear => "ma_clear",
+        }
+    }
+}
+
+impl fmt::Display for Mnemonic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Mnemonic {
+    type Err = DecodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Mnemonic::ALL
+            .into_iter()
+            .find(|m| m.as_str() == lower)
+            .ok_or_else(|| DecodeError::UnknownMnemonic(s.to_string()))
+    }
+}
+
+/// A decoded MPAIS instruction.
+///
+/// # Example
+///
+/// ```
+/// use maco_isa::encoding::{Instruction, Mnemonic, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = Instruction::new(Mnemonic::MaCfg, Reg::new(3)?, Reg::new(10)?)?;
+/// let word = inst.encode();
+/// assert_eq!(Instruction::decode(word)?, inst);
+/// assert_eq!(inst.to_string(), "ma_cfg x3, x10");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    mnemonic: Mnemonic,
+    rd: Reg,
+    rn: Reg,
+}
+
+impl Instruction {
+    /// Builds an instruction, validating register constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError::ParamBlockOverflow`] if the instruction takes
+    /// a parameter block and `rn + 5` would exceed `X30`.
+    pub fn new(mnemonic: Mnemonic, rd: Reg, rn: Reg) -> Result<Self, EncodeError> {
+        if mnemonic.rn_is_param_block() && rn > Reg::MAX_PARAM_BASE {
+            return Err(EncodeError::ParamBlockOverflow(rn));
+        }
+        Ok(Instruction { mnemonic, rd, rn })
+    }
+
+    /// The mnemonic.
+    pub fn mnemonic(&self) -> Mnemonic {
+        self.mnemonic
+    }
+
+    /// Destination register.
+    pub fn rd(&self) -> Reg {
+        self.rd
+    }
+
+    /// Source / parameter-base register.
+    pub fn rn(&self) -> Reg {
+        self.rn
+    }
+
+    /// Encodes into a 32-bit instruction word.
+    pub fn encode(&self) -> u32 {
+        (MPAIS_PREFIX << 24)
+            | (self.mnemonic.opcode() << 21)
+            | ((self.rn.0 as u32) << 16)
+            | self.rd.0 as u32
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the prefix, opcode, reserved bits or
+    /// register fields are invalid.
+    pub fn decode(word: u32) -> Result<Self, DecodeError> {
+        if word >> 24 != MPAIS_PREFIX {
+            return Err(DecodeError::NotMpais(word));
+        }
+        let mnemonic = Mnemonic::from_opcode((word >> 21) & 0b111)
+            .ok_or(DecodeError::BadOpcode((word >> 21) & 0b111))?;
+        if (word >> 5) & 0x7FF != 0 {
+            return Err(DecodeError::ReservedBitsSet(word));
+        }
+        let rn = Reg::new(((word >> 16) & 0x1F) as u8).map_err(|_| DecodeError::BadField(word))?;
+        let rd = Reg::new((word & 0x1F) as u8).map_err(|_| DecodeError::BadField(word))?;
+        Instruction::new(mnemonic, rd, rn).map_err(|_| DecodeError::BadField(word))
+    }
+
+    /// Parses assembly text such as `"ma_cfg x3, x10"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for unknown mnemonics or malformed operands.
+    pub fn parse_asm(text: &str) -> Result<Self, DecodeError> {
+        let text = text.trim();
+        let (mn_str, rest) = text
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| DecodeError::SyntaxError(text.to_string()))?;
+        let mnemonic: Mnemonic = mn_str.parse()?;
+        let regs: Vec<&str> = rest.split(',').map(str::trim).collect();
+        let parse_reg = |s: &str| -> Result<Reg, DecodeError> {
+            let idx = s
+                .strip_prefix('x')
+                .or_else(|| s.strip_prefix('X'))
+                .and_then(|n| n.parse::<u8>().ok())
+                .ok_or_else(|| DecodeError::SyntaxError(s.to_string()))?;
+            Reg::new(idx).map_err(|_| DecodeError::SyntaxError(s.to_string()))
+        };
+        match (mnemonic, regs.as_slice()) {
+            // `MA_CLEAR, Rn` — single operand form (Table II).
+            (Mnemonic::MaClear, [rn]) => {
+                let rn = parse_reg(rn)?;
+                Instruction::new(mnemonic, rn, rn).map_err(|_| DecodeError::BadField(0))
+            }
+            (_, [rd, rn]) => {
+                let rd = parse_reg(rd)?;
+                let rn = parse_reg(rn)?;
+                Instruction::new(mnemonic, rd, rn)
+                    .map_err(|e| DecodeError::SyntaxError(e.to_string()))
+            }
+            _ => Err(DecodeError::SyntaxError(text.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mnemonic == Mnemonic::MaClear {
+            write!(f, "{} {}", self.mnemonic, self.rn)
+        } else {
+            write!(f, "{} {}, {}", self.mnemonic, self.rd, self.rn)
+        }
+    }
+}
+
+/// Errors raised while building or encoding instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Register index above X30.
+    BadRegister(u8),
+    /// Parameter block `Rn..Rn+5` would run past X30.
+    ParamBlockOverflow(Reg),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::BadRegister(r) => write!(f, "register index {r} out of range (0..=30)"),
+            EncodeError::ParamBlockOverflow(r) => write!(
+                f,
+                "parameter base {r} leaves no room for six successive registers"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors raised while decoding instruction words or assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The word is not in the MPAIS encoding space.
+    NotMpais(u32),
+    /// Unallocated MPAIS opcode.
+    BadOpcode(u32),
+    /// Reserved bits were non-zero.
+    ReservedBitsSet(u32),
+    /// A register field violates MPAIS constraints.
+    BadField(u32),
+    /// Unknown assembly mnemonic.
+    UnknownMnemonic(String),
+    /// Malformed assembly operands.
+    SyntaxError(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::NotMpais(w) => write!(f, "word {w:#010x} is not an MPAIS instruction"),
+            DecodeError::BadOpcode(op) => write!(f, "unallocated MPAIS opcode {op}"),
+            DecodeError::ReservedBitsSet(w) => {
+                write!(f, "reserved bits set in word {w:#010x}")
+            }
+            DecodeError::BadField(w) => write!(f, "invalid register field in word {w:#010x}"),
+            DecodeError::UnknownMnemonic(s) => write!(f, "unknown mnemonic `{s}`"),
+            DecodeError::SyntaxError(s) => write!(f, "cannot parse operand(s) `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_mnemonics() {
+        for m in Mnemonic::ALL {
+            let inst = Instruction::new(m, reg(1), reg(2)).unwrap();
+            let word = inst.encode();
+            assert_eq!(Instruction::decode(word).unwrap(), inst, "{m}");
+            assert_eq!(word >> 24, MPAIS_PREFIX);
+        }
+    }
+
+    #[test]
+    fn distinct_mnemonics_encode_distinct_words() {
+        let words: Vec<u32> = Mnemonic::ALL
+            .iter()
+            .map(|&m| Instruction::new(m, reg(0), reg(0)).unwrap().encode())
+            .collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), words.len());
+    }
+
+    #[test]
+    fn decode_rejects_foreign_words() {
+        assert!(matches!(
+            Instruction::decode(0x1234_5678),
+            Err(DecodeError::NotMpais(_))
+        ));
+        // Correct prefix, unallocated opcode 7.
+        let bad = (MPAIS_PREFIX << 24) | (7 << 21);
+        assert!(matches!(
+            Instruction::decode(bad),
+            Err(DecodeError::BadOpcode(7))
+        ));
+        // Reserved bits set.
+        let bad = (MPAIS_PREFIX << 24) | (1 << 7);
+        assert!(matches!(
+            Instruction::decode(bad),
+            Err(DecodeError::ReservedBitsSet(_))
+        ));
+    }
+
+    #[test]
+    fn param_block_base_constraint() {
+        assert!(Instruction::new(Mnemonic::MaCfg, reg(0), reg(26)).is_err());
+        assert!(Instruction::new(Mnemonic::MaCfg, reg(0), reg(25)).is_ok());
+        // Task-management Rn is a plain register, not a block base.
+        assert!(Instruction::new(Mnemonic::MaRead, reg(0), reg(30)).is_ok());
+    }
+
+    #[test]
+    fn register_bounds() {
+        assert!(Reg::new(30).is_ok());
+        assert!(Reg::new(31).is_err());
+    }
+
+    #[test]
+    fn asm_roundtrip() {
+        for m in Mnemonic::ALL {
+            let inst = Instruction::new(m, reg(4), reg(9)).unwrap();
+            let text = inst.to_string();
+            let parsed = Instruction::parse_asm(&text).unwrap();
+            if m == Mnemonic::MaClear {
+                // MA_CLEAR round-trips through its single-operand form.
+                assert_eq!(parsed.rn(), inst.rn());
+                assert_eq!(parsed.mnemonic(), Mnemonic::MaClear);
+            } else {
+                assert_eq!(parsed, inst);
+            }
+        }
+    }
+
+    #[test]
+    fn asm_parse_errors() {
+        assert!(Instruction::parse_asm("bogus x1, x2").is_err());
+        assert!(Instruction::parse_asm("ma_cfg").is_err());
+        assert!(Instruction::parse_asm("ma_cfg y1, x2").is_err());
+        assert!(Instruction::parse_asm("ma_cfg x1, x31").is_err());
+        assert!(Instruction::parse_asm("ma_cfg x1, x26").is_err());
+    }
+
+    #[test]
+    fn display_matches_table_ii_usage() {
+        let cfg = Instruction::new(Mnemonic::MaCfg, reg(3), reg(10)).unwrap();
+        assert_eq!(cfg.to_string(), "ma_cfg x3, x10");
+        let clear = Instruction::new(Mnemonic::MaClear, reg(5), reg(5)).unwrap();
+        assert_eq!(clear.to_string(), "ma_clear x5");
+    }
+
+    #[test]
+    fn writes_rd_classification() {
+        assert!(Mnemonic::MaCfg.writes_rd());
+        assert!(Mnemonic::MaState.writes_rd());
+        assert!(!Mnemonic::MaClear.writes_rd());
+    }
+}

@@ -1,0 +1,110 @@
+//! Exception events raised by the MMAE during task execution.
+//!
+//! The paper's MTQ entry records `exception_en` and `exception_type`
+//! (Table III), and a task "may be automatically terminated by the MMAE if
+//! there are exception events during task execution" (Fig. 3, state ④).
+//! After observing an exception, software must issue `MA_CLEAR` to reclaim
+//! the entry.
+
+use std::fmt;
+
+/// Exception classes reportable through an MTQ entry.
+///
+/// The 5-bit encoding matches the `exception_type` field packed into the
+/// status word returned by `MA_READ` / `MA_STATE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExceptionType {
+    /// Virtual address had no valid translation during DMA or PTW.
+    TranslationFault,
+    /// Translation succeeded but permissions forbid the access.
+    PermissionFault,
+    /// A physical access outside the populated address space.
+    BusError,
+    /// `MA_CFG` parameter block failed validation in the STQ.
+    InvalidConfig,
+    /// A tile exceeded the MMAE's on-chip buffer capacity.
+    BufferOverflow,
+    /// The accelerator watchdog expired (task livelock).
+    Watchdog,
+}
+
+impl ExceptionType {
+    /// All exception types, in encoding order.
+    pub const ALL: [ExceptionType; 6] = [
+        ExceptionType::TranslationFault,
+        ExceptionType::PermissionFault,
+        ExceptionType::BusError,
+        ExceptionType::InvalidConfig,
+        ExceptionType::BufferOverflow,
+        ExceptionType::Watchdog,
+    ];
+
+    /// The 5-bit status-word encoding (1-based; 0 means "no exception").
+    pub const fn encode(self) -> u64 {
+        match self {
+            ExceptionType::TranslationFault => 1,
+            ExceptionType::PermissionFault => 2,
+            ExceptionType::BusError => 3,
+            ExceptionType::InvalidConfig => 4,
+            ExceptionType::BufferOverflow => 5,
+            ExceptionType::Watchdog => 6,
+        }
+    }
+
+    /// Decodes the 5-bit status-word field; `0` decodes to `None`.
+    pub const fn decode(bits: u64) -> Option<ExceptionType> {
+        match bits & 0x1F {
+            1 => Some(ExceptionType::TranslationFault),
+            2 => Some(ExceptionType::PermissionFault),
+            3 => Some(ExceptionType::BusError),
+            4 => Some(ExceptionType::InvalidConfig),
+            5 => Some(ExceptionType::BufferOverflow),
+            6 => Some(ExceptionType::Watchdog),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExceptionType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExceptionType::TranslationFault => "translation fault",
+            ExceptionType::PermissionFault => "permission fault",
+            ExceptionType::BusError => "bus error",
+            ExceptionType::InvalidConfig => "invalid configuration",
+            ExceptionType::BufferOverflow => "buffer overflow",
+            ExceptionType::Watchdog => "watchdog timeout",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for e in ExceptionType::ALL {
+            assert_eq!(ExceptionType::decode(e.encode()), Some(e));
+        }
+        assert_eq!(ExceptionType::decode(0), None);
+        assert_eq!(ExceptionType::decode(31), None);
+    }
+
+    #[test]
+    fn encodings_are_unique_and_nonzero() {
+        let mut codes: Vec<u64> = ExceptionType::ALL.iter().map(|e| e.encode()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), ExceptionType::ALL.len());
+        assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for e in ExceptionType::ALL {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

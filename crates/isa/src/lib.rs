@@ -1,0 +1,92 @@
+//! # maco-isa — the Matrix Processing Assist Instruction Set (MPAIS)
+//!
+//! Implements Section III.B and III.C of the MACO paper: a non-privileged
+//! instruction-set extension to ARMv8 providing **data migration**
+//! (`MA_MOVE`, `MA_INIT`, `MA_STASH`), **tile-GEMM computation** (`MA_CFG`)
+//! and **task management** (`MA_READ`, `MA_STATE`, `MA_CLEAR`) — Table II of
+//! the paper.
+//!
+//! The crate contains:
+//!
+//! * [`encoding`] — 32-bit instruction words in an unallocated A64 opcode
+//!   hole, with an assembler/disassembler round-trip.
+//! * [`precision`] — the three SA compute precisions (FP64 / 2-way FP32 /
+//!   4-way FP16, Fig. 2(b–d)).
+//! * [`params`] — the six-successive-register parameter blocks
+//!   (`Rn … Rn+5`) that accompany every MPAIS instruction.
+//! * [`mtq`] — the per-CPU **Master Task Queue** and the Fig. 3 entry state
+//!   machine, including ASID-mismatch semantics and exception reporting
+//!   (Table III).
+//! * [`stq`] — the per-MMAE **Slave Task Queue** that buffers task
+//!   configurations and auto-starts the next task when the active one
+//!   completes.
+//! * [`exception`] — exception events the MMAE can raise during task
+//!   execution.
+//!
+//! # Example: submitting and tracking a GEMM task
+//!
+//! ```
+//! use maco_isa::mtq::{MasterTaskQueue, QueryOutcome};
+//! use maco_isa::Asid;
+//!
+//! let mut mtq = MasterTaskQueue::new(4);
+//! let maid = mtq.allocate(Asid::new(7)).expect("free entry");
+//! mtq.complete(maid).unwrap();
+//! match mtq.query_release(maid, Asid::new(7)).unwrap() {
+//!     QueryOutcome::Done { exception: None } => {}
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+pub mod encoding;
+pub mod exception;
+pub mod mtq;
+pub mod params;
+pub mod precision;
+pub mod stq;
+
+pub use encoding::{Instruction, Mnemonic, Reg};
+pub use exception::ExceptionType;
+pub use mtq::{Maid, MasterTaskQueue, MtqEntry, QueryOutcome};
+pub use params::{GemmParams, InitParams, MoveParams, ParamBlock, StashParams};
+pub use precision::Precision;
+pub use stq::{SlaveTaskQueue, StqState};
+
+/// A process (address-space) identifier, as recorded in MTQ entries
+/// (Table III of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asid(u16);
+
+impl Asid {
+    /// The kernel / idle ASID.
+    pub const KERNEL: Asid = Asid(0);
+
+    /// Creates an ASID from a raw 16-bit identifier.
+    pub fn new(raw: u16) -> Self {
+        Asid(raw)
+    }
+
+    /// The raw identifier.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Asid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asid{:#06x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asid_roundtrip_and_display() {
+        let a = Asid::new(0x2a);
+        assert_eq!(a.raw(), 0x2a);
+        assert_eq!(a.to_string(), "asid0x002a");
+        assert_ne!(a, Asid::KERNEL);
+    }
+}

@@ -1,0 +1,463 @@
+//! The Master Task Queue (MTQ).
+//!
+//! Each CPU core integrates an MTQ "to timely record the state of all GEMM
+//! process" (Section III.C). Every entry independently tracks one GEMM
+//! task's execution state (Table III): `Valid`, `Done`, `ASID`,
+//! `exception_en` and `exception_type`. This module implements the Fig. 3
+//! state-transition diagram exactly, including the ASID-mismatch semantics
+//! that let a process learn its task completed even after the entry was
+//! recycled by another process, and the exception path that requires an
+//! explicit `MA_CLEAR`.
+//!
+//! MTQ state survives process switches ("both MTQ and STQ will not be
+//! affected by process switching"), which is why entries carry the ASID of
+//! the submitting process rather than relying on the current context.
+
+use std::fmt;
+
+use crate::exception::ExceptionType;
+use crate::Asid;
+
+/// Identifier of an MTQ entry, returned in `Rd` by a successful `MA_CFG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Maid(u8);
+
+impl Maid {
+    /// Creates a MAID from a raw entry index.
+    pub fn new(idx: u8) -> Self {
+        Maid(idx)
+    }
+
+    /// The raw entry index.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Maid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "maid{}", self.0)
+    }
+}
+
+/// One MTQ entry (Table III of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MtqEntry {
+    /// Whether the entry is allocated.
+    pub valid: bool,
+    /// Whether the task has completed.
+    pub done: bool,
+    /// Submitting process, `None` when the entry is free (ASID = NULL in
+    /// Fig. 3).
+    pub asid: Option<Asid>,
+    /// Exception raised during MMAE execution, if any (`exception_en` +
+    /// `exception_type` in Table III).
+    pub exception: Option<ExceptionType>,
+}
+
+impl MtqEntry {
+    /// Packs the entry into the status word returned by `MA_READ` /
+    /// `MA_STATE`, with `query_asid` used to derive the match bit.
+    ///
+    /// Layout: bit 0 `valid`, bit 1 `done`, bit 2 `exception_en`,
+    /// bits 7:3 `exception_type`, bits 23:8 `asid`, bit 24 `asid_match`.
+    pub fn status_word(&self, query_asid: Asid) -> u64 {
+        let mut w = 0u64;
+        w |= self.valid as u64;
+        w |= (self.done as u64) << 1;
+        if let Some(exc) = self.exception {
+            w |= 1 << 2;
+            w |= exc.encode() << 3;
+        }
+        if let Some(asid) = self.asid {
+            w |= (asid.raw() as u64) << 8;
+            if asid == query_asid {
+                w |= 1 << 24;
+            }
+        }
+        w
+    }
+}
+
+/// Outcome of an `MA_READ` / `MA_STATE` query, decoded from the entry state
+/// per the Fig. 3 diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Entry valid, ASID matches, task still executing (state ①).
+    Running,
+    /// Entry valid, ASID matches, task finished (states ② and ④). The
+    /// `exception` field distinguishes clean completion from the exception
+    /// path that still needs `MA_CLEAR`.
+    Done {
+        /// Exception recorded by the MMAE, if the task was terminated.
+        exception: Option<ExceptionType>,
+    },
+    /// The entry is free or was re-allocated to a different ASID (state ③):
+    /// the original task necessarily completed and its entry was released.
+    Reclaimed,
+}
+
+/// Errors returned by MTQ operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MtqError {
+    /// No free entry was available for `MA_CFG`.
+    Full,
+    /// The MAID is outside the queue.
+    BadMaid(Maid),
+    /// Completion/exception reported for an entry that is not running —
+    /// a hardware protocol violation in the simulator.
+    NotRunning(Maid),
+}
+
+impl fmt::Display for MtqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtqError::Full => write!(f, "no free MTQ entry"),
+            MtqError::BadMaid(m) => write!(f, "{m} outside the MTQ"),
+            MtqError::NotRunning(m) => write!(f, "{m} is not an executing task"),
+        }
+    }
+}
+
+impl std::error::Error for MtqError {}
+
+/// The Master Task Queue: a fixed array of [`MtqEntry`]s with the Fig. 3
+/// protocol.
+///
+/// # Example
+///
+/// ```
+/// use maco_isa::mtq::{MasterTaskQueue, QueryOutcome};
+/// use maco_isa::{Asid, ExceptionType};
+///
+/// let mut mtq = MasterTaskQueue::new(2);
+/// let p0 = Asid::new(0);
+/// let maid = mtq.allocate(p0).unwrap();
+/// assert_eq!(mtq.query(maid, p0).unwrap(), QueryOutcome::Running);
+///
+/// // MMAE terminates the task with an exception (state ④)…
+/// mtq.raise_exception(maid, ExceptionType::TranslationFault).unwrap();
+/// assert!(matches!(
+///     mtq.query(maid, p0).unwrap(),
+///     QueryOutcome::Done { exception: Some(ExceptionType::TranslationFault) }
+/// ));
+/// // …which requires an explicit MA_CLEAR before reuse.
+/// mtq.clear(maid).unwrap();
+/// assert!(mtq.allocate(p0).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MasterTaskQueue {
+    entries: Vec<MtqEntry>,
+}
+
+impl MasterTaskQueue {
+    /// Creates a queue with `entries` free slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or above 256 (the MAID field width).
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            (1..=256).contains(&entries),
+            "MTQ must have 1..=256 entries"
+        );
+        MasterTaskQueue {
+            entries: vec![MtqEntry::default(); entries],
+        }
+    }
+
+    /// Number of entries (free + allocated).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of currently allocated entries.
+    pub fn in_use(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// `MA_CFG`: allocates the lowest-indexed free entry for `asid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtqError::Full`] when every entry is valid.
+    pub fn allocate(&mut self, asid: Asid) -> Result<Maid, MtqError> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| !e.valid)
+            .ok_or(MtqError::Full)?;
+        self.entries[idx] = MtqEntry {
+            valid: true,
+            done: false,
+            asid: Some(asid),
+            exception: None,
+        };
+        Ok(Maid(idx as u8))
+    }
+
+    /// MMAE response: the task completed without exceptions (Fig. 3 ②).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtqError::NotRunning`] if the entry is not an executing
+    /// task.
+    pub fn complete(&mut self, maid: Maid) -> Result<(), MtqError> {
+        let e = self.entry_mut(maid)?;
+        if !e.valid || e.done {
+            return Err(MtqError::NotRunning(maid));
+        }
+        e.done = true;
+        Ok(())
+    }
+
+    /// MMAE response: the task was terminated by an exception (Fig. 3 ④).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtqError::NotRunning`] if the entry is not an executing
+    /// task.
+    pub fn raise_exception(&mut self, maid: Maid, ty: ExceptionType) -> Result<(), MtqError> {
+        let e = self.entry_mut(maid)?;
+        if !e.valid || e.done {
+            return Err(MtqError::NotRunning(maid));
+        }
+        e.done = true;
+        e.exception = Some(ty);
+        Ok(())
+    }
+
+    /// `MA_READ`: non-destructive state query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtqError::BadMaid`] for out-of-range MAIDs.
+    pub fn query(&self, maid: Maid, asid: Asid) -> Result<QueryOutcome, MtqError> {
+        let e = self.entry(maid)?;
+        Ok(Self::outcome(e, asid))
+    }
+
+    /// `MA_STATE`: state query that additionally **releases** the entry when
+    /// the task has completed cleanly and the ASID matches.
+    ///
+    /// An exception outcome does *not* release the entry — the paper routes
+    /// that path through `MA_CLEAR` so the exception record survives until
+    /// software acknowledges it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtqError::BadMaid`] for out-of-range MAIDs.
+    pub fn query_release(&mut self, maid: Maid, asid: Asid) -> Result<QueryOutcome, MtqError> {
+        let outcome = {
+            let e = self.entry(maid)?;
+            Self::outcome(e, asid)
+        };
+        if let QueryOutcome::Done { exception: None } = outcome {
+            self.entries[maid.0 as usize] = MtqEntry::default();
+        }
+        Ok(outcome)
+    }
+
+    /// `MA_CLEAR`: unconditionally frees the entry (exception recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtqError::BadMaid`] for out-of-range MAIDs.
+    pub fn clear(&mut self, maid: Maid) -> Result<(), MtqError> {
+        let idx = maid.0 as usize;
+        if idx >= self.entries.len() {
+            return Err(MtqError::BadMaid(maid));
+        }
+        self.entries[idx] = MtqEntry::default();
+        Ok(())
+    }
+
+    /// Raw view of an entry (for traces and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtqError::BadMaid`] for out-of-range MAIDs.
+    pub fn entry(&self, maid: Maid) -> Result<&MtqEntry, MtqError> {
+        self.entries
+            .get(maid.0 as usize)
+            .ok_or(MtqError::BadMaid(maid))
+    }
+
+    /// Iterates all entries with their MAIDs.
+    pub fn iter(&self) -> impl Iterator<Item = (Maid, &MtqEntry)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (Maid(i as u8), e))
+    }
+
+    fn entry_mut(&mut self, maid: Maid) -> Result<&mut MtqEntry, MtqError> {
+        self.entries
+            .get_mut(maid.0 as usize)
+            .ok_or(MtqError::BadMaid(maid))
+    }
+
+    fn outcome(e: &MtqEntry, asid: Asid) -> QueryOutcome {
+        match (e.valid, e.asid) {
+            // Free entry, or entry recycled by a different process: the
+            // original task must have completed and been released (state ③).
+            (false, _) => QueryOutcome::Reclaimed,
+            (true, Some(a)) if a != asid => QueryOutcome::Reclaimed,
+            (true, _) if !e.done => QueryOutcome::Running,
+            (true, _) => QueryOutcome::Done {
+                exception: e.exception,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asid(n: u16) -> Asid {
+        Asid::new(n)
+    }
+
+    #[test]
+    fn fig3_clean_lifecycle() {
+        // ① MA_CFG by process #00 → running.
+        let mut mtq = MasterTaskQueue::new(4);
+        let maid = mtq.allocate(asid(0)).unwrap();
+        assert_eq!(mtq.query(maid, asid(0)).unwrap(), QueryOutcome::Running);
+        let e = *mtq.entry(maid).unwrap();
+        assert!(e.valid && !e.done);
+
+        // ② task completes without exceptions.
+        mtq.complete(maid).unwrap();
+        assert_eq!(
+            mtq.query(maid, asid(0)).unwrap(),
+            QueryOutcome::Done { exception: None }
+        );
+
+        // MA_STATE releases the entry.
+        assert_eq!(
+            mtq.query_release(maid, asid(0)).unwrap(),
+            QueryOutcome::Done { exception: None }
+        );
+        assert!(!mtq.entry(maid).unwrap().valid);
+        assert_eq!(mtq.in_use(), 0);
+    }
+
+    #[test]
+    fn fig3_state3_asid_mismatch_means_reclaimed() {
+        let mut mtq = MasterTaskQueue::new(1);
+        let maid = mtq.allocate(asid(0)).unwrap();
+        mtq.complete(maid).unwrap();
+        mtq.query_release(maid, asid(0)).unwrap();
+
+        // Process #01 recycles the single entry.
+        let maid2 = mtq.allocate(asid(1)).unwrap();
+        assert_eq!(maid, maid2, "entry is recycled");
+
+        // Process #00 querying its old MAID sees the mismatch → Reclaimed,
+        // and the query must NOT disturb process #01's running task.
+        assert_eq!(
+            mtq.query_release(maid, asid(0)).unwrap(),
+            QueryOutcome::Reclaimed
+        );
+        assert_eq!(mtq.query(maid2, asid(1)).unwrap(), QueryOutcome::Running);
+    }
+
+    #[test]
+    fn fig3_state4_exception_requires_clear() {
+        let mut mtq = MasterTaskQueue::new(2);
+        let maid = mtq.allocate(asid(3)).unwrap();
+        mtq.raise_exception(maid, ExceptionType::BusError).unwrap();
+
+        // MA_STATE reports the exception but does not release.
+        assert_eq!(
+            mtq.query_release(maid, asid(3)).unwrap(),
+            QueryOutcome::Done {
+                exception: Some(ExceptionType::BusError)
+            }
+        );
+        assert!(mtq.entry(maid).unwrap().valid, "exception entry persists");
+
+        // MA_CLEAR reclaims it.
+        mtq.clear(maid).unwrap();
+        assert!(!mtq.entry(maid).unwrap().valid);
+    }
+
+    #[test]
+    fn allocation_exhaustion_and_recovery() {
+        let mut mtq = MasterTaskQueue::new(2);
+        let a = mtq.allocate(asid(0)).unwrap();
+        let _b = mtq.allocate(asid(0)).unwrap();
+        assert_eq!(mtq.allocate(asid(0)), Err(MtqError::Full));
+        mtq.complete(a).unwrap();
+        mtq.query_release(a, asid(0)).unwrap();
+        assert!(mtq.allocate(asid(1)).is_ok());
+    }
+
+    #[test]
+    fn double_completion_rejected() {
+        let mut mtq = MasterTaskQueue::new(1);
+        let maid = mtq.allocate(asid(0)).unwrap();
+        mtq.complete(maid).unwrap();
+        assert_eq!(mtq.complete(maid), Err(MtqError::NotRunning(maid)));
+        assert_eq!(
+            mtq.raise_exception(maid, ExceptionType::Watchdog),
+            Err(MtqError::NotRunning(maid))
+        );
+    }
+
+    #[test]
+    fn bad_maid_rejected() {
+        let mut mtq = MasterTaskQueue::new(1);
+        let bogus = Maid::new(5);
+        assert_eq!(mtq.query(bogus, asid(0)), Err(MtqError::BadMaid(bogus)));
+        assert_eq!(mtq.clear(bogus), Err(MtqError::BadMaid(bogus)));
+    }
+
+    #[test]
+    fn status_word_packing() {
+        let e = MtqEntry {
+            valid: true,
+            done: true,
+            asid: Some(asid(0x42)),
+            exception: Some(ExceptionType::InvalidConfig),
+        };
+        let w = e.status_word(asid(0x42));
+        assert_eq!(w & 1, 1, "valid");
+        assert_eq!((w >> 1) & 1, 1, "done");
+        assert_eq!((w >> 2) & 1, 1, "exception_en");
+        assert_eq!(
+            ExceptionType::decode((w >> 3) & 0x1F),
+            Some(ExceptionType::InvalidConfig)
+        );
+        assert_eq!((w >> 8) & 0xFFFF, 0x42, "asid");
+        assert_eq!((w >> 24) & 1, 1, "asid_match");
+        assert_eq!((e.status_word(asid(0x43)) >> 24) & 1, 0, "mismatch");
+    }
+
+    #[test]
+    fn survives_process_switch_bookkeeping() {
+        // Tasks from two processes coexist; each sees only its own state.
+        let mut mtq = MasterTaskQueue::new(4);
+        let m0 = mtq.allocate(asid(0)).unwrap();
+        let m1 = mtq.allocate(asid(1)).unwrap();
+        mtq.complete(m0).unwrap();
+        assert_eq!(
+            mtq.query(m0, asid(0)).unwrap(),
+            QueryOutcome::Done { exception: None }
+        );
+        assert_eq!(mtq.query(m1, asid(1)).unwrap(), QueryOutcome::Running);
+        // Cross-process queries observe Reclaimed (mismatch), not state.
+        assert_eq!(mtq.query(m1, asid(0)).unwrap(), QueryOutcome::Reclaimed);
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut mtq = MasterTaskQueue::new(3);
+        mtq.allocate(asid(0)).unwrap();
+        assert_eq!(mtq.iter().count(), 3);
+        assert_eq!(mtq.iter().filter(|(_, e)| e.valid).count(), 1);
+        assert_eq!(mtq.capacity(), 3);
+    }
+}

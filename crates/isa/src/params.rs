@@ -1,0 +1,459 @@
+//! Parameter blocks for MPAIS instructions.
+//!
+//! Before issuing a data-migration or GEMM instruction, software loads six
+//! successive general registers (`Rn … Rn+5`) with the task parameters
+//! (Section III.B). The MMAE's slave task queue "decodes the parameters and
+//! executes corresponding operations independently". The types here define
+//! the register-image layout of each block and validate it on decode, so a
+//! malformed block surfaces as the same `InvalidConfig` exception the
+//! hardware would raise.
+
+use std::fmt;
+
+use crate::precision::Precision;
+
+/// The raw six-register image transported by an MPAIS instruction.
+pub type ParamBlock = [u64; 6];
+
+/// Maximum matrix dimension encodable in the 21-bit dimension fields.
+pub const MAX_DIM: u64 = (1 << 21) - 1;
+/// Maximum leading-dimension stride encodable in the 20-bit stride fields.
+pub const MAX_STRIDE: u64 = (1 << 20) - 1;
+
+/// Errors raised when decoding or validating a parameter block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// A dimension field was zero or above [`MAX_DIM`].
+    BadDimension(&'static str, u64),
+    /// A stride was smaller than the matrix dimension it must cover.
+    BadStride(&'static str, u64),
+    /// Unknown precision encoding.
+    BadPrecision(u64),
+    /// A byte length of zero was supplied to a data-migration op.
+    EmptyTransfer,
+    /// Source and destination ranges of a move overlap.
+    OverlappingMove,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::BadDimension(name, v) => {
+                write!(f, "dimension {name}={v} outside 1..={MAX_DIM}")
+            }
+            ParamError::BadStride(name, v) => {
+                write!(f, "stride {name}={v} smaller than matrix extent")
+            }
+            ParamError::BadPrecision(bits) => write!(f, "invalid precision encoding {bits}"),
+            ParamError::EmptyTransfer => write!(f, "data migration of zero bytes"),
+            ParamError::OverlappingMove => write!(f, "move source and destination overlap"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Parameters of an `MA_CFG` tile-GEMM task: `Y = A×B + C` (Fig. 1).
+///
+/// Register image:
+///
+/// | Register | Contents |
+/// |---|---|
+/// | `Rn+0` | virtual address of A |
+/// | `Rn+1` | virtual address of B |
+/// | `Rn+2` | virtual address of C |
+/// | `Rn+3` | virtual address of Y |
+/// | `Rn+4` | `m` \[20:0\], `n` \[41:21\], `k` \[62:42\] |
+/// | `Rn+5` | precision \[1:0\], `lda` \[21:2\], `ldb` \[41:22\], `ldc` \[61:42\] |
+///
+/// Strides (`lda`…) are **in elements**, matching BLAS row-major convention
+/// where `lda ≥ k`, `ldb ≥ n`, `ldc ≥ n`.
+///
+/// # Example
+///
+/// ```
+/// use maco_isa::{GemmParams, Precision};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = GemmParams::new(0x1000, 0x8000, 0x10000, 0x18000, 64, 64, 64, Precision::Fp32)?;
+/// let regs = p.pack();
+/// assert_eq!(GemmParams::unpack(&regs)?, p);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmParams {
+    /// Virtual address of matrix A (m×k).
+    pub a_addr: u64,
+    /// Virtual address of matrix B (k×n).
+    pub b_addr: u64,
+    /// Virtual address of the additive input C (m×n).
+    pub c_addr: u64,
+    /// Virtual address of the output Y (m×n).
+    pub y_addr: u64,
+    /// Rows of A / Y.
+    pub m: u64,
+    /// Columns of B / Y.
+    pub n: u64,
+    /// Inner (reduction) dimension.
+    pub k: u64,
+    /// Leading dimension (elements per row) of A.
+    pub lda: u64,
+    /// Leading dimension of B.
+    pub ldb: u64,
+    /// Leading dimension of C and Y.
+    pub ldc: u64,
+    /// Compute precision.
+    pub precision: Precision,
+}
+
+impl GemmParams {
+    /// Builds a densely-stored GEMM descriptor (`lda = k`, `ldb = ldc = n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if any dimension is zero or unencodable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        a_addr: u64,
+        b_addr: u64,
+        c_addr: u64,
+        y_addr: u64,
+        m: u64,
+        n: u64,
+        k: u64,
+        precision: Precision,
+    ) -> Result<Self, ParamError> {
+        let p = GemmParams {
+            a_addr,
+            b_addr,
+            c_addr,
+            y_addr,
+            m,
+            n,
+            k,
+            lda: k,
+            ldb: n,
+            ldc: n,
+            precision,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Overrides the leading dimensions (for sub-matrix views).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::BadStride`] if a stride is smaller than the
+    /// row extent it must cover.
+    pub fn with_strides(mut self, lda: u64, ldb: u64, ldc: u64) -> Result<Self, ParamError> {
+        self.lda = lda;
+        self.ldb = ldb;
+        self.ldc = ldc;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Validates dimension and stride fields.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        for (name, v) in [("m", self.m), ("n", self.n), ("k", self.k)] {
+            if v == 0 || v > MAX_DIM {
+                return Err(ParamError::BadDimension(name, v));
+            }
+        }
+        if self.lda < self.k || self.lda > MAX_STRIDE {
+            return Err(ParamError::BadStride("lda", self.lda));
+        }
+        if self.ldb < self.n || self.ldb > MAX_STRIDE {
+            return Err(ParamError::BadStride("ldb", self.ldb));
+        }
+        if self.ldc < self.n || self.ldc > MAX_STRIDE {
+            return Err(ParamError::BadStride("ldc", self.ldc));
+        }
+        Ok(())
+    }
+
+    /// Serialises into the six-register image.
+    pub fn pack(&self) -> ParamBlock {
+        [
+            self.a_addr,
+            self.b_addr,
+            self.c_addr,
+            self.y_addr,
+            self.m | (self.n << 21) | (self.k << 42),
+            self.precision.encode() | (self.lda << 2) | (self.ldb << 22) | (self.ldc << 42),
+        ]
+    }
+
+    /// Deserialises and validates a six-register image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for invalid precision, dimension or stride
+    /// encodings.
+    pub fn unpack(regs: &ParamBlock) -> Result<Self, ParamError> {
+        let dims = regs[4];
+        let misc = regs[5];
+        let precision =
+            Precision::decode(misc & 0b11).ok_or(ParamError::BadPrecision(misc & 0b11))?;
+        let p = GemmParams {
+            a_addr: regs[0],
+            b_addr: regs[1],
+            c_addr: regs[2],
+            y_addr: regs[3],
+            m: dims & MAX_DIM,
+            n: (dims >> 21) & MAX_DIM,
+            k: (dims >> 42) & MAX_DIM,
+            lda: (misc >> 2) & MAX_STRIDE,
+            ldb: (misc >> 22) & MAX_STRIDE,
+            ldc: (misc >> 42) & MAX_STRIDE,
+            precision,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Total floating-point operations of the task (`2·m·n·k`).
+    pub fn flops(&self) -> u64 {
+        2 * self.m * self.n * self.k
+    }
+
+    /// Bytes of one element at this precision.
+    pub fn elem_bytes(&self) -> u64 {
+        self.precision.bytes()
+    }
+}
+
+/// Parameters of an `MA_MOVE` DMA copy.
+///
+/// Register image: `Rn+0` source VA, `Rn+1` destination VA, `Rn+2` bytes,
+/// remaining registers reserved (zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MoveParams {
+    /// Source virtual address.
+    pub src: u64,
+    /// Destination virtual address.
+    pub dst: u64,
+    /// Transfer length in bytes.
+    pub bytes: u64,
+}
+
+impl MoveParams {
+    /// Builds and validates a move descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::EmptyTransfer`] for zero-length moves and
+    /// [`ParamError::OverlappingMove`] when ranges overlap (the DMA engine
+    /// has no memmove semantics).
+    pub fn new(src: u64, dst: u64, bytes: u64) -> Result<Self, ParamError> {
+        if bytes == 0 {
+            return Err(ParamError::EmptyTransfer);
+        }
+        let overlap = src < dst.saturating_add(bytes) && dst < src.saturating_add(bytes);
+        if overlap {
+            return Err(ParamError::OverlappingMove);
+        }
+        Ok(MoveParams { src, dst, bytes })
+    }
+
+    /// Serialises into the six-register image.
+    pub fn pack(&self) -> ParamBlock {
+        [self.src, self.dst, self.bytes, 0, 0, 0]
+    }
+
+    /// Deserialises and validates a six-register image.
+    ///
+    /// # Errors
+    ///
+    /// See [`MoveParams::new`].
+    pub fn unpack(regs: &ParamBlock) -> Result<Self, ParamError> {
+        MoveParams::new(regs[0], regs[1], regs[2])
+    }
+}
+
+/// Parameters of an `MA_INIT` zero-fill.
+///
+/// Register image: `Rn+0` destination VA, `Rn+1` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InitParams {
+    /// Destination virtual address.
+    pub dst: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+}
+
+impl InitParams {
+    /// Builds and validates an init descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::EmptyTransfer`] for zero-length fills.
+    pub fn new(dst: u64, bytes: u64) -> Result<Self, ParamError> {
+        if bytes == 0 {
+            return Err(ParamError::EmptyTransfer);
+        }
+        Ok(InitParams { dst, bytes })
+    }
+
+    /// Serialises into the six-register image.
+    pub fn pack(&self) -> ParamBlock {
+        [self.dst, self.bytes, 0, 0, 0, 0]
+    }
+
+    /// Deserialises and validates a six-register image.
+    ///
+    /// # Errors
+    ///
+    /// See [`InitParams::new`].
+    pub fn unpack(regs: &ParamBlock) -> Result<Self, ParamError> {
+        InitParams::new(regs[0], regs[1])
+    }
+}
+
+/// Parameters of an `MA_STASH` prefetch-into-L3, optionally locking the
+/// lines against eviction (Section IV.B, Fig. 5(b)).
+///
+/// Register image: `Rn+0` VA, `Rn+1` bytes, `Rn+2` bit 0 = lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StashParams {
+    /// Starting virtual address of the region to stash.
+    pub addr: u64,
+    /// Region length in bytes.
+    pub bytes: u64,
+    /// Whether to lock the lines in L3 after the prefetch.
+    pub lock: bool,
+}
+
+impl StashParams {
+    /// Builds and validates a stash descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError::EmptyTransfer`] for zero-length regions.
+    pub fn new(addr: u64, bytes: u64, lock: bool) -> Result<Self, ParamError> {
+        if bytes == 0 {
+            return Err(ParamError::EmptyTransfer);
+        }
+        Ok(StashParams { addr, bytes, lock })
+    }
+
+    /// Serialises into the six-register image.
+    pub fn pack(&self) -> ParamBlock {
+        [self.addr, self.bytes, self.lock as u64, 0, 0, 0]
+    }
+
+    /// Deserialises and validates a six-register image.
+    ///
+    /// # Errors
+    ///
+    /// See [`StashParams::new`].
+    pub fn unpack(regs: &ParamBlock) -> Result<Self, ParamError> {
+        StashParams::new(regs[0], regs[1], regs[2] & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_pack_unpack_roundtrip() {
+        let p = GemmParams::new(0x10_0000, 0x20_0000, 0x30_0000, 0x40_0000, 1024, 512, 2048,
+            Precision::Fp16)
+        .unwrap();
+        assert_eq!(GemmParams::unpack(&p.pack()).unwrap(), p);
+    }
+
+    #[test]
+    fn gemm_custom_strides_roundtrip() {
+        let p = GemmParams::new(0, 0, 0, 0, 64, 64, 64, Precision::Fp64)
+            .unwrap()
+            .with_strides(9216, 9216, 9216)
+            .unwrap();
+        let q = GemmParams::unpack(&p.pack()).unwrap();
+        assert_eq!(q.lda, 9216);
+        assert_eq!(q.ldb, 9216);
+        assert_eq!(q.ldc, 9216);
+    }
+
+    #[test]
+    fn gemm_rejects_zero_dims() {
+        assert!(matches!(
+            GemmParams::new(0, 0, 0, 0, 0, 4, 4, Precision::Fp64),
+            Err(ParamError::BadDimension("m", 0))
+        ));
+        assert!(GemmParams::new(0, 0, 0, 0, 4, 0, 4, Precision::Fp64).is_err());
+        assert!(GemmParams::new(0, 0, 0, 0, 4, 4, 0, Precision::Fp64).is_err());
+    }
+
+    #[test]
+    fn gemm_rejects_undersized_stride() {
+        let r = GemmParams::new(0, 0, 0, 0, 8, 8, 8, Precision::Fp32)
+            .unwrap()
+            .with_strides(4, 8, 8);
+        assert!(matches!(r, Err(ParamError::BadStride("lda", 4))));
+    }
+
+    #[test]
+    fn gemm_rejects_bad_precision_bits() {
+        let mut regs = GemmParams::new(0, 0, 0, 0, 4, 4, 4, Precision::Fp64)
+            .unwrap()
+            .pack();
+        regs[5] |= 0b11; // precision=3 is unallocated
+        assert!(matches!(
+            GemmParams::unpack(&regs),
+            Err(ParamError::BadPrecision(3))
+        ));
+    }
+
+    #[test]
+    fn gemm_flops() {
+        let p = GemmParams::new(0, 0, 0, 0, 10, 20, 30, Precision::Fp32).unwrap();
+        assert_eq!(p.flops(), 2 * 10 * 20 * 30);
+        assert_eq!(p.elem_bytes(), 4);
+    }
+
+    #[test]
+    fn gemm_max_paper_size_fits() {
+        // Largest size in the paper's sweeps is 9216.
+        let p = GemmParams::new(0, 0, 0, 0, 9216, 9216, 9216, Precision::Fp64).unwrap();
+        assert_eq!(GemmParams::unpack(&p.pack()).unwrap(), p);
+    }
+
+    #[test]
+    fn move_roundtrip_and_overlap() {
+        let m = MoveParams::new(0x1000, 0x9000, 0x800).unwrap();
+        assert_eq!(MoveParams::unpack(&m.pack()).unwrap(), m);
+        assert!(matches!(
+            MoveParams::new(0x1000, 0x1400, 0x800),
+            Err(ParamError::OverlappingMove)
+        ));
+        assert!(matches!(
+            MoveParams::new(0, 0x9000, 0),
+            Err(ParamError::EmptyTransfer)
+        ));
+    }
+
+    #[test]
+    fn adjacent_ranges_do_not_overlap() {
+        assert!(MoveParams::new(0x1000, 0x1800, 0x800).is_ok());
+        assert!(MoveParams::new(0x1800, 0x1000, 0x800).is_ok());
+    }
+
+    #[test]
+    fn init_roundtrip() {
+        let i = InitParams::new(0x4000, 256).unwrap();
+        assert_eq!(InitParams::unpack(&i.pack()).unwrap(), i);
+        assert!(InitParams::new(0x4000, 0).is_err());
+    }
+
+    #[test]
+    fn stash_roundtrip_lock_bit() {
+        for lock in [false, true] {
+            let s = StashParams::new(0x8000, 4096, lock).unwrap();
+            assert_eq!(StashParams::unpack(&s.pack()).unwrap(), s);
+        }
+        assert!(StashParams::new(0x8000, 0, true).is_err());
+    }
+}

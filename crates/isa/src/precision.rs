@@ -1,0 +1,134 @@
+//! Compute precisions supported by the MMAE systolic array.
+//!
+//! The paper extends the classical systolic dataflow with SIMD-like compute
+//! modes (Fig. 2(b–d)): each PE performs one FP64 MAC, two FP32 MACs or four
+//! FP16 MACs per cycle. Peak performance therefore scales as
+//! 80 / 160 / 320 GFLOPS per MMAE (Table IV).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Floating-point precision of a GEMM task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Precision {
+    /// 64-bit IEEE-754, one MAC per PE per cycle (Fig. 2(b)).
+    #[default]
+    Fp64,
+    /// 32-bit IEEE-754, two-way SIMD per PE (Fig. 2(c)).
+    Fp32,
+    /// 16-bit IEEE-754 binary16, four-way SIMD per PE (Fig. 2(d)).
+    Fp16,
+}
+
+impl Precision {
+    /// All precisions, in decreasing width.
+    pub const ALL: [Precision; 3] = [Precision::Fp64, Precision::Fp32, Precision::Fp16];
+
+    /// Element size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Precision::Fp64 => 8,
+            Precision::Fp32 => 4,
+            Precision::Fp16 => 2,
+        }
+    }
+
+    /// SIMD lanes per processing element (Fig. 2(b–d)).
+    pub const fn lanes(self) -> u64 {
+        match self {
+            Precision::Fp64 => 1,
+            Precision::Fp32 => 2,
+            Precision::Fp16 => 4,
+        }
+    }
+
+    /// Encodes into the 2-bit field used by [`GemmParams`](crate::params::GemmParams).
+    pub const fn encode(self) -> u64 {
+        match self {
+            Precision::Fp64 => 0,
+            Precision::Fp32 => 1,
+            Precision::Fp16 => 2,
+        }
+    }
+
+    /// Decodes from the 2-bit parameter field.
+    pub const fn decode(bits: u64) -> Option<Precision> {
+        match bits & 0b11 {
+            0 => Some(Precision::Fp64),
+            1 => Some(Precision::Fp32),
+            2 => Some(Precision::Fp16),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Precision::Fp64 => "fp64",
+            Precision::Fp32 => "fp32",
+            Precision::Fp16 => "fp16",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing an unknown precision name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrecisionError(String);
+
+impl fmt::Display for ParsePrecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown precision `{}`, expected fp64/fp32/fp16", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrecisionError {}
+
+impl FromStr for Precision {
+    type Err = ParsePrecisionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fp64" | "f64" | "double" => Ok(Precision::Fp64),
+            "fp32" | "f32" | "single" => Ok(Precision::Fp32),
+            "fp16" | "f16" | "half" => Ok(Precision::Fp16),
+            _ => Err(ParsePrecisionError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_times_bytes_is_constant() {
+        // Each PE datapath is 64 bits wide regardless of mode (Fig. 2).
+        for p in Precision::ALL {
+            assert_eq!(p.lanes() * p.bytes(), 8);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::decode(p.encode()), Some(p));
+        }
+        assert_eq!(Precision::decode(3), None);
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("fp64".parse::<Precision>().unwrap(), Precision::Fp64);
+        assert_eq!("F32".parse::<Precision>().unwrap(), Precision::Fp32);
+        assert_eq!("half".parse::<Precision>().unwrap(), Precision::Fp16);
+        assert!("fp8".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Precision::Fp16.to_string(), "fp16");
+        assert_eq!(Precision::default(), Precision::Fp64);
+    }
+}

@@ -1,0 +1,338 @@
+//! The Slave Task Queue (STQ).
+//!
+//! Each MMAE integrates an STQ whose functions are (Section III.C):
+//! receiving task parameters from the CPU core (identified by the same MAID
+//! as the MTQ entry), parsing and locally buffering them, monitoring the
+//! MMAE's execution units, and responding task status back to the
+//! corresponding MTQ entry. "The buffered tasks in the STQ entries will be
+//! automatically executed when the active STQ entry has completed its task"
+//! — i.e. the STQ is a FIFO of parsed, ready-to-run tasks.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::exception::ExceptionType;
+use crate::mtq::Maid;
+use crate::params::{GemmParams, InitParams, MoveParams, ParamBlock, ParamError, StashParams};
+
+/// A parsed task buffered in the STQ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StqTask {
+    /// Tile-GEMM computation (`MA_CFG`).
+    Gemm(GemmParams),
+    /// DMA copy (`MA_MOVE`).
+    Move(MoveParams),
+    /// DMA zero-fill (`MA_INIT`).
+    Init(InitParams),
+    /// L3 prefetch / lock (`MA_STASH`).
+    Stash(StashParams),
+}
+
+impl StqTask {
+    /// Parses a raw register block for the given instruction kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ParamError`] describing the malformed field; callers
+    /// convert this into an [`ExceptionType::InvalidConfig`] response.
+    pub fn parse(kind: TaskKind, block: &ParamBlock) -> Result<StqTask, ParamError> {
+        Ok(match kind {
+            TaskKind::Gemm => StqTask::Gemm(GemmParams::unpack(block)?),
+            TaskKind::Move => StqTask::Move(MoveParams::unpack(block)?),
+            TaskKind::Init => StqTask::Init(InitParams::unpack(block)?),
+            TaskKind::Stash => StqTask::Stash(StashParams::unpack(block)?),
+        })
+    }
+}
+
+/// The instruction class a parameter block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// `MA_CFG`.
+    Gemm,
+    /// `MA_MOVE`.
+    Move,
+    /// `MA_INIT`.
+    Init,
+    /// `MA_STASH`.
+    Stash,
+}
+
+/// Execution state of an STQ entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StqState {
+    /// Buffered, waiting for the active task to finish.
+    Waiting,
+    /// Currently driving the MMAE's execution units.
+    Active,
+}
+
+/// Status response routed from the STQ back to the owning MTQ entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StqResponse {
+    /// The task's MAID (shared with the MTQ).
+    pub maid: Maid,
+    /// `None` for clean completion, `Some` when the MMAE terminated the
+    /// task with an exception.
+    pub exception: Option<ExceptionType>,
+}
+
+/// Errors returned by STQ operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StqError {
+    /// The queue has no capacity for another buffered task.
+    Full,
+    /// `complete_active` was called with no active task.
+    Idle,
+}
+
+impl fmt::Display for StqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StqError::Full => write!(f, "slave task queue is full"),
+            StqError::Idle => write!(f, "no active task to complete"),
+        }
+    }
+}
+
+impl std::error::Error for StqError {}
+
+/// The Slave Task Queue: parses incoming parameter blocks and sequences
+/// tasks onto the MMAE.
+///
+/// # Example
+///
+/// ```
+/// use maco_isa::stq::{SlaveTaskQueue, StqTask, TaskKind};
+/// use maco_isa::mtq::Maid;
+/// use maco_isa::{GemmParams, Precision};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut stq = SlaveTaskQueue::new(4);
+/// let gemm = GemmParams::new(0, 0x1000, 0x2000, 0x3000, 8, 8, 8, Precision::Fp64)?;
+/// stq.submit(Maid::new(0), TaskKind::Gemm, &gemm.pack()).unwrap();
+/// assert!(matches!(stq.active(), Some((_, StqTask::Gemm(_)))));
+/// let resp = stq.complete_active(None)?;
+/// assert_eq!(resp.maid, Maid::new(0));
+/// assert!(resp.exception.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlaveTaskQueue {
+    queue: VecDeque<(Maid, StqTask)>,
+    capacity: usize,
+    completed: u64,
+    excepted: u64,
+}
+
+impl SlaveTaskQueue {
+    /// Creates a queue holding at most `capacity` tasks (active included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "STQ needs at least one entry");
+        SlaveTaskQueue {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            completed: 0,
+            excepted: 0,
+        }
+    }
+
+    /// Receives and parses a parameter block from the CPU.
+    ///
+    /// On a parse failure the task is *not* buffered; instead an immediate
+    /// exception response is returned so the MTQ entry transitions straight
+    /// to the Fig. 3 exception state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StqError::Full`] when the queue has no free entry (the
+    /// corresponding `MA_*` instruction would retry or fault in hardware).
+    pub fn submit(
+        &mut self,
+        maid: Maid,
+        kind: TaskKind,
+        block: &ParamBlock,
+    ) -> Result<Option<StqResponse>, StqError> {
+        if self.queue.len() == self.capacity {
+            return Err(StqError::Full);
+        }
+        match StqTask::parse(kind, block) {
+            Ok(task) => {
+                self.queue.push_back((maid, task));
+                Ok(None)
+            }
+            Err(_) => {
+                self.excepted += 1;
+                Ok(Some(StqResponse {
+                    maid,
+                    exception: Some(ExceptionType::InvalidConfig),
+                }))
+            }
+        }
+    }
+
+    /// The task currently driving the MMAE (front of the FIFO).
+    pub fn active(&self) -> Option<(Maid, &StqTask)> {
+        self.queue.front().map(|(m, t)| (*m, t))
+    }
+
+    /// State of the task with the given MAID, if buffered.
+    pub fn state_of(&self, maid: Maid) -> Option<StqState> {
+        self.queue.iter().position(|(m, _)| *m == maid).map(|i| {
+            if i == 0 {
+                StqState::Active
+            } else {
+                StqState::Waiting
+            }
+        })
+    }
+
+    /// Completes the active task, optionally with an exception raised by
+    /// the execution units; the next buffered task (if any) automatically
+    /// becomes active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StqError::Idle`] when no task is active.
+    pub fn complete_active(
+        &mut self,
+        exception: Option<ExceptionType>,
+    ) -> Result<StqResponse, StqError> {
+        let (maid, _) = self.queue.pop_front().ok_or(StqError::Idle)?;
+        if exception.is_some() {
+            self.excepted += 1;
+        } else {
+            self.completed += 1;
+        }
+        Ok(StqResponse { maid, exception })
+    }
+
+    /// Number of buffered tasks (active included).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no tasks are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total tasks completed cleanly.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total tasks terminated by exceptions (parse failures included).
+    pub fn excepted(&self) -> u64 {
+        self.excepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::Precision;
+
+    fn gemm_block() -> ParamBlock {
+        GemmParams::new(0x1000, 0x2000, 0x3000, 0x4000, 16, 16, 16, Precision::Fp32)
+            .unwrap()
+            .pack()
+    }
+
+    #[test]
+    fn fifo_auto_advance() {
+        let mut stq = SlaveTaskQueue::new(3);
+        stq.submit(Maid::new(0), TaskKind::Gemm, &gemm_block())
+            .unwrap();
+        stq.submit(Maid::new(1), TaskKind::Gemm, &gemm_block())
+            .unwrap();
+        assert_eq!(stq.state_of(Maid::new(0)), Some(StqState::Active));
+        assert_eq!(stq.state_of(Maid::new(1)), Some(StqState::Waiting));
+
+        let r = stq.complete_active(None).unwrap();
+        assert_eq!(r.maid, Maid::new(0));
+        // Task 1 became active automatically.
+        assert_eq!(stq.state_of(Maid::new(1)), Some(StqState::Active));
+        assert_eq!(stq.completed(), 1);
+    }
+
+    #[test]
+    fn parse_failure_responds_invalid_config() {
+        let mut stq = SlaveTaskQueue::new(2);
+        let mut bad = gemm_block();
+        bad[4] = 0; // zero dimensions
+        let resp = stq.submit(Maid::new(7), TaskKind::Gemm, &bad).unwrap();
+        assert_eq!(
+            resp,
+            Some(StqResponse {
+                maid: Maid::new(7),
+                exception: Some(ExceptionType::InvalidConfig)
+            })
+        );
+        assert!(stq.is_empty(), "malformed task is not buffered");
+        assert_eq!(stq.excepted(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut stq = SlaveTaskQueue::new(1);
+        stq.submit(Maid::new(0), TaskKind::Gemm, &gemm_block())
+            .unwrap();
+        assert_eq!(
+            stq.submit(Maid::new(1), TaskKind::Gemm, &gemm_block()),
+            Err(StqError::Full)
+        );
+    }
+
+    #[test]
+    fn completion_with_exception() {
+        let mut stq = SlaveTaskQueue::new(1);
+        stq.submit(Maid::new(3), TaskKind::Gemm, &gemm_block())
+            .unwrap();
+        let r = stq
+            .complete_active(Some(ExceptionType::TranslationFault))
+            .unwrap();
+        assert_eq!(r.exception, Some(ExceptionType::TranslationFault));
+        assert_eq!(stq.excepted(), 1);
+        assert_eq!(stq.completed(), 0);
+    }
+
+    #[test]
+    fn idle_completion_rejected() {
+        let mut stq = SlaveTaskQueue::new(1);
+        assert_eq!(stq.complete_active(None), Err(StqError::Idle));
+    }
+
+    #[test]
+    fn parses_all_task_kinds() {
+        let mut stq = SlaveTaskQueue::new(4);
+        let mv = MoveParams::new(0x1000, 0x9000, 64).unwrap().pack();
+        let init = InitParams::new(0x5000, 128).unwrap().pack();
+        let stash = StashParams::new(0x7000, 4096, true).unwrap().pack();
+        assert!(stq
+            .submit(Maid::new(0), TaskKind::Move, &mv)
+            .unwrap()
+            .is_none());
+        assert!(stq
+            .submit(Maid::new(1), TaskKind::Init, &init)
+            .unwrap()
+            .is_none());
+        assert!(stq
+            .submit(Maid::new(2), TaskKind::Stash, &stash)
+            .unwrap()
+            .is_none());
+        assert!(matches!(stq.active(), Some((_, StqTask::Move(_)))));
+        assert_eq!(stq.len(), 3);
+    }
+
+    #[test]
+    fn state_of_absent_maid_is_none() {
+        let stq = SlaveTaskQueue::new(1);
+        assert_eq!(stq.state_of(Maid::new(9)), None);
+    }
+}

@@ -1,0 +1,463 @@
+//! The cache-coherence manager (CCM) directory.
+//!
+//! Each NoC node may host a CCM that manages one L3 slice and tracks, for
+//! every line it homes, which compute nodes hold the line and in which
+//! MOESI state (Section III.A). [`Directory`] is a full-map directory: it
+//! services read-shared and read-exclusive requests, generating the data
+//! source and the invalidations each transition requires, and it can verify
+//! the MOESI compatibility invariants after every operation (exercised by
+//! the property tests).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::moesi::{LineState, MoesiError};
+
+/// Where the data for a directory-serviced request comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSource {
+    /// Line supplied by memory (or the L3 slice itself).
+    Memory,
+    /// Line forwarded from the cache of another compute node.
+    Cache(usize),
+}
+
+/// Summary of the protocol actions a request triggered — the inputs to the
+/// timing model (forwarding hop, invalidation fan-out, memory fetch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceOp {
+    /// Data source for the requestor.
+    pub source: DataSource,
+    /// Number of invalidation messages sent to other nodes.
+    pub invalidations: u32,
+    /// Whether a dirty copy was written back to memory as part of the
+    /// transition.
+    pub writeback: bool,
+}
+
+/// Errors returned by directory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// The node index exceeds the configured node count.
+    BadNode(usize),
+    /// An underlying MOESI invariant was violated.
+    Moesi(MoesiError),
+}
+
+impl fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectoryError::BadNode(n) => write!(f, "node {n} outside the directory"),
+            DirectoryError::Moesi(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}
+
+impl From<MoesiError> for DirectoryError {
+    fn from(e: MoesiError) -> Self {
+        DirectoryError::Moesi(e)
+    }
+}
+
+/// A full-map MOESI directory for the lines homed at one CCM.
+///
+/// # Example
+///
+/// ```
+/// use maco_mem::directory::{Directory, DataSource};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dir = Directory::new(4);
+/// // Node 0 reads line 7: nobody holds it → memory supplies, state E.
+/// let op = dir.read_shared(0, 7)?;
+/// assert_eq!(op.source, DataSource::Memory);
+/// // Node 1 reads the same line: node 0 forwards, both end Shared.
+/// let op = dir.read_shared(1, 7)?;
+/// assert_eq!(op.source, DataSource::Cache(0));
+/// dir.check_invariants()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    node_count: usize,
+    lines: HashMap<u64, Vec<LineState>>,
+    reads: u64,
+    writes: u64,
+    invalidations: u64,
+    forwards: u64,
+    memory_fetches: u64,
+}
+
+impl Directory {
+    /// Creates a directory tracking `node_count` compute nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero.
+    pub fn new(node_count: usize) -> Self {
+        assert!(node_count > 0, "directory needs at least one node");
+        Directory {
+            node_count,
+            lines: HashMap::new(),
+            reads: 0,
+            writes: 0,
+            invalidations: 0,
+            forwards: 0,
+            memory_fetches: 0,
+        }
+    }
+
+    /// Number of tracked nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// State of `line` at `node` (Invalid when untracked).
+    pub fn state_of(&self, node: usize, line: u64) -> LineState {
+        self.lines
+            .get(&line)
+            .map(|v| v[node])
+            .unwrap_or(LineState::Invalid)
+    }
+
+    /// Services a read-shared (load) request from `node` for `line`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirectoryError::BadNode`] for out-of-range nodes.
+    pub fn read_shared(&mut self, node: usize, line: u64) -> Result<CoherenceOp, DirectoryError> {
+        self.check_node(node)?;
+        self.reads += 1;
+        let states = self.entry(line);
+
+        // Already readable locally: silent hit.
+        if states[node].present() {
+            return Ok(CoherenceOp {
+                source: DataSource::Memory,
+                invalidations: 0,
+                writeback: false,
+            });
+        }
+
+        // Find a supplier (M/O/E holder) or any sharer.
+        let supplier = states.iter().position(|s| s.supplies_data());
+        let any_present = states.iter().any(|s| s.present());
+        let op = match supplier {
+            Some(owner) => {
+                // Owner forwards; M→O, E→S; requestor joins as Shared.
+                states[owner] = match states[owner] {
+                    LineState::Modified => LineState::Owned,
+                    LineState::Owned => LineState::Owned,
+                    LineState::Exclusive => LineState::Shared,
+                    other => other,
+                };
+                states[node] = LineState::Shared;
+                self.forwards += 1;
+                CoherenceOp {
+                    source: DataSource::Cache(owner),
+                    invalidations: 0,
+                    writeback: false,
+                }
+            }
+            None if any_present => {
+                // Only Shared holders: memory (L3) is up to date.
+                states[node] = LineState::Shared;
+                self.memory_fetches += 1;
+                CoherenceOp {
+                    source: DataSource::Memory,
+                    invalidations: 0,
+                    writeback: false,
+                }
+            }
+            None => {
+                // Sole reader: grant Exclusive.
+                states[node] = LineState::Exclusive;
+                self.memory_fetches += 1;
+                CoherenceOp {
+                    source: DataSource::Memory,
+                    invalidations: 0,
+                    writeback: false,
+                }
+            }
+        };
+        Ok(op)
+    }
+
+    /// Services a read-exclusive (store / RFO) request from `node` for
+    /// `line`: every other copy is invalidated and the requestor ends in
+    /// Modified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirectoryError::BadNode`] for out-of-range nodes.
+    pub fn read_exclusive(
+        &mut self,
+        node: usize,
+        line: u64,
+    ) -> Result<CoherenceOp, DirectoryError> {
+        self.check_node(node)?;
+        self.writes += 1;
+        let states = self.entry(line);
+
+        // Silent upgrade from E/M.
+        if states[node].writable() {
+            states[node] = LineState::Modified;
+            return Ok(CoherenceOp {
+                source: DataSource::Memory,
+                invalidations: 0,
+                writeback: false,
+            });
+        }
+
+        let supplier = states
+            .iter()
+            .position(|s| s.supplies_data())
+            .filter(|&o| o != node);
+        let mut invalidations = 0;
+        let mut writeback = false;
+        for (i, s) in states.iter_mut().enumerate() {
+            if i != node && s.present() {
+                // A dirty remote copy is folded into the forwarded data; the
+                // directory also retires it to memory so the line is clean
+                // if the new owner later drops it silently.
+                if s.dirty() {
+                    writeback = true;
+                }
+                *s = LineState::Invalid;
+                invalidations += 1;
+            }
+        }
+        states[node] = LineState::Modified;
+        self.invalidations += invalidations as u64;
+        let source = match supplier {
+            Some(owner) => {
+                self.forwards += 1;
+                DataSource::Cache(owner)
+            }
+            None => {
+                self.memory_fetches += 1;
+                DataSource::Memory
+            }
+        };
+        Ok(CoherenceOp {
+            source,
+            invalidations,
+            writeback,
+        })
+    }
+
+    /// Handles an eviction notice from `node` for `line`; returns `true`
+    /// if the evicted copy was dirty and must be written back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirectoryError::BadNode`] for out-of-range nodes.
+    pub fn evict(&mut self, node: usize, line: u64) -> Result<bool, DirectoryError> {
+        self.check_node(node)?;
+        let Some(states) = self.lines.get_mut(&line) else {
+            return Ok(false);
+        };
+        let dirty = states[node].dirty();
+        states[node] = LineState::Invalid;
+        if states.iter().all(|s| !s.present()) {
+            self.lines.remove(&line);
+        }
+        Ok(dirty)
+    }
+
+    /// Verifies the MOESI compatibility invariants for every tracked line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MoesiError`] found.
+    pub fn check_invariants(&self) -> Result<(), MoesiError> {
+        for (&line, states) in &self.lines {
+            for i in 0..states.len() {
+                for j in (i + 1)..states.len() {
+                    if !states[i].compatible(states[j]) {
+                        return Err(MoesiError::IncompatibleSharers {
+                            line,
+                            states: (states[i], states[j]),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of lines with at least one present copy.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Total invalidation messages sent.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Total cache-to-cache forwards.
+    pub fn forwards(&self) -> u64 {
+        self.forwards
+    }
+
+    /// Total memory fetches.
+    pub fn memory_fetches(&self) -> u64 {
+        self.memory_fetches
+    }
+
+    fn entry(&mut self, line: u64) -> &mut Vec<LineState> {
+        let n = self.node_count;
+        self.lines
+            .entry(line)
+            .or_insert_with(|| vec![LineState::Invalid; n])
+    }
+
+    fn check_node(&self, node: usize) -> Result<(), DirectoryError> {
+        if node >= self.node_count {
+            Err(DirectoryError::BadNode(node))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sole_reader_gets_exclusive() {
+        let mut dir = Directory::new(4);
+        dir.read_shared(2, 100).unwrap();
+        assert_eq!(dir.state_of(2, 100), LineState::Exclusive);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn second_reader_downgrades_exclusive() {
+        let mut dir = Directory::new(4);
+        dir.read_shared(0, 1).unwrap();
+        let op = dir.read_shared(1, 1).unwrap();
+        assert_eq!(op.source, DataSource::Cache(0));
+        assert_eq!(dir.state_of(0, 1), LineState::Shared);
+        assert_eq!(dir.state_of(1, 1), LineState::Shared);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reader_after_writer_creates_owner() {
+        let mut dir = Directory::new(4);
+        dir.read_exclusive(0, 5).unwrap();
+        assert_eq!(dir.state_of(0, 5), LineState::Modified);
+        let op = dir.read_shared(1, 5).unwrap();
+        assert_eq!(op.source, DataSource::Cache(0));
+        assert_eq!(dir.state_of(0, 5), LineState::Owned, "M→O on remote read");
+        assert_eq!(dir.state_of(1, 5), LineState::Shared);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut dir = Directory::new(8);
+        for node in 0..5 {
+            dir.read_shared(node, 9).unwrap();
+        }
+        let op = dir.read_exclusive(7, 9).unwrap();
+        assert_eq!(op.invalidations, 5);
+        for node in 0..5 {
+            assert_eq!(dir.state_of(node, 9), LineState::Invalid);
+        }
+        assert_eq!(dir.state_of(7, 9), LineState::Modified);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_to_dirty_remote_forwards_and_writes_back() {
+        let mut dir = Directory::new(2);
+        dir.read_exclusive(0, 3).unwrap();
+        let op = dir.read_exclusive(1, 3).unwrap();
+        assert_eq!(op.source, DataSource::Cache(0));
+        assert!(op.writeback, "dirty copy retired to memory");
+        assert_eq!(op.invalidations, 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn silent_upgrade_from_exclusive() {
+        let mut dir = Directory::new(2);
+        dir.read_shared(0, 4).unwrap(); // E
+        let op = dir.read_exclusive(0, 4).unwrap();
+        assert_eq!(op.invalidations, 0);
+        assert_eq!(dir.state_of(0, 4), LineState::Modified);
+    }
+
+    #[test]
+    fn eviction_reports_dirtiness_and_garbage_collects() {
+        let mut dir = Directory::new(2);
+        dir.read_exclusive(0, 6).unwrap();
+        assert!(dir.evict(0, 6).unwrap(), "modified line writes back");
+        assert_eq!(dir.tracked_lines(), 0);
+        assert!(!dir.evict(0, 6).unwrap(), "untracked line evicts silently");
+    }
+
+    #[test]
+    fn shared_eviction_is_clean() {
+        let mut dir = Directory::new(2);
+        dir.read_shared(0, 8).unwrap();
+        dir.read_shared(1, 8).unwrap();
+        assert!(!dir.evict(1, 8).unwrap());
+        assert_eq!(dir.tracked_lines(), 1, "node 0 still holds it");
+    }
+
+    #[test]
+    fn repeated_local_read_is_silent() {
+        let mut dir = Directory::new(2);
+        dir.read_shared(0, 2).unwrap();
+        let op = dir.read_shared(0, 2).unwrap();
+        assert_eq!(op.invalidations, 0);
+        assert_eq!(dir.state_of(0, 2), LineState::Exclusive, "unchanged");
+    }
+
+    #[test]
+    fn bad_node_rejected() {
+        let mut dir = Directory::new(2);
+        assert!(matches!(
+            dir.read_shared(2, 0),
+            Err(DirectoryError::BadNode(2))
+        ));
+        assert!(matches!(
+            dir.read_exclusive(9, 0),
+            Err(DirectoryError::BadNode(9))
+        ));
+    }
+
+    #[test]
+    fn invariants_hold_under_random_ops() {
+        use maco_sim::SplitMix64;
+        let mut dir = Directory::new(4);
+        let mut rng = SplitMix64::new(0xC0FFEE);
+        for _ in 0..10_000 {
+            let node = rng.next_below(4) as usize;
+            let line = rng.next_below(32);
+            match rng.next_below(3) {
+                0 => {
+                    dir.read_shared(node, line).unwrap();
+                }
+                1 => {
+                    dir.read_exclusive(node, line).unwrap();
+                }
+                _ => {
+                    dir.evict(node, line).unwrap();
+                }
+            }
+            dir.check_invariants().unwrap();
+        }
+        assert!(dir.invalidations() > 0);
+        assert!(dir.forwards() > 0);
+        assert!(dir.memory_fetches() > 0);
+    }
+}

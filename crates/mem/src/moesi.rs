@@ -1,0 +1,184 @@
+//! MOESI coherence states.
+//!
+//! The CCM "implements a directory-based cache consistency protocol, which
+//! functions by tracking and recording the data states (based on MOESI
+//! protocol) inside the L3 cache and maintaining data consistency between
+//! compute nodes across the chip" (Section III.A). This module defines the
+//! per-line states and the legality rules the directory enforces; the
+//! [`directory`](crate::directory) module drives the transitions.
+
+use std::fmt;
+
+/// The five MOESI states of a cache line as seen by one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LineState {
+    /// Dirty and exclusively owned — memory is stale.
+    Modified,
+    /// Dirty but shared — this cache is responsible for the data; memory is
+    /// stale and other caches may hold Shared copies.
+    Owned,
+    /// Clean and exclusively owned — may silently upgrade to Modified.
+    Exclusive,
+    /// Clean, possibly multiple holders.
+    Shared,
+    /// Not present.
+    #[default]
+    Invalid,
+}
+
+impl LineState {
+    /// All states, for exhaustive tests.
+    pub const ALL: [LineState; 5] = [
+        LineState::Modified,
+        LineState::Owned,
+        LineState::Exclusive,
+        LineState::Shared,
+        LineState::Invalid,
+    ];
+
+    /// True if the holder may service remote read requests (has the most
+    /// recent data).
+    pub const fn supplies_data(self) -> bool {
+        matches!(
+            self,
+            LineState::Modified | LineState::Owned | LineState::Exclusive
+        )
+    }
+
+    /// True if the holder may write without a coherence transaction.
+    pub const fn writable(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+
+    /// True if memory may be stale while the line is in this state.
+    pub const fn dirty(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
+    }
+
+    /// True if the line occupies a cache slot.
+    pub const fn present(self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// Checks whether two caches may simultaneously hold a line in these
+    /// states — the pairwise compatibility matrix of MOESI.
+    pub const fn compatible(self, other: LineState) -> bool {
+        match (self, other) {
+            // Invalid coexists with anything.
+            (LineState::Invalid, _) | (_, LineState::Invalid) => true,
+            // Shared coexists with Shared and with a single Owner.
+            (LineState::Shared, LineState::Shared)
+            | (LineState::Shared, LineState::Owned)
+            | (LineState::Owned, LineState::Shared) => true,
+            // Everything else (M/E with anything present, O with O) is
+            // a violation.
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            LineState::Modified => 'M',
+            LineState::Owned => 'O',
+            LineState::Exclusive => 'E',
+            LineState::Shared => 'S',
+            LineState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Coherence-protocol violation detected by the directory's invariant
+/// checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoesiError {
+    /// Two caches hold the line in incompatible states.
+    IncompatibleSharers {
+        /// The line in question.
+        line: u64,
+        /// The two offending states.
+        states: (LineState, LineState),
+    },
+    /// A request arrived from a node the directory believes already holds
+    /// the line in a state that makes the request nonsensical.
+    ProtocolViolation {
+        /// The line in question.
+        line: u64,
+        /// Human-readable description of the violated rule.
+        rule: &'static str,
+    },
+}
+
+impl fmt::Display for MoesiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoesiError::IncompatibleSharers { line, states } => write!(
+                f,
+                "line {line:#x}: incompatible sharer states {} and {}",
+                states.0, states.1
+            ),
+            MoesiError::ProtocolViolation { line, rule } => {
+                write!(f, "line {line:#x}: protocol violation: {rule}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MoesiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matrix_is_symmetric() {
+        for a in LineState::ALL {
+            for b in LineState::ALL {
+                assert_eq!(a.compatible(b), b.compatible(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_writer_invariant() {
+        // No writable state coexists with any present state.
+        for a in LineState::ALL {
+            for b in LineState::ALL {
+                if a.writable() && b.present() {
+                    assert!(!a.compatible(b), "{a} writable alongside {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_owner_invariant() {
+        assert!(!LineState::Owned.compatible(LineState::Owned));
+        assert!(LineState::Owned.compatible(LineState::Shared));
+    }
+
+    #[test]
+    fn invalid_is_universal_donor() {
+        for s in LineState::ALL {
+            assert!(LineState::Invalid.compatible(s));
+        }
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(LineState::Modified.dirty() && LineState::Owned.dirty());
+        assert!(!LineState::Exclusive.dirty());
+        assert!(LineState::Exclusive.writable() && !LineState::Owned.writable());
+        assert!(LineState::Owned.supplies_data());
+        assert!(!LineState::Shared.supplies_data());
+        assert!(!LineState::Invalid.present());
+    }
+
+    #[test]
+    fn display_single_letters() {
+        let s: String = LineState::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(s, "MOESI");
+    }
+}

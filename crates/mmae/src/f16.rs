@@ -1,0 +1,200 @@
+//! Software IEEE-754 binary16.
+//!
+//! The MMAE's 4-way FP16 mode (Fig. 2(d)) needs half-precision semantics,
+//! and the workspace uses no external crates for it: conversions implement
+//! round-to-nearest-even with full subnormal, infinity and NaN handling.
+//! Products are accumulated in FP32 inside the PEs (the usual mixed-
+//! precision systolic design), with inputs rounded through FP16.
+
+/// Converts an `f32` to IEEE binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN: preserve NaN-ness with a quiet payload bit.
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00
+        };
+    }
+
+    // Unbiased exponent, rebased for f16 (bias 15).
+    let unbiased = exp - 127;
+    let f16_exp = unbiased + 15;
+
+    if f16_exp >= 0x1F {
+        // Overflow → infinity.
+        return sign | 0x7C00;
+    }
+
+    if f16_exp <= 0 {
+        // Subnormal or underflow to zero.
+        if f16_exp < -10 {
+            return sign; // rounds to ±0
+        }
+        // Add the implicit bit, then shift right into subnormal position.
+        let mant = mant | 0x0080_0000;
+        let shift = (14 - f16_exp) as u32; // 14..24
+        let half = mant >> shift;
+        // Round to nearest even on the dropped bits.
+        let rem = mant & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = match rem.cmp(&halfway) {
+            std::cmp::Ordering::Greater => half + 1,
+            std::cmp::Ordering::Equal => half + (half & 1),
+            std::cmp::Ordering::Less => half,
+        };
+        return sign | rounded as u16;
+    }
+
+    // Normal range: keep 10 mantissa bits, round the dropped 13.
+    let half = (mant >> 13) as u16;
+    let rem = mant & 0x1FFF;
+    let rounded = match rem.cmp(&0x1000) {
+        std::cmp::Ordering::Greater => half + 1,
+        std::cmp::Ordering::Equal => half + (half & 1),
+        std::cmp::Ordering::Less => half,
+    };
+    // Mantissa carry may bump the exponent (1.111… → 10.000…).
+    let (f16_exp, rounded) = if rounded == 0x400 {
+        (f16_exp + 1, 0)
+    } else {
+        (f16_exp, rounded)
+    };
+    if f16_exp >= 0x1F {
+        return sign | 0x7C00;
+    }
+    sign | ((f16_exp as u16) << 10) | rounded
+}
+
+/// Converts IEEE binary16 bits to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: value = m × 2⁻²⁴. With b the index of m's leading
+            // bit, the normalised exponent is b − 24 (f32 bias: 103 + b).
+            let lead = m.leading_zeros() - 21; // zeros within the 10-bit field
+            let b = 10 - lead; // index of the leading bit of m
+            let mant = (m << lead) & 0x03FF; // drop the leading bit
+            let exp = 103 + b;
+            sign | (exp << 23) | (mant << 13)
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13) | 0x0040_0000,
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f64` through binary16 (the precision an FP16 SA input
+/// actually carries).
+pub fn round_through_f16(x: f64) -> f64 {
+    f16_bits_to_f32(f32_to_f16_bits(x as f32)) as f64
+}
+
+/// Rounds an `f64` through binary32.
+pub fn round_through_f32(x: f64) -> f64 {
+    (x as f32) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048i32 {
+            let x = i as f32;
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), x, "{i}");
+        }
+    }
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(0.5), 0x3800);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF, "f16::MAX");
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7C00, "midpoint rounds up to inf");
+        assert_eq!(f32_to_f16_bits(1e9), 0x7C00);
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xFC00);
+        assert!(f16_bits_to_f32(0x7C00).is_infinite());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let h = f32_to_f16_bits(f32::NAN);
+        assert_eq!(h & 0x7C00, 0x7C00);
+        assert_ne!(h & 0x03FF, 0);
+        assert!(f16_bits_to_f32(h).is_nan());
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // Smallest positive subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(tiny), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), tiny);
+        // Largest subnormal: (1023/1024) × 2^-14.
+        let big_sub = f16_bits_to_f32(0x03FF);
+        assert_eq!(f32_to_f16_bits(big_sub), 0x03FF);
+        // Underflow to zero.
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-26)), 0);
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16; ties
+        // go to even (1.0, mantissa 0).
+        let tie = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16_bits(tie), 0x3C00);
+        // 1 + 3·2^-11 is halfway between odd and even mantissa; rounds up
+        // to even (mantissa 2).
+        let tie2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16_bits(tie2), 0x3C02);
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_roundtrip_through_f32() {
+        for h in 0..=u16::MAX {
+            let x = f16_bits_to_f32(h);
+            if x.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(x)).is_nan());
+            } else {
+                assert_eq!(f32_to_f16_bits(x), h, "pattern {h:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mantissa_carry_bumps_exponent() {
+        // Largest f16 mantissa at exponent 0: 1.9990234375; the next f32 up
+        // rounds into the next binade.
+        let x = 1.99951171875f32; // halfway above 1.9990234375
+        let h = f32_to_f16_bits(x);
+        assert_eq!(h, 0x4000, "rounds to 2.0");
+    }
+
+    #[test]
+    fn precision_rounding_helpers() {
+        assert_eq!(round_through_f16(0.1), f16_bits_to_f32(f32_to_f16_bits(0.1)) as f64);
+        assert_eq!(round_through_f32(0.1), 0.1f32 as f64);
+        assert!((round_through_f16(0.1) - 0.1).abs() < 1e-3);
+    }
+}

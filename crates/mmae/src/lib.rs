@@ -1,0 +1,55 @@
+//! # maco-mmae — the Matrix Multiplication Acceleration Engine
+//!
+//! Every MACO compute node pairs its CPU core with an MMAE (Section III.A,
+//! Fig. 2): a 4×4 systolic array with 192 KB of on-chip buffers, an
+//! Accelerator Data Engine (ADE) with two DMA engines, an Accelerator
+//! Controller (AC), a slave task queue and the mATLB predictive translation
+//! unit. The SA extends the classical input-stationary dataflow with
+//! SIMD-like modes: 1× FP64, 2× FP32 or 4× FP16 MACs per PE per cycle
+//! (Fig. 2(b–d)), for 80 / 160 / 320 GFLOPS peak at 2.5 GHz (Table IV).
+//!
+//! * [`config`] — engine geometry, clocks, buffer split, tiling.
+//! * [`f16`](crate::f16#) — software IEEE binary16 conversion (round-to-nearest-even),
+//!   used by the FP16 SIMD mode.
+//! * [`systolic`] — the SA: bit-accurate-per-precision functional tile
+//!   GEMM plus the cycle model for pipeline fill/drain and weight reloads.
+//! * [`buffers`] — A/B/C buffer capacity checks and double-buffering
+//!   occupancy.
+//! * [`translate`] — the per-transfer translation path: mATLB prefetch →
+//!   shared TLB → page-table walker, producing the stall the Fig. 6
+//!   experiment measures.
+//! * [`dma`] — DMA transfer cost: data streaming overlapped (or not) with
+//!   translation.
+//! * [`engine`] — the engine facade: accepts STQ tasks, schedules tiles,
+//!   raises MTQ exceptions.
+//!
+//! # Example: functional tile GEMM matches a reference
+//!
+//! ```
+//! use maco_mmae::systolic::SystolicArray;
+//! use maco_isa::Precision;
+//!
+//! let sa = SystolicArray::new(4, 4);
+//! let a = vec![1.0; 8 * 8];
+//! let b = vec![2.0; 8 * 8];
+//! let c = vec![3.0; 8 * 8];
+//! let y = sa.tile_matmul(&a, &b, &c, 8, 8, 8, Precision::Fp64);
+//! assert!((y[0] - (8.0 * 2.0 + 3.0)).abs() < 1e-12);
+//! ```
+
+pub mod buffers;
+pub mod config;
+pub mod dma;
+pub mod engine;
+pub mod f16;
+pub mod systolic;
+pub mod tiling;
+pub mod translate;
+
+pub use buffers::{BufferPlan, BufferError};
+pub use config::{MmaeConfig, TilingConfig};
+pub use dma::{DmaEngine, TransferReport};
+pub use engine::{Mmae, TaskReport};
+pub use systolic::SystolicArray;
+pub use tiling::{block_passes, tiles_in_pass, BlockPass, Tile};
+pub use translate::{StreamTranslation, TranslationContext};

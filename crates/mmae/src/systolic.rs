@@ -1,0 +1,306 @@
+//! The systolic array: functional and cycle models.
+//!
+//! The SA executes the tile-GEMM mapping of Fig. 1: sub-matrix B is
+//! pre-loaded into the PEs (input-stationary), sub-matrices A and C stream
+//! through, and partial products propagate down the columns into the
+//! C buffer, which recirculates until the reduction completes. The SIMD
+//! extension (Fig. 2(c,d)) widens every PE to 2× FP32 or 4× FP16 MACs.
+//!
+//! Two models share the geometry:
+//!
+//! * [`SystolicArray::tile_matmul`] — the functional model, reproducing
+//!   per-precision rounding (FP64 exact, FP32 round-through-32, FP16 inputs
+//!   rounded to binary16 with FP32 accumulation).
+//! * [`SystolicArray::tile_cycles`] — the cycle model: ideal MACs/cycle
+//!   plus weight-reload and pipeline fill/drain overheads, which set the
+//!   compute-bound ceiling seen at large matrix sizes in Fig. 6/7.
+
+use maco_isa::Precision;
+
+use crate::f16::{round_through_f16, round_through_f32};
+
+/// The systolic array model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates a `rows × cols` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate systolic array");
+        SystolicArray { rows, cols }
+    }
+
+    /// Array rows (the reduction direction of the dataflow).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// MACs retired per cycle at `precision`.
+    pub fn macs_per_cycle(&self, precision: Precision) -> u64 {
+        (self.rows * self.cols) as u64 * precision.lanes()
+    }
+
+    /// Functional tile GEMM: `Y = A×B + C` over row-major `m×k`, `k×n` and
+    /// `m×n` buffers, with the precision's rounding behaviour.
+    ///
+    /// FP64 computes exactly in f64. FP32 rounds every input and every
+    /// accumulation step through binary32. FP16 rounds inputs through
+    /// binary16 and accumulates in binary32 (the PE design of Fig. 2(d)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the dimensions.
+    pub fn tile_matmul(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        c: &[f64],
+        m: usize,
+        n: usize,
+        k: usize,
+        precision: Precision,
+    ) -> Vec<f64> {
+        assert_eq!(a.len(), m * k, "A shape mismatch");
+        assert_eq!(b.len(), k * n, "B shape mismatch");
+        assert_eq!(c.len(), m * n, "C shape mismatch");
+        let mut y = vec![0.0; m * n];
+        match precision {
+            Precision::Fp64 => {
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut acc = c[i * n + j];
+                        for l in 0..k {
+                            acc += a[i * k + l] * b[l * n + j];
+                        }
+                        y[i * n + j] = acc;
+                    }
+                }
+            }
+            Precision::Fp32 => {
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut acc = round_through_f32(c[i * n + j]) as f32;
+                        for l in 0..k {
+                            let av = round_through_f32(a[i * k + l]) as f32;
+                            let bv = round_through_f32(b[l * n + j]) as f32;
+                            acc += av * bv;
+                        }
+                        y[i * n + j] = acc as f64;
+                    }
+                }
+            }
+            Precision::Fp16 => {
+                for i in 0..m {
+                    for j in 0..n {
+                        // FP32 accumulator over FP16 inputs.
+                        let mut acc = round_through_f16(c[i * n + j]) as f32;
+                        for l in 0..k {
+                            let av = round_through_f16(a[i * k + l]) as f32;
+                            let bv = round_through_f16(b[l * n + j]) as f32;
+                            acc += av * bv;
+                        }
+                        y[i * n + j] = acc as f64;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Cycle count for one `m×n×k` tile pass at `precision`.
+    ///
+    /// The input-stationary schedule loads B in `rows × cols·lanes`
+    /// sub-blocks. With double-buffered weight registers the reload of the
+    /// next sub-block overlaps the streaming of the current one, so each
+    /// sub-block costs `max(m, rows)` cycles of streaming; a pipeline fill
+    /// and drain of `rows + cols` cycles is paid once per tile pass.
+    pub fn tile_cycles(&self, m: u64, n: u64, k: u64, precision: Precision) -> u64 {
+        self.tile_cycles_lanes(m, n, k, precision.lanes())
+    }
+
+    /// Lanes-parametric variant of [`SystolicArray::tile_cycles`], used by
+    /// configurations that normalise PE counts across solutions (Fig. 8
+    /// fixes every engine at 16×16 PEs with one MAC per PE).
+    pub fn tile_cycles_lanes(&self, m: u64, n: u64, k: u64, lanes: u64) -> u64 {
+        assert!(m > 0 && n > 0 && k > 0, "degenerate tile");
+        assert!(lanes > 0, "degenerate SIMD width");
+        let col_span = self.cols as u64 * lanes;
+        let k_blocks = k.div_ceil(self.rows as u64);
+        let n_blocks = n.div_ceil(col_span);
+        let stream = m.max(self.rows as u64);
+        k_blocks * n_blocks * stream + (self.rows + self.cols) as u64
+    }
+
+    /// Ideal (overhead-free) cycles for the same tile.
+    pub fn ideal_cycles(&self, m: u64, n: u64, k: u64, precision: Precision) -> u64 {
+        (m * n * k).div_ceil(self.macs_per_cycle(precision))
+    }
+
+    /// SA utilisation for a tile: ideal / modelled cycles.
+    pub fn tile_efficiency(&self, m: u64, n: u64, k: u64, precision: Precision) -> f64 {
+        self.ideal_cycles(m, n, k, precision) as f64
+            / self.tile_cycles(m, n, k, precision) as f64
+    }
+}
+
+/// Reference GEMM in f64, for tests and baselines: `Y = A×B + C`.
+pub fn reference_gemm(a: &[f64], b: &[f64], c: &[f64], m: usize, n: usize, k: usize) -> Vec<f64> {
+    let mut y = vec![0.0; m * n];
+    for i in 0..m {
+        for l in 0..k {
+            let av = a[i * k + l];
+            for j in 0..n {
+                y[i * n + j] += av * b[l * n + j];
+            }
+        }
+    }
+    for (yi, ci) in y.iter_mut().zip(c) {
+        *yi += ci;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maco_sim::SplitMix64;
+
+    fn random_matrix(rng: &mut SplitMix64, len: usize) -> Vec<f64> {
+        (0..len).map(|_| rng.next_signed_unit()).collect()
+    }
+
+    #[test]
+    fn fp64_matches_reference_exactly_for_small_ints() {
+        let sa = SystolicArray::new(4, 4);
+        // Integer-valued inputs: both orders of summation are exact.
+        let a: Vec<f64> = (0..36).map(|i| (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..36).map(|i| (i % 3) as f64 - 1.0).collect();
+        let c: Vec<f64> = (0..36).map(|i| (i % 7) as f64).collect();
+        let y = sa.tile_matmul(&a, &b, &c, 6, 6, 6, Precision::Fp64);
+        let r = reference_gemm(&a, &b, &c, 6, 6, 6);
+        assert_eq!(y, r);
+    }
+
+    #[test]
+    fn fp64_close_to_reference_for_random() {
+        let sa = SystolicArray::new(4, 4);
+        let mut rng = SplitMix64::new(1);
+        let (m, n, k) = (16, 12, 20);
+        let a = random_matrix(&mut rng, m * k);
+        let b = random_matrix(&mut rng, k * n);
+        let c = random_matrix(&mut rng, m * n);
+        let y = sa.tile_matmul(&a, &b, &c, m, n, k, Precision::Fp64);
+        let r = reference_gemm(&a, &b, &c, m, n, k);
+        for (yi, ri) in y.iter().zip(&r) {
+            assert!((yi - ri).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fp32_loses_precision_but_tracks_reference() {
+        let sa = SystolicArray::new(4, 4);
+        let mut rng = SplitMix64::new(2);
+        let (m, n, k) = (8, 8, 64);
+        let a = random_matrix(&mut rng, m * k);
+        let b = random_matrix(&mut rng, k * n);
+        let c = random_matrix(&mut rng, m * n);
+        let y = sa.tile_matmul(&a, &b, &c, m, n, k, Precision::Fp32);
+        let r = reference_gemm(&a, &b, &c, m, n, k);
+        for (yi, ri) in y.iter().zip(&r) {
+            let err = (yi - ri).abs();
+            assert!(err < 1e-4, "fp32 error {err} too large");
+            // And the result is representable in f32.
+            assert_eq!(*yi, (*yi as f32) as f64);
+        }
+    }
+
+    #[test]
+    fn fp16_inputs_are_rounded() {
+        let sa = SystolicArray::new(4, 4);
+        // 0.1 is not representable in f16; the product must reflect the
+        // rounded inputs, not the exact ones.
+        let a = vec![0.1];
+        let b = vec![0.1];
+        let c = vec![0.0];
+        let y = sa.tile_matmul(&a, &b, &c, 1, 1, 1, Precision::Fp16);
+        let rounded = crate::f16::round_through_f16(0.1);
+        let expect = (rounded as f32 * rounded as f32) as f64;
+        assert_eq!(y[0], expect);
+        assert!((y[0] - 0.01).abs() > 1e-9, "visibly different from exact");
+    }
+
+    #[test]
+    fn tile_cycles_formula() {
+        let sa = SystolicArray::new(4, 4);
+        // 64×64×64 FP64: 16 k-blocks × 16 n-blocks × 64 streaming + 8.
+        assert_eq!(sa.tile_cycles(64, 64, 64, Precision::Fp64), 16 * 16 * 64 + 8);
+        // FP32 halves the n-blocks.
+        assert_eq!(sa.tile_cycles(64, 64, 64, Precision::Fp32), 16 * 8 * 64 + 8);
+        // FP16 quarters them.
+        assert_eq!(sa.tile_cycles(64, 64, 64, Precision::Fp16), 16 * 4 * 64 + 8);
+    }
+
+    #[test]
+    fn tile_efficiency_is_high_for_paper_tiles() {
+        let sa = SystolicArray::new(4, 4);
+        let eff = sa.tile_efficiency(64, 64, 64, Precision::Fp64);
+        assert!(eff > 0.99, "64³ tiles nearly saturate the SA: {eff}");
+        // Skinny tiles are inefficient (stream < fill).
+        let skinny = sa.tile_efficiency(2, 64, 64, Precision::Fp64);
+        assert!(skinny < 0.6, "m=2 wastes the pipeline: {skinny}");
+    }
+
+    #[test]
+    fn ragged_tiles_round_up() {
+        let sa = SystolicArray::new(4, 4);
+        // 65 columns needs 17 n-blocks at FP64.
+        assert_eq!(sa.tile_cycles(64, 65, 64, Precision::Fp64), 16 * 17 * 64 + 8);
+        assert_eq!(sa.ideal_cycles(1, 1, 1, Precision::Fp64), 1);
+    }
+
+    #[test]
+    fn macs_per_cycle_matches_lanes() {
+        let sa = SystolicArray::new(4, 4);
+        assert_eq!(sa.macs_per_cycle(Precision::Fp64), 16);
+        assert_eq!(sa.macs_per_cycle(Precision::Fp16), 64);
+        let sa16 = SystolicArray::new(16, 16);
+        assert_eq!(sa16.macs_per_cycle(Precision::Fp64), 256);
+    }
+
+    #[test]
+    fn functional_model_is_shape_checked() {
+        let sa = SystolicArray::new(4, 4);
+        let r = std::panic::catch_unwind(|| {
+            sa.tile_matmul(&[0.0; 4], &[0.0; 4], &[0.0; 4], 2, 2, 3, Precision::Fp64)
+        });
+        assert!(r.is_err(), "mismatched K must panic");
+    }
+
+    #[test]
+    fn reference_gemm_identity() {
+        // A = I: Y = B + C.
+        let m = 3;
+        let mut a = vec![0.0; m * m];
+        for i in 0..m {
+            a[i * m + i] = 1.0;
+        }
+        let b: Vec<f64> = (0..m * m).map(|i| i as f64).collect();
+        let c: Vec<f64> = (0..m * m).map(|i| (i * 10) as f64).collect();
+        let y = reference_gemm(&a, &b, &c, m, m, m);
+        for i in 0..m * m {
+            assert_eq!(y[i], b[i] + c[i]);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # maco-noc — the network-on-chip
+//!
+//! MACO's NoC is "a classical 2D mesh network of size 4×4" whose nodes
+//! attach compute nodes, CCMs, memory controllers or I/O controllers. It
+//! "supports X-Y routing algorithm and virtual channels flow control" and
+//! provides "up to 128 GB/s memory bandwidth for each compute node
+//! (bidirectional read/write bandwidth, 256-bit@2GHz)" — Section III.A.
+//!
+//! Two complementary models are provided:
+//!
+//! * [`router`] — a flit-level, cycle-stepped mesh with per-VC input
+//!   queues, credit-based flow control and round-robin arbitration. This is
+//!   the fidelity reference: unit and property tests verify delivery,
+//!   ordering and freedom from routing deadlock.
+//! * [`fabric`] — a fast link-occupancy model ([`MeshFabric`]) used by the
+//!   full-system simulator: every directed link is a bandwidth resource,
+//!   packets reserve serialisation time along their X-Y path, and link
+//!   contention emerges naturally. This is what produces the multi-node
+//!   efficiency loss of Fig. 7.
+//!
+//! # Example
+//!
+//! ```
+//! use maco_noc::topology::{MeshShape, NodeId};
+//! use maco_noc::routing::xy_route;
+//!
+//! let mesh = MeshShape::new(4, 4);
+//! let path = xy_route(mesh, NodeId::new(0, 0), NodeId::new(2, 3));
+//! assert_eq!(path.len(), 6, "2 X hops + 3 Y hops + both endpoints");
+//! ```
+
+pub mod fabric;
+pub mod packet;
+pub mod router;
+pub mod routing;
+pub mod topology;
+
+pub use fabric::{FabricConfig, MeshFabric};
+pub use packet::{Packet, PacketKind};
+pub use router::MeshSim;
+pub use routing::{xy_next_hop, xy_route};
+pub use topology::{MeshShape, NodeId, Port};

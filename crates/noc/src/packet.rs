@@ -1,0 +1,111 @@
+//! NoC packets and flit accounting.
+//!
+//! MACO's links are 256 bits (32 bytes) wide at 2 GHz. A packet is a head
+//! flit (routing + command) followed by payload flits of 32 bytes each.
+
+use crate::topology::NodeId;
+
+/// Message classes carried by the NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Read request (no payload).
+    ReadReq,
+    /// Read response carrying data.
+    ReadResp,
+    /// Write request carrying data.
+    WriteReq,
+    /// Write acknowledgement.
+    WriteAck,
+    /// Stash command to a CCM.
+    Stash,
+    /// Coherence traffic (invalidations, acks, forwards).
+    Coherence,
+}
+
+impl PacketKind {
+    /// All packet kinds.
+    pub const ALL: [PacketKind; 6] = [
+        PacketKind::ReadReq,
+        PacketKind::ReadResp,
+        PacketKind::WriteReq,
+        PacketKind::WriteAck,
+        PacketKind::Stash,
+        PacketKind::Coherence,
+    ];
+
+    /// True if the packet carries a data payload.
+    pub const fn has_payload(self) -> bool {
+        matches!(self, PacketKind::ReadResp | PacketKind::WriteReq)
+    }
+}
+
+/// Flit width in bytes (256-bit links).
+pub const FLIT_BYTES: u64 = 32;
+
+/// A NoC packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Source router.
+    pub src: NodeId,
+    /// Destination router.
+    pub dst: NodeId,
+    /// Message class.
+    pub kind: PacketKind,
+    /// Payload bytes (zero for request/ack classes).
+    pub payload_bytes: u64,
+}
+
+impl Packet {
+    /// Builds a packet; payload is forced to zero for header-only kinds.
+    pub fn new(src: NodeId, dst: NodeId, kind: PacketKind, payload_bytes: u64) -> Self {
+        Packet {
+            src,
+            dst,
+            kind,
+            payload_bytes: if kind.has_payload() { payload_bytes } else { 0 },
+        }
+    }
+
+    /// Total flits: one head flit plus payload flits.
+    pub fn flits(&self) -> u64 {
+        1 + self.payload_bytes.div_ceil(FLIT_BYTES)
+    }
+
+    /// Total bytes on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        self.flits() * FLIT_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(x: u8, y: u8) -> NodeId {
+        NodeId::new(x, y)
+    }
+
+    #[test]
+    fn header_only_packets_are_one_flit() {
+        let p = Packet::new(n(0, 0), n(1, 1), PacketKind::ReadReq, 64);
+        assert_eq!(p.payload_bytes, 0, "requests carry no payload");
+        assert_eq!(p.flits(), 1);
+        assert_eq!(p.wire_bytes(), 32);
+    }
+
+    #[test]
+    fn payload_packets_count_flits() {
+        let p = Packet::new(n(0, 0), n(1, 1), PacketKind::ReadResp, 64);
+        assert_eq!(p.flits(), 3, "head + 64/32 payload flits");
+        let p = Packet::new(n(0, 0), n(1, 1), PacketKind::WriteReq, 33);
+        assert_eq!(p.flits(), 3, "payload rounds up");
+    }
+
+    #[test]
+    fn kind_payload_classification() {
+        assert!(PacketKind::ReadResp.has_payload());
+        assert!(PacketKind::WriteReq.has_payload());
+        assert!(!PacketKind::Coherence.has_payload());
+        assert!(!PacketKind::Stash.has_payload());
+    }
+}

@@ -1,0 +1,126 @@
+//! Dimension-ordered (X-Y) routing.
+//!
+//! "NOC supports X-Y routing algorithm and virtual channels flow control,
+//! providing reliable data transfer between source and destination nodes"
+//! (Section III.A). X-Y routing first corrects the X coordinate, then the
+//! Y coordinate; it is minimal and — on a mesh — deadlock-free because the
+//! turn set excludes Y→X turns.
+
+use crate::topology::{MeshShape, NodeId, Port};
+
+/// The output port a router at `here` uses for a packet heading to `dst`.
+/// `Port::Local` means the packet has arrived.
+pub fn xy_next_hop(here: NodeId, dst: NodeId) -> Port {
+    if here.x < dst.x {
+        Port::East
+    } else if here.x > dst.x {
+        Port::West
+    } else if here.y < dst.y {
+        Port::South
+    } else if here.y > dst.y {
+        Port::North
+    } else {
+        Port::Local
+    }
+}
+
+/// The full X-Y path from `src` to `dst`, inclusive of both endpoints.
+///
+/// # Panics
+///
+/// Panics if either endpoint lies outside `shape`.
+pub fn xy_route(shape: MeshShape, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    assert!(shape.contains(src), "source outside mesh");
+    assert!(shape.contains(dst), "destination outside mesh");
+    let mut path = vec![src];
+    let mut here = src;
+    while here != dst {
+        let port = xy_next_hop(here, dst);
+        here = here
+            .neighbor(port, shape)
+            .expect("X-Y routing never leaves the mesh");
+        path.push(here);
+    }
+    path
+}
+
+/// The directed links `(from, to)` traversed on the X-Y path.
+pub fn xy_links(shape: MeshShape, src: NodeId, dst: NodeId) -> Vec<(NodeId, NodeId)> {
+    let path = xy_route(shape, src, dst);
+    path.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_hop_prefers_x() {
+        assert_eq!(xy_next_hop(NodeId::new(0, 0), NodeId::new(2, 2)), Port::East);
+        assert_eq!(xy_next_hop(NodeId::new(2, 0), NodeId::new(2, 2)), Port::South);
+        assert_eq!(xy_next_hop(NodeId::new(2, 2), NodeId::new(2, 2)), Port::Local);
+        assert_eq!(xy_next_hop(NodeId::new(3, 3), NodeId::new(1, 3)), Port::West);
+        assert_eq!(xy_next_hop(NodeId::new(0, 3), NodeId::new(0, 1)), Port::North);
+    }
+
+    #[test]
+    fn route_is_minimal_for_all_pairs() {
+        let m = MeshShape::new(4, 4);
+        for src in m.nodes() {
+            for dst in m.nodes() {
+                let path = xy_route(m, src, dst);
+                assert_eq!(
+                    path.len() as u32,
+                    src.manhattan(dst) + 1,
+                    "{src}→{dst} not minimal"
+                );
+                assert_eq!(path.first(), Some(&src));
+                assert_eq!(path.last(), Some(&dst));
+            }
+        }
+    }
+
+    #[test]
+    fn route_corrects_x_before_y() {
+        let m = MeshShape::new(4, 4);
+        let path = xy_route(m, NodeId::new(0, 0), NodeId::new(3, 2));
+        // All X movement happens while y == 0.
+        let turn = path.iter().position(|n| n.x == 3).unwrap();
+        assert!(path[..=turn].iter().all(|n| n.y == 0));
+        assert!(path[turn..].iter().all(|n| n.x == 3));
+    }
+
+    #[test]
+    fn no_yx_turns_ever() {
+        // Deadlock freedom on a mesh follows from the absence of Y→X turns.
+        let m = MeshShape::new(4, 4);
+        for src in m.nodes() {
+            for dst in m.nodes() {
+                let path = xy_route(m, src, dst);
+                let mut seen_y_move = false;
+                for w in path.windows(2) {
+                    let x_move = w[0].x != w[1].x;
+                    if x_move {
+                        assert!(!seen_y_move, "Y→X turn on {src}→{dst}");
+                    } else {
+                        seen_y_move = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn links_are_path_edges() {
+        let m = MeshShape::new(4, 4);
+        let links = xy_links(m, NodeId::new(0, 0), NodeId::new(1, 1));
+        assert_eq!(
+            links,
+            vec![
+                (NodeId::new(0, 0), NodeId::new(1, 0)),
+                (NodeId::new(1, 0), NodeId::new(1, 1)),
+            ]
+        );
+        assert!(xy_links(m, NodeId::new(2, 2), NodeId::new(2, 2)).is_empty());
+    }
+}

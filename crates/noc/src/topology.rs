@@ -1,0 +1,218 @@
+//! Mesh topology: node coordinates and router ports.
+
+use std::fmt;
+
+/// The shape of a 2-D mesh.
+///
+/// MACO's prototype is 4×4 (Section III.A); smaller meshes host the
+/// down-scaled node counts of the Fig. 7 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeshShape {
+    /// Columns (X extent).
+    pub cols: u8,
+    /// Rows (Y extent).
+    pub rows: u8,
+}
+
+impl MeshShape {
+    /// Creates a mesh shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: u8, rows: u8) -> Self {
+        assert!(cols > 0 && rows > 0, "degenerate mesh");
+        MeshShape { cols, rows }
+    }
+
+    /// Total routers in the mesh.
+    pub fn node_count(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// True if `node` lies inside the mesh.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.x < self.cols && node.y < self.rows
+    }
+
+    /// Linear index of `node` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the mesh.
+    pub fn index_of(&self, node: NodeId) -> usize {
+        assert!(self.contains(node), "{node} outside {self:?}");
+        node.y as usize * self.cols as usize + node.x as usize
+    }
+
+    /// Node at linear index `idx` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node_at(&self, idx: usize) -> NodeId {
+        assert!(idx < self.node_count(), "index {idx} outside {self:?}");
+        NodeId::new((idx % self.cols as usize) as u8, (idx / self.cols as usize) as u8)
+    }
+
+    /// Iterates all nodes in row-major order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let shape = *self;
+        (0..shape.node_count()).map(move |i| shape.node_at(i))
+    }
+
+    /// Number of directed inter-router links (`2 links × 2 directions` per
+    /// mesh edge).
+    pub fn directed_link_count(&self) -> usize {
+        let horiz = (self.cols as usize - 1) * self.rows as usize;
+        let vert = (self.rows as usize - 1) * self.cols as usize;
+        2 * (horiz + vert)
+    }
+}
+
+/// A router coordinate in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// Column.
+    pub x: u8,
+    /// Row.
+    pub y: u8,
+}
+
+impl NodeId {
+    /// Creates a coordinate.
+    pub const fn new(x: u8, y: u8) -> Self {
+        NodeId { x, y }
+    }
+
+    /// Manhattan distance to `other` — the minimal hop count.
+    pub fn manhattan(self, other: NodeId) -> u32 {
+        (self.x.abs_diff(other.x) + self.y.abs_diff(other.y)) as u32
+    }
+
+    /// The neighbouring coordinate through `port`, if it stays within
+    /// `shape`.
+    pub fn neighbor(self, port: Port, shape: MeshShape) -> Option<NodeId> {
+        let (x, y) = (self.x as i16, self.y as i16);
+        let (nx, ny) = match port {
+            Port::North => (x, y - 1),
+            Port::South => (x, y + 1),
+            Port::East => (x + 1, y),
+            Port::West => (x - 1, y),
+            Port::Local => return Some(self),
+        };
+        if nx < 0 || ny < 0 || nx >= shape.cols as i16 || ny >= shape.rows as i16 {
+            None
+        } else {
+            Some(NodeId::new(nx as u8, ny as u8))
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A router port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Towards smaller Y.
+    North,
+    /// Towards larger Y.
+    South,
+    /// Towards larger X.
+    East,
+    /// Towards smaller X.
+    West,
+    /// The attached compute node / CCM / controller.
+    Local,
+}
+
+impl Port {
+    /// All five ports.
+    pub const ALL: [Port; 5] = [Port::North, Port::South, Port::East, Port::West, Port::Local];
+
+    /// The port on the neighbouring router that faces back at this one.
+    pub const fn opposite(self) -> Port {
+        match self {
+            Port::North => Port::South,
+            Port::South => Port::North,
+            Port::East => Port::West,
+            Port::West => Port::East,
+            Port::Local => Port::Local,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let m = MeshShape::new(4, 4);
+        for idx in 0..16 {
+            assert_eq!(m.index_of(m.node_at(idx)), idx);
+        }
+        assert_eq!(m.node_count(), 16);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = NodeId::new(0, 0);
+        let b = NodeId::new(3, 2);
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(b.manhattan(a), 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let m = MeshShape::new(4, 4);
+        let corner = NodeId::new(0, 0);
+        assert_eq!(corner.neighbor(Port::North, m), None);
+        assert_eq!(corner.neighbor(Port::West, m), None);
+        assert_eq!(corner.neighbor(Port::East, m), Some(NodeId::new(1, 0)));
+        assert_eq!(corner.neighbor(Port::South, m), Some(NodeId::new(0, 1)));
+        assert_eq!(corner.neighbor(Port::Local, m), Some(corner));
+    }
+
+    #[test]
+    fn opposite_ports() {
+        for p in Port::ALL {
+            assert_eq!(p.opposite().opposite(), p);
+        }
+        assert_eq!(Port::East.opposite(), Port::West);
+    }
+
+    #[test]
+    fn link_count_4x4() {
+        // 4×4 mesh: 12 horizontal + 12 vertical edges, ×2 directions.
+        assert_eq!(MeshShape::new(4, 4).directed_link_count(), 48);
+        assert_eq!(MeshShape::new(1, 1).directed_link_count(), 0);
+        assert_eq!(MeshShape::new(2, 1).directed_link_count(), 2);
+    }
+
+    #[test]
+    fn nodes_iterator_is_row_major() {
+        let m = MeshShape::new(2, 2);
+        let order: Vec<NodeId> = m.nodes().collect();
+        assert_eq!(
+            order,
+            vec![
+                NodeId::new(0, 0),
+                NodeId::new(1, 0),
+                NodeId::new(0, 1),
+                NodeId::new(1, 1)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn index_of_foreign_node_panics() {
+        MeshShape::new(2, 2).index_of(NodeId::new(5, 5));
+    }
+}

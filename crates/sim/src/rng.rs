@@ -1,0 +1,132 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator itself is deterministic, but a few components want cheap
+//! reproducible randomness — cache-way tie-breaks, synthetic traffic in NoC
+//! tests, matrix initialisation in functional tests. [`SplitMix64`] is a
+//! small, well-mixed generator (Steele et al., "Fast splittable pseudorandom
+//! number generators") that avoids a dependency on `rand` inside the kernel.
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use maco_sim::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded sampling (Lemire); bias is negligible for
+        // the simulator's bounds (< 2^32).
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[-1, 1)` — matches HPL-style matrix initialisation.
+    pub fn next_signed_unit(&mut self) -> f64 {
+        self.next_f64() * 2.0 - 1.0
+    }
+
+    /// Derives an independent generator (split), useful for giving each
+    /// simulated component its own stream.
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bounded_sampling_in_range() {
+        let mut g = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            assert!(g.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn signed_unit_in_range_and_centered() {
+        let mut g = SplitMix64::new(5);
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let x = g.next_signed_unit();
+            assert!((-1.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64).abs() < 0.02, "mean far from 0");
+    }
+
+    #[test]
+    fn split_streams_are_independent_looking() {
+        let mut g = SplitMix64::new(11);
+        let mut s1 = g.split();
+        let mut s2 = g.split();
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

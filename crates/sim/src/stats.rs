@@ -1,0 +1,181 @@
+//! Named statistics counters.
+//!
+//! Every simulated component (TLBs, caches, DMA engines, NoC links…) reports
+//! into a [`Stats`] sink. Counters are keyed by `&'static str` so recording
+//! is allocation-free on the hot path; dumping is ordered and deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A bag of named counters and gauges.
+///
+/// # Example
+///
+/// ```
+/// use maco_sim::Stats;
+/// let mut s = Stats::new();
+/// s.add("tlb.miss", 3);
+/// s.incr("tlb.miss");
+/// assert_eq!(s.get("tlb.miss"), 4);
+/// s.set_gauge("noc.utilization", 0.37);
+/// assert!(s.to_string().contains("tlb.miss"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+}
+
+impl Stats {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `key`, creating it at zero if absent.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Adds one to counter `key`.
+    pub fn incr(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of counter `key` (zero if never recorded).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `key` to `value` (overwrites).
+    pub fn set_gauge(&mut self, key: &'static str, value: f64) {
+        self.gauges.insert(key, value);
+    }
+
+    /// Current value of gauge `key`, if set.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Ratio of two counters, `None` when the denominator is zero.
+    /// Convenient for hit rates: `stats.ratio("tlb.hit", "tlb.lookup")`.
+    pub fn ratio(&self, num: &str, den: &str) -> Option<f64> {
+        let d = self.get(den);
+        if d == 0 {
+            None
+        } else {
+            Some(self.get(num) as f64 / d as f64)
+        }
+    }
+
+    /// Merges another sink into this one (counters add, gauges overwrite).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k, *v);
+        }
+    }
+
+    /// Iterates counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Clears all counters and gauges.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<40} {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k:<40} {v:.6}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("x");
+        s.add("x", 9);
+        assert_eq!(s.get("x"), 10);
+        assert_eq!(s.get("absent"), 0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut s = Stats::new();
+        s.add("hit", 3);
+        assert_eq!(s.ratio("hit", "lookup"), None);
+        s.add("lookup", 4);
+        assert_eq!(s.ratio("hit", "lookup"), Some(0.75));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_overwrites_gauges() {
+        let mut a = Stats::new();
+        a.add("n", 1);
+        a.set_gauge("g", 1.0);
+        let mut b = Stats::new();
+        b.add("n", 2);
+        b.set_gauge("g", 2.0);
+        a.merge(&b);
+        assert_eq!(a.get("n"), 3);
+        assert_eq!(a.gauge("g"), Some(2.0));
+    }
+
+    #[test]
+    fn display_is_deterministic_and_nonempty() {
+        let mut s = Stats::new();
+        s.add("b", 2);
+        s.add("a", 1);
+        s.set_gauge("z", 0.5);
+        let text = s.to_string();
+        let a_pos = text.find('a').unwrap();
+        let b_pos = text.find('b').unwrap();
+        assert!(a_pos < b_pos, "counters print in key order");
+        assert!(text.contains("0.5"));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = Stats::new();
+        s.incr("x");
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iterators_visit_everything() {
+        let mut s = Stats::new();
+        s.add("a", 1);
+        s.add("b", 2);
+        s.set_gauge("g", 3.0);
+        assert_eq!(s.counters().count(), 2);
+        assert_eq!(s.gauges().count(), 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Activity timelines.
+//!
+//! Fig. 5(c) of the paper is a Gantt-style diagram showing how each compute
+//! node overlaps *data stash & lock*, *GEMM* and *non-GEMM* work. The
+//! simulator records per-lane [`Activity`] spans into a [`Timeline`], which
+//! the `fig5_timeline` harness renders as ASCII art and which integration
+//! tests query to assert that the CPU's epilogue really does overlap the
+//! MMAE's next GEMM tile.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A single span of activity on a named lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    /// Lane name, e.g. `"CN0.MMAE"` or `"CN0.CPU"`.
+    pub lane: String,
+    /// Activity label, e.g. `"stash"`, `"gemm"`, `"softmax"`.
+    pub label: String,
+    /// Span start.
+    pub start: SimTime,
+    /// Span end (exclusive).
+    pub end: SimTime,
+}
+
+impl Activity {
+    /// Duration of the span.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+
+    /// True if this span overlaps `other` in time (open intervals).
+    pub fn overlaps(&self, other: &Activity) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// An append-only recorder of activity spans.
+///
+/// # Example
+///
+/// ```
+/// use maco_sim::{Timeline, SimTime};
+/// let mut tl = Timeline::new();
+/// tl.record("CN0.MMAE", "gemm", SimTime::ZERO, SimTime::from_ns(10));
+/// tl.record("CN0.CPU", "softmax", SimTime::from_ns(4), SimTime::from_ns(12));
+/// assert_eq!(tl.lanes().count(), 2);
+/// assert!(tl.overlap_between("CN0.MMAE", "CN0.CPU") > maco_sim::SimDuration::ZERO);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    spans: Vec<Activity>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn record(
+        &mut self,
+        lane: impl Into<String>,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        assert!(end >= start, "activity ends before it starts");
+        self.spans.push(Activity {
+            lane: lane.into(),
+            label: label.into(),
+            start,
+            end,
+        });
+    }
+
+    /// All recorded spans in insertion order.
+    pub fn spans(&self) -> &[Activity] {
+        &self.spans
+    }
+
+    /// Spans on one lane, in insertion order.
+    pub fn lane(&self, lane: &str) -> impl Iterator<Item = &Activity> + '_ {
+        let lane = lane.to_string();
+        self.spans.iter().filter(move |a| a.lane == lane)
+    }
+
+    /// Distinct lane names in first-appearance order.
+    pub fn lanes(&self) -> impl Iterator<Item = &str> + '_ {
+        let mut seen: Vec<&str> = Vec::new();
+        for a in &self.spans {
+            if !seen.contains(&a.lane.as_str()) {
+                seen.push(a.lane.as_str());
+            }
+        }
+        seen.into_iter()
+    }
+
+    /// Latest end time across all spans.
+    pub fn end_time(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|a| a.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total time during which activity on `lane_a` overlaps activity on
+    /// `lane_b`. This is the quantity the GEMM⁺ mapping scheme maximises.
+    pub fn overlap_between(&self, lane_a: &str, lane_b: &str) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for a in self.spans.iter().filter(|s| s.lane == lane_a) {
+            for b in self.spans.iter().filter(|s| s.lane == lane_b) {
+                if a.overlaps(b) {
+                    let start = a.start.max(b.start);
+                    let end = a.end.min(b.end);
+                    total += end.since(start);
+                }
+            }
+        }
+        total
+    }
+
+    /// Total busy time on a lane.
+    pub fn busy_on(&self, lane: &str) -> SimDuration {
+        self.lane(lane).map(|a| a.duration()).sum()
+    }
+
+    /// Renders an ASCII Gantt chart with `width` columns.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let end = self.end_time();
+        if end == SimTime::ZERO || self.spans.is_empty() {
+            return String::from("(empty timeline)\n");
+        }
+        let mut out = String::new();
+        let lanes: Vec<String> = {
+            let mut seen: Vec<String> = Vec::new();
+            for a in &self.spans {
+                if !seen.contains(&a.lane) {
+                    seen.push(a.lane.clone());
+                }
+            }
+            seen
+        };
+        let scale = width as f64 / end.as_fs() as f64;
+        for lane in &lanes {
+            let mut row = vec![b'.'; width];
+            for a in self.spans.iter().filter(|s| &s.lane == lane) {
+                let s = (a.start.as_fs() as f64 * scale) as usize;
+                let e = ((a.end.as_fs() as f64 * scale) as usize).min(width);
+                let ch = a.label.bytes().next().unwrap_or(b'#');
+                for slot in row.iter_mut().take(e.max(s + 1).min(width)).skip(s) {
+                    *slot = ch;
+                }
+            }
+            out.push_str(&format!("{lane:<12} |{}|\n", String::from_utf8_lossy(&row)));
+        }
+        out.push_str(&format!(
+            "{:<12}  0 {} {:.1} us\n",
+            "",
+            "-".repeat(width.saturating_sub(10)),
+            end.as_us()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render_ascii(80))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_ns(n)
+    }
+
+    #[test]
+    fn records_and_queries_spans() {
+        let mut tl = Timeline::new();
+        tl.record("a", "x", ns(0), ns(10));
+        tl.record("a", "y", ns(10), ns(20));
+        tl.record("b", "z", ns(5), ns(15));
+        assert_eq!(tl.spans().len(), 3);
+        assert_eq!(tl.lane("a").count(), 2);
+        assert_eq!(tl.end_time(), ns(20));
+        assert_eq!(tl.busy_on("a"), SimDuration::from_ns(20));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_exact() {
+        let mut tl = Timeline::new();
+        tl.record("mmae", "gemm", ns(0), ns(10));
+        tl.record("cpu", "softmax", ns(6), ns(14));
+        assert_eq!(tl.overlap_between("mmae", "cpu"), SimDuration::from_ns(4));
+        assert_eq!(tl.overlap_between("cpu", "mmae"), SimDuration::from_ns(4));
+    }
+
+    #[test]
+    fn no_overlap_when_disjoint() {
+        let mut tl = Timeline::new();
+        tl.record("a", "x", ns(0), ns(5));
+        tl.record("b", "y", ns(5), ns(10));
+        assert_eq!(tl.overlap_between("a", "b"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ascii_render_contains_lanes() {
+        let mut tl = Timeline::new();
+        tl.record("CN0.MMAE", "gemm", ns(0), ns(100));
+        tl.record("CN0.CPU", "softmax", ns(50), ns(150));
+        let art = tl.render_ascii(40);
+        assert!(art.contains("CN0.MMAE"));
+        assert!(art.contains("CN0.CPU"));
+        assert!(art.contains('g'));
+        assert!(art.contains('s'));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let tl = Timeline::new();
+        assert!(tl.render_ascii(40).contains("empty"));
+        assert_eq!(tl.end_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn rejects_negative_span() {
+        let mut tl = Timeline::new();
+        tl.record("a", "x", ns(5), ns(1));
+    }
+}

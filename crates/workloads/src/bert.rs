@@ -1,0 +1,153 @@
+//! BERT inference as a GEMM stream (Devlin et al., 2018).
+//!
+//! Per encoder layer: Q/K/V projections, the attention score and context
+//! batched GEMMs, the output projection, and the 4× FFN pair. The defaults
+//! are BERT-Large (24 layers, d_model = 1024, 16 heads) at sequence length
+//! 384 — the configuration commonly benchmarked for inference.
+
+use crate::dnn::{DnnModel, EpilogueClass, GemmLayer};
+use crate::gemm::GemmShape;
+
+/// BERT hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Encoder layers.
+    pub layers: u64,
+    /// Hidden size.
+    pub d_model: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// FFN expansion.
+    pub d_ff: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Batch size.
+    pub batch: u64,
+}
+
+impl BertConfig {
+    /// BERT-Base: 12 layers, 768 hidden, 12 heads.
+    pub fn base(batch: u64, seq: u64) -> Self {
+        BertConfig {
+            layers: 12,
+            d_model: 768,
+            heads: 12,
+            d_ff: 3072,
+            seq,
+            batch,
+        }
+    }
+
+    /// BERT-Large: 24 layers, 1024 hidden, 16 heads.
+    pub fn large(batch: u64, seq: u64) -> Self {
+        BertConfig {
+            layers: 24,
+            d_model: 1024,
+            heads: 16,
+            d_ff: 4096,
+            seq,
+            batch,
+        }
+    }
+}
+
+/// Builds the BERT GEMM stream.
+pub fn bert(config: BertConfig) -> DnnModel {
+    let t = config.batch * config.seq; // total tokens
+    let d = config.d_model;
+    let head_dim = d / config.heads;
+    let mut layers = Vec::new();
+
+    // Q, K, V projections: three t×d×d GEMMs per layer.
+    layers.push(GemmLayer {
+        name: "qkv_proj",
+        shape: GemmShape::new(t, d, d),
+        repeats: 3 * config.layers,
+        epilogue: EpilogueClass::None,
+    });
+    // Attention scores: per head, seq×seq×head_dim, batched over heads ×
+    // batch. Expressed as one GEMM with the batch folded into rows.
+    layers.push(GemmLayer {
+        name: "attn_scores",
+        shape: GemmShape::new(config.batch * config.heads * config.seq, config.seq, head_dim),
+        repeats: config.layers,
+        epilogue: EpilogueClass::Softmax,
+    });
+    // Context: softmax(scores) × V.
+    layers.push(GemmLayer {
+        name: "attn_context",
+        shape: GemmShape::new(config.batch * config.heads * config.seq, head_dim, config.seq),
+        repeats: config.layers,
+        epilogue: EpilogueClass::None,
+    });
+    // Output projection.
+    layers.push(GemmLayer {
+        name: "attn_out",
+        shape: GemmShape::new(t, d, d),
+        repeats: config.layers,
+        epilogue: EpilogueClass::Norm,
+    });
+    // FFN up / down.
+    layers.push(GemmLayer {
+        name: "ffn_up",
+        shape: GemmShape::new(t, config.d_ff, d),
+        repeats: config.layers,
+        epilogue: EpilogueClass::Gelu,
+    });
+    layers.push(GemmLayer {
+        name: "ffn_down",
+        shape: GemmShape::new(t, d, config.d_ff),
+        repeats: config.layers,
+        epilogue: EpilogueClass::Norm,
+    });
+
+    DnnModel {
+        name: "BERT",
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_flops_match_analytic() {
+        // Per layer: 4 d² t (QKV+out) ×2 + 2 d·d_ff·t ×2 + attention
+        // 2·2·t·seq·head_dim·heads… compare against the closed form.
+        let cfg = BertConfig::large(1, 384);
+        let model = bert(cfg);
+        let t = 384u64;
+        let d = 1024u64;
+        let per_layer = 2 * (4 * t * d * d) // projections
+            + 2 * (2 * t * d * 4096 / d * d) / 1 // placeholder, recomputed below
+            ;
+        let _ = per_layer;
+        let exact: u64 = 24
+            * (2 * 4 * t * d * d            // QKV + output projections
+                + 2 * 2 * t * 384 * d       // scores + context (heads fold)
+                + 2 * 2 * t * d * 4096); // FFN pair
+        assert_eq!(model.total_flops(), exact);
+    }
+
+    #[test]
+    fn base_is_smaller_than_large() {
+        let base = bert(BertConfig::base(1, 384));
+        let large = bert(BertConfig::large(1, 384));
+        assert!(large.total_flops() > 2 * base.total_flops());
+    }
+
+    #[test]
+    fn attention_shapes_fold_heads() {
+        let cfg = BertConfig::large(2, 128);
+        let model = bert(cfg);
+        let scores = model
+            .layers
+            .iter()
+            .find(|l| l.name == "attn_scores")
+            .unwrap();
+        assert_eq!(scores.shape.m, 2 * 16 * 128);
+        assert_eq!(scores.shape.n, 128);
+        assert_eq!(scores.shape.k, 64);
+    }
+}

@@ -1,0 +1,131 @@
+//! Common DNN-as-GEMM-stream representation.
+//!
+//! A GEMM engine sees a neural network as a stream of GEMM dimensions plus
+//! the epilogue class that follows each one. Convolutions are lowered via
+//! im2col: a conv with `C_in` input channels, `C_out` filters of `K×K` over
+//! an `H×W` output becomes an `(H·W) × C_out × (C_in·K·K)` GEMM (batch
+//! multiplies the row count).
+
+use crate::gemm::GemmShape;
+
+/// The non-GEMM work following a layer (drives the GEMM⁺ epilogue choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpilogueClass {
+    /// No epilogue (projection folded elsewhere).
+    None,
+    /// ReLU-style activation.
+    Relu,
+    /// GELU activation (transformer FFN).
+    Gelu,
+    /// LayerNorm / BatchNorm.
+    Norm,
+    /// Softmax (attention logits).
+    Softmax,
+}
+
+/// One GEMM layer of a network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmLayer {
+    /// Layer name.
+    pub name: &'static str,
+    /// GEMM dimensions.
+    pub shape: GemmShape,
+    /// How many times the layer repeats in the network.
+    pub repeats: u64,
+    /// Epilogue class.
+    pub epilogue: EpilogueClass,
+}
+
+impl GemmLayer {
+    /// Total flops contributed by all repeats.
+    pub fn flops(&self) -> u64 {
+        self.shape.flops() * self.repeats
+    }
+}
+
+/// A whole network as a GEMM stream.
+#[derive(Debug, Clone)]
+pub struct DnnModel {
+    /// Model name ("ResNet-50", "BERT", "GPT-3").
+    pub name: &'static str,
+    /// The layer stream in execution order (repeats collapsed).
+    pub layers: Vec<GemmLayer>,
+}
+
+impl DnnModel {
+    /// Total GEMM flops of one inference pass.
+    pub fn total_flops(&self) -> u64 {
+        self.layers.iter().map(GemmLayer::flops).sum()
+    }
+
+    /// Expanded stream with repeats unrolled.
+    pub fn unrolled(&self) -> Vec<GemmLayer> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            for _ in 0..layer.repeats {
+                out.push(GemmLayer {
+                    repeats: 1,
+                    ..*layer
+                });
+            }
+        }
+        out
+    }
+
+    /// Number of distinct layer records.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Lowers a convolution to its im2col GEMM shape.
+///
+/// `batch` images, `c_in → c_out` channels, `kernel×kernel` filters over an
+/// `out_h×out_w` output map.
+pub fn conv_as_gemm(batch: u64, c_in: u64, c_out: u64, kernel: u64, out_h: u64, out_w: u64) -> GemmShape {
+    GemmShape {
+        m: batch * out_h * out_w,
+        n: c_out,
+        k: c_in * kernel * kernel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_lowering_matches_flop_count() {
+        // 3×3 conv, 64→64 channels, 56×56 output, batch 1:
+        // flops = 2 · 56·56 · 64 · 64·9.
+        let g = conv_as_gemm(1, 64, 64, 3, 56, 56);
+        assert_eq!(g.m, 3136);
+        assert_eq!(g.n, 64);
+        assert_eq!(g.k, 576);
+        assert_eq!(g.flops(), 2 * 3136 * 64 * 576);
+    }
+
+    #[test]
+    fn model_flops_sum_repeats() {
+        let model = DnnModel {
+            name: "toy",
+            layers: vec![
+                GemmLayer {
+                    name: "l1",
+                    shape: GemmShape::new(10, 10, 10),
+                    repeats: 3,
+                    epilogue: EpilogueClass::Relu,
+                },
+                GemmLayer {
+                    name: "l2",
+                    shape: GemmShape::new(5, 5, 5),
+                    repeats: 1,
+                    epilogue: EpilogueClass::None,
+                },
+            ],
+        };
+        assert_eq!(model.total_flops(), 3 * 2000 + 250);
+        assert_eq!(model.unrolled().len(), 4);
+        assert_eq!(model.layer_count(), 2);
+    }
+}

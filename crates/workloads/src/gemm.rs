@@ -1,0 +1,105 @@
+//! HPL-style GEMM workloads.
+
+use maco_isa::Precision;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An `m×n×k` GEMM problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Output rows.
+    pub m: u64,
+    /// Output columns.
+    pub n: u64,
+    /// Reduction extent.
+    pub k: u64,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    pub fn new(m: u64, n: u64, k: u64) -> Self {
+        GemmShape { m, n, k }
+    }
+
+    /// A square `n×n×n` problem (the HPL sweeps).
+    pub fn square(n: u64) -> Self {
+        GemmShape { m: n, n, k: n }
+    }
+
+    /// Floating-point operations (`2·m·n·k`).
+    pub fn flops(&self) -> u64 {
+        2 * self.m * self.n * self.k
+    }
+
+    /// Total bytes of A, B, C and Y at `precision`.
+    pub fn footprint_bytes(&self, precision: Precision) -> u64 {
+        (self.m * self.k + self.k * self.n + 2 * self.m * self.n) * precision.bytes()
+    }
+}
+
+impl std::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+/// The matrix sizes of Fig. 6 (single-node prediction experiment).
+pub fn fig6_sizes() -> Vec<u64> {
+    vec![256, 512, 1024, 2048, 4096, 9216]
+}
+
+/// The matrix sizes of Fig. 7 (scalability experiment).
+pub fn fig7_sizes() -> Vec<u64> {
+    vec![256, 512, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216]
+}
+
+/// The node counts of Fig. 7 ("varying the number of compute nodes").
+pub fn fig7_node_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16]
+}
+
+/// Deterministic HPL-style random matrix in `[-0.5, 0.5)` (what
+/// `HPL_dmatgen` produces), row-major `rows×cols`.
+pub fn random_matrix(seed: u64, rows: usize, cols: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_arithmetic() {
+        let s = GemmShape::new(2, 3, 4);
+        assert_eq!(s.flops(), 48);
+        assert_eq!(
+            s.footprint_bytes(Precision::Fp64),
+            (2 * 4 + 4 * 3 + 2 * 2 * 3) * 8
+        );
+        assert_eq!(s.to_string(), "2x3x4");
+        assert_eq!(GemmShape::square(5), GemmShape::new(5, 5, 5));
+    }
+
+    #[test]
+    fn paper_size_lists() {
+        assert_eq!(fig6_sizes(), vec![256, 512, 1024, 2048, 4096, 9216]);
+        let f7 = fig7_sizes();
+        assert_eq!(f7.first(), Some(&256));
+        assert_eq!(f7.last(), Some(&9216));
+        assert_eq!(f7.len(), 11);
+        assert_eq!(fig7_node_counts(), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn random_matrix_is_deterministic_and_centered() {
+        let a = random_matrix(42, 64, 64);
+        let b = random_matrix(42, 64, 64);
+        assert_eq!(a, b);
+        let c = random_matrix(43, 64, 64);
+        assert_ne!(a, c);
+        let mean: f64 = a.iter().sum::<f64>() / a.len() as f64;
+        assert!(mean.abs() < 0.05);
+        assert!(a.iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+}

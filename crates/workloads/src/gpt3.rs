@@ -1,0 +1,135 @@
+//! GPT-3 inference as a GEMM stream (Brown et al., NeurIPS 2020).
+//!
+//! The decoder shares BERT's per-layer GEMM structure (fused QKV,
+//! attention, 4× FFN). The published 175 B configuration is 96 layers of
+//! d_model = 12288 with 96 heads. For a throughput benchmark on a
+//! simulated machine the paper-scale prefill over a long prompt is what
+//! stresses the GEMM engine; the default here processes a 2048-token
+//! prompt through a *slice* of the decoder stack (8 layers) so harness
+//! runtimes stay tractable — throughput per layer is identical across the
+//! uniform stack, so the slice's GFLOPS equals the full model's.
+
+use crate::dnn::{DnnModel, EpilogueClass, GemmLayer};
+use crate::gemm::GemmShape;
+
+/// GPT-3 hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gpt3Config {
+    /// Decoder layers simulated.
+    pub layers: u64,
+    /// Hidden size.
+    pub d_model: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Prompt (prefill) length in tokens.
+    pub seq: u64,
+}
+
+impl Gpt3Config {
+    /// The 175 B geometry with a reduced layer slice for simulation.
+    pub fn sliced(layers: u64, seq: u64) -> Self {
+        Gpt3Config {
+            layers,
+            d_model: 12288,
+            heads: 96,
+            seq,
+        }
+    }
+}
+
+impl Default for Gpt3Config {
+    fn default() -> Self {
+        Gpt3Config::sliced(8, 2048)
+    }
+}
+
+/// Builds the GPT-3 prefill GEMM stream.
+pub fn gpt3(config: Gpt3Config) -> DnnModel {
+    let t = config.seq;
+    let d = config.d_model;
+    let d_ff = 4 * d;
+    let head_dim = d / config.heads;
+    DnnModel {
+        name: "GPT-3",
+        layers: vec![
+            GemmLayer {
+                name: "qkv_proj",
+                shape: GemmShape::new(t, 3 * d, d),
+                repeats: config.layers,
+                epilogue: EpilogueClass::None,
+            },
+            GemmLayer {
+                name: "attn_scores",
+                shape: GemmShape::new(config.heads * t, t, head_dim),
+                repeats: config.layers,
+                epilogue: EpilogueClass::Softmax,
+            },
+            GemmLayer {
+                name: "attn_context",
+                shape: GemmShape::new(config.heads * t, head_dim, t),
+                repeats: config.layers,
+                epilogue: EpilogueClass::None,
+            },
+            GemmLayer {
+                name: "attn_out",
+                shape: GemmShape::new(t, d, d),
+                repeats: config.layers,
+                epilogue: EpilogueClass::Norm,
+            },
+            GemmLayer {
+                name: "ffn_up",
+                shape: GemmShape::new(t, d_ff, d),
+                repeats: config.layers,
+                epilogue: EpilogueClass::Gelu,
+            },
+            GemmLayer {
+                name: "ffn_down",
+                shape: GemmShape::new(t, d, d_ff),
+                repeats: config.layers,
+                epilogue: EpilogueClass::Norm,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_flops_match_12t_d2_rule() {
+        // Transformer rule of thumb: ≈ 24·t·d² flops per layer for the
+        // projections/FFN (QKV 6td², out 2td², FFN 16td²) plus attention.
+        let cfg = Gpt3Config::sliced(1, 2048);
+        let model = gpt3(cfg);
+        let t = 2048f64;
+        let d = 12288f64;
+        let proj = 24.0 * t * d * d;
+        let attn = 4.0 * t * t * d;
+        let expect = proj + attn;
+        let got = model.total_flops() as f64;
+        assert!(
+            (got / expect - 1.0).abs() < 0.01,
+            "got {got:.3e}, expected {expect:.3e}"
+        );
+    }
+
+    #[test]
+    fn gpt3_layers_dwarf_bert() {
+        let gpt = gpt3(Gpt3Config::sliced(1, 2048));
+        let bert = crate::bert::bert(crate::bert::BertConfig::large(1, 384));
+        assert!(gpt.total_flops() > bert.total_flops());
+    }
+
+    #[test]
+    fn head_geometry() {
+        let model = gpt3(Gpt3Config::default());
+        let scores = model
+            .layers
+            .iter()
+            .find(|l| l.name == "attn_scores")
+            .unwrap();
+        assert_eq!(scores.shape.k, 128, "12288 / 96 heads");
+        assert_eq!(model.layer_count(), 6);
+    }
+}

@@ -1,0 +1,21 @@
+//! # maco-workloads — GEMM workload generators
+//!
+//! The paper evaluates MACO on two workload families:
+//!
+//! * **HPL-style square GEMMs** "of various sizes … obtained from an
+//!   open-source software package" (netlib HPL) — the sweeps of Fig. 6
+//!   (256…9216) and Fig. 7 (256…9216 in 1024 steps). [`gemm`] provides the
+//!   size lists and seeded random matrix generation.
+//! * **DNN inference** at FP32 — ResNet-50, BERT and GPT-3 (Fig. 8).
+//!   [`resnet`], [`bert`] and [`gpt3`] extract each network's GEMM stream
+//!   from the published layer shapes (convolutions via im2col), since a
+//!   GEMM engine's throughput depends only on the dimension stream.
+
+pub mod bert;
+pub mod dnn;
+pub mod gemm;
+pub mod gpt3;
+pub mod resnet;
+
+pub use dnn::{DnnModel, GemmLayer};
+pub use gemm::{fig6_sizes, fig7_sizes, random_matrix, GemmShape};

@@ -1,0 +1,43 @@
+//! DNN inference: run ResNet-50 and BERT GEMM streams through a full
+//! 16-node MACO with GEMM⁺ epilogue overlap — the workload family of the
+//! paper's Fig. 8.
+//!
+//! ```sh
+//! cargo run --release --example dnn_inference
+//! ```
+
+use maco::baselines::no_mapping::epilogue_kernel;
+use maco::core::gemm_plus::GemmPlusTask;
+use maco::core::runner::Maco;
+use maco::isa::Precision;
+use maco::workloads::bert::{bert, BertConfig};
+use maco::workloads::resnet::resnet50;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = Maco::builder().nodes(16).lanes_override(1).build();
+
+    for model in [resnet50(4), bert(BertConfig::base(1, 256))] {
+        let layers: Vec<GemmPlusTask> = model
+            .unrolled()
+            .into_iter()
+            .map(|l| {
+                let mut task =
+                    GemmPlusTask::gemm(l.shape.m, l.shape.n, l.shape.k, Precision::Fp32);
+                if let Some(k) = epilogue_kernel(l.epilogue) {
+                    task = task.with_epilogue(k);
+                }
+                task
+            })
+            .collect();
+        let report = machine.dnn(&layers)?;
+        println!(
+            "{:<10} {:3} GEMM layers, {:6.2} GFLOPs total -> {:7.1} GFLOPS ({:.2} ms)",
+            model.name,
+            report.layers,
+            report.flops as f64 / 1e9,
+            report.gflops(),
+            report.elapsed.as_us() / 1000.0
+        );
+    }
+    Ok(())
+}

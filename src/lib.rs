@@ -1,0 +1,41 @@
+//! # maco — reproduction of "MACO: Exploring GEMM Acceleration on a
+//! Loosely-Coupled Multi-core Processor" (DATE 2024)
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the MACO system: compute nodes, NoC, distributed
+//!   L3, GEMM⁺ mapping, the high-level [`maco_core::runner::Maco`] builder.
+//! * [`mmae`] — the matrix-multiplication acceleration engine.
+//! * [`isa`] — the MPAIS instruction set and task queues.
+//! * [`vm`] — page tables, TLBs and the mATLB predictor.
+//! * [`mem`] — caches, MOESI directory, lockable L3, DRAM.
+//! * [`noc`] — the 4×4 mesh network.
+//! * [`cpu`] — the general-purpose core model.
+//! * [`workloads`] — HPL sweeps and DNN GEMM streams.
+//! * [`baselines`] — the Fig. 8 comparators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use maco::core::runner::Maco;
+//! use maco::isa::Precision;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Maco::builder().nodes(4).build();
+//! let report = machine.gemm(1024, 1024, 1024, Precision::Fp32)?;
+//! println!("{:.1} GFLOPS at {:.1}% efficiency",
+//!     report.total_gflops(), report.avg_efficiency() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use maco_baselines as baselines;
+pub use maco_core as core;
+pub use maco_cpu as cpu;
+pub use maco_isa as isa;
+pub use maco_mem as mem;
+pub use maco_mmae as mmae;
+pub use maco_noc as noc;
+pub use maco_sim as sim;
+pub use maco_vm as vm;
+pub use maco_workloads as workloads;

@@ -1,0 +1,186 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use proptest::prelude::*;
+
+use maco::isa::mtq::MasterTaskQueue;
+use maco::isa::params::GemmParams;
+use maco::isa::{Asid, ExceptionType, Precision};
+use maco::mem::directory::Directory;
+use maco::mmae::config::TilingConfig;
+use maco::mmae::systolic::{reference_gemm, SystolicArray};
+use maco::mmae::tiling::{block_passes, tiles_in_pass};
+use maco::mmae::Mmae;
+use maco::noc::routing::xy_route;
+use maco::noc::topology::{MeshShape, NodeId};
+use maco::vm::matlb::TileAccessPattern;
+use maco::vm::VirtAddr;
+
+proptest! {
+    /// Every output element of a GEMM is covered exactly once per
+    /// reduction pass, for arbitrary shapes and tilings.
+    #[test]
+    fn tiling_covers_output_exactly_once(
+        m in 1u64..300,
+        n in 1u64..300,
+        k in 1u64..200,
+        tr in 1u64..4,
+        tc in 1u64..4,
+    ) {
+        let tiling = TilingConfig {
+            tr: tr * 64,
+            tc: tc * 64,
+            tk: 128,
+            ttr: 32,
+            ttc: 32,
+            ttk: 32,
+        };
+        let mut covered = vec![0u32; (m * n) as usize];
+        for pass in block_passes(m, n, k, &tiling) {
+            if !pass.first_k {
+                continue;
+            }
+            for tile in tiles_in_pass(&pass, &tiling) {
+                for r in tile.row0..tile.row0 + tile.rows {
+                    for c in tile.col0..tile.col0 + tile.cols {
+                        covered[(r * n + c) as usize] += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&x| x == 1));
+    }
+
+    /// The mATLB's predicted page sequence equals brute-force enumeration
+    /// of every byte the pattern touches.
+    #[test]
+    fn matlb_prediction_is_exact(
+        base in 0u64..0x4000,
+        rows in 1u64..40,
+        row_words in 1u64..128,
+        extra_stride in 0u64..2048,
+    ) {
+        let row_bytes = row_words * 8;
+        let pattern = TileAccessPattern::new(
+            VirtAddr::new(base),
+            rows,
+            row_bytes,
+            row_bytes + extra_stride,
+        );
+        let predicted: Vec<u64> =
+            pattern.predicted_pages().map(|p| p.page_number()).collect();
+        // Brute force with consecutive dedup.
+        let mut brute = Vec::new();
+        for r in 0..rows {
+            let start = base + r * (row_bytes + extra_stride);
+            for b in start..start + row_bytes {
+                let pg = b >> 12;
+                if brute.last() != Some(&pg) {
+                    brute.push(pg);
+                }
+            }
+        }
+        prop_assert_eq!(predicted, brute);
+    }
+
+    /// X-Y routes are minimal and stay inside the mesh for every pair.
+    #[test]
+    fn xy_routes_minimal(sx in 0u8..4, sy in 0u8..4, dx in 0u8..4, dy in 0u8..4) {
+        let mesh = MeshShape::new(4, 4);
+        let src = NodeId::new(sx, sy);
+        let dst = NodeId::new(dx, dy);
+        let path = xy_route(mesh, src, dst);
+        prop_assert_eq!(path.len() as u32, src.manhattan(dst) + 1);
+        prop_assert!(path.iter().all(|n| mesh.contains(*n)));
+    }
+
+    /// The MOESI directory never reaches an incompatible sharer state
+    /// under arbitrary operation sequences.
+    #[test]
+    fn directory_invariants_hold(ops in proptest::collection::vec((0u8..3, 0usize..4, 0u64..16), 1..200)) {
+        let mut dir = Directory::new(4);
+        for (op, node, line) in ops {
+            match op {
+                0 => { dir.read_shared(node, line).unwrap(); }
+                1 => { dir.read_exclusive(node, line).unwrap(); }
+                _ => { dir.evict(node, line).unwrap(); }
+            }
+            prop_assert!(dir.check_invariants().is_ok());
+        }
+    }
+
+    /// MTQ entries are never leaked or double-allocated under arbitrary
+    /// interleavings of the Fig. 3 operations.
+    #[test]
+    fn mtq_never_leaks(ops in proptest::collection::vec((0u8..5, 0u8..4, 0u16..3), 1..300)) {
+        let mut mtq = MasterTaskQueue::new(4);
+        for (op, idx, asid_raw) in ops {
+            let maid = maco::isa::mtq::Maid::new(idx);
+            let asid = Asid::new(asid_raw);
+            match op {
+                0 => { let _ = mtq.allocate(asid); }
+                1 => { let _ = mtq.complete(maid); }
+                2 => { let _ = mtq.raise_exception(maid, ExceptionType::BusError); }
+                3 => { let _ = mtq.query_release(maid, asid); }
+                _ => { let _ = mtq.clear(maid); }
+            }
+            prop_assert!(mtq.in_use() <= mtq.capacity());
+            // Allocation succeeds iff a free entry exists.
+            let free = mtq.capacity() - mtq.in_use();
+            let probe = mtq.allocate(Asid::new(999));
+            if free > 0 {
+                prop_assert!(probe.is_ok());
+                mtq.clear(probe.unwrap()).unwrap();
+            } else {
+                prop_assert!(probe.is_err());
+            }
+        }
+    }
+
+    /// Tiled functional GEMM equals the reference for arbitrary small
+    /// shapes (FP64).
+    #[test]
+    fn tiled_gemm_matches_reference(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let mut cfg = maco::mmae::MmaeConfig::default();
+        cfg.tiling = TilingConfig { tr: 32, tc: 32, tk: 32, ttr: 16, ttc: 16, ttk: 16 };
+        let engine = Mmae::new(cfg);
+        let mut rng = maco::sim::SplitMix64::new(seed);
+        let a: Vec<f64> = (0..m * k).map(|_| rng.next_signed_unit()).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| rng.next_signed_unit()).collect();
+        let c: Vec<f64> = (0..m * n).map(|_| rng.next_signed_unit()).collect();
+        let y = engine.gemm_functional(&a, &b, &c, m, n, k, Precision::Fp64);
+        let r = reference_gemm(&a, &b, &c, m, n, k);
+        for (yi, ri) in y.iter().zip(&r) {
+            prop_assert!((yi - ri).abs() < 1e-9);
+        }
+    }
+
+    /// GEMM parameter blocks round-trip through the six-register image.
+    #[test]
+    fn gemm_params_roundtrip(
+        m in 1u64..10_000,
+        n in 1u64..10_000,
+        k in 1u64..10_000,
+        a in 0u64..u32::MAX as u64,
+    ) {
+        let p = GemmParams::new(a, a + 1, a + 2, a + 3, m, n, k, Precision::Fp32).unwrap();
+        prop_assert_eq!(GemmParams::unpack(&p.pack()).unwrap(), p);
+    }
+
+    /// The systolic cycle model never beats the ideal MAC bound.
+    #[test]
+    fn sa_cycles_at_least_ideal(
+        m in 1u64..256,
+        n in 1u64..256,
+        k in 1u64..256,
+    ) {
+        let sa = SystolicArray::new(4, 4);
+        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            prop_assert!(sa.tile_cycles(m, n, k, p) >= sa.ideal_cycles(m, n, k, p));
+        }
+    }
+}
