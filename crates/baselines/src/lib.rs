@@ -48,12 +48,7 @@ pub fn dnn_throughput(engine: &mut dyn GemmEngine, model: &DnnModel) -> f64 {
     let mut total = SimDuration::ZERO;
     let mut flops = 0u64;
     for layer in model.unrolled() {
-        total += engine.gemm_time(
-            layer.shape.m,
-            layer.shape.n,
-            layer.shape.k,
-            Precision::Fp32,
-        );
+        total += engine.gemm_time(layer.shape.m, layer.shape.n, layer.shape.k, Precision::Fp32);
         flops += layer.shape.flops();
     }
     if total.is_zero() {

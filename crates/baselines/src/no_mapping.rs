@@ -49,12 +49,8 @@ pub fn maco_dnn_throughput(maco: &mut Maco, model: &DnnModel, mapping: bool) -> 
     let mut total = SimDuration::ZERO;
     let mut flops = 0u64;
     for layer in model.unrolled() {
-        let mut task = GemmPlusTask::gemm(
-            layer.shape.m,
-            layer.shape.n,
-            layer.shape.k,
-            Precision::Fp32,
-        );
+        let mut task =
+            GemmPlusTask::gemm(layer.shape.m, layer.shape.n, layer.shape.k, Precision::Fp32);
         if let Some(kernel) = epilogue_kernel(layer.epilogue) {
             task = task.with_epilogue(kernel);
         }

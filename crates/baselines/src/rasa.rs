@@ -56,8 +56,7 @@ impl GemmEngine for RasaLike {
         // register-tile scheduling); geometry supplies fill/drain effects.
         let cycles = self.sa.tile_cycles_lanes(m, n, k, 1);
         let derate = self.substage_overlap * self.contention_factor;
-        self.clock
-            .cycles_f64(cycles as f64 / derate)
+        self.clock.cycles_f64(cycles as f64 / derate)
     }
 }
 
@@ -91,6 +90,9 @@ mod tests {
         // Same flops, skinny m.
         let skinny = r.gemm_time(8, 2048, 2048 * 256, Precision::Fp32);
         let skinny_rate = 2.0 * 8.0 * 2048.0 * (2048.0 * 256.0) / skinny.as_ns();
-        assert!(skinny_rate < fat_rate * 0.7, "skinny GEMM loses utilisation");
+        assert!(
+            skinny_rate < fat_rate * 0.7,
+            "skinny GEMM loses utilisation"
+        );
     }
 }

@@ -32,7 +32,14 @@ fn bench_tlb(c: &mut Criterion) {
         let mut tlb = Tlb::new(1024);
         let asid = Asid::new(1);
         for vpn in 0..1024u64 {
-            tlb.insert(asid, vpn, TlbEntry { frame: vpn, flags: PageFlags::rw() });
+            tlb.insert(
+                asid,
+                vpn,
+                TlbEntry {
+                    frame: vpn,
+                    flags: PageFlags::rw(),
+                },
+            );
         }
         let mut vpn = 0u64;
         bench.iter(|| {
@@ -46,7 +53,14 @@ fn bench_tlb(c: &mut Criterion) {
         let mut vpn = 0u64;
         bench.iter(|| {
             vpn += 1;
-            tlb.insert(asid, vpn, TlbEntry { frame: vpn, flags: PageFlags::rw() })
+            tlb.insert(
+                asid,
+                vpn,
+                TlbEntry {
+                    frame: vpn,
+                    flags: PageFlags::rw(),
+                },
+            )
         })
     });
 }
@@ -67,7 +81,11 @@ fn bench_page_table(c: &mut Criterion) {
         let mut space = AddressSpace::new();
         for i in 0..1024u64 {
             space
-                .map(VirtAddr::new(i * 4096), PhysAddr::new(0x10_0000 + i * 4096), PageFlags::rw())
+                .map(
+                    VirtAddr::new(i * 4096),
+                    PhysAddr::new(0x10_0000 + i * 4096),
+                    PageFlags::rw(),
+                )
                 .unwrap();
         }
         let mut i = 0u64;

@@ -12,7 +12,10 @@ fn main() {
     let widths = [10, 12, 14];
     println!(
         "{}",
-        row(&["tile".into(), "efficiency".into(), "buffer fit".into()], &widths)
+        row(
+            &["tile".into(), "efficiency".into(), "buffer fit".into()],
+            &widths
+        )
     );
     for tt in [16u64, 32, 64] {
         let mut cfg = SystemConfig::single_node();
@@ -22,13 +25,16 @@ fn main() {
             ttk: tt,
             ..TilingConfig::default()
         };
-        let fits = maco_mmae::buffers::BufferPlan::plan(
-            &cfg.mmae,
-            &cfg.mmae.tiling,
-            Precision::Fp64,
-        )
-        .map(|p| if p.double_buffered { "double" } else { "single" })
-        .unwrap_or("overflow");
+        let fits =
+            maco_mmae::buffers::BufferPlan::plan(&cfg.mmae, &cfg.mmae.tiling, Precision::Fp64)
+                .map(|p| {
+                    if p.double_buffered {
+                        "double"
+                    } else {
+                        "single"
+                    }
+                })
+                .unwrap_or("overflow");
         let mut sys = MacoSystem::new(cfg);
         let eff = sys
             .run_parallel_gemm(2048, 2048, 2048, Precision::Fp64)

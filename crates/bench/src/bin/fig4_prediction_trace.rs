@@ -9,19 +9,28 @@ fn trace(label: &str, cols: u64) {
     // FP64 elements, ⟨ttr,ttc⟩ = ⟨4,64⟩ rows shown (the figure draws 4).
     let tile = TileAccessPattern::new(VirtAddr::new(0), 4, 64 * 8, cols * 8);
     println!("{label}");
-    println!("  matrix columns C = {cols}, row pitch = {} B, tile row = 512 B", cols * 8);
+    println!(
+        "  matrix columns C = {cols}, row pitch = {} B, tile row = 512 B",
+        cols * 8
+    );
     let pages: Vec<String> = tile
         .predicted_pages()
         .map(|p| format!("{:#x}", p.raw()))
         .collect();
     println!("  predicted page-base addresses: {}", pages.join(", "));
-    println!("  ({} pre-walked translations for 4 tile rows)", pages.len());
+    println!(
+        "  ({} pre-walked translations for 4 tile rows)",
+        pages.len()
+    );
     println!();
 }
 
 fn main() {
     println!("Fig. 4 — basics of page table address prediction (4 KB pages)");
     println!("{}", "-".repeat(70));
-    trace("Case 1: a row of original data covers 2 page tables (C = 1024)", 1024);
+    trace(
+        "Case 1: a row of original data covers 2 page tables (C = 1024)",
+        1024,
+    );
     trace("Case 2: a row of data covers 1 page table (C = 512)", 512);
 }

@@ -9,11 +9,13 @@ use maco_isa::Precision;
 fn main() {
     println!("Fig. 5(c) — mapping GEMM+ workloads on four compute nodes");
     println!("{}", "-".repeat(72));
-    let mut cfg = SystemConfig::default();
-    cfg.nodes = 4;
+    let cfg = SystemConfig {
+        nodes: 4,
+        ..SystemConfig::default()
+    };
     let mut sys = MacoSystem::new(cfg);
-    let task = GemmPlusTask::gemm(4096, 4096, 2048, Precision::Fp32)
-        .with_epilogue(Kernel::softmax());
+    let task =
+        GemmPlusTask::gemm(4096, 4096, 2048, Precision::Fp32).with_epilogue(Kernel::softmax());
     let report = run_gemm_plus(&mut sys, &task).expect("mapped");
     println!("{}", report.timeline.render_ascii(64));
     println!(
@@ -29,8 +31,10 @@ fn main() {
     }
     println!();
     println!("serial (no-overlap) comparison:");
-    let mut cfg = SystemConfig::default();
-    cfg.nodes = 4;
+    let cfg = SystemConfig {
+        nodes: 4,
+        ..SystemConfig::default()
+    };
     let mut sys = MacoSystem::new(cfg);
     let serial = run_gemm_plus(&mut sys, &task.clone().without_overlap()).expect("mapped");
     println!(

@@ -15,7 +15,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["size".into(), "with prediction".into(), "without prediction".into(), "gap".into()],
+            &[
+                "size".into(),
+                "with prediction".into(),
+                "without prediction".into(),
+                "gap".into()
+            ],
             &widths
         )
     );

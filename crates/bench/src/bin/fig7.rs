@@ -27,8 +27,10 @@ fn main() {
     for &n in &sizes {
         let mut cells = vec![n.to_string()];
         for &nodes in &counts {
-            let mut cfg = SystemConfig::default();
-            cfg.nodes = nodes;
+            let cfg = SystemConfig {
+                nodes,
+                ..SystemConfig::default()
+            };
             let mut sys = MacoSystem::new(cfg);
             let eff = sys
                 .run_parallel_gemm(n, n, n, Precision::Fp64)

@@ -33,7 +33,7 @@ fn main() {
 
     let models = models();
     let mut widths = vec![24usize];
-    widths.extend(std::iter::repeat(12).take(models.len()));
+    widths.extend(std::iter::repeat_n(12, models.len()));
     let mut header = vec!["system".to_string()];
     header.extend(models.iter().map(|m| m.name.to_string()));
     println!("{}", row(&header, &widths));

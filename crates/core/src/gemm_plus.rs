@@ -157,8 +157,8 @@ pub fn run_gemm_plus(
                 let blocks = shapes[i].0.div_ceil(system.config().mmae.tiling.tr)
                     * shapes[i].1.div_ceil(system.config().mmae.tiling.tc);
                 let per_block = SimDuration::from_fs(epi.as_fs() / blocks.max(1));
-                let overlap_start =
-                    gemm_end.saturating_since(maco_sim::SimTime::ZERO) - per_block.min(node_report.elapsed);
+                let overlap_start = gemm_end.saturating_since(maco_sim::SimTime::ZERO)
+                    - per_block.min(node_report.elapsed);
                 // Record interleaved CPU spans across the GEMM window.
                 for b in 0..blocks.min(8) {
                     let frac_start = node_report.elapsed * (b + 1) / (blocks + 1);
@@ -173,12 +173,7 @@ pub fn run_gemm_plus(
                 node_report.elapsed + per_block
             } else {
                 // Serial: the whole epilogue follows the GEMM.
-                timeline.record(
-                    &lane_cpu,
-                    kernel.name,
-                    gemm_end,
-                    gemm_end + epi,
-                );
+                timeline.record(&lane_cpu, kernel.name, gemm_end, gemm_end + epi);
                 node_report.elapsed + epi
             }
         } else {
@@ -266,11 +261,8 @@ mod tests {
     fn gemm_plus_overlap_hides_epilogue() {
         let mut sys = system(4);
         let base = GemmPlusTask::gemm(2048, 2048, 2048, Precision::Fp32);
-        let overlapped = run_gemm_plus(
-            &mut sys,
-            &base.clone().with_epilogue(Kernel::softmax()),
-        )
-        .unwrap();
+        let overlapped =
+            run_gemm_plus(&mut sys, &base.clone().with_epilogue(Kernel::softmax())).unwrap();
         let mut sys2 = system(4);
         let serial = run_gemm_plus(
             &mut sys2,
@@ -288,8 +280,8 @@ mod tests {
     #[test]
     fn timeline_shows_cpu_mmae_overlap() {
         let mut sys = system(2);
-        let task = GemmPlusTask::gemm(2048, 2048, 1024, Precision::Fp32)
-            .with_epilogue(Kernel::gelu());
+        let task =
+            GemmPlusTask::gemm(2048, 2048, 1024, Precision::Fp32).with_epilogue(Kernel::gelu());
         let report = run_gemm_plus(&mut sys, &task).unwrap();
         let overlap = report.timeline.overlap_between("CN0.MMAE", "CN0.CPU");
         assert!(overlap > SimDuration::ZERO, "Fig. 5(c) overlap exists");
@@ -300,8 +292,7 @@ mod tests {
         let mut sys = system(4);
         let layers = vec![
             GemmPlusTask::gemm(512, 512, 512, Precision::Fp32),
-            GemmPlusTask::gemm(512, 512, 512, Precision::Fp32)
-                .with_epilogue(Kernel::relu()),
+            GemmPlusTask::gemm(512, 512, 512, Precision::Fp32).with_epilogue(Kernel::relu()),
         ];
         let report = run_dnn_stream(&mut sys, &layers).unwrap();
         assert_eq!(report.layers, 2);

@@ -158,14 +158,13 @@ impl ComputeNode {
     /// the caller; this method returns the fetched line count.
     pub fn stash(&mut self, va: u64, bytes: u64, lock: bool) -> Result<u64, TranslateFault> {
         let pa = self.space.translate(VirtAddr::new(va))?;
-        Ok(self
-            .port
+        self.port
             .l3
             .stash(pa, bytes, lock)
             .map_err(|_| TranslateFault::NotMapped {
                 va: VirtAddr::new(va),
                 level: 3,
-            })?)
+            })
     }
 
     /// Full MPAIS round trip for a GEMM task: `MA_CFG` → STQ → execution →
@@ -210,11 +209,15 @@ impl ComputeNode {
             },
             walk_read_latency: SimDuration::from_ns(6),
         };
-        let result = self.mmae.run_gemm_timed(params, &mut ctx, &mut self.port, start);
+        let result = self
+            .mmae
+            .run_gemm_timed(params, &mut ctx, &mut self.port, start);
         match result {
             Ok(report) => {
                 let resp = self.stq.complete_active(None).map_err(NodeError::Stq)?;
-                self.cpu.mmae_response(resp.maid, None).map_err(NodeError::Mtq)?;
+                self.cpu
+                    .mmae_response(resp.maid, None)
+                    .map_err(NodeError::Mtq)?;
                 Ok((maid, Some(report)))
             }
             Err(_fault) => {
@@ -250,6 +253,7 @@ impl ComputeNode {
     }
 
     /// Functional GEMM through the node's engine (tiled through the SA).
+    #[allow(clippy::too_many_arguments)] // BLAS-shaped signature: 3 matrices + m/n/k + precision
     pub fn gemm_functional(
         &self,
         a: &[f64],
@@ -290,8 +294,16 @@ mod tests {
 
     fn params(n: u64) -> GemmParams {
         let bytes = n * n * 8;
-        GemmParams::new(0x1000_0000, 0x1000_0000 + bytes, 0x1000_0000 + 2 * bytes,
-            0x1000_0000 + 3 * bytes, n, n, n, Precision::Fp64)
+        GemmParams::new(
+            0x1000_0000,
+            0x1000_0000 + bytes,
+            0x1000_0000 + 2 * bytes,
+            0x1000_0000 + 3 * bytes,
+            n,
+            n,
+            n,
+            Precision::Fp64,
+        )
         .unwrap()
     }
 

@@ -137,8 +137,8 @@ impl fmt::Display for PhysicalModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<6} {:>6} {:>8} {:>7} {:>6}  {}",
-            "", "Freq", "Area", "Power", "FMACs", "Peak Perf (GFLOPS)"
+            "{:<6} {:>6} {:>8} {:>7} {:>6}  Peak Perf (GFLOPS)",
+            "", "Freq", "Area", "Power", "FMACs"
         )?;
         writeln!(
             f,

@@ -21,7 +21,7 @@ use maco_mem::l3::L3Config;
 use maco_mmae::config::MmaeConfig;
 use maco_mmae::engine::TASK_ISSUE_CYCLES;
 use maco_mmae::tiling::{block_passes, tiles_in_pass, BlockPass, Tile};
-use maco_mmae::translate::{StreamTranslation, TranslationContext};
+use maco_mmae::translate::{StreamTranslation, TranslationContext, TranslationMemo};
 use maco_mmae::Mmae;
 use maco_noc::fabric::{FabricConfig, MeshFabric};
 use maco_noc::topology::NodeId;
@@ -357,16 +357,12 @@ impl MacoSystem {
             node.stq
                 .submit(maid, TaskKind::Gemm, &params.pack())
                 .expect("fresh STQ has room");
-            let t0 = start
-                + issue
-                + self.config.mmae.clock.cycles(TASK_ISSUE_CYCLES);
+            let t0 = start + issue + self.config.mmae.clock.cycles(TASK_ISSUE_CYCLES);
             runs.push(GemmRun::new(i, maid.index(), *params, &self.config, t0));
         }
 
-        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = runs
-            .iter()
-            .map(|r| Reverse((r.now, r.node)))
-            .collect();
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> =
+            runs.iter().map(|r| Reverse((r.now, r.node))).collect();
         let mut reports: Vec<Option<NodeReport>> = vec![None; tasks.len()];
 
         while let Some(Reverse((_, ni))) = heap.pop() {
@@ -703,7 +699,7 @@ struct GemmRun {
     translation: StreamTranslation,
     dma_bytes: u64,
     peak_gflops: f64,
-    memo: HashMap<(u64, u64, u64, bool, bool), (StreamTranslation, u32)>,
+    memo: TranslationMemo,
 }
 
 impl GemmRun {
@@ -726,7 +722,7 @@ impl GemmRun {
             translation: StreamTranslation::default(),
             dma_bytes: 0,
             peak_gflops: config.mmae.peak_gflops(params.precision),
-            memo: HashMap::new(),
+            memo: TranslationMemo::new(),
             params,
         }
     }
@@ -757,7 +753,9 @@ mod tests {
     #[test]
     fn single_node_gemm_reports_sane_efficiency() {
         let mut sys = MacoSystem::new(small_config(1));
-        let r = sys.run_parallel_gemm(512, 512, 512, Precision::Fp64).unwrap();
+        let r = sys
+            .run_parallel_gemm(512, 512, 512, Precision::Fp64)
+            .unwrap();
         assert_eq!(r.nodes.len(), 1);
         let eff = r.nodes[0].efficiency();
         assert!((0.5..=1.0).contains(&eff), "efficiency {eff}");
@@ -819,7 +817,8 @@ mod tests {
     #[test]
     fn mtq_cycle_completes_and_releases() {
         let mut sys = MacoSystem::new(small_config(2));
-        sys.run_parallel_gemm(256, 256, 256, Precision::Fp64).unwrap();
+        sys.run_parallel_gemm(256, 256, 256, Precision::Fp64)
+            .unwrap();
         for i in 0..2 {
             // The full MA_CFG → execute → respond → MA_STATE cycle ran, so
             // every entry is free again (Fig. 3 back to the idle state).
@@ -828,7 +827,8 @@ mod tests {
         }
         // Queue never leaks across many tasks.
         for _ in 0..10 {
-            sys.run_parallel_gemm(128, 128, 128, Precision::Fp64).unwrap();
+            sys.run_parallel_gemm(128, 128, 128, Precision::Fp64)
+                .unwrap();
         }
         assert_eq!(sys.cpu(0).mtq().in_use(), 0);
     }
@@ -846,10 +846,11 @@ mod tests {
     #[test]
     fn report_totals_are_consistent() {
         let mut sys = MacoSystem::new(small_config(2));
-        let r = sys.run_parallel_gemm(256, 256, 256, Precision::Fp64).unwrap();
+        let r = sys
+            .run_parallel_gemm(256, 256, 256, Precision::Fp64)
+            .unwrap();
         assert!(r.total_gflops() > 0.0);
         assert!(r.makespan >= r.nodes.iter().map(|n| n.elapsed).max().unwrap());
         assert!(r.max_link_utilization >= r.mean_link_utilization);
     }
 }
-

@@ -82,17 +82,29 @@ impl CpuConfig {
 impl fmt::Display for CpuConfig {
     /// Renders the Table I layout.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<34} {}", "Architectural Parameters", "Value")?;
-        writeln!(f, "{:<34} {}-bit", "instruction width", self.instruction_width)?;
+        writeln!(f, "{:<34} Value", "Architectural Parameters")?;
+        writeln!(
+            f,
+            "{:<34} {}-bit",
+            "instruction width", self.instruction_width
+        )?;
         writeln!(
             f,
             "{:<34} {}-bit, CHI protocol",
             "data bus width", self.data_bus_width
         )?;
-        writeln!(f, "{:<34} {}-bit", "instruction fetch width", self.fetch_width)?;
+        writeln!(
+            f,
+            "{:<34} {}-bit",
+            "instruction fetch width", self.fetch_width
+        )?;
         writeln!(f, "{:<34} {}+", "pipeline stages", self.pipeline_stages)?;
         writeln!(f, "{:<34} out-of-order", "instruction execution order")?;
-        writeln!(f, "{:<34} {}-issue", "multi-issue ability", self.issue_width)?;
+        writeln!(
+            f,
+            "{:<34} {}-issue",
+            "multi-issue ability", self.issue_width
+        )?;
         writeln!(
             f,
             "{:<34} {} KB, {}-way set associate",
@@ -138,7 +150,7 @@ mod tests {
         for needle in [
             "64-bit",
             "256-bit, CHI protocol",
-            "four" , // avoided: numeric form below
+            "four", // avoided: numeric form below
         ] {
             let _ = needle;
         }

@@ -128,14 +128,7 @@ impl CpuGemmModel {
     }
 
     /// Achieved GFLOPS for the same problem.
-    pub fn gflops(
-        &self,
-        config: &CpuConfig,
-        m: u64,
-        n: u64,
-        k: u64,
-        precision: Precision,
-    ) -> f64 {
+    pub fn gflops(&self, config: &CpuConfig, m: u64, n: u64, k: u64, precision: Precision) -> f64 {
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
         flops / self.time(config, m, n, k, precision).as_ns()
     }
@@ -148,7 +141,12 @@ mod tests {
     #[test]
     fn non_gemm_kernels_are_memory_bound() {
         let cfg = CpuConfig::default();
-        for kernel in [Kernel::relu(), Kernel::gelu(), Kernel::layernorm(), Kernel::softmax()] {
+        for kernel in [
+            Kernel::relu(),
+            Kernel::gelu(),
+            Kernel::layernorm(),
+            Kernel::softmax(),
+        ] {
             assert!(
                 kernel.memory_bound(&cfg, Precision::Fp32),
                 "{} should be memory-bound",

@@ -225,8 +225,14 @@ mod tests {
         let sp = space();
         let mut mmu = Mmu::new(&CpuConfig::default());
         let asid = Asid::new(1);
-        mmu.translate(AccessClass::Data, asid, &sp, VirtAddr::new(0x10_1000), SimTime::ZERO)
-            .unwrap();
+        mmu.translate(
+            AccessClass::Data,
+            asid,
+            &sp,
+            VirtAddr::new(0x10_1000),
+            SimTime::ZERO,
+        )
+        .unwrap();
         // The MMAE-side interface sees the entry.
         assert!(mmu.shared_tlb_mut().probe(asid, 0x101).is_some());
         let (stlb, walker) = mmu.shared_parts_mut();

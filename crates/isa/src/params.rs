@@ -359,8 +359,16 @@ mod tests {
 
     #[test]
     fn gemm_pack_unpack_roundtrip() {
-        let p = GemmParams::new(0x10_0000, 0x20_0000, 0x30_0000, 0x40_0000, 1024, 512, 2048,
-            Precision::Fp16)
+        let p = GemmParams::new(
+            0x10_0000,
+            0x20_0000,
+            0x30_0000,
+            0x40_0000,
+            1024,
+            512,
+            2048,
+            Precision::Fp16,
+        )
         .unwrap();
         assert_eq!(GemmParams::unpack(&p.pack()).unwrap(), p);
     }

@@ -285,7 +285,10 @@ impl SetAssocCache {
 
     fn decompose(&self, addr: u64) -> (usize, u64) {
         let line = addr >> LINE_SHIFT;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 }
 
@@ -319,10 +322,16 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = SetAssocCache::new(4096, 4);
-        assert!(matches!(c.read(0x100), AccessOutcome::Miss { writeback: None }));
+        assert!(matches!(
+            c.read(0x100),
+            AccessOutcome::Miss { writeback: None }
+        ));
         assert_eq!(c.read(0x100), AccessOutcome::Hit);
         assert_eq!(c.read(0x13F), AccessOutcome::Hit, "same 64B line");
-        assert!(matches!(c.read(0x140), AccessOutcome::Miss { .. }), "next line");
+        assert!(
+            matches!(c.read(0x140), AccessOutcome::Miss { .. }),
+            "next line"
+        );
     }
 
     #[test]
@@ -356,9 +365,7 @@ mod tests {
         c.read(LINE_BYTES);
         // Evict line 0 (dirty).
         match c.read(2 * LINE_BYTES) {
-            AccessOutcome::Miss {
-                writeback: Some(_),
-            } => {}
+            AccessOutcome::Miss { writeback: Some(_) } => {}
             other => panic!("expected dirty writeback, got {other:?}"),
         }
         assert_eq!(c.writebacks(), 1);

@@ -352,7 +352,10 @@ mod tests {
     #[test]
     fn empty_stash_rejected() {
         let mut l3 = small();
-        assert_eq!(l3.stash(PhysAddr::new(0), 0, false), Err(StashError::EmptyRegion));
+        assert_eq!(
+            l3.stash(PhysAddr::new(0), 0, false),
+            Err(StashError::EmptyRegion)
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ mod tests {
             tk: 1024,
         };
         match BufferPlan::plan(&cfg, &tiling, Precision::Fp64) {
-            Err(BufferError::TileTooLarge { buffer: "A", need, have }) => {
+            Err(BufferError::TileTooLarge {
+                buffer: "A",
+                need,
+                have,
+            }) => {
                 assert_eq!(need, 256 * 256 * 8);
                 assert_eq!(have, 64 * 1024);
             }

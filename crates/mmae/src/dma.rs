@@ -114,9 +114,7 @@ impl DmaEngine {
         }
 
         let bytes = pattern.bytes();
-        let internal = self
-            .clock
-            .cycles(bytes.div_ceil(self.bytes_per_cycle));
+        let internal = self.clock.cycles(bytes.div_ceil(self.bytes_per_cycle));
         let mem_done = if is_write {
             port.write(base_pa, bytes, now)
         } else {
@@ -293,8 +291,12 @@ mod tests {
             walk_read_latency: SimDuration::from_ns(30),
         };
         let small = TileAccessPattern::new(VirtAddr::new(0), 1, 512, 512);
-        assert!(engine.write(&small, &mut ctx, &mut mem, SimTime::ZERO).is_err());
-        assert!(engine.read(&small, &mut ctx, &mut mem, SimTime::ZERO).is_ok());
+        assert!(engine
+            .write(&small, &mut ctx, &mut mem, SimTime::ZERO)
+            .is_err());
+        assert!(engine
+            .read(&small, &mut ctx, &mut mem, SimTime::ZERO)
+            .is_ok());
     }
 
     #[test]
@@ -310,8 +312,12 @@ mod tests {
             matlb: None,
             walk_read_latency: SimDuration::from_ns(30),
         };
-        engine.read(&pattern(), &mut ctx, &mut mem, SimTime::ZERO).unwrap();
-        engine.read(&pattern(), &mut ctx, &mut mem, SimTime::ZERO).unwrap();
+        engine
+            .read(&pattern(), &mut ctx, &mut mem, SimTime::ZERO)
+            .unwrap();
+        engine
+            .read(&pattern(), &mut ctx, &mut mem, SimTime::ZERO)
+            .unwrap();
         assert_eq!(engine.transfers(), 2);
         assert_eq!(engine.bytes(), 2 * 64 * 512);
         assert!(engine.stall_total() > SimDuration::ZERO);

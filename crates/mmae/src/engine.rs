@@ -13,8 +13,6 @@
 //! * [`Mmae::gemm_functional`] — the bit-faithful functional execution of
 //!   the same tiling, verified against a reference GEMM in the tests.
 
-use std::collections::HashMap;
-
 use maco_isa::params::GemmParams;
 use maco_isa::Precision;
 use maco_mem::port::MemoryPort;
@@ -27,7 +25,7 @@ use crate::buffers::BufferPlan;
 use crate::config::MmaeConfig;
 use crate::systolic::SystolicArray;
 use crate::tiling::{block_passes, tiles_in_pass, BlockPass};
-use crate::translate::{StreamTranslation, TranslationContext};
+use crate::translate::{StreamTranslation, TranslationContext, TranslationMemo};
 
 /// Fixed cost of accepting a task from the CPU (MA_CFG micro-ops, STQ
 /// handshake, AC configuration), in MMAE cycles.
@@ -129,12 +127,14 @@ impl Mmae {
         let mut dma_bytes = 0u64;
 
         // Memoised per-pass translation: shape key → (stall, counters).
-        let mut memo: HashMap<(u64, u64, u64, bool, bool), (StreamTranslation, u32)> =
-            HashMap::new();
+        let mut memo = TranslationMemo::new();
 
         for pass in block_passes(params.m, params.n, params.k, t) {
             let key = (pass.rows, pass.cols, pass.depth, pass.first_k, pass.last_k);
-            let cached = memo.get(&key).filter(|(_, seen)| *seen >= 2).map(|(c, _)| *c);
+            let cached = memo
+                .get(&key)
+                .filter(|(_, seen)| *seen >= 2)
+                .map(|(c, _)| *c);
             let pass_translation = match cached {
                 Some(c) => c,
                 None => {
@@ -159,7 +159,9 @@ impl Mmae {
                 let mut k_left = pass.depth;
                 while k_left > 0 {
                     let chunk = k_left.min(t.ttk);
-                    sa_cycles += self.sa.tile_cycles_lanes(tile.rows, tile.cols, chunk, lanes);
+                    sa_cycles += self
+                        .sa
+                        .tile_cycles_lanes(tile.rows, tile.cols, chunk, lanes);
                     k_left -= chunk;
                 }
                 let sa_time = clock.cycles(sa_cycles);
@@ -171,7 +173,11 @@ impl Mmae {
                     in_bytes += tile.rows * tile.cols * e;
                 }
                 // DMA-out: Y on the last reduction pass.
-                let out_bytes = if pass.last_k { tile.rows * tile.cols * e } else { 0 };
+                let out_bytes = if pass.last_k {
+                    tile.rows * tile.cols * e
+                } else {
+                    0
+                };
                 dma_bytes += in_bytes + out_bytes;
 
                 // Ports are physical; translation cost is already priced by
@@ -274,6 +280,7 @@ impl Mmae {
     /// # Panics
     ///
     /// Panics if slice lengths disagree with the dimensions.
+    #[allow(clippy::too_many_arguments)] // BLAS-shaped signature: 3 matrices + m/n/k + precision
     pub fn gemm_functional(
         &self,
         a: &[f64],
@@ -304,8 +311,7 @@ impl Mmae {
                 let mut bt = vec![0.0; depth * tc];
                 for kk in 0..depth {
                     for cc in 0..tc {
-                        bt[kk * tc + cc] =
-                            b[(pass.k0 as usize + kk) * n + tile.col0 as usize + cc];
+                        bt[kk * tc + cc] = b[(pass.k0 as usize + kk) * n + tile.col0 as usize + cc];
                     }
                 }
                 // Partial-sum input: C on the first pass, Y accumulator after.
@@ -320,8 +326,7 @@ impl Mmae {
                 let yt = self.sa.tile_matmul(&at, &bt, &ct, tr, tc, depth, precision);
                 for r in 0..tr {
                     for cc in 0..tc {
-                        y[(tile.row0 as usize + r) * n + tile.col0 as usize + cc] =
-                            yt[r * tc + cc];
+                        y[(tile.row0 as usize + r) * n + tile.col0 as usize + cc] = yt[r * tc + cc];
                     }
                 }
             }
@@ -346,14 +351,16 @@ mod tests {
     use crate::systolic::reference_gemm;
 
     fn small_engine() -> Mmae {
-        let mut cfg = MmaeConfig::default();
-        cfg.tiling = TilingConfig {
-            tr: 64,
-            tc: 64,
-            tk: 64,
-            ttr: 16,
-            ttc: 16,
-            ttk: 16,
+        let cfg = MmaeConfig {
+            tiling: TilingConfig {
+                tr: 64,
+                tc: 64,
+                tk: 64,
+                ttr: 16,
+                ttc: 16,
+                ttk: 16,
+            },
+            ..Default::default()
         };
         Mmae::new(cfg)
     }
@@ -482,8 +489,8 @@ mod tests {
             walk_read_latency: SimDuration::from_ns(6),
         };
         let mut mem = FixedLatencyMemory::new(SimDuration::from_ns(50));
-        let params = GemmParams::new(0, 0x10000, 0x20000, 0x30000, n, n, n, Precision::Fp64)
-            .unwrap();
+        let params =
+            GemmParams::new(0, 0x10000, 0x20000, 0x30000, n, n, n, Precision::Fp64).unwrap();
         let report = engine
             .run_gemm_timed(&params, &mut ctx, &mut mem, SimTime::ZERO)
             .unwrap();
@@ -508,8 +515,8 @@ mod tests {
             walk_read_latency: SimDuration::from_ns(6),
         };
         let mut mem = FixedLatencyMemory::new(SimDuration::from_ns(50));
-        let params = GemmParams::new(0, 0x10000, 0x20000, 0x30000, 64, 64, 64, Precision::Fp64)
-            .unwrap();
+        let params =
+            GemmParams::new(0, 0x10000, 0x20000, 0x30000, 64, 64, 64, Precision::Fp64).unwrap();
         assert!(engine
             .run_gemm_timed(&params, &mut ctx, &mut mem, SimTime::ZERO)
             .is_err());

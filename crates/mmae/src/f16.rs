@@ -130,7 +130,11 @@ mod tests {
 
     #[test]
     fn overflow_to_infinity() {
-        assert_eq!(f32_to_f16_bits(65520.0), 0x7C00, "midpoint rounds up to inf");
+        assert_eq!(
+            f32_to_f16_bits(65520.0),
+            0x7C00,
+            "midpoint rounds up to inf"
+        );
         assert_eq!(f32_to_f16_bits(1e9), 0x7C00);
         assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
         assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xFC00);
@@ -186,14 +190,17 @@ mod tests {
     fn mantissa_carry_bumps_exponent() {
         // Largest f16 mantissa at exponent 0: 1.9990234375; the next f32 up
         // rounds into the next binade.
-        let x = 1.99951171875f32; // halfway above 1.9990234375
+        let x = 1.999_511_7_f32; // halfway above 1.9990234375
         let h = f32_to_f16_bits(x);
         assert_eq!(h, 0x4000, "rounds to 2.0");
     }
 
     #[test]
     fn precision_rounding_helpers() {
-        assert_eq!(round_through_f16(0.1), f16_bits_to_f32(f32_to_f16_bits(0.1)) as f64);
+        assert_eq!(
+            round_through_f16(0.1),
+            f16_bits_to_f32(f32_to_f16_bits(0.1)) as f64
+        );
         assert_eq!(round_through_f32(0.1), 0.1f32 as f64);
         assert!((round_through_f16(0.1) - 0.1).abs() < 1e-3);
     }

@@ -46,7 +46,7 @@ pub mod systolic;
 pub mod tiling;
 pub mod translate;
 
-pub use buffers::{BufferPlan, BufferError};
+pub use buffers::{BufferError, BufferPlan};
 pub use config::{MmaeConfig, TilingConfig};
 pub use dma::{DmaEngine, TransferReport};
 pub use engine::{Mmae, TaskReport};

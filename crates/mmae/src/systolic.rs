@@ -62,6 +62,7 @@ impl SystolicArray {
     /// # Panics
     ///
     /// Panics if the slice lengths disagree with the dimensions.
+    #[allow(clippy::too_many_arguments)] // BLAS-shaped signature: 3 matrices + m/n/k + precision
     pub fn tile_matmul(
         &self,
         a: &[f64],
@@ -150,8 +151,7 @@ impl SystolicArray {
 
     /// SA utilisation for a tile: ideal / modelled cycles.
     pub fn tile_efficiency(&self, m: u64, n: u64, k: u64, precision: Precision) -> f64 {
-        self.ideal_cycles(m, n, k, precision) as f64
-            / self.tile_cycles(m, n, k, precision) as f64
+        self.ideal_cycles(m, n, k, precision) as f64 / self.tile_cycles(m, n, k, precision) as f64
     }
 }
 
@@ -245,7 +245,10 @@ mod tests {
     fn tile_cycles_formula() {
         let sa = SystolicArray::new(4, 4);
         // 64×64×64 FP64: 16 k-blocks × 16 n-blocks × 64 streaming + 8.
-        assert_eq!(sa.tile_cycles(64, 64, 64, Precision::Fp64), 16 * 16 * 64 + 8);
+        assert_eq!(
+            sa.tile_cycles(64, 64, 64, Precision::Fp64),
+            16 * 16 * 64 + 8
+        );
         // FP32 halves the n-blocks.
         assert_eq!(sa.tile_cycles(64, 64, 64, Precision::Fp32), 16 * 8 * 64 + 8);
         // FP16 quarters them.
@@ -266,7 +269,10 @@ mod tests {
     fn ragged_tiles_round_up() {
         let sa = SystolicArray::new(4, 4);
         // 65 columns needs 17 n-blocks at FP64.
-        assert_eq!(sa.tile_cycles(64, 65, 64, Precision::Fp64), 16 * 17 * 64 + 8);
+        assert_eq!(
+            sa.tile_cycles(64, 65, 64, Precision::Fp64),
+            16 * 17 * 64 + 8
+        );
         assert_eq!(sa.ideal_cycles(1, 1, 1, Precision::Fp64), 1);
     }
 

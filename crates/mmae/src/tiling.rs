@@ -123,7 +123,9 @@ mod tests {
     fn exact_multiple_has_full_blocks() {
         let passes = block_passes(2048, 2048, 2048, &paper_tiling());
         assert_eq!(passes.len(), 8, "2×2×2 blocks");
-        assert!(passes.iter().all(|p| p.rows == 1024 && p.cols == 1024 && p.depth == 1024));
+        assert!(passes
+            .iter()
+            .all(|p| p.rows == 1024 && p.cols == 1024 && p.depth == 1024));
         // kb innermost: first two passes share (ib=0, jb=0).
         assert_eq!((passes[0].kb, passes[1].kb), (0, 1));
         assert!(passes[0].first_k && !passes[0].last_k);
@@ -165,7 +167,10 @@ mod tests {
                 }
             }
         }
-        assert!(covered.iter().all(|&x| x == 1), "every Y element exactly once");
+        assert!(
+            covered.iter().all(|&x| x == 1),
+            "every Y element exactly once"
+        );
     }
 
     #[test]

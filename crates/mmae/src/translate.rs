@@ -7,6 +7,8 @@
 //! DMA critical path. The difference between those two costs *is* the
 //! Fig. 6 experiment.
 
+use std::collections::HashMap;
+
 use maco_isa::Asid;
 use maco_sim::{SimDuration, SimTime};
 use maco_vm::addr::WALK_LEVELS;
@@ -29,6 +31,10 @@ pub struct StreamTranslation {
     /// Touches that required a demand page-table walk.
     pub demand_walks: u64,
 }
+
+/// Memoised per-pass translation cache: pass shape key
+/// `(rows, cols, depth, first_k, last_k)` → (stream counters, times seen).
+pub type TranslationMemo = HashMap<(u64, u64, u64, bool, bool), (StreamTranslation, u32)>;
 
 impl StreamTranslation {
     /// Merges another stream's counters into this one.
@@ -216,7 +222,8 @@ mod tests {
             matlb: None,
             walk_read_latency: SimDuration::from_ns(30),
         };
-        ctx.translate_stream(&pattern_rows(16), SimTime::ZERO).unwrap();
+        ctx.translate_stream(&pattern_rows(16), SimTime::ZERO)
+            .unwrap();
         let tr = ctx
             .translate_stream(&pattern_rows(16), SimTime::ZERO)
             .unwrap();
@@ -305,7 +312,9 @@ mod tests {
             matlb: Some(&mut matlb),
             walk_read_latency: SimDuration::from_ns(30),
         };
-        assert!(ctx.translate_stream(&pattern_rows(16), SimTime::ZERO).is_err());
+        assert!(ctx
+            .translate_stream(&pattern_rows(16), SimTime::ZERO)
+            .is_err());
     }
 
     #[test]
@@ -323,7 +332,8 @@ mod tests {
             matlb: None,
             walk_read_latency: SimDuration::from_ns(30),
         };
-        ctx.translate_stream(&pattern_rows(64), SimTime::ZERO).unwrap();
+        ctx.translate_stream(&pattern_rows(64), SimTime::ZERO)
+            .unwrap();
         let tr = ctx
             .translate_stream(&pattern_rows(64), SimTime::ZERO)
             .unwrap();

@@ -1,0 +1,188 @@
+//! Golden-model tests: every functional GEMM path in the crate against a
+//! naive triple-loop oracle, across all three precisions and the edge
+//! shapes the tiled paths are most likely to get wrong (1×1, tall-skinny,
+//! short-wide, k=1, sub-tile and tile-straddling extents).
+
+use maco_isa::Precision;
+use maco_mmae::config::{MmaeConfig, TilingConfig};
+use maco_mmae::systolic::{reference_gemm, SystolicArray};
+use maco_mmae::Mmae;
+use maco_sim::SplitMix64;
+
+/// The oracle: textbook i-j-l triple loop, `Y = A×B + C` in f64.
+fn naive_gemm(a: &[f64], b: &[f64], c: &[f64], m: usize, n: usize, k: usize) -> Vec<f64> {
+    let mut y = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for l in 0..k {
+                acc += a[i * k + l] * b[l * n + j];
+            }
+            y[i * n + j] = acc;
+        }
+    }
+    y
+}
+
+/// Shapes chosen to stress the decomposition: unit, reduction-free-ish
+/// (k=1), tall-skinny, short-wide, and extents around the 16/32-element
+/// tile boundaries used below.
+const EDGE_SHAPES: [(usize, usize, usize); 8] = [
+    (1, 1, 1),
+    (1, 1, 9),
+    (5, 7, 1),
+    (37, 3, 5),
+    (3, 37, 5),
+    (33, 1, 17),
+    (1, 33, 17),
+    (16, 16, 16),
+];
+
+fn random(rng: &mut SplitMix64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.next_signed_unit()).collect()
+}
+
+/// Integer-valued matrices in a small range: every summation order is
+/// exact in all three precisions, so results must match bit-for-bit.
+fn small_ints(rng: &mut SplitMix64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| (rng.next_below(7) as f64) - 3.0).collect()
+}
+
+#[test]
+fn reference_gemm_matches_oracle_exactly_on_integer_inputs() {
+    let mut rng = SplitMix64::new(0xD1CE);
+    for &(m, n, k) in &EDGE_SHAPES {
+        let a = small_ints(&mut rng, m * k);
+        let b = small_ints(&mut rng, k * n);
+        let c = small_ints(&mut rng, m * n);
+        assert_eq!(
+            reference_gemm(&a, &b, &c, m, n, k),
+            naive_gemm(&a, &b, &c, m, n, k),
+            "reference_gemm diverged from oracle at {m}x{n}x{k}"
+        );
+    }
+}
+
+#[test]
+fn reference_gemm_matches_oracle_within_fp64_roundoff() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    for &(m, n, k) in &EDGE_SHAPES {
+        let a = random(&mut rng, m * k);
+        let b = random(&mut rng, k * n);
+        let c = random(&mut rng, m * n);
+        let y = reference_gemm(&a, &b, &c, m, n, k);
+        let r = naive_gemm(&a, &b, &c, m, n, k);
+        for (yi, ri) in y.iter().zip(&r) {
+            assert!(
+                (yi - ri).abs() < 1e-12,
+                "reference_gemm off oracle by {} at {m}x{n}x{k}",
+                (yi - ri).abs()
+            );
+        }
+    }
+}
+
+#[test]
+fn systolic_matches_oracle_exactly_on_integer_inputs_all_precisions() {
+    let sa = SystolicArray::new(4, 4);
+    let mut rng = SplitMix64::new(0xF00D);
+    for &(m, n, k) in &EDGE_SHAPES {
+        let a = small_ints(&mut rng, m * k);
+        let b = small_ints(&mut rng, k * n);
+        let c = small_ints(&mut rng, m * n);
+        let oracle = naive_gemm(&a, &b, &c, m, n, k);
+        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            assert_eq!(
+                sa.tile_matmul(&a, &b, &c, m, n, k, p),
+                oracle,
+                "tile_matmul {p:?} diverged from oracle at {m}x{n}x{k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn systolic_tracks_oracle_within_precision_tolerance() {
+    let sa = SystolicArray::new(4, 4);
+    let mut rng = SplitMix64::new(0xCAFE);
+    // Tolerances scale with the reduction length; inputs are in [-1, 1).
+    for &(m, n, k) in &EDGE_SHAPES {
+        let a = random(&mut rng, m * k);
+        let b = random(&mut rng, k * n);
+        let c = random(&mut rng, m * n);
+        let oracle = naive_gemm(&a, &b, &c, m, n, k);
+        for (p, unit_err) in [
+            (Precision::Fp64, 1e-13),
+            (Precision::Fp32, 1e-6),
+            (Precision::Fp16, 1e-2),
+        ] {
+            let tol = unit_err * (k as f64 + 1.0);
+            let y = sa.tile_matmul(&a, &b, &c, m, n, k, p);
+            for (yi, ri) in y.iter().zip(&oracle) {
+                assert!(
+                    (yi - ri).abs() < tol,
+                    "tile_matmul {p:?} error {} > {tol} at {m}x{n}x{k}",
+                    (yi - ri).abs()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_tiled_gemm_matches_oracle_across_precisions_and_edges() {
+    // A small tiling so even modest shapes straddle block and tile
+    // boundaries, exercising the full pass/tile decomposition.
+    let cfg = MmaeConfig {
+        tiling: TilingConfig {
+            tr: 32,
+            tc: 32,
+            tk: 32,
+            ttr: 16,
+            ttc: 16,
+            ttk: 16,
+        },
+        ..Default::default()
+    };
+    let engine = Mmae::new(cfg);
+    let mut rng = SplitMix64::new(0xACE);
+    for &(m, n, k) in &EDGE_SHAPES {
+        let a = random(&mut rng, m * k);
+        let b = random(&mut rng, k * n);
+        let c = random(&mut rng, m * n);
+        let oracle = naive_gemm(&a, &b, &c, m, n, k);
+        for (p, unit_err) in [
+            (Precision::Fp64, 1e-12),
+            (Precision::Fp32, 1e-5),
+            (Precision::Fp16, 2e-2),
+        ] {
+            let tol = unit_err * (k as f64 + 1.0);
+            let y = engine.gemm_functional(&a, &b, &c, m, n, k, p);
+            for (yi, ri) in y.iter().zip(&oracle) {
+                assert!(
+                    (yi - ri).abs() < tol,
+                    "gemm_functional {p:?} error {} > {tol} at {m}x{n}x{k}",
+                    (yi - ri).abs()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_and_systolic_agree_exactly_in_fp64() {
+    // The tiled engine decomposes the same arithmetic the flat SA model
+    // performs; in f64 with integer inputs they must agree exactly.
+    let engine = Mmae::new(MmaeConfig::default());
+    let sa = SystolicArray::new(4, 4);
+    let mut rng = SplitMix64::new(0x5EED);
+    for &(m, n, k) in &[(1usize, 1usize, 1usize), (17, 23, 9), (64, 8, 80)] {
+        let a = small_ints(&mut rng, m * k);
+        let b = small_ints(&mut rng, k * n);
+        let c = small_ints(&mut rng, m * n);
+        assert_eq!(
+            engine.gemm_functional(&a, &b, &c, m, n, k, Precision::Fp64),
+            sa.tile_matmul(&a, &b, &c, m, n, k, Precision::Fp64),
+        );
+    }
+}

@@ -73,10 +73,7 @@ impl MeshFabric {
                 crate::topology::Port::West,
             ] {
                 if let Some(next) = node.neighbor(port, config.shape) {
-                    links.insert(
-                        (node, next),
-                        BandwidthResource::from_gbps(config.link_gbps),
-                    );
+                    links.insert((node, next), BandwidthResource::from_gbps(config.link_gbps));
                 }
             }
         }
@@ -258,7 +255,10 @@ mod tests {
     #[test]
     fn local_send_costs_one_hop() {
         let mut f = fabric();
-        assert_eq!(f.send(n(2, 2), n(2, 2), 4096, SimTime::ZERO), SimTime::from_ns(1));
+        assert_eq!(
+            f.send(n(2, 2), n(2, 2), 4096, SimTime::ZERO),
+            SimTime::from_ns(1)
+        );
     }
 
     #[test]

@@ -158,7 +158,7 @@ impl MeshSim {
         // Track links granted this cycle: (router, out_port).
         let mut granted: Vec<[bool; 5]> = vec![[false; 5]; node_count];
 
-        for r in 0..node_count {
+        for (r, granted_r) in granted.iter_mut().enumerate() {
             let here = self.shape.node_at(r);
             let lanes = 5 * self.vcs;
             let start = self.routers[r].rr;
@@ -175,13 +175,15 @@ impl MeshSim {
                 }
                 let out = xy_next_hop(here, head.packet.dst);
                 let out_i = port_index(out);
-                if granted[r][out_i] {
+                if granted_r[out_i] {
                     continue; // output port already used this cycle
                 }
 
                 if out == Port::Local {
-                    let pkt = self.routers[r].inputs[port_i][vc].pop_front().expect("head");
-                    granted[r][out_i] = true;
+                    let pkt = self.routers[r].inputs[port_i][vc]
+                        .pop_front()
+                        .expect("head");
+                    granted_r[out_i] = true;
                     self.delivered.push(Delivery {
                         id: pkt.id,
                         cycle: self.cycle,
@@ -201,9 +203,11 @@ impl MeshSim {
                     continue; // no credit
                 }
 
-                let mut pkt = self.routers[r].inputs[port_i][vc].pop_front().expect("head");
+                let mut pkt = self.routers[r].inputs[port_i][vc]
+                    .pop_front()
+                    .expect("head");
                 let flits = pkt.packet.flits();
-                granted[r][out_i] = true;
+                granted_r[out_i] = true;
                 self.link_busy[r][out_i] = self.cycle + flits;
                 pkt.available_at = self.cycle + flits;
                 self.routers[next_idx].inputs[in_port][vc].push_back(pkt);
@@ -317,11 +321,7 @@ mod tests {
         }
         let probe = busy.inject(Packet::new(n(0, 0), n(3, 0), PacketKind::ReadResp, 256));
         let deliveries = busy.run_until_drained(100_000).unwrap();
-        let probe_lat = deliveries
-            .iter()
-            .find(|d| d.id == probe)
-            .unwrap()
-            .latency();
+        let probe_lat = deliveries.iter().find(|d| d.id == probe).unwrap().latency();
         assert!(
             probe_lat > idle_lat * 5,
             "expected congestion: idle {idle_lat}, congested {probe_lat}"

@@ -56,11 +56,26 @@ mod tests {
 
     #[test]
     fn next_hop_prefers_x() {
-        assert_eq!(xy_next_hop(NodeId::new(0, 0), NodeId::new(2, 2)), Port::East);
-        assert_eq!(xy_next_hop(NodeId::new(2, 0), NodeId::new(2, 2)), Port::South);
-        assert_eq!(xy_next_hop(NodeId::new(2, 2), NodeId::new(2, 2)), Port::Local);
-        assert_eq!(xy_next_hop(NodeId::new(3, 3), NodeId::new(1, 3)), Port::West);
-        assert_eq!(xy_next_hop(NodeId::new(0, 3), NodeId::new(0, 1)), Port::North);
+        assert_eq!(
+            xy_next_hop(NodeId::new(0, 0), NodeId::new(2, 2)),
+            Port::East
+        );
+        assert_eq!(
+            xy_next_hop(NodeId::new(2, 0), NodeId::new(2, 2)),
+            Port::South
+        );
+        assert_eq!(
+            xy_next_hop(NodeId::new(2, 2), NodeId::new(2, 2)),
+            Port::Local
+        );
+        assert_eq!(
+            xy_next_hop(NodeId::new(3, 3), NodeId::new(1, 3)),
+            Port::West
+        );
+        assert_eq!(
+            xy_next_hop(NodeId::new(0, 3), NodeId::new(0, 1)),
+            Port::North
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl MeshShape {
     /// Panics if `idx` is out of range.
     pub fn node_at(&self, idx: usize) -> NodeId {
         assert!(idx < self.node_count(), "index {idx} outside {self:?}");
-        NodeId::new((idx % self.cols as usize) as u8, (idx / self.cols as usize) as u8)
+        NodeId::new(
+            (idx % self.cols as usize) as u8,
+            (idx / self.cols as usize) as u8,
+        )
     }
 
     /// Iterates all nodes in row-major order.
@@ -132,7 +135,13 @@ pub enum Port {
 
 impl Port {
     /// All five ports.
-    pub const ALL: [Port; 5] = [Port::North, Port::South, Port::East, Port::West, Port::Local];
+    pub const ALL: [Port; 5] = [
+        Port::North,
+        Port::South,
+        Port::East,
+        Port::West,
+        Port::Local,
+    ];
 
     /// The port on the neighbouring router that faces back at this one.
     pub const fn opposite(self) -> Port {

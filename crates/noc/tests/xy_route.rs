@@ -1,0 +1,78 @@
+//! Route-level tests of the X-Y router on the paper's 4×4 mesh: minimal
+//! path length, determinism, hop-count symmetry, and containment.
+
+use maco_noc::routing::{xy_links, xy_route};
+use maco_noc::topology::{MeshShape, NodeId};
+
+#[test]
+fn path_length_is_manhattan_plus_one_for_all_pairs() {
+    let mesh = MeshShape::new(4, 4);
+    for src in mesh.nodes() {
+        for dst in mesh.nodes() {
+            let path = xy_route(mesh, src, dst);
+            assert_eq!(
+                path.len() as u32,
+                src.manhattan(dst) + 1,
+                "{src}→{dst} is not minimal"
+            );
+            assert_eq!(path.first(), Some(&src));
+            assert_eq!(path.last(), Some(&dst));
+        }
+    }
+}
+
+#[test]
+fn routes_are_deterministic() {
+    let mesh = MeshShape::new(4, 4);
+    for src in mesh.nodes() {
+        for dst in mesh.nodes() {
+            assert_eq!(
+                xy_route(mesh, src, dst),
+                xy_route(mesh, src, dst),
+                "{src}→{dst} route changed between calls"
+            );
+        }
+    }
+}
+
+#[test]
+fn hop_counts_are_symmetric_between_node_pairs() {
+    // X-Y paths themselves are not reverses of each other (the turn flips
+    // corner), but their hop counts always are.
+    let mesh = MeshShape::new(4, 4);
+    for src in mesh.nodes() {
+        for dst in mesh.nodes() {
+            let there = xy_links(mesh, src, dst).len();
+            let back = xy_links(mesh, dst, src).len();
+            assert_eq!(there, back, "{src}↔{dst} hop counts differ");
+            assert_eq!(there as u32, src.manhattan(dst));
+            assert_eq!(src.manhattan(dst), dst.manhattan(src));
+        }
+    }
+}
+
+#[test]
+fn every_hop_stays_inside_the_mesh_and_moves_one_step() {
+    let mesh = MeshShape::new(4, 4);
+    for src in mesh.nodes() {
+        for dst in mesh.nodes() {
+            let path = xy_route(mesh, src, dst);
+            assert!(path.iter().all(|n| mesh.contains(*n)));
+            for w in path.windows(2) {
+                assert_eq!(w[0].manhattan(w[1]), 1, "{src}→{dst} skips a hop");
+            }
+        }
+    }
+}
+
+#[test]
+fn corner_to_corner_route_is_exact() {
+    // X first, then Y: (0,0)→(3,3) walks the top row then the east column.
+    let mesh = MeshShape::new(4, 4);
+    let path = xy_route(mesh, NodeId::new(0, 0), NodeId::new(3, 3));
+    let expect: Vec<NodeId> = [(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2), (3, 3)]
+        .iter()
+        .map(|&(x, y)| NodeId::new(x, y))
+        .collect();
+    assert_eq!(path, expect);
+}

@@ -220,7 +220,7 @@ mod tests {
         let mut r = LatencyBandwidthResource::new(SimDuration::from_ns(40), 1.0);
         let done = r.access(SimTime::ZERO, 60);
         assert_eq!(done, SimTime::from_ns(100)); // 60 ns occupancy + 40 ns latency
-        // Second access queues on bandwidth but overlaps latency.
+                                                 // Second access queues on bandwidth but overlaps latency.
         let done2 = r.access(SimTime::ZERO, 60);
         assert_eq!(done2, SimTime::from_ns(160));
     }

@@ -295,17 +295,11 @@ pub struct ClockDomain {
 
 impl ClockDomain {
     /// The MACO CPU core clock (2.2 GHz, Table IV).
-    pub const CPU: ClockDomain = ClockDomain {
-        period_fs: 454_545,
-    };
+    pub const CPU: ClockDomain = ClockDomain { period_fs: 454_545 };
     /// The MMAE clock (2.5 GHz, Table IV).
-    pub const MMAE: ClockDomain = ClockDomain {
-        period_fs: 400_000,
-    };
+    pub const MMAE: ClockDomain = ClockDomain { period_fs: 400_000 };
     /// The NoC clock (2.0 GHz, Section III.A).
-    pub const NOC: ClockDomain = ClockDomain {
-        period_fs: 500_000,
-    };
+    pub const NOC: ClockDomain = ClockDomain { period_fs: 500_000 };
 
     /// Creates a domain from a frequency in GHz.
     ///

@@ -87,10 +87,7 @@ impl TileAccessPattern {
     /// The number of distinct pages touched (allocation-free upper bound
     /// used to size mATLB prefetch batches).
     pub fn distinct_page_count(&self) -> u64 {
-        let mut pages: Vec<u64> = self
-            .predicted_pages()
-            .map(|va| va.page_number())
-            .collect();
+        let mut pages: Vec<u64> = self.predicted_pages().map(|va| va.page_number()).collect();
         pages.sort_unstable();
         pages.dedup();
         pages.len() as u64

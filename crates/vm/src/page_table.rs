@@ -355,8 +355,12 @@ mod tests {
     #[test]
     fn map_translate_roundtrip() {
         let mut s = AddressSpace::new();
-        s.map(VirtAddr::new(0x7000), PhysAddr::new(0xA000), PageFlags::rw())
-            .unwrap();
+        s.map(
+            VirtAddr::new(0x7000),
+            PhysAddr::new(0xA000),
+            PageFlags::rw(),
+        )
+        .unwrap();
         assert_eq!(s.translate(VirtAddr::new(0x7123)).unwrap().raw(), 0xA123);
         assert_eq!(s.mapped_pages(), 1);
     }
@@ -373,8 +377,12 @@ mod tests {
     #[test]
     fn leaf_level_fault_after_sibling_mapping() {
         let mut s = AddressSpace::new();
-        s.map(VirtAddr::new(0x0000), PhysAddr::new(0x1000), PageFlags::rw())
-            .unwrap();
+        s.map(
+            VirtAddr::new(0x0000),
+            PhysAddr::new(0x1000),
+            PageFlags::rw(),
+        )
+        .unwrap();
         // Same leaf table, different entry → walk reaches level 3 then faults.
         match s.translate(VirtAddr::new(0x1000)) {
             Err(TranslateFault::NotMapped { level: 3, .. }) => {}
@@ -430,7 +438,9 @@ mod tests {
         .unwrap();
         assert_eq!(s.mapped_pages(), 3);
         for i in 0..3u64 {
-            let pa = s.translate(VirtAddr::new(0x10_0000 + i * PAGE_SIZE)).unwrap();
+            let pa = s
+                .translate(VirtAddr::new(0x10_0000 + i * PAGE_SIZE))
+                .unwrap();
             assert_eq!(pa.raw(), 0x20_0000 + i * PAGE_SIZE);
         }
     }
@@ -452,12 +462,20 @@ mod tests {
     #[test]
     fn sparse_mappings_share_upper_levels() {
         let mut s = AddressSpace::new();
-        s.map(VirtAddr::new(0x0000), PhysAddr::new(0x1000), PageFlags::rw())
-            .unwrap();
+        s.map(
+            VirtAddr::new(0x0000),
+            PhysAddr::new(0x1000),
+            PageFlags::rw(),
+        )
+        .unwrap();
         let t1 = s.table_count();
         // Adjacent page shares the whole path.
-        s.map(VirtAddr::new(0x1000), PhysAddr::new(0x2000), PageFlags::rw())
-            .unwrap();
+        s.map(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x2000),
+            PageFlags::rw(),
+        )
+        .unwrap();
         assert_eq!(s.table_count(), t1);
         // A far-away page allocates a fresh sub-tree.
         s.map(

@@ -56,50 +56,58 @@ pub fn bert(config: BertConfig) -> DnnModel {
     let t = config.batch * config.seq; // total tokens
     let d = config.d_model;
     let head_dim = d / config.heads;
-    let mut layers = Vec::new();
-
-    // Q, K, V projections: three t×d×d GEMMs per layer.
-    layers.push(GemmLayer {
-        name: "qkv_proj",
-        shape: GemmShape::new(t, d, d),
-        repeats: 3 * config.layers,
-        epilogue: EpilogueClass::None,
-    });
-    // Attention scores: per head, seq×seq×head_dim, batched over heads ×
-    // batch. Expressed as one GEMM with the batch folded into rows.
-    layers.push(GemmLayer {
-        name: "attn_scores",
-        shape: GemmShape::new(config.batch * config.heads * config.seq, config.seq, head_dim),
-        repeats: config.layers,
-        epilogue: EpilogueClass::Softmax,
-    });
-    // Context: softmax(scores) × V.
-    layers.push(GemmLayer {
-        name: "attn_context",
-        shape: GemmShape::new(config.batch * config.heads * config.seq, head_dim, config.seq),
-        repeats: config.layers,
-        epilogue: EpilogueClass::None,
-    });
-    // Output projection.
-    layers.push(GemmLayer {
-        name: "attn_out",
-        shape: GemmShape::new(t, d, d),
-        repeats: config.layers,
-        epilogue: EpilogueClass::Norm,
-    });
-    // FFN up / down.
-    layers.push(GemmLayer {
-        name: "ffn_up",
-        shape: GemmShape::new(t, config.d_ff, d),
-        repeats: config.layers,
-        epilogue: EpilogueClass::Gelu,
-    });
-    layers.push(GemmLayer {
-        name: "ffn_down",
-        shape: GemmShape::new(t, d, config.d_ff),
-        repeats: config.layers,
-        epilogue: EpilogueClass::Norm,
-    });
+    let layers = vec![
+        // Q, K, V projections: three t×d×d GEMMs per layer.
+        GemmLayer {
+            name: "qkv_proj",
+            shape: GemmShape::new(t, d, d),
+            repeats: 3 * config.layers,
+            epilogue: EpilogueClass::None,
+        },
+        // Attention scores: per head, seq×seq×head_dim, batched over heads ×
+        // batch. Expressed as one GEMM with the batch folded into rows.
+        GemmLayer {
+            name: "attn_scores",
+            shape: GemmShape::new(
+                config.batch * config.heads * config.seq,
+                config.seq,
+                head_dim,
+            ),
+            repeats: config.layers,
+            epilogue: EpilogueClass::Softmax,
+        },
+        // Context: softmax(scores) × V.
+        GemmLayer {
+            name: "attn_context",
+            shape: GemmShape::new(
+                config.batch * config.heads * config.seq,
+                head_dim,
+                config.seq,
+            ),
+            repeats: config.layers,
+            epilogue: EpilogueClass::None,
+        },
+        // Output projection.
+        GemmLayer {
+            name: "attn_out",
+            shape: GemmShape::new(t, d, d),
+            repeats: config.layers,
+            epilogue: EpilogueClass::Norm,
+        },
+        // FFN up / down.
+        GemmLayer {
+            name: "ffn_up",
+            shape: GemmShape::new(t, config.d_ff, d),
+            repeats: config.layers,
+            epilogue: EpilogueClass::Gelu,
+        },
+        GemmLayer {
+            name: "ffn_down",
+            shape: GemmShape::new(t, d, config.d_ff),
+            repeats: config.layers,
+            epilogue: EpilogueClass::Norm,
+        },
+    ];
 
     DnnModel {
         name: "BERT",
@@ -120,7 +128,7 @@ mod tests {
         let t = 384u64;
         let d = 1024u64;
         let per_layer = 2 * (4 * t * d * d) // projections
-            + 2 * (2 * t * d * 4096 / d * d) / 1 // placeholder, recomputed below
+            + (2 * (2 * t * d * 4096 / d * d)) // placeholder, recomputed below
             ;
         let _ = per_layer;
         let exact: u64 = 24

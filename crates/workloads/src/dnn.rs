@@ -82,7 +82,14 @@ impl DnnModel {
 ///
 /// `batch` images, `c_in → c_out` channels, `kernel×kernel` filters over an
 /// `out_h×out_w` output map.
-pub fn conv_as_gemm(batch: u64, c_in: u64, c_out: u64, kernel: u64, out_h: u64, out_w: u64) -> GemmShape {
+pub fn conv_as_gemm(
+    batch: u64,
+    c_in: u64,
+    c_out: u64,
+    kernel: u64,
+    out_h: u64,
+    out_w: u64,
+) -> GemmShape {
     GemmShape {
         m: batch * out_h * out_w,
         n: c_out,

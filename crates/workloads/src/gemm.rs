@@ -1,8 +1,7 @@
 //! HPL-style GEMM workloads.
 
 use maco_isa::Precision;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use maco_sim::SplitMix64;
 
 /// An `m×n×k` GEMM problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,7 +49,9 @@ pub fn fig6_sizes() -> Vec<u64> {
 
 /// The matrix sizes of Fig. 7 (scalability experiment).
 pub fn fig7_sizes() -> Vec<u64> {
-    vec![256, 512, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216]
+    vec![
+        256, 512, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216,
+    ]
 }
 
 /// The node counts of Fig. 7 ("varying the number of compute nodes").
@@ -61,8 +62,8 @@ pub fn fig7_node_counts() -> Vec<usize> {
 /// Deterministic HPL-style random matrix in `[-0.5, 0.5)` (what
 /// `HPL_dmatgen` produces), row-major `rows×cols`.
 pub fn random_matrix(seed: u64, rows: usize, cols: usize) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..rows * cols).map(|_| rng.gen::<f64>() - 0.5).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..rows * cols).map(|_| rng.next_f64() - 0.5).collect()
 }
 
 #[cfg(test)]

@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unrolled()
             .into_iter()
             .map(|l| {
-                let mut task =
-                    GemmPlusTask::gemm(l.shape.m, l.shape.n, l.shape.k, Precision::Fp32);
+                let mut task = GemmPlusTask::gemm(l.shape.m, l.shape.n, l.shape.k, Precision::Fp32);
                 if let Some(k) = epilogue_kernel(l.epilogue) {
                     task = task.with_epilogue(k);
                 }

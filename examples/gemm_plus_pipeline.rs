@@ -11,8 +11,8 @@ use maco::cpu::kernels::Kernel;
 use maco::isa::Precision;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let task = GemmPlusTask::gemm(4096, 4096, 2048, Precision::Fp32)
-        .with_epilogue(Kernel::softmax());
+    let task =
+        GemmPlusTask::gemm(4096, 4096, 2048, Precision::Fp32).with_epilogue(Kernel::softmax());
 
     let mut overlapped = Maco::builder().nodes(4).build();
     let fast = overlapped.gemm_plus(&task)?;
@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("GEMM+ layer (4096x4096x2048 FP32 + softmax) on 4 nodes");
     println!("--------------------------------------------------------");
-    println!("overlapped (Fig. 5c): {:8.2} ms", fast.elapsed.as_us() / 1000.0);
-    println!("serial baseline     : {:8.2} ms", slow.elapsed.as_us() / 1000.0);
+    println!(
+        "overlapped (Fig. 5c): {:8.2} ms",
+        fast.elapsed.as_us() / 1000.0
+    );
+    println!(
+        "serial baseline     : {:8.2} ms",
+        slow.elapsed.as_us() / 1000.0
+    );
     println!();
     println!("{}", fast.timeline.render_ascii(64));
     Ok(())

@@ -50,6 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("           exception: {e}; issuing MA_CLEAR");
         node_b.clear(maid_b)?;
     }
-    println!("           MTQ entries in use: {}", node_b.cpu().mtq().in_use());
+    println!(
+        "           MTQ entries in use: {}",
+        node_b.cpu().mtq().in_use()
+    );
     Ok(())
 }

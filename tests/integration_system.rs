@@ -37,8 +37,10 @@ fn prediction_gap_has_fig6_shape() {
 fn sixteen_node_scaling_loses_about_ten_percent() {
     let n = 2048;
     let eff = |nodes: usize| {
-        let mut cfg = SystemConfig::default();
-        cfg.nodes = nodes;
+        let cfg = SystemConfig {
+            nodes,
+            ..SystemConfig::default()
+        };
         MacoSystem::new(cfg)
             .run_parallel_gemm(n, n, n, Precision::Fp64)
             .expect("mapped")
@@ -57,8 +59,12 @@ fn sixteen_node_scaling_loses_about_ten_percent() {
 fn node_functional_gemm_matches_reference() {
     let node = ComputeNode::new(Asid::new(1));
     let (m, n, k) = (96, 80, 112);
-    let a: Vec<f64> = (0..m * k).map(|i| ((i * 37 % 23) as f64) / 7.0 - 1.0).collect();
-    let b: Vec<f64> = (0..k * n).map(|i| ((i * 53 % 29) as f64) / 9.0 - 1.0).collect();
+    let a: Vec<f64> = (0..m * k)
+        .map(|i| ((i * 37 % 23) as f64) / 7.0 - 1.0)
+        .collect();
+    let b: Vec<f64> = (0..k * n)
+        .map(|i| ((i * 53 % 29) as f64) / 9.0 - 1.0)
+        .collect();
     let c: Vec<f64> = (0..m * n).map(|i| ((i * 11 % 13) as f64) / 3.0).collect();
     let y = node.gemm_functional(&a, &b, &c, m, n, k, Precision::Fp64);
     let r = reference_gemm(&a, &b, &c, m, n, k);
@@ -113,8 +119,8 @@ fn mpais_protocol_end_to_end() {
 /// unmapped, serial configuration (the Fig. 8 Baseline-2 relationship).
 #[test]
 fn mapping_scheme_beats_baseline2_configuration() {
-    let task = GemmPlusTask::gemm(4096, 256, 1024, Precision::Fp32)
-        .with_epilogue(Kernel::softmax());
+    let task =
+        GemmPlusTask::gemm(4096, 256, 1024, Precision::Fp32).with_epilogue(Kernel::softmax());
 
     let mut maco = Maco::builder().nodes(8).build();
     let mapped = maco.gemm_plus(&task).expect("mapped");
@@ -136,8 +142,7 @@ fn mapping_scheme_beats_baseline2_configuration() {
 #[test]
 fn gemm_plus_timeline_overlaps() {
     let mut maco = Maco::builder().nodes(2).build();
-    let task = GemmPlusTask::gemm(2048, 2048, 1024, Precision::Fp32)
-        .with_epilogue(Kernel::gelu());
+    let task = GemmPlusTask::gemm(2048, 2048, 1024, Precision::Fp32).with_epilogue(Kernel::gelu());
     let report = maco.gemm_plus(&task).expect("mapped");
     for i in 0..2 {
         let overlap = report

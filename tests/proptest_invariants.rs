@@ -145,8 +145,10 @@ proptest! {
         k in 1usize..48,
         seed in 0u64..1000,
     ) {
-        let mut cfg = maco::mmae::MmaeConfig::default();
-        cfg.tiling = TilingConfig { tr: 32, tc: 32, tk: 32, ttr: 16, ttc: 16, ttk: 16 };
+        let cfg = maco::mmae::MmaeConfig {
+            tiling: TilingConfig { tr: 32, tc: 32, tk: 32, ttr: 16, ttc: 16, ttk: 16 },
+            ..Default::default()
+        };
         let engine = Mmae::new(cfg);
         let mut rng = maco::sim::SplitMix64::new(seed);
         let a: Vec<f64> = (0..m * k).map(|_| rng.next_signed_unit()).collect();

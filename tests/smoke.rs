@@ -1,0 +1,39 @@
+//! Fast end-to-end smoke test: a small GEMM through the full builder →
+//! system → report path at every node count from 1 to 4. Runs in well
+//! under a second, giving a quick signal before the heavy Fig. 6/7
+//! integration suites.
+
+use maco::core::runner::Maco;
+use maco::isa::Precision;
+
+#[test]
+fn builder_gemm_end_to_end_at_n128_for_1_to_4_nodes() {
+    for nodes in 1..=4 {
+        let mut machine = Maco::builder().nodes(nodes).build();
+        let report = machine
+            .gemm(128, 128, 128, Precision::Fp32)
+            .unwrap_or_else(|e| panic!("{nodes}-node GEMM faulted: {e:?}"));
+        assert_eq!(report.nodes.len(), nodes, "one report per node");
+        assert!(
+            report.total_gflops() > 0.0,
+            "{nodes} nodes: zero throughput"
+        );
+        let eff = report.avg_efficiency();
+        assert!(
+            eff > 0.0 && eff <= 1.0,
+            "{nodes} nodes: efficiency {eff} outside (0, 1]"
+        );
+        assert!(!report.makespan.is_zero(), "{nodes} nodes: zero makespan");
+    }
+}
+
+#[test]
+fn parallel_gemm_smoke_at_n128() {
+    // Fig. 7 semantics (same problem on every node) through the facade.
+    let mut machine = Maco::builder().nodes(4).build();
+    let report = machine
+        .parallel_gemm(128, 128, 128, Precision::Fp64)
+        .expect("parallel GEMM maps");
+    assert_eq!(report.nodes.len(), 4);
+    assert!(report.avg_efficiency() > 0.0);
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for the subset of the `criterion` crate used by
+//! `crates/bench/benches/substrate.rs`.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides [`Criterion::bench_function`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. It is a measurement
+//! harness, not a statistics engine: each benchmark is warmed up, then timed
+//! over enough iterations to fill a short measurement window, and the mean
+//! time per iteration is printed. `CRITERION_QUICK=1` (or running under
+//! `cargo test`, which passes `--test`) trims the window so suites stay fast.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark timing loop handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var_os("CRITERION_QUICK").is_some()
+            || std::env::args().any(|a| a == "--test");
+        Criterion {
+            measurement_window: if quick {
+                Duration::from_millis(1)
+            } else {
+                Duration::from_millis(200)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark: calibrates an iteration count that fills
+    /// the measurement window, runs it, and prints the mean per-iteration
+    /// time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibration pass: find how many iterations fit the window.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.measurement_window || iters >= 1 << 30 {
+                break;
+            }
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            let want = if per_iter > 0.0 {
+                (self.measurement_window.as_secs_f64() / per_iter).ceil() as u64
+            } else {
+                iters * 100
+            };
+            iters = want.clamp(iters + 1, iters.saturating_mul(100));
+        }
+        // Measurement pass.
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+        println!("{name:<40} {per_iter_ns:>12.1} ns/iter ({iters} iters)");
+        self
+    }
+
+    /// Final-report hook; a no-op in this stand-in.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Groups benchmark functions under one callable, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring criterion's macro of the same
+/// name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("self_test", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+        assert_eq!(black_box("x"), "x");
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for the subset of the `proptest` crate used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements just enough of proptest's surface for the property suites in
+//! `tests/proptest_invariants.rs` (and any future ones written against the
+//! same subset):
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings,
+//! * range strategies over the primitive integer types,
+//! * tuple strategies (arity 2–6) and [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: sampling is
+//! driven by a fixed-seed SplitMix64 stream derived from the test name (fully
+//! deterministic, no persistence files), and there is no shrinking — a
+//! failing case reports the iteration index instead. The case count defaults
+//! to 128 and can be overridden with the `PROPTEST_CASES` environment
+//! variable.
+
+/// Deterministic SplitMix64 generator driving all strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Derives the per-test RNG from the test's name, so every property test has
+/// an independent but reproducible stream.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::new(h)
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides).
+pub fn num_cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128)
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its implementations for ranges and tuples.
+
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value from `rng`.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty or inverted range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.next_below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of an element strategy's values with a
+    /// length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            assert!(span > 0, "empty length range");
+            let n = self.len.start + rng.next_below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable surface mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each function body runs [`num_cases`] times with
+/// fresh values drawn from the named strategies; assertion macros panic with
+/// the failing iteration index (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __rng = $crate::rng_for(stringify!($name));
+                for __case in 0..$crate::num_cases() {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __guard = $crate::CaseGuard::new(__case);
+                    $body
+                    drop(__guard);
+                }
+            }
+        )*
+    };
+}
+
+/// Prints the failing case index if a property body panics.
+pub struct CaseGuard {
+    case: u64,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for case `case`.
+    pub fn new(case: u64) -> Self {
+        CaseGuard { case, armed: true }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!("proptest (vendored): property failed at case {}", self.case);
+        }
+    }
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = crate::rng_for("range_sampling");
+        for _ in 0..10_000 {
+            let v = (5u64..17).sample(&mut rng);
+            assert!((5..17).contains(&v));
+            let s = (-3i32..4).sample(&mut rng);
+            assert!((-3..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = crate::rng_for("vec_strategy");
+        let strat = crate::collection::vec((0u8..3, 0usize..4), 1..50);
+        for _ in 0..1_000 {
+            let v = strat.sample(&mut rng);
+            assert!((1..50).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 3 && b < 4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics_instead_of_wrapping() {
+        let mut rng = crate::rng_for("inverted");
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = (10u64..5).sample(&mut rng);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::rng_for("same");
+        let mut b = crate::rng_for("same");
+        let mut c = crate::rng_for("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        /// The macro itself: bindings, multiple args, assertions.
+        #[test]
+        fn macro_smoke(x in 1u64..100, y in 0u8..4) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert_ne!(x, 0);
+            prop_assert_eq!(y as u64 + x, x + y as u64);
+        }
+    }
+}
