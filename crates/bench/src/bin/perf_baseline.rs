@@ -1,0 +1,214 @@
+//! `perf_baseline` — the tracked wall-clock performance baseline.
+//!
+//! Times the three hot surfaces of the reproduction and emits
+//! `BENCH_perf.json` so PRs can show before/after numbers instead of
+//! regressing the sweep costs silently:
+//!
+//! * `kernel_*` — the functional GEMM kernels (`Mmae::gemm_functional`)
+//!   at each precision;
+//! * `single_node_fig6` — the Fig. 6 single-node timing sweep;
+//! * `fig7_16node` — the Fig. 7 16-node timing sweep (the headline number).
+//!
+//! Every bench also records a *fingerprint* folding the simulated results
+//! (output bits for kernels, makespans and efficiencies for system runs).
+//! Fingerprints must be identical across optimisation PRs — wall-clock may
+//! change, simulated outcomes may not.
+//!
+//! Flags:
+//!
+//! * `--quick`  — trimmed sizes for CI smoke runs;
+//! * `--out P`  — write the JSON report to `P` (default `BENCH_perf.json`);
+//! * `--before P` — read a previous report and embed its numbers as the
+//!   "before" column, with speedups and a fingerprint match check;
+//! * `--strict` — exit non-zero if any fingerprint differs from the
+//!   `--before` report (CI runs this against the committed quick-mode
+//!   baseline, so a simulated-outcome change cannot land silently).
+
+use std::time::Instant;
+
+use maco_core::system::{MacoSystem, SystemConfig};
+use maco_isa::Precision;
+use maco_mmae::kernels::{GemmOperands, GemmScratch};
+use maco_mmae::Mmae;
+use maco_workloads::gemm::fill_random_matrix;
+
+struct BenchResult {
+    name: String,
+    wall_ms: f64,
+    detail: String,
+    fingerprint: String,
+}
+
+/// Folds a slice of result bits into a stable order-sensitive hash.
+fn fold_bits(h: u64, bits: u64) -> u64 {
+    (h.rotate_left(7) ^ bits).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn kernel_bench(precision: Precision, n: usize, reps: u32) -> BenchResult {
+    let engine = Mmae::new(Default::default());
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let mut c = Vec::new();
+    fill_random_matrix(101, n, n, &mut a);
+    fill_random_matrix(102, n, n, &mut b);
+    fill_random_matrix(103, n, n, &mut c);
+    let mut scratch = GemmScratch::new();
+    let mut y = Vec::new();
+    let ops = GemmOperands::new(&a, &b, &c, n, n, n);
+    // Warm-up pass (faults pages, sizes the scratch), then timed reps.
+    engine.gemm_functional_with(&mut scratch, ops, precision, &mut y);
+    let mut fp = 0u64;
+    for v in &y {
+        fp = fold_bits(fp, v.to_bits());
+    }
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        engine.gemm_functional_with(&mut scratch, ops, precision, &mut y);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    BenchResult {
+        name: format!("kernel_{}", precision_tag(precision)),
+        wall_ms,
+        detail: format!("{n}x{n}x{n} gemm_functional, {reps} reps"),
+        fingerprint: format!("{fp:016x}"),
+    }
+}
+
+fn precision_tag(p: Precision) -> &'static str {
+    match p {
+        Precision::Fp64 => "fp64",
+        Precision::Fp32 => "fp32",
+        Precision::Fp16 => "fp16",
+    }
+}
+
+fn system_bench(name: &str, nodes: usize, sizes: &[u64]) -> BenchResult {
+    let t0 = Instant::now();
+    let mut fp = 0u64;
+    for &n in sizes {
+        let mut sys = MacoSystem::new(SystemConfig {
+            nodes,
+            ..SystemConfig::default()
+        });
+        let r = sys
+            .run_parallel_gemm(n, n, n, Precision::Fp64)
+            .expect("mapped");
+        fp = fold_bits(fp, r.makespan.as_fs());
+        for node in &r.nodes {
+            fp = fold_bits(fp, node.elapsed.as_fs());
+            fp = fold_bits(fp, node.translation.pages);
+        }
+    }
+    BenchResult {
+        name: name.to_string(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        detail: format!("{nodes}-node sizes {sizes:?}"),
+        fingerprint: format!("{fp:016x}"),
+    }
+}
+
+/// Pulls `"field": value` out of the object slice for one bench entry in a
+/// previous report (the format is our own, so a scan is enough).
+fn json_field<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
+    let tag = format!("\"{field}\": ");
+    let at = obj.find(&tag)? + tag.len();
+    let rest = &obj[at..];
+    // The last field of an entry has no trailing delimiter inside the
+    // object slice `before_entry` hands us.
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Finds the `{...}` object for `name` in a previous report.
+fn before_entry<'a>(report: &'a str, name: &str) -> Option<&'a str> {
+    let at = report.find(&format!("\"name\": \"{name}\""))?;
+    let end = report[at..].find('}')? + at;
+    Some(&report[at..end])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let strict = args.iter().any(|a| a == "--strict");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let before = flag_value("--before").map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read --before {p}: {e}"))
+    });
+
+    let (kn, kreps) = if quick { (128, 1) } else { (512, 3) };
+    let fig6_sizes: &[u64] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 512, 1024, 2048, 4096]
+    };
+    let fig7_sizes: &[u64] = if quick { &[1024] } else { &[2048, 4096, 9216] };
+
+    eprintln!("perf_baseline: timing kernels ({kn}^3, {kreps} reps)...");
+    let mut results = vec![
+        kernel_bench(Precision::Fp64, kn, kreps),
+        kernel_bench(Precision::Fp32, kn, kreps),
+        kernel_bench(Precision::Fp16, kn, kreps),
+    ];
+    eprintln!("perf_baseline: timing single-node fig6 sweep {fig6_sizes:?}...");
+    results.push(system_bench("single_node_fig6", 1, fig6_sizes));
+    eprintln!("perf_baseline: timing 16-node fig7 sweep {fig7_sizes:?}...");
+    results.push(system_bench("fig7_16node", 16, fig7_sizes));
+
+    let mut mismatches = Vec::new();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"perf_baseline\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let mut entry = format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"detail\": \"{}\", \"fingerprint\": \"{}\"",
+            r.name, r.wall_ms, r.detail, r.fingerprint
+        );
+        if let Some(prev) = before.as_deref().and_then(|b| before_entry(b, &r.name)) {
+            if let Some(ms) = json_field(prev, "wall_ms").and_then(|v| v.parse::<f64>().ok()) {
+                entry.push_str(&format!(
+                    ", \"before_ms\": {:.3}, \"speedup\": {:.2}",
+                    ms,
+                    ms / r.wall_ms
+                ));
+            }
+            if let Some(fpr) = json_field(prev, "fingerprint") {
+                let matches = fpr == r.fingerprint;
+                entry.push_str(&format!(", \"fingerprint_match\": {matches}"));
+                if !matches {
+                    mismatches.push(format!("{}: {} != {}", r.name, r.fingerprint, fpr));
+                }
+            }
+        }
+        entry.push('}');
+        if i + 1 < results.len() {
+            entry.push(',');
+        }
+        json.push_str(&entry);
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    print!("{json}");
+    eprintln!("perf_baseline: wrote {out_path}");
+    if !mismatches.is_empty() {
+        eprintln!("perf_baseline: simulated outcomes CHANGED vs --before:");
+        for m in &mismatches {
+            eprintln!("  {m}");
+        }
+        if strict {
+            std::process::exit(1);
+        }
+    }
+}

@@ -109,20 +109,60 @@ pub fn partition_columns(n: u64, nodes: usize) -> Vec<u64> {
 /// outputs, rows for the tall outputs im2col produces), so no node
 /// receives a degenerate sliver.
 pub fn partition_shapes(m: u64, n: u64, k: u64, nodes: usize) -> Vec<(u64, u64, u64)> {
-    if n >= m {
-        partition_columns(n, nodes)
-            .into_iter()
-            .map(|c| (m, c, k))
-            .collect()
-    } else {
-        partition_columns(m, nodes)
-            .into_iter()
-            .map(|r| (r, n, k))
-            .collect()
+    let mut shapes = Vec::new();
+    partition_shapes_into(m, n, k, nodes, &mut shapes);
+    shapes
+}
+
+/// [`partition_shapes`] into a reusable buffer (DNN streams partition
+/// every layer; one long-lived buffer keeps the loop allocation-free).
+pub fn partition_shapes_into(
+    m: u64,
+    n: u64,
+    k: u64,
+    nodes: usize,
+    shapes: &mut Vec<(u64, u64, u64)>,
+) {
+    shapes.clear();
+    let split_cols = n >= m;
+    let extent = if split_cols { n } else { m };
+    let nodes = nodes as u64;
+    let base = extent / nodes;
+    let extra = extent % nodes;
+    for i in 0..nodes {
+        let part = base + u64::from(i < extra);
+        if part > 0 {
+            shapes.push(if split_cols {
+                (m, part, k)
+            } else {
+                (part, n, k)
+            });
+        }
+    }
+}
+
+/// Reusable staging for repeated GEMM⁺ layers: partition shapes and
+/// timeline lane labels, built once and reused across every layer of a
+/// DNN stream instead of being reallocated per layer.
+#[derive(Debug, Default)]
+pub struct GemmPlusScratch {
+    shapes: Vec<(u64, u64, u64)>,
+    /// `(MMAE lane, CPU lane)` label per node.
+    lanes: Vec<(String, String)>,
+}
+
+impl GemmPlusScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        GemmPlusScratch::default()
     }
 }
 
 /// Executes one GEMM⁺ layer on the system.
+///
+/// Convenience wrapper over [`run_gemm_plus_with`] that owns a throwaway
+/// scratch; layer streams thread one long-lived [`GemmPlusScratch`]
+/// through the `_with` variant instead.
 ///
 /// # Errors
 ///
@@ -131,19 +171,40 @@ pub fn run_gemm_plus(
     system: &mut MacoSystem,
     task: &GemmPlusTask,
 ) -> Result<GemmPlusReport, TranslateFault> {
+    run_gemm_plus_with(system, task, &mut GemmPlusScratch::new())
+}
+
+/// Executes one GEMM⁺ layer on the system, staging partition shapes and
+/// lane labels in `scratch`.
+///
+/// # Errors
+///
+/// Propagates [`TranslateFault`]s from the mapping layer.
+pub fn run_gemm_plus_with(
+    system: &mut MacoSystem,
+    task: &GemmPlusTask,
+    scratch: &mut GemmPlusScratch,
+) -> Result<GemmPlusReport, TranslateFault> {
     let nodes = system.node_count();
-    let shapes = partition_shapes(task.m, task.n, task.k, nodes);
-    let gemm = system.run_partitioned_gemm(&shapes, task.precision)?;
+    partition_shapes_into(task.m, task.n, task.k, nodes, &mut scratch.shapes);
+    let gemm = system.run_partitioned_gemm(&scratch.shapes, task.precision)?;
+    while scratch.lanes.len() < scratch.shapes.len() {
+        let i = scratch.lanes.len();
+        scratch
+            .lanes
+            .push((format!("CN{i}.MMAE"), format!("CN{i}.CPU")));
+    }
+    let shapes = &scratch.shapes;
+    let lanes = &scratch.lanes;
 
     let mut timeline = Timeline::new();
     let mut elapsed = SimDuration::ZERO;
     let mut epilogue_total = SimDuration::ZERO;
 
     for (i, node_report) in gemm.nodes.iter().enumerate() {
-        let lane_mmae = format!("CN{i}.MMAE");
-        let lane_cpu = format!("CN{i}.CPU");
+        let (lane_mmae, lane_cpu) = (&lanes[i].0, &lanes[i].1);
         let gemm_end = maco_sim::SimTime::ZERO + node_report.elapsed;
-        timeline.record(&lane_mmae, "gemm", maco_sim::SimTime::ZERO, gemm_end);
+        timeline.record(lane_mmae, "gemm", maco_sim::SimTime::ZERO, gemm_end);
 
         let node_elapsed = if let Some(kernel) = &task.epilogue {
             let elems = shapes[i].0 * shapes[i].1;
@@ -163,7 +224,7 @@ pub fn run_gemm_plus(
                 for b in 0..blocks.min(8) {
                     let frac_start = node_report.elapsed * (b + 1) / (blocks + 1);
                     timeline.record(
-                        &lane_cpu,
+                        lane_cpu,
                         kernel.name,
                         maco_sim::SimTime::ZERO + frac_start,
                         maco_sim::SimTime::ZERO + frac_start + per_block,
@@ -173,7 +234,7 @@ pub fn run_gemm_plus(
                 node_report.elapsed + per_block
             } else {
                 // Serial: the whole epilogue follows the GEMM.
-                timeline.record(&lane_cpu, kernel.name, gemm_end, gemm_end + epi);
+                timeline.record(lane_cpu, kernel.name, gemm_end, gemm_end + epi);
                 node_report.elapsed + epi
             }
         } else {
@@ -202,8 +263,9 @@ pub fn run_dnn_stream(
 ) -> Result<DnnReport, TranslateFault> {
     let mut total = SimDuration::ZERO;
     let mut flops = 0u64;
+    let mut scratch = GemmPlusScratch::new();
     for layer in layers {
-        let report = run_gemm_plus(system, layer)?;
+        let report = run_gemm_plus_with(system, layer, &mut scratch)?;
         total += report.elapsed;
         flops += layer.flops();
     }

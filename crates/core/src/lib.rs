@@ -37,7 +37,7 @@ pub mod physical;
 pub mod runner;
 pub mod system;
 
-pub use gemm_plus::{GemmPlusReport, GemmPlusTask};
+pub use gemm_plus::{GemmPlusReport, GemmPlusScratch, GemmPlusTask};
 pub use node::ComputeNode;
 pub use physical::{PhysicalModel, UnitPhysical};
 pub use runner::{Maco, MacoBuilder};

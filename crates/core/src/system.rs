@@ -8,9 +8,6 @@
 //! is the machinery behind Fig. 6 (translation prediction), Fig. 7
 //! (scalability) and Fig. 8 (DNN throughput).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-
 use maco_cpu::core::CpuCore;
 use maco_cpu::CpuConfig;
 use maco_isa::params::GemmParams;
@@ -20,12 +17,12 @@ use maco_mem::dram::{Dram, DramConfig};
 use maco_mem::l3::L3Config;
 use maco_mmae::config::MmaeConfig;
 use maco_mmae::engine::TASK_ISSUE_CYCLES;
-use maco_mmae::tiling::{block_passes, tiles_in_pass, BlockPass, Tile};
-use maco_mmae::translate::{StreamTranslation, TranslationContext, TranslationMemo};
+use maco_mmae::tiling::{block_passes, tiles_into, BlockPass, Tile};
+use maco_mmae::translate::{PassKey, StreamTranslation, TranslationContext, TranslationMemo};
 use maco_mmae::Mmae;
 use maco_noc::fabric::{FabricConfig, MeshFabric};
 use maco_noc::topology::NodeId;
-use maco_sim::{LatencyBandwidthResource, SimDuration, SimTime};
+use maco_sim::{FxHashMap, LatencyBandwidthResource, SimDuration, SimTime};
 use maco_vm::matlb::Matlb;
 use maco_vm::page_table::{AddressSpace, PageFlags, TranslateFault};
 use maco_vm::{PhysAddr, VirtAddr, PAGE_SIZE};
@@ -67,6 +64,16 @@ pub struct SystemConfig {
     /// stash prefetch pipeline (MSHR depth). Bounds how much DRAM latency
     /// Baseline-2 can hide.
     pub dma_mshr: u64,
+    /// Cross-node translation mirroring (wall-clock optimisation, on by
+    /// default): when several nodes have replayed *identical* pass
+    /// translation histories — the Fig. 7 configuration, where every node
+    /// runs the same independent GEMM — the exact page-stream simulation
+    /// of a pass is performed once and its outcome (stream counters plus
+    /// the resulting sTLB/walker state, retagged per ASID) transplanted to
+    /// the other nodes. Simulated results are bit-identical either way;
+    /// `false` forces every node to replay every stream (the equivalence
+    /// tests run both).
+    pub translation_mirror: bool,
 }
 
 impl Default for SystemConfig {
@@ -88,6 +95,7 @@ impl Default for SystemConfig {
             // land on the paper's annotations (see EXPERIMENTS.md).
             walk_read: SimDuration::from_ps(1_550),
             dma_mshr: 4,
+            translation_mirror: true,
         }
     }
 }
@@ -196,9 +204,15 @@ pub struct MacoSystem {
     ccms: Vec<LatencyBandwidthResource>,
     dram: Dram,
     space: AddressSpace,
-    mapped: HashMap<u64, u64>, // region base → mapped bytes
+    mapped: FxHashMap<u64, u64>, // region base → mapped bytes
     nodes: Vec<NodeState>,
     next_frame: u64,
+    /// Mesh position of each L3 slice's CCM, precomputed (resolved several
+    /// times per tile step).
+    slice_positions: Vec<NodeId>,
+    /// Cross-node translation mirror (see
+    /// [`MacoSystem::translate_pass_mirrored`]).
+    mirror: TranslationMirror,
 }
 
 impl MacoSystem {
@@ -224,6 +238,7 @@ impl MacoSystem {
                 pos: config.fabric.shape.node_at(i),
             })
             .collect();
+        let count = config.fabric.shape.node_count();
         MacoSystem {
             fabric: MeshFabric::new(config.fabric),
             ccms: (0..slices)
@@ -231,9 +246,16 @@ impl MacoSystem {
                 .collect(),
             dram: Dram::new(config.dram),
             space: AddressSpace::new(),
-            mapped: HashMap::new(),
+            mapped: FxHashMap::default(),
             nodes,
             next_frame: FRAME_BASE,
+            slice_positions: (0..slices)
+                .map(|s| config.fabric.shape.node_at(s % count))
+                .collect(),
+            mirror: TranslationMirror {
+                history: vec![Some(0); config.nodes],
+                cache: FxHashMap::default(),
+            },
             config,
         }
     }
@@ -361,25 +383,67 @@ impl MacoSystem {
             runs.push(GemmRun::new(i, maid.index(), *params, &self.config, t0));
         }
 
-        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> =
-            runs.iter().map(|r| Reverse((r.now, r.node))).collect();
+        // The event "heap": per-run next-event times, selected by linear
+        // scan. Runs number at most 16, so scanning beats a binary heap's
+        // sift traffic — and computing the runner-up during the same scan
+        // gives the batching bound below for free. Selection order is the
+        // heap's exactly: minimum `(time, node)`, a total order because
+        // node indices are unique.
+        let mut pending: Vec<Option<SimTime>> = runs.iter().map(|r| Some(r.now)).collect();
+        let mut remaining = pending.len();
         let mut reports: Vec<Option<NodeReport>> = vec![None; tasks.len()];
 
-        while let Some(Reverse((_, ni))) = heap.pop() {
-            let finished = self.advance_step(&mut runs[ni])?;
-            if let Some(report) = finished {
-                // MMAE responds to the MTQ; software then polls MA_STATE,
-                // observes Done and releases the entry (Fig. 3 state 2).
-                let node = &mut self.nodes[ni];
-                let asid = node.asid;
-                let resp = node.stq.complete_active(None).expect("task was active");
-                node.cpu.mmae_response(resp.maid, None).expect("running");
-                node.cpu
-                    .issue_ma_state(resp.maid, asid)
-                    .expect("entry exists");
-                reports[ni] = Some(report);
-            } else {
-                heap.push(Reverse((runs[ni].now, ni)));
+        while remaining > 0 {
+            let mut best: Option<(SimTime, usize)> = None;
+            let mut runner_up: Option<(SimTime, usize)> = None;
+            for (i, t) in pending.iter().enumerate() {
+                if let Some(t) = *t {
+                    let key = (t, i);
+                    if best.is_none_or(|b| key < b) {
+                        runner_up = best;
+                        best = Some(key);
+                    } else if runner_up.is_none_or(|r| key < r) {
+                        runner_up = Some(key);
+                    }
+                }
+            }
+            let (_, ni) = best.expect("remaining > 0");
+            // Batch contiguous steps of the selected run: as long as its
+            // clock stays at or below the runner-up event, the next
+            // selection would return it again, so advancing it inline is
+            // *exactly* the original select-advance-reselect sequence
+            // minus the scheduling traffic — simulated times are
+            // bit-identical. With one node (or nodes spread out in time)
+            // the scheduler runs once per whole phase instead of once per
+            // tile step.
+            let finished = loop {
+                match self.advance_step(&mut runs[ni])? {
+                    Some(report) => break Some(report),
+                    None => {
+                        if let Some(r) = runner_up {
+                            if (runs[ni].now, ni) > r {
+                                break None;
+                            }
+                        }
+                    }
+                }
+            };
+            match finished {
+                Some(report) => {
+                    // MMAE responds to the MTQ; software then polls MA_STATE,
+                    // observes Done and releases the entry (Fig. 3 state 2).
+                    let node = &mut self.nodes[ni];
+                    let asid = node.asid;
+                    let resp = node.stq.complete_active(None).expect("task was active");
+                    node.cpu.mmae_response(resp.maid, None).expect("running");
+                    node.cpu
+                        .issue_ma_state(resp.maid, asid)
+                        .expect("entry exists");
+                    reports[ni] = Some(report);
+                    pending[ni] = None;
+                    remaining -= 1;
+                }
+                None => pending[ni] = Some(runs[ni].now),
             }
         }
 
@@ -433,24 +497,17 @@ impl MacoSystem {
                     run.stash_ready = self.price_stash(run, bytes, run.now);
                 }
             }
-            let key = (pass.rows, pass.cols, pass.depth, pass.first_k, pass.last_k);
-            let cached = run
-                .memo
-                .get(&key)
-                .filter(|(_, seen)| *seen >= 2)
-                .map(|(c, _)| *c);
-            let pass_tr = match cached {
+            let key = PassKey::of(&pass);
+            let pass_tr = match run.memo.cached(key) {
                 Some(c) => c,
                 None => {
-                    let c = self.translate_pass_for(run.node, &run.params, &pass)?;
-                    let entry = run.memo.entry(key).or_insert((c, 0));
-                    entry.0 = c;
-                    entry.1 += 1;
+                    let c = self.translate_pass_mirrored(run.node, &run.params, &pass)?;
+                    run.memo.record(key, c);
                     c
                 }
             };
             run.translation.merge(&pass_tr);
-            run.tiles = tiles_in_pass(&pass, &self.config.mmae.tiling);
+            tiles_into(&pass, &self.config.mmae.tiling, &mut run.tiles);
             run.step_stall =
                 SimDuration::from_fs(pass_tr.stall.as_fs() / run.tiles.len().max(1) as u64);
             run.first_step = true;
@@ -482,18 +539,29 @@ impl MacoSystem {
         let precision = run.params.precision;
         let now = run.now;
 
-        // SA time over the reduction sweep.
-        let lanes = self.config.mmae.lanes(precision);
-        let mut sa_cycles = 0u64;
-        let mut k_left = pass.depth;
-        while k_left > 0 {
-            let chunk = k_left.min(t.ttk);
-            sa_cycles += self.nodes[run.node]
-                .mmae
-                .sa()
-                .tile_cycles_lanes(tile.rows, tile.cols, chunk, lanes);
-            k_left -= chunk;
-        }
+        // SA time over the reduction sweep. Consecutive tiles of a pass
+        // mostly share one shape (only the ragged edge differs), so the
+        // sweep is computed once per distinct `(rows, cols, depth)` and
+        // replayed from a one-entry cache — same arithmetic, same result.
+        let sa_shape = (tile.rows, tile.cols, pass.depth);
+        let sa_cycles = match run.sa_cycle_cache {
+            Some((shape, cycles)) if shape == sa_shape => cycles,
+            _ => {
+                let lanes = self.config.mmae.lanes(precision);
+                let mut cycles = 0u64;
+                let mut k_left = pass.depth;
+                while k_left > 0 {
+                    let chunk = k_left.min(t.ttk);
+                    cycles += self.nodes[run.node]
+                        .mmae
+                        .sa()
+                        .tile_cycles_lanes(tile.rows, tile.cols, chunk, lanes);
+                    k_left -= chunk;
+                }
+                run.sa_cycle_cache = Some((sa_shape, cycles));
+                cycles
+            }
+        };
         let sa_time = clock.cycles(sa_cycles);
         run.sa_busy += sa_time;
 
@@ -632,8 +700,7 @@ impl MacoSystem {
 
     /// Mesh position of an L3 slice's CCM (one per mesh node, Fig. 2).
     fn slice_pos(&self, slice: usize) -> NodeId {
-        let count = self.config.fabric.shape.node_count();
-        self.config.fabric.shape.node_at(slice % count)
+        self.slice_positions[slice]
     }
 
     /// Mesh position of the memory controller a node's refills use (the
@@ -676,6 +743,129 @@ impl MacoSystem {
         };
         state.mmae.translate_pass(params, pass, &mut ctx)
     }
+
+    /// Pass translation with cross-node mirroring (see
+    /// [`SystemConfig::translation_mirror`]).
+    ///
+    /// Soundness rests on three invariants, each load-bearing:
+    ///
+    /// * **Isomorphic histories.** A node's sTLB and walker are touched
+    ///   *only* by `translate_pass_for` (the CPU's own L1 TLBs are
+    ///   separate), so a chained hash over every `(params, pass)` a node
+    ///   has translated fully determines its MMU state up to the ASID tag.
+    ///   Two nodes with equal history hashes are isomorphic, and a
+    ///   recorded post-state can be transplanted via
+    ///   [`maco_vm::tlb::Tlb::clone_retagged`].
+    /// * **Append-only space.** `MacoSystem` never remaps or unmaps; an
+    ///   existing translation never changes. A recorded (successful) pass
+    ///   outcome therefore stays valid even if the space has grown since.
+    /// * **Fault poisoning.** A faulting pass mutates the MMU partially;
+    ///   the node's history is poisoned (set to `None`) so it never
+    ///   mirrors or seeds the cache again.
+    fn translate_pass_mirrored(
+        &mut self,
+        node: usize,
+        params: &GemmParams,
+        pass: &BlockPass,
+    ) -> Result<StreamTranslation, TranslateFault> {
+        if !self.config.translation_mirror {
+            return self.translate_pass_for(node, params, pass);
+        }
+        let sig = mirror_signature(params, pass);
+        let history = self.mirror.history[node];
+        if let Some(h) = history {
+            if let Some(entry) = self.mirror.cache.get(&(h, sig)) {
+                // Another node already replayed this exact stream from an
+                // isomorphic state: transplant its outcome.
+                let counters = entry.counters;
+                let history_after = entry.history_after;
+                let state = &mut self.nodes[node];
+                let (stlb, walker) = state.cpu.mmu_mut().shared_parts_mut();
+                *stlb = entry.stlb.clone_retagged(state.asid);
+                *walker = entry.walker.clone();
+                self.mirror.history[node] = Some(history_after);
+                return Ok(counters);
+            }
+        }
+        match self.translate_pass_for(node, params, pass) {
+            Ok(counters) => {
+                if let Some(h) = history {
+                    let history_after = chain_history(h, sig);
+                    self.mirror.history[node] = Some(history_after);
+                    // Snapshots are recorded unconditionally (when multi-
+                    // node): a guard like "some other node currently shares
+                    // hash `h`" would be unsound to skip on — a node still
+                    // at an *ancestor* hash arrives at `h` later if it
+                    // follows the same pass sequence, and in near-lockstep
+                    // runs that is exactly when the entry gets hit. Dead
+                    // snapshots (diverged histories) cost a bounded TLB
+                    // clone each and are dropped by the cap below.
+                    if self.config.nodes > 1 {
+                        // Bound the cache; clearing only costs re-simulation.
+                        if self.mirror.cache.len() >= MIRROR_CACHE_CAP {
+                            self.mirror.cache.clear();
+                        }
+                        let state = &mut self.nodes[node];
+                        let (stlb, walker) = state.cpu.mmu_mut().shared_parts_mut();
+                        let entry = MirrorEntry {
+                            counters,
+                            stlb: stlb.clone(),
+                            walker: walker.clone(),
+                            history_after,
+                        };
+                        self.mirror.cache.insert((h, sig), entry);
+                    }
+                }
+                Ok(counters)
+            }
+            Err(fault) => {
+                self.mirror.history[node] = None;
+                Err(fault)
+            }
+        }
+    }
+}
+
+/// Cap on retained mirror entries (each holds an sTLB snapshot).
+const MIRROR_CACHE_CAP: usize = 64;
+
+/// ASID-independent signature of one pass translation's inputs.
+fn mirror_signature(params: &GemmParams, pass: &BlockPass) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = maco_sim::FxHasher::default();
+    params.pack().hash(&mut h);
+    (
+        pass.row0, pass.col0, pass.k0, pass.rows, pass.cols, pass.depth,
+    )
+        .hash(&mut h);
+    (pass.first_k, pass.last_k).hash(&mut h);
+    h.finish()
+}
+
+/// Chains one pass signature onto a node's translation history hash.
+fn chain_history(history: u64, sig: u64) -> u64 {
+    use std::hash::Hasher;
+    let mut h = maco_sim::FxHasher::default();
+    h.write_u64(history);
+    h.write_u64(sig);
+    h.finish()
+}
+
+/// Cross-node translation mirror state (see
+/// [`MacoSystem::translate_pass_mirrored`]).
+struct TranslationMirror {
+    /// Per-node chained history hash; `None` = poisoned by a fault.
+    history: Vec<Option<u64>>,
+    /// `(history-before, pass signature)` → recorded outcome.
+    cache: FxHashMap<(u64, u64), MirrorEntry>,
+}
+
+/// One recorded exact pass simulation.
+struct MirrorEntry {
+    counters: StreamTranslation,
+    stlb: maco_vm::tlb::Tlb,
+    walker: maco_vm::walker::PageTableWalker,
+    history_after: u64,
 }
 
 /// Per-node GEMM execution state.
@@ -700,6 +890,8 @@ struct GemmRun {
     dma_bytes: u64,
     peak_gflops: f64,
     memo: TranslationMemo,
+    /// One-entry SA-sweep cache: `(rows, cols, depth)` → cycles.
+    sa_cycle_cache: Option<((u64, u64, u64), u64)>,
 }
 
 impl GemmRun {
@@ -723,6 +915,7 @@ impl GemmRun {
             dma_bytes: 0,
             peak_gflops: config.mmae.peak_gflops(params.precision),
             memo: TranslationMemo::new(),
+            sa_cycle_cache: None,
             params,
         }
     }
@@ -841,6 +1034,76 @@ mod tests {
         assert_eq!(r.nodes.len(), 4);
         let total: u64 = r.nodes.iter().map(|n| n.flops).sum();
         assert_eq!(total, 4 * 2 * 512 * 128 * 512);
+    }
+
+    /// Runs `f` against a mirrored and an unmirrored system and asserts
+    /// every simulated outcome — times, counters, and the per-node MMU
+    /// statistics the mirror transplants — is identical.
+    fn assert_mirror_equivalent(nodes: usize, f: impl Fn(&mut MacoSystem) -> Vec<SystemReport>) {
+        let mut mirrored = MacoSystem::new(small_config(nodes));
+        let mut plain = MacoSystem::new(SystemConfig {
+            translation_mirror: false,
+            ..small_config(nodes)
+        });
+        let rm = f(&mut mirrored);
+        let rp = f(&mut plain);
+        assert_eq!(rm.len(), rp.len());
+        for (a, b) in rm.iter().zip(&rp) {
+            assert_eq!(a.makespan, b.makespan, "makespan must be bit-identical");
+            assert_eq!(a.dram_bytes, b.dram_bytes);
+            for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+                assert_eq!(na.elapsed, nb.elapsed, "node {} elapsed", na.node);
+                assert_eq!(na.translation, nb.translation, "node {} counters", na.node);
+                assert_eq!(na.dma_bytes, nb.dma_bytes);
+            }
+        }
+        for i in 0..nodes {
+            // The transplanted MMU state must be indistinguishable.
+            assert_eq!(
+                mirrored.nodes[i].cpu.mmu().stlb_stats(),
+                plain.nodes[i].cpu.mmu().stlb_stats(),
+                "node {i} sTLB stats"
+            );
+        }
+    }
+
+    #[test]
+    fn mirrored_parallel_runs_match_unmirrored_exactly() {
+        assert_mirror_equivalent(4, |sys| {
+            vec![
+                sys.run_parallel_gemm(512, 512, 512, Precision::Fp64)
+                    .unwrap(),
+                // A repeat on warmed state and a different size both reuse
+                // and extend the mirror history.
+                sys.run_parallel_gemm(512, 512, 512, Precision::Fp64)
+                    .unwrap(),
+                sys.run_parallel_gemm(1500, 640, 512, Precision::Fp32)
+                    .unwrap(),
+            ]
+        });
+    }
+
+    #[test]
+    fn mirrored_partitioned_and_ragged_runs_match_unmirrored_exactly() {
+        assert_mirror_equivalent(4, |sys| {
+            vec![
+                // Unequal shapes: histories diverge per node, mirror must
+                // fall back to exact simulation.
+                sys.run_partitioned_gemm(
+                    &[
+                        (512, 512, 512),
+                        (512, 256, 512),
+                        (300, 512, 512),
+                        (512, 512, 300),
+                    ],
+                    Precision::Fp64,
+                )
+                .unwrap(),
+                // Back to identical tasks on now-divergent histories.
+                sys.run_parallel_gemm(640, 640, 640, Precision::Fp64)
+                    .unwrap(),
+            ]
+        });
     }
 
     #[test]

@@ -53,6 +53,11 @@ impl CpuCore {
         &mut self.mmu
     }
 
+    /// Read access to the MMU (statistics inspection).
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
     /// The master task queue.
     pub fn mtq(&self) -> &MasterTaskQueue {
         &self.mtq

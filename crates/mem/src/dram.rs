@@ -105,18 +105,56 @@ impl Dram {
     /// Issues a large transfer split across channels at the interleave
     /// granularity; returns when the *last* chunk completes. This is how
     /// stash prefetches stream whole sub-matrix blocks.
+    ///
+    /// Conceptually this issues one chunk per interleave unit (a partial
+    /// head chunk, full chunks, a partial tail chunk), all requested at
+    /// `now`, round-robin across channels. Since same-`now` chunks on one
+    /// channel chain back-to-back, each channel's share collapses into a
+    /// single train reservation — O(channels) work per call instead of
+    /// O(bytes / interleave), with bit-identical completion times (the
+    /// stash path moves whole megabyte-scale blocks, which made the
+    /// chunk-by-chunk walk the simulation's hottest loop).
     pub fn access_bulk(&mut self, pa: PhysAddr, bytes: u64, now: SimTime) -> SimTime {
-        let gran = self.config.interleave_bytes;
-        let mut done = now;
-        let mut offset = 0;
-        while offset < bytes {
-            let chunk_start = pa.raw() + offset;
-            let room = gran - (chunk_start % gran);
-            let chunk = room.min(bytes - offset);
-            let t = self.access(PhysAddr::new(chunk_start), chunk, now);
-            done = done.max(t);
-            offset += chunk;
+        if bytes == 0 {
+            return now;
         }
+        let gran = self.config.interleave_bytes;
+        let nch = self.config.channels as u64;
+        // Chunk sequence: head (up to the first boundary), full interleave
+        // units, then a partial tail. Chunk `i` lands on channel
+        // `(base + i) % nch`.
+        let head = (gran - (pa.raw() % gran)).min(bytes);
+        let rest = bytes - head;
+        let full = rest / gran;
+        let tail = rest % gran;
+        let chunks = 1 + full + (tail > 0) as u64;
+        let base = pa.raw() / gran;
+
+        let s_full = self.channels[0].service_time(gran);
+        let mut done = now;
+        for d in 0..nch.min(chunks) {
+            let ch = ((base + d) % nch) as usize;
+            // Chunks assigned to this channel: indices ≡ d (mod nch).
+            let count = (chunks - 1 - d) / nch + 1;
+            let mut full_count = count;
+            let mut service = SimDuration::ZERO;
+            let mut channel_bytes = 0u64;
+            if d == 0 {
+                service += self.channels[ch].service_time(head);
+                channel_bytes += head;
+                full_count -= 1;
+            }
+            if tail > 0 && (chunks - 1) % nch == d {
+                service += self.channels[ch].service_time(tail);
+                channel_bytes += tail;
+                full_count -= 1;
+            }
+            service += s_full * full_count;
+            channel_bytes += gran * full_count;
+            done = done.max(self.channels[ch].access_train(now, service, channel_bytes));
+        }
+        self.accesses += chunks;
+        self.bytes += bytes;
         done
     }
 

@@ -23,9 +23,10 @@ use maco_vm::VirtAddr;
 
 use crate::buffers::BufferPlan;
 use crate::config::MmaeConfig;
+use crate::kernels::{matmul_into, GemmOperands, GemmScratch};
 use crate::systolic::SystolicArray;
-use crate::tiling::{block_passes, tiles_in_pass, BlockPass};
-use crate::translate::{StreamTranslation, TranslationContext, TranslationMemo};
+use crate::tiling::{block_passes, tiles_in_pass, tiles_into, BlockPass, Tile};
+use crate::translate::{PassKey, StreamTranslation, TranslationContext, TranslationMemo};
 
 /// Fixed cost of accepting a task from the CPU (MA_CFG micro-ops, STQ
 /// handshake, AC configuration), in MMAE cycles.
@@ -128,26 +129,22 @@ impl Mmae {
 
         // Memoised per-pass translation: shape key → (stall, counters).
         let mut memo = TranslationMemo::new();
+        // Tile enumeration buffer, reused across passes.
+        let mut tiles: Vec<Tile> = Vec::new();
 
         for pass in block_passes(params.m, params.n, params.k, t) {
-            let key = (pass.rows, pass.cols, pass.depth, pass.first_k, pass.last_k);
-            let cached = memo
-                .get(&key)
-                .filter(|(_, seen)| *seen >= 2)
-                .map(|(c, _)| *c);
-            let pass_translation = match cached {
+            let key = PassKey::of(&pass);
+            let pass_translation = match memo.cached(key) {
                 Some(c) => c,
                 None => {
                     let c = self.translate_pass(params, &pass, ctx)?;
-                    let entry = memo.entry(key).or_insert((c, 0));
-                    entry.0 = c;
-                    entry.1 += 1;
+                    memo.record(key, c);
                     c
                 }
             };
             translation.merge(&pass_translation);
 
-            let tiles = tiles_in_pass(&pass, t);
+            tiles_into(&pass, t, &mut tiles);
             let steps = tiles.len() as u64;
             let step_stall = SimDuration::from_fs(pass_translation.stall.as_fs() / steps.max(1));
 
@@ -277,6 +274,10 @@ impl Mmae {
     /// over host matrices with the SA's per-precision rounding, exercising
     /// exactly the block/tile decomposition the timed model prices.
     ///
+    /// Convenience wrapper over [`Mmae::gemm_functional_with`] that owns a
+    /// throwaway scratch arena; sweep harnesses thread one long-lived
+    /// [`GemmScratch`] through the `_with` variant instead.
+    ///
     /// # Panics
     ///
     /// Panics if slice lengths disagree with the dimensions.
@@ -291,47 +292,72 @@ impl Mmae {
         k: usize,
         precision: Precision,
     ) -> Vec<f64> {
-        assert_eq!(a.len(), m * k, "A shape mismatch");
-        assert_eq!(b.len(), k * n, "B shape mismatch");
-        assert_eq!(c.len(), m * n, "C shape mismatch");
+        let mut scratch = GemmScratch::new();
+        let mut y = Vec::new();
+        self.gemm_functional_with(
+            &mut scratch,
+            GemmOperands::new(a, b, c, m, n, k),
+            precision,
+            &mut y,
+        );
+        y
+    }
+
+    /// Allocation-free variant of [`Mmae::gemm_functional`]: computes into
+    /// `y` (resized to `m·n`) with all tile staging and operand packing in
+    /// `scratch`. After the first tile of a sweep has sized the arena,
+    /// steady-state tile passes perform no allocation at all.
+    pub fn gemm_functional_with(
+        &self,
+        scratch: &mut GemmScratch,
+        ops: GemmOperands<'_>,
+        precision: Precision,
+        y: &mut Vec<f64>,
+    ) {
         let t = &self.config.tiling;
-        let mut y = vec![0.0; m * n];
+        let (m, n, k) = (ops.m, ops.n, ops.k);
+        y.clear();
+        y.resize(m * n, 0.0);
+        let mut tiles = std::mem::take(&mut scratch.tiles);
         for pass in block_passes(m as u64, n as u64, k as u64, t) {
-            for tile in tiles_in_pass(&pass, t) {
+            tiles_into(&pass, t, &mut tiles);
+            let (k0, depth) = (pass.k0 as usize, pass.depth as usize);
+            for tile in &tiles {
                 let (tr, tc) = (tile.rows as usize, tile.cols as usize);
-                let depth = pass.depth as usize;
-                // Gather operand sub-blocks.
-                let mut at = vec![0.0; tr * depth];
+                let (row0, col0) = (tile.row0 as usize, tile.col0 as usize);
+                // Gather operand sub-blocks into the arena.
+                scratch.at.clear();
                 for r in 0..tr {
-                    for kk in 0..depth {
-                        at[r * depth + kk] =
-                            a[(tile.row0 as usize + r) * k + pass.k0 as usize + kk];
-                    }
+                    let start = (row0 + r) * k + k0;
+                    scratch.at.extend_from_slice(&ops.a[start..start + depth]);
                 }
-                let mut bt = vec![0.0; depth * tc];
+                scratch.bt.clear();
                 for kk in 0..depth {
-                    for cc in 0..tc {
-                        bt[kk * tc + cc] = b[(pass.k0 as usize + kk) * n + tile.col0 as usize + cc];
-                    }
+                    let start = (k0 + kk) * n + col0;
+                    scratch.bt.extend_from_slice(&ops.b[start..start + tc]);
                 }
                 // Partial-sum input: C on the first pass, Y accumulator after.
-                let mut ct = vec![0.0; tr * tc];
+                scratch.ct.clear();
+                let src: &[f64] = if pass.first_k { ops.c } else { y };
                 for r in 0..tr {
-                    for cc in 0..tc {
-                        let src: &[f64] = if pass.first_k { c } else { &y };
-                        ct[r * tc + cc] =
-                            src[(tile.row0 as usize + r) * n + tile.col0 as usize + cc];
-                    }
+                    let start = (row0 + r) * n + col0;
+                    scratch.ct.extend_from_slice(&src[start..start + tc]);
                 }
-                let yt = self.sa.tile_matmul(&at, &bt, &ct, tr, tc, depth, precision);
+                scratch.yt.clear();
+                scratch.yt.resize(tr * tc, 0.0);
+                matmul_into(
+                    &mut scratch.pack,
+                    GemmOperands::new(&scratch.at, &scratch.bt, &scratch.ct, tr, tc, depth),
+                    precision,
+                    &mut scratch.yt,
+                );
                 for r in 0..tr {
-                    for cc in 0..tc {
-                        y[(tile.row0 as usize + r) * n + tile.col0 as usize + cc] = yt[r * tc + cc];
-                    }
+                    let start = (row0 + r) * n + col0;
+                    y[start..start + tc].copy_from_slice(&scratch.yt[r * tc..(r + 1) * tc]);
                 }
             }
         }
-        y
+        scratch.tiles = tiles;
     }
 }
 

@@ -13,6 +13,9 @@
 //!   used by the FP16 SIMD mode.
 //! * [`systolic`] — the SA: bit-accurate-per-precision functional tile
 //!   GEMM plus the cycle model for pipeline fill/drain and weight reloads.
+//! * [`kernels`] — the precision-specialized, register-blocked GEMM
+//!   kernels behind the functional model, plus the [`GemmScratch`] arena
+//!   that makes steady-state tile passes allocation-free.
 //! * [`buffers`] — A/B/C buffer capacity checks and double-buffering
 //!   occupancy.
 //! * [`translate`] — the per-transfer translation path: mATLB prefetch →
@@ -42,6 +45,7 @@ pub mod config;
 pub mod dma;
 pub mod engine;
 pub mod f16;
+pub mod kernels;
 pub mod systolic;
 pub mod tiling;
 pub mod translate;
@@ -50,6 +54,7 @@ pub use buffers::{BufferError, BufferPlan};
 pub use config::{MmaeConfig, TilingConfig};
 pub use dma::{DmaEngine, TransferReport};
 pub use engine::{Mmae, TaskReport};
+pub use kernels::{GemmOperands, GemmScratch};
 pub use systolic::SystolicArray;
-pub use tiling::{block_passes, tiles_in_pass, BlockPass, Tile};
-pub use translate::{StreamTranslation, TranslationContext};
+pub use tiling::{block_passes, tiles_in_pass, tiles_into, BlockPass, Tile};
+pub use translate::{PassKey, StreamTranslation, TranslationContext, TranslationMemo};

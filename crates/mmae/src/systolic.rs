@@ -17,7 +17,7 @@
 
 use maco_isa::Precision;
 
-use crate::f16::{round_through_f16, round_through_f32};
+use crate::kernels::{matmul_into, GemmOperands, GemmScratch};
 
 /// The systolic array model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +59,10 @@ impl SystolicArray {
     /// accumulation step through binary32. FP16 rounds inputs through
     /// binary16 and accumulates in binary32 (the PE design of Fig. 2(d)).
     ///
+    /// Convenience wrapper that allocates a fresh output; hot paths use
+    /// [`SystolicArray::tile_matmul_with`] with a long-lived scratch arena
+    /// instead.
+    ///
     /// # Panics
     ///
     /// Panics if the slice lengths disagree with the dimensions.
@@ -73,51 +77,31 @@ impl SystolicArray {
         k: usize,
         precision: Precision,
     ) -> Vec<f64> {
-        assert_eq!(a.len(), m * k, "A shape mismatch");
-        assert_eq!(b.len(), k * n, "B shape mismatch");
-        assert_eq!(c.len(), m * n, "C shape mismatch");
-        let mut y = vec![0.0; m * n];
-        match precision {
-            Precision::Fp64 => {
-                for i in 0..m {
-                    for j in 0..n {
-                        let mut acc = c[i * n + j];
-                        for l in 0..k {
-                            acc += a[i * k + l] * b[l * n + j];
-                        }
-                        y[i * n + j] = acc;
-                    }
-                }
-            }
-            Precision::Fp32 => {
-                for i in 0..m {
-                    for j in 0..n {
-                        let mut acc = round_through_f32(c[i * n + j]) as f32;
-                        for l in 0..k {
-                            let av = round_through_f32(a[i * k + l]) as f32;
-                            let bv = round_through_f32(b[l * n + j]) as f32;
-                            acc += av * bv;
-                        }
-                        y[i * n + j] = acc as f64;
-                    }
-                }
-            }
-            Precision::Fp16 => {
-                for i in 0..m {
-                    for j in 0..n {
-                        // FP32 accumulator over FP16 inputs.
-                        let mut acc = round_through_f16(c[i * n + j]) as f32;
-                        for l in 0..k {
-                            let av = round_through_f16(a[i * k + l]) as f32;
-                            let bv = round_through_f16(b[l * n + j]) as f32;
-                            acc += av * bv;
-                        }
-                        y[i * n + j] = acc as f64;
-                    }
-                }
-            }
-        }
+        let mut scratch = GemmScratch::new();
+        let mut y = Vec::new();
+        self.tile_matmul_with(
+            &mut scratch,
+            GemmOperands::new(a, b, c, m, n, k),
+            precision,
+            &mut y,
+        );
         y
+    }
+
+    /// Allocation-free variant of [`SystolicArray::tile_matmul`]: computes
+    /// into `y` (resized to `m·n`), staging packed operands in `scratch`.
+    /// Bit-identical to the naive reference triple loop
+    /// ([`crate::kernels::naive_reference`]) at every precision.
+    pub fn tile_matmul_with(
+        &self,
+        scratch: &mut GemmScratch,
+        ops: GemmOperands<'_>,
+        precision: Precision,
+        y: &mut Vec<f64>,
+    ) {
+        y.clear();
+        y.resize(ops.m * ops.n, 0.0);
+        matmul_into(&mut scratch.pack, ops, precision, y);
     }
 
     /// Cycle count for one `m×n×k` tile pass at `precision`.

@@ -87,6 +87,15 @@ pub fn block_passes(m: u64, n: u64, k: u64, t: &TilingConfig) -> Vec<BlockPass> 
 /// input-stationary dataflow).
 pub fn tiles_in_pass(pass: &BlockPass, t: &TilingConfig) -> Vec<Tile> {
     let mut tiles = Vec::new();
+    tiles_into(pass, t, &mut tiles);
+    tiles
+}
+
+/// [`tiles_in_pass`] into a reusable buffer: the simulation hot loop calls
+/// this once per block pass with a long-lived `Vec`, so steady-state pass
+/// walks allocate nothing.
+pub fn tiles_into(pass: &BlockPass, t: &TilingConfig, tiles: &mut Vec<Tile>) {
+    tiles.clear();
     for jt in 0..pass.cols.div_ceil(t.ttc) {
         for it in 0..pass.rows.div_ceil(t.ttr) {
             let row0 = pass.row0 + it * t.ttr;
@@ -99,7 +108,6 @@ pub fn tiles_in_pass(pass: &BlockPass, t: &TilingConfig) -> Vec<Tile> {
             });
         }
     }
-    tiles
 }
 
 /// Total number of second-level tile steps in the whole GEMM — the event

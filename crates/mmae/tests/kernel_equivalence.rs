@@ -1,0 +1,132 @@
+//! Bit-exactness of the optimized GEMM kernels.
+//!
+//! The register-blocked, packed-operand kernels behind
+//! [`SystolicArray::tile_matmul`] and [`Mmae::gemm_functional`] restructure
+//! the loops aggressively, but every output element's accumulation chain
+//! (`c + Σ a·b` in ascending reduction order, at the precision's rounding)
+//! must stay *identical* to the retained naive i-j-l triple loop
+//! ([`maco_mmae::kernels::naive_reference`]). These properties compare them
+//! bit for bit — no tolerance — across all three precisions, random
+//! shapes, and the edge shapes (including an empty reduction) where
+//! register-block remainders and ragged tiles live.
+
+use proptest::prelude::*;
+
+use maco_isa::Precision;
+use maco_mmae::config::TilingConfig;
+use maco_mmae::kernels::{naive_reference, GemmOperands, GemmScratch};
+use maco_mmae::{Mmae, MmaeConfig, SystolicArray};
+use maco_sim::SplitMix64;
+
+const PRECISIONS: [Precision; 3] = [Precision::Fp64, Precision::Fp32, Precision::Fp16];
+
+fn random(seed: u64, len: usize) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| rng.next_signed_unit() * 4.0).collect()
+}
+
+fn assert_bit_identical(y: &[f64], r: &[f64], what: &str) {
+    assert_eq!(y.len(), r.len(), "{what}: length");
+    for (i, (yi, ri)) in y.iter().zip(r).enumerate() {
+        assert_eq!(
+            yi.to_bits(),
+            ri.to_bits(),
+            "{what}: element {i} differs ({yi} vs {ri})"
+        );
+    }
+}
+
+/// The edge shapes of the issue checklist: every m/n/k combination from
+/// {1, 7, 16, 33} (covering the 4-row register block exactly, below, and
+/// across), plus the empty reduction.
+#[test]
+fn tile_kernel_bit_identical_on_edge_shapes() {
+    let sa = SystolicArray::new(4, 4);
+    let dims = [1usize, 7, 16, 33];
+    for p in PRECISIONS {
+        for &m in &dims {
+            for &n in &dims {
+                for &k in &dims {
+                    let a = random((m * 31 + n) as u64, m * k);
+                    let b = random((n * 37 + k) as u64, k * n);
+                    let c = random((k * 41 + m) as u64, m * n);
+                    let y = sa.tile_matmul(&a, &b, &c, m, n, k, p);
+                    let r = naive_reference(GemmOperands::new(&a, &b, &c, m, n, k), p);
+                    assert_bit_identical(&y, &r, &format!("{p:?} {m}x{n}x{k}"));
+                }
+            }
+        }
+    }
+}
+
+/// Empty reduction (`k = 0`): Y is C passed through the precision's input
+/// rounding, with no products accumulated.
+#[test]
+fn tile_kernel_bit_identical_on_empty_reduction() {
+    let sa = SystolicArray::new(4, 4);
+    for p in PRECISIONS {
+        for (m, n) in [(1usize, 1usize), (7, 33), (16, 16)] {
+            let c = random((m + n) as u64, m * n);
+            let y = sa.tile_matmul(&[], &[], &c, m, n, 0, p);
+            let r = naive_reference(GemmOperands::new(&[], &[], &c, m, n, 0), p);
+            assert_bit_identical(&y, &r, &format!("{p:?} {m}x{n} empty-k"));
+        }
+    }
+}
+
+proptest! {
+    /// Random shapes: the optimized tile kernel is bit-identical to the
+    /// naive reference at every precision.
+    #[test]
+    fn tile_kernel_bit_identical_on_random_shapes(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let sa = SystolicArray::new(4, 4);
+        let a = random(seed, m * k);
+        let b = random(seed ^ 0xA5A5, k * n);
+        let c = random(seed ^ 0x5A5A, m * n);
+        for p in PRECISIONS {
+            let y = sa.tile_matmul(&a, &b, &c, m, n, k, p);
+            let r = naive_reference(GemmOperands::new(&a, &b, &c, m, n, k), p);
+            for (yi, ri) in y.iter().zip(&r) {
+                prop_assert_eq!(yi.to_bits(), ri.to_bits());
+            }
+        }
+    }
+
+    /// The scratch-threaded engine path (`gemm_functional_with`, reusing
+    /// one arena across calls) matches the allocating wrapper bit for bit
+    /// — buffer reuse must never leak state between tiles or calls.
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation(
+        m in 1usize..150,
+        n in 1usize..150,
+        k in 1usize..100,
+        seed in 0u64..1_000_000,
+    ) {
+        let engine = Mmae::new(MmaeConfig {
+            tiling: TilingConfig { tr: 64, tc: 64, tk: 64, ttr: 16, ttc: 16, ttk: 16 },
+            ..MmaeConfig::default()
+        });
+        let a = random(seed, m * k);
+        let b = random(seed ^ 0x1111, k * n);
+        let c = random(seed ^ 0x2222, m * n);
+        let mut scratch = GemmScratch::new();
+        let mut y = Vec::new();
+        for p in PRECISIONS {
+            engine.gemm_functional_with(
+                &mut scratch,
+                GemmOperands::new(&a, &b, &c, m, n, k),
+                p,
+                &mut y,
+            );
+            let fresh = engine.gemm_functional(&a, &b, &c, m, n, k, p);
+            for (yi, ri) in y.iter().zip(&fresh) {
+                prop_assert_eq!(yi.to_bits(), ri.to_bits());
+            }
+        }
+    }
+}

@@ -9,12 +9,10 @@
 //! through common links queue behind one another and per-node bandwidth
 //! degrades exactly when the paper says the NoC saturates.
 
-use std::collections::HashMap;
-
 use maco_sim::{BandwidthResource, SimDuration, SimTime};
 
-use crate::routing::xy_links;
-use crate::topology::{MeshShape, NodeId};
+use crate::routing::{xy_last_link, xy_next_hop};
+use crate::topology::{MeshShape, NodeId, Port};
 
 /// Fabric configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,24 +54,38 @@ impl Default for FabricConfig {
 #[derive(Debug, Clone)]
 pub struct MeshFabric {
     config: FabricConfig,
-    links: HashMap<(NodeId, NodeId), BandwidthResource>,
+    /// Directed links in a flat table indexed by `(router, output port)`
+    /// — `None` at mesh edges. The simulation hot loop resolves several
+    /// links per tile step, so lookup is an index computation instead of
+    /// a hash.
+    links: Vec<Option<BandwidthResource>>,
     sends: u64,
     bytes: u64,
 }
 
+/// Slot of an output port in a router's link-table stripe.
+const fn port_slot(port: Port) -> usize {
+    match port {
+        Port::North => 0,
+        Port::South => 1,
+        Port::East => 2,
+        Port::West => 3,
+        Port::Local => panic!("local port has no inter-router link"),
+    }
+}
+
+/// Output ports per router with inter-router links.
+const PORTS: usize = 4;
+
 impl MeshFabric {
     /// Creates the fabric with every directed link idle.
     pub fn new(config: FabricConfig) -> Self {
-        let mut links = HashMap::new();
+        let mut links = vec![None; config.shape.node_count() * PORTS];
         for node in config.shape.nodes() {
-            for port in [
-                crate::topology::Port::North,
-                crate::topology::Port::South,
-                crate::topology::Port::East,
-                crate::topology::Port::West,
-            ] {
-                if let Some(next) = node.neighbor(port, config.shape) {
-                    links.insert((node, next), BandwidthResource::from_gbps(config.link_gbps));
+            for port in [Port::North, Port::South, Port::East, Port::West] {
+                if node.neighbor(port, config.shape).is_some() {
+                    links[config.shape.index_of(node) * PORTS + port_slot(port)] =
+                        Some(BandwidthResource::from_gbps(config.link_gbps));
                 }
             }
         }
@@ -83,6 +95,17 @@ impl MeshFabric {
             sends: 0,
             bytes: 0,
         }
+    }
+
+    /// The link leaving `from` through `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port exits the mesh.
+    fn link_mut(&mut self, from: NodeId, port: Port) -> &mut BandwidthResource {
+        self.links[self.config.shape.index_of(from) * PORTS + port_slot(port)]
+            .as_mut()
+            .expect("link exists")
     }
 
     /// The active configuration.
@@ -108,19 +131,26 @@ impl MeshFabric {
             // Local turnaround through the router's local port.
             return now + self.config.hop_latency;
         }
-        let links = xy_links(self.config.shape, src, dst);
-        let hops = links.len();
+        assert!(self.config.shape.contains(src), "source outside mesh");
+        assert!(self.config.shape.contains(dst), "destination outside mesh");
+        // Walk the X-Y path hop by hop (no materialised route).
+        let hops = src.manhattan(dst) as usize;
+        let hop_latency = self.config.hop_latency;
+        let mut here = src;
         let mut head = now;
         let mut arrival = now;
-        for (i, link) in links.iter().enumerate() {
-            let res = self.links.get_mut(link).expect("link exists");
-            let (start, end) = res.acquire(head, bytes);
+        for i in 0..hops {
+            let port = xy_next_hop(here, dst);
+            let (start, end) = self.link_mut(here, port).acquire(head, bytes);
             // Head flit moves on one hop-latency after winning the link.
-            head = start + self.config.hop_latency;
+            head = start + hop_latency;
             // Tail arrives at dst after finishing this link plus the
             // remaining pipeline hops.
             let remaining = (hops - 1 - i) as u64;
-            arrival = arrival.max(end + self.config.hop_latency * (remaining + 1));
+            arrival = arrival.max(end + hop_latency * (remaining + 1));
+            here = here
+                .neighbor(port, self.config.shape)
+                .expect("X-Y routing never leaves the mesh");
         }
         arrival
     }
@@ -147,21 +177,15 @@ impl MeshFabric {
         if src == dst {
             return now + self.config.hop_latency;
         }
-        let links = xy_links(self.config.shape, src, dst);
-        let hops = links.len() as u64;
-        let first = *links.first().expect("nonempty path");
-        let (_, inj_end) = self
-            .links
-            .get_mut(&first)
-            .expect("link exists")
-            .acquire(now, bytes);
+        assert!(self.config.shape.contains(src), "source outside mesh");
+        assert!(self.config.shape.contains(dst), "destination outside mesh");
+        let hops = src.manhattan(dst) as u64;
+        let inj_port = xy_next_hop(src, dst);
+        let (_, inj_end) = self.link_mut(src, inj_port).acquire(now, bytes);
         let eject_start = inj_end.max(now + self.config.hop_latency * (hops - 1));
-        let last = *links.last().expect("nonempty path");
         let (_, ej_end) = if hops > 1 {
-            self.links
-                .get_mut(&last)
-                .expect("link exists")
-                .acquire(eject_start, bytes)
+            let (prev, port) = xy_last_link(src, dst);
+            self.link_mut(prev, port).acquire(eject_start, bytes)
         } else {
             (eject_start, inj_end)
         };
@@ -197,26 +221,29 @@ impl MeshFabric {
     /// congestion indicator reported by the Fig. 7 harness.
     pub fn max_link_utilization(&self, elapsed: SimDuration) -> f64 {
         self.links
-            .values()
+            .iter()
+            .flatten()
             .map(|l| l.utilization(elapsed))
             .fold(0.0, f64::max)
     }
 
     /// Mean utilisation across links over `elapsed`.
     pub fn mean_link_utilization(&self, elapsed: SimDuration) -> f64 {
-        if self.links.is_empty() {
+        let count = self.links.iter().flatten().count();
+        if count == 0 {
             return 0.0;
         }
         self.links
-            .values()
+            .iter()
+            .flatten()
             .map(|l| l.utilization(elapsed))
             .sum::<f64>()
-            / self.links.len() as f64
+            / count as f64
     }
 
     /// Resets all link occupancy (between experiment repetitions).
     pub fn reset(&mut self) {
-        for l in self.links.values_mut() {
+        for l in self.links.iter_mut().flatten() {
             l.reset();
         }
         self.sends = 0;

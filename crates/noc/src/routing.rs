@@ -50,6 +50,29 @@ pub fn xy_links(shape: MeshShape, src: NodeId, dst: NodeId) -> Vec<(NodeId, Node
     path.windows(2).map(|w| (w[0], w[1])).collect()
 }
 
+/// The final link of the X-Y path as `(predecessor, output port)` —
+/// computed in O(1), without materialising the route. X-Y routing
+/// corrects X first, so the last hop moves in Y whenever the endpoints'
+/// Y coordinates differ, else in X (kept next to [`xy_next_hop`] so the
+/// dimension-order convention lives in one module; consistency with
+/// [`xy_links`] is asserted over all pairs in the tests).
+///
+/// # Panics
+///
+/// Panics if `src == dst` (no link is traversed).
+pub fn xy_last_link(src: NodeId, dst: NodeId) -> (NodeId, Port) {
+    assert!(src != dst, "single-node path traverses no link");
+    if src.y < dst.y {
+        (NodeId::new(dst.x, dst.y - 1), Port::South)
+    } else if src.y > dst.y {
+        (NodeId::new(dst.x, dst.y + 1), Port::North)
+    } else if src.x < dst.x {
+        (NodeId::new(dst.x - 1, dst.y), Port::East)
+    } else {
+        (NodeId::new(dst.x + 1, dst.y), Port::West)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +126,23 @@ mod tests {
         let turn = path.iter().position(|n| n.x == 3).unwrap();
         assert!(path[..=turn].iter().all(|n| n.y == 0));
         assert!(path[turn..].iter().all(|n| n.x == 3));
+    }
+
+    #[test]
+    fn last_link_matches_materialised_route_for_all_pairs() {
+        let m = MeshShape::new(4, 4);
+        for src in m.nodes() {
+            for dst in m.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let links = xy_links(m, src, dst);
+                let &(prev, next) = links.last().unwrap();
+                let (p, port) = xy_last_link(src, dst);
+                assert_eq!(p, prev, "{src}→{dst} predecessor");
+                assert_eq!(p.neighbor(port, m), Some(next), "{src}→{dst} port {port:?}");
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   for shared links, DRAM channels and cache-controller ports.
 //! * [`SplitMix64`] — a tiny deterministic PRNG for components that need
 //!   reproducible pseudo-randomness without pulling in `rand`.
+//! * [`FxHashMap`] — a deterministic, fast hasher for the simulator's hot
+//!   integer-keyed maps (translation memos, TLB indices).
 //! * [`Timeline`] — a lightweight activity recorder used to regenerate the
 //!   paper's Fig. 5(c) GEMM⁺ overlap diagram.
 //!
@@ -39,6 +41,7 @@
 //! ```
 
 pub mod events;
+pub mod hash;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -46,6 +49,7 @@ pub mod time;
 pub mod timeline;
 
 pub use events::EventQueue;
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use resource::{BandwidthResource, LatencyBandwidthResource, ThroughputMeter};
 pub use rng::SplitMix64;
 pub use stats::Stats;

@@ -34,6 +34,12 @@ pub struct BandwidthResource {
     next_free: SimTime,
     busy: SimDuration,
     bytes: u64,
+    /// One-entry `bytes → service femtoseconds` memo. Tile streams acquire
+    /// the same transfer sizes over and over, and the float multiply-round
+    /// is a libm call on baseline x86-64; memoising a pure function leaves
+    /// results untouched. `(u64::MAX, _)` is the empty sentinel (such a
+    /// transfer just recomputes every time).
+    service_memo: std::cell::Cell<(u64, u64)>,
 }
 
 impl BandwidthResource {
@@ -50,6 +56,7 @@ impl BandwidthResource {
             next_free: SimTime::ZERO,
             busy: SimDuration::ZERO,
             bytes: 0,
+            service_memo: std::cell::Cell::new((u64::MAX, 0)),
         }
     }
 
@@ -63,8 +70,37 @@ impl BandwidthResource {
     /// Reserves the resource for a `bytes`-sized transfer not starting
     /// before `now`. Returns `(start, end)` of the occupancy.
     pub fn acquire(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
-        let start = now.max(self.next_free);
+        self.acquire_train(now, self.service_time(bytes), bytes)
+    }
+
+    /// The serialisation time of a `bytes`-sized transfer (rounded to the
+    /// femtosecond exactly as [`BandwidthResource::acquire`] charges it).
+    pub fn service_time(&self, bytes: u64) -> SimDuration {
+        let (memo_bytes, memo_fs) = self.service_memo.get();
+        if memo_bytes == bytes {
+            return SimDuration::from_fs(memo_fs);
+        }
         let service = SimDuration::from_fs((self.fs_per_byte * bytes as f64).round() as u64);
+        self.service_memo.set((bytes, service.as_fs()));
+        service
+    }
+
+    /// Reserves the resource for a back-to-back train of transfers all
+    /// requested at `now`, totalling `service` occupancy and `bytes`
+    /// payload. Because a transfer requested at `now` starts at
+    /// `max(now, next_free)` and every follow-on chunk then starts exactly
+    /// when its predecessor ends, issuing the train as one reservation is
+    /// *bit-identical* to issuing the chunks one
+    /// [`BandwidthResource::acquire`] at a time — pass `service` as the
+    /// sum of the chunks' [`BandwidthResource::service_time`]s. Returns
+    /// `(start, end)` of the whole train.
+    pub fn acquire_train(
+        &mut self,
+        now: SimTime,
+        service: SimDuration,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
+        let start = now.max(self.next_free);
         let end = start + service;
         self.next_free = end;
         self.busy += service;
@@ -131,6 +167,21 @@ impl LatencyBandwidthResource {
     pub fn access(&mut self, now: SimTime, bytes: u64) -> SimTime {
         let (_, end) = self.bw.acquire(now, bytes);
         end + self.latency
+    }
+
+    /// Issues a back-to-back train of same-`now` requests as one
+    /// reservation (see [`BandwidthResource::acquire_train`]); returns the
+    /// completion time of the train's last request. Identical to issuing
+    /// the chunks through [`LatencyBandwidthResource::access`] one at a
+    /// time and taking the latest completion.
+    pub fn access_train(&mut self, now: SimTime, service: SimDuration, bytes: u64) -> SimTime {
+        let (_, end) = self.bw.acquire_train(now, service, bytes);
+        end + self.latency
+    }
+
+    /// The serialisation time of one `bytes`-sized request.
+    pub fn service_time(&self, bytes: u64) -> SimDuration {
+        self.bw.service_time(bytes)
     }
 
     /// The fixed per-request latency.

@@ -9,7 +9,9 @@
 
 use std::fmt;
 
-use crate::addr::{PhysAddr, VirtAddr, ENTRIES_PER_TABLE, PAGE_SIZE, WALK_LEVELS};
+use crate::addr::{
+    PhysAddr, VirtAddr, ENTRIES_PER_TABLE, LEVEL_BITS, PAGE_SHIFT, PAGE_SIZE, WALK_LEVELS,
+};
 
 /// Access permissions attached to a leaf mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -142,6 +144,15 @@ pub struct AddressSpace {
     /// Table nodes; index 0 is the root.
     tables: Vec<Box<[Descriptor; ENTRIES_PER_TABLE]>>,
     mapped_pages: u64,
+    /// One-entry walk memo: leaf-region tag (`va` shifted past the leaf
+    /// index, `PAGE_SHIFT + LEVEL_BITS` bits) → the three
+    /// non-root node indices of its descriptor path. Sound with no
+    /// invalidation: table nodes are append-only and an upper-level
+    /// descriptor, once valid, never changes (only leaf descriptors are
+    /// cleared by `unmap`), so a resolved path stays resolved. `Cell`
+    /// interior mutability keeps the walk API `&self`; the simulator is
+    /// single-threaded throughout.
+    walk_memo: std::cell::Cell<Option<(u64, [u32; WALK_LEVELS - 1])>>,
 }
 
 impl AddressSpace {
@@ -150,6 +161,7 @@ impl AddressSpace {
         AddressSpace {
             tables: vec![new_node()],
             mapped_pages: 0,
+            walk_memo: std::cell::Cell::new(None),
         }
     }
 
@@ -274,15 +286,66 @@ impl AddressSpace {
         &self,
         va: VirtAddr,
     ) -> Result<(PhysAddr, PageFlags), TranslateFault> {
-        let mut node = 0usize;
-        for level in 0..WALK_LEVELS - 1 {
-            let desc = self.tables[node][va.level_index(level)];
-            if !desc.is_valid() {
-                return Err(TranslateFault::NotMapped { va, level });
+        self.resolve(va).map(|(_, pa, flags)| (pa, flags))
+    }
+
+    /// Fused functional walk: the translation *and* the four descriptor
+    /// read addresses of [`AddressSpace::walk_path`] in a single
+    /// traversal, accelerated by the per-region walk memo (a DMA page
+    /// stream touches runs of pages sharing one leaf table, so steady
+    /// state resolves just the leaf descriptor). Behaviour is identical to
+    /// `translate_with_flags` + `walk_path`: same faults, same addresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateFault::NotMapped`] when any walk level is invalid.
+    #[allow(clippy::type_complexity)] // (pa, flags, reads) of one walk
+    pub fn walk_with_path(
+        &self,
+        va: VirtAddr,
+    ) -> Result<(PhysAddr, PageFlags, [PhysAddr; WALK_LEVELS]), TranslateFault> {
+        let (nodes, pa, flags) = self.resolve(va)?;
+        let leaf_idx = va.level_index(WALK_LEVELS - 1);
+        let reads = [
+            self.table_addr(0) + (va.level_index(0) as u64 * 8),
+            self.table_addr(nodes[0] as usize) + (va.level_index(1) as u64 * 8),
+            self.table_addr(nodes[1] as usize) + (va.level_index(2) as u64 * 8),
+            self.table_addr(nodes[WALK_LEVELS - 2] as usize) + (leaf_idx as u64 * 8),
+        ];
+        Ok((pa, flags, reads))
+    }
+
+    /// Shared walk core: the upper node path (memoised per region) plus
+    /// the leaf translation.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    fn resolve(
+        &self,
+        va: VirtAddr,
+    ) -> Result<([u32; WALK_LEVELS - 1], PhysAddr, PageFlags), TranslateFault> {
+        // Everything above the leaf index: the VA bits that select the
+        // upper node path. One leaf table covers 2^(PAGE_SHIFT+LEVEL_BITS)
+        // bytes.
+        let region = va.raw() >> (PAGE_SHIFT + LEVEL_BITS);
+        let nodes = match self.walk_memo.get() {
+            Some((tag, nodes)) if tag == region => nodes,
+            _ => {
+                let mut nodes = [0u32; WALK_LEVELS - 1];
+                let mut node = 0usize;
+                for (level, slot) in nodes.iter_mut().enumerate() {
+                    let desc = self.tables[node][va.level_index(level)];
+                    if !desc.is_valid() {
+                        return Err(TranslateFault::NotMapped { va, level });
+                    }
+                    node = desc.frame() as usize;
+                    *slot = node as u32;
+                }
+                self.walk_memo.set(Some((region, nodes)));
+                nodes
             }
-            node = desc.frame() as usize;
-        }
-        let desc = self.tables[node][va.level_index(WALK_LEVELS - 1)];
+        };
+        let leaf_node = nodes[WALK_LEVELS - 2] as usize;
+        let desc = self.tables[leaf_node][va.level_index(WALK_LEVELS - 1)];
         if !desc.is_valid() {
             return Err(TranslateFault::NotMapped {
                 va,
@@ -294,7 +357,7 @@ impl AddressSpace {
             read: true,
             write: desc.is_writable(),
         };
-        Ok((pa, flags))
+        Ok((nodes, pa, flags))
     }
 
     /// Translates for a write access, checking permissions.

@@ -7,9 +7,8 @@
 //! doubly-linked LRU list — the simulator performs hundreds of millions of
 //! lookups in the Fig. 6/7 sweeps, so this path must be fast.
 
-use std::collections::HashMap;
-
 use maco_isa::Asid;
+use maco_sim::hash::FxHashMap;
 
 use crate::addr::PhysAddr;
 use crate::page_table::PageFlags;
@@ -64,7 +63,7 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     capacity: usize,
-    index: HashMap<(u16, u64), u32>,
+    index: FxHashMap<(u16, u64), u32>,
     slots: Vec<Slot>,
     head: u32, // MRU
     tail: u32, // LRU
@@ -84,7 +83,7 @@ impl Tlb {
         assert!(capacity > 0, "TLB needs at least one entry");
         Tlb {
             capacity,
-            index: HashMap::with_capacity(capacity * 2),
+            index: FxHashMap::with_capacity_and_hasher(capacity * 2, Default::default()),
             slots: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,
@@ -125,6 +124,34 @@ impl Tlb {
         }
     }
 
+    /// Fused lookup-then-fill, the translation streams' hot path: behaves
+    /// exactly like [`Tlb::lookup`] followed — on a miss — by `fill` and
+    /// [`Tlb::insert`] of its result, but skips `insert`'s redundant
+    /// re-probe of a key the lookup just reported absent. Returns the
+    /// entry and whether it was resident; a `fill` error propagates with
+    /// the TLB left as the plain missed lookup would leave it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error returned by `fill`.
+    pub fn lookup_or_fill<E>(
+        &mut self,
+        asid: Asid,
+        vpn: u64,
+        fill: impl FnOnce() -> Result<TlbEntry, E>,
+    ) -> Result<(bool, TlbEntry), E> {
+        let key = (asid.raw(), vpn);
+        if let Some(&slot) = self.index.get(&key) {
+            self.hits += 1;
+            self.touch(slot);
+            return Ok((true, self.slots[slot as usize].entry));
+        }
+        self.misses += 1;
+        let entry = fill()?;
+        self.insert_absent(key, entry);
+        Ok((false, entry))
+    }
+
     /// Checks residency without updating LRU order or statistics.
     pub fn probe(&self, asid: Asid, vpn: u64) -> Option<TlbEntry> {
         self.index
@@ -141,6 +168,14 @@ impl Tlb {
             self.touch(slot);
             return;
         }
+        self.insert_absent(key, entry);
+    }
+
+    /// Miss path shared by [`Tlb::insert`] and [`Tlb::lookup_or_fill`]:
+    /// allocates a slot (evicting the LRU entry when full), indexes the
+    /// key and makes it most-recently-used. The caller guarantees `key`
+    /// is absent.
+    fn insert_absent(&mut self, key: (u16, u64), entry: TlbEntry) {
         let slot = if self.index.len() == self.capacity {
             // Reuse the LRU slot.
             let victim = self.tail;
@@ -175,6 +210,27 @@ impl Tlb {
         };
         self.index.insert(key, slot);
         self.push_front(slot);
+    }
+
+    /// Structural clone with every live entry retagged to `asid`,
+    /// preserving LRU order, slot layout, free list and statistics.
+    ///
+    /// This is a simulator fast-path primitive, not an architectural
+    /// operation: when two engines have replayed identical translation
+    /// histories under different ASIDs, their TLBs are isomorphic up to
+    /// the ASID tag, and transplanting a retagged clone is
+    /// indistinguishable from replaying the stream. Intended for
+    /// single-ASID TLBs; retagging entries of several ASIDs to one would
+    /// collide.
+    pub fn clone_retagged(&self, asid: Asid) -> Tlb {
+        let mut t = self.clone();
+        t.index.clear();
+        for (&(_, vpn), &slot) in &self.index {
+            t.slots[slot as usize].key = (asid.raw(), vpn);
+            let prev = t.index.insert((asid.raw(), vpn), slot);
+            debug_assert!(prev.is_none(), "retag collision on vpn {vpn:#x}");
+        }
+        t
     }
 
     /// Drops every entry belonging to `asid` (TLB shoot-down on address
@@ -291,6 +347,70 @@ mod tests {
 
     fn asid(n: u16) -> Asid {
         Asid::new(n)
+    }
+
+    #[test]
+    fn clone_retagged_is_isomorphic_to_replaying_under_other_asid() {
+        // Drive two TLBs through the same operation sequence under
+        // different ASIDs; retagging one must equal the other exactly,
+        // including LRU order (probed via eviction behaviour) and stats.
+        let mut a = Tlb::new(4);
+        let mut b = Tlb::new(4);
+        let ops: &[u64] = &[1, 2, 3, 1, 4, 5, 2, 6];
+        for &vpn in ops {
+            if a.lookup(asid(7), vpn).is_none() {
+                a.insert(asid(7), vpn, entry(vpn * 10));
+            }
+            if b.lookup(asid(9), vpn).is_none() {
+                b.insert(asid(9), vpn, entry(vpn * 10));
+            }
+        }
+        let mut t = a.clone_retagged(asid(9));
+        assert_eq!(
+            (t.hits(), t.misses(), t.evictions()),
+            (b.hits(), b.misses(), b.evictions())
+        );
+        for vpn in 0..8 {
+            assert_eq!(t.probe(asid(9), vpn), b.probe(asid(9), vpn), "vpn {vpn}");
+            assert_eq!(t.probe(asid(7), vpn), None, "old tag must be gone");
+        }
+        // Same future behaviour: one more insert evicts the same victim.
+        t.insert(asid(9), 100, entry(1));
+        b.insert(asid(9), 100, entry(1));
+        for vpn in 0..8 {
+            assert_eq!(
+                t.probe(asid(9), vpn),
+                b.probe(asid(9), vpn),
+                "post-evict vpn {vpn}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_or_fill_matches_lookup_then_insert() {
+        let mut fused = Tlb::new(2);
+        let mut plain = Tlb::new(2);
+        for &vpn in &[1u64, 2, 1, 3, 2, 3, 3, 4] {
+            let r: Result<_, ()> = fused.lookup_or_fill(asid(1), vpn, || Ok(entry(vpn)));
+            let (hit, e) = r.unwrap();
+            let p = plain.lookup(asid(1), vpn);
+            assert_eq!(hit, p.is_some(), "vpn {vpn}");
+            if p.is_none() {
+                plain.insert(asid(1), vpn, entry(vpn));
+            }
+            assert_eq!(e.frame, vpn);
+        }
+        assert_eq!(fused.hits(), plain.hits());
+        assert_eq!(fused.misses(), plain.misses());
+        assert_eq!(fused.evictions(), plain.evictions());
+        for vpn in 0..6 {
+            assert_eq!(fused.probe(asid(1), vpn), plain.probe(asid(1), vpn));
+        }
+        // A failing fill counts the miss but changes nothing else.
+        let before = fused.misses();
+        assert!(fused.lookup_or_fill(asid(1), 99, || Err("boom")).is_err());
+        assert_eq!(fused.misses(), before + 1);
+        assert_eq!(fused.probe(asid(1), 99), None);
     }
 
     #[test]

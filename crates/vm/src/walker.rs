@@ -88,12 +88,32 @@ impl PageTableWalker {
         va: VirtAddr,
     ) -> Result<WalkResult, TranslateFault> {
         self.walks += 1;
+        match space.walk_with_path(va) {
+            Ok((pa, flags, reads)) => Ok(WalkResult { pa, flags, reads }),
+            Err(e) => {
+                self.faults += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Functional walk returning only the leaf translation: identical
+    /// bookkeeping (walk and fault counters, fault values) to
+    /// [`PageTableWalker::walk`], without materialising the descriptor
+    /// read addresses — the hot path for translation streams, which
+    /// discard them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`TranslateFault`] raised by the radix walk.
+    pub fn walk_frame(
+        &mut self,
+        space: &AddressSpace,
+        va: VirtAddr,
+    ) -> Result<(PhysAddr, PageFlags), TranslateFault> {
+        self.walks += 1;
         match space.translate_with_flags(va) {
-            Ok((pa, flags)) => Ok(WalkResult {
-                pa,
-                flags,
-                reads: space.walk_path(va),
-            }),
+            Ok(res) => Ok(res),
             Err(e) => {
                 self.faults += 1;
                 Err(e)

@@ -62,8 +62,19 @@ pub fn fig7_node_counts() -> Vec<usize> {
 /// Deterministic HPL-style random matrix in `[-0.5, 0.5)` (what
 /// `HPL_dmatgen` produces), row-major `rows×cols`.
 pub fn random_matrix(seed: u64, rows: usize, cols: usize) -> Vec<f64> {
+    let mut buf = Vec::new();
+    fill_random_matrix(seed, rows, cols, &mut buf);
+    buf
+}
+
+/// Fills `buf` with the same deterministic matrix [`random_matrix`]
+/// produces, reusing its allocation. Sweep harnesses call this once per
+/// sweep point with a long-lived buffer, so matrix generation allocates
+/// only when a point needs more capacity than any earlier one.
+pub fn fill_random_matrix(seed: u64, rows: usize, cols: usize, buf: &mut Vec<f64>) {
     let mut rng = SplitMix64::new(seed);
-    (0..rows * cols).map(|_| rng.next_f64() - 0.5).collect()
+    buf.clear();
+    buf.extend(std::iter::repeat_with(|| rng.next_f64() - 0.5).take(rows * cols));
 }
 
 #[cfg(test)]
@@ -90,6 +101,15 @@ mod tests {
         assert_eq!(f7.last(), Some(&9216));
         assert_eq!(f7.len(), 11);
         assert_eq!(fig7_node_counts(), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn fill_reuses_buffer_and_matches_fresh_allocation() {
+        let mut buf = random_matrix(7, 32, 32);
+        let cap = buf.capacity();
+        fill_random_matrix(8, 16, 16, &mut buf);
+        assert_eq!(buf.capacity(), cap, "smaller refill must not reallocate");
+        assert_eq!(buf, random_matrix(8, 16, 16));
     }
 
     #[test]
