@@ -7,7 +7,13 @@
 //! * `kernel_*` — the functional GEMM kernels (`Mmae::gemm_functional`)
 //!   at each precision;
 //! * `single_node_fig6` — the Fig. 6 single-node timing sweep;
-//! * `fig7_16node` — the Fig. 7 16-node timing sweep (the headline number).
+//! * `fig7_16node` — the Fig. 7 16-node timing sweep (the headline number);
+//! * `serve_throughput` — the multi-tenant serving co-simulation (16
+//!   nodes, 8 tenants, mixed BERT/GPT-3/ResNet trace, all three
+//!   policies), fingerprinting every schedule;
+//! * `serve_throughput_mt4` — the same trace sharded over 4 OS threads by
+//!   the replica runner (its `speedup_vs_1t` field is wall-clock only;
+//!   per-shard simulated outcomes are bit-identical to single-thread).
 //!
 //! Every bench also records a *fingerprint* folding the simulated results
 //! (output bits for kernels, makespans and efficiencies for system runs).
@@ -30,19 +36,22 @@ use maco_core::system::{MacoSystem, SystemConfig};
 use maco_isa::Precision;
 use maco_mmae::kernels::{GemmOperands, GemmScratch};
 use maco_mmae::Mmae;
+use maco_serve::{run_replicas, Policy, ServeConfig, Server, Tenant};
 use maco_workloads::gemm::fill_random_matrix;
+use maco_workloads::trace::{self, TraceConfig};
 
 struct BenchResult {
     name: String,
     wall_ms: f64,
     detail: String,
     fingerprint: String,
+    /// Extra raw JSON fields (`, "k": v` snippets) appended to the entry.
+    extra: String,
 }
 
-/// Folds a slice of result bits into a stable order-sensitive hash.
-fn fold_bits(h: u64, bits: u64) -> u64 {
-    (h.rotate_left(7) ^ bits).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
+/// Folds a slice of result bits into a stable order-sensitive hash (the
+/// serving layer's fingerprint fold — one implementation, shared).
+use maco_serve::report::fold_fingerprint as fold_bits;
 
 fn kernel_bench(precision: Precision, n: usize, reps: u32) -> BenchResult {
     let engine = Mmae::new(Default::default());
@@ -71,6 +80,7 @@ fn kernel_bench(precision: Precision, n: usize, reps: u32) -> BenchResult {
         wall_ms,
         detail: format!("{n}x{n}x{n} gemm_functional, {reps} reps"),
         fingerprint: format!("{fp:016x}"),
+        extra: String::new(),
     }
 }
 
@@ -104,7 +114,80 @@ fn system_bench(name: &str, nodes: usize, sizes: &[u64]) -> BenchResult {
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         detail: format!("{nodes}-node sizes {sizes:?}"),
         fingerprint: format!("{fp:016x}"),
+        extra: String::new(),
     }
+}
+
+/// The serving trace both serve benches run: 16 nodes, 8 tenants, mixed
+/// models.
+fn serve_trace(quick: bool) -> (SystemConfig, Vec<Tenant>, Vec<trace::TraceRequest>) {
+    let config = TraceConfig {
+        seed: 0xBE7C,
+        tenants: 8,
+        requests: if quick { 10 } else { 16 },
+        layer_cap: if quick { 2 } else { 3 },
+        ..TraceConfig::default()
+    };
+    (
+        SystemConfig::default(),
+        Tenant::fleet(config.tenants),
+        trace::generate(&config),
+    )
+}
+
+/// Serving co-simulation under all three policies, single-threaded; the
+/// fingerprint folds the three schedule fingerprints.
+fn serve_bench(quick: bool) -> BenchResult {
+    let (system, tenants, trace) = serve_trace(quick);
+    let t0 = Instant::now();
+    let mut fp = 0u64;
+    let mut jobs = 0u64;
+    for policy in Policy::ALL {
+        let mut server = Server::new(
+            MacoSystem::new(system.clone()),
+            tenants.clone(),
+            ServeConfig::with_policy(policy),
+        );
+        let report = server.run_trace(&trace).expect("trace completes");
+        fp = fold_bits(fp, report.fingerprint);
+        fp = fold_bits(fp, report.makespan.as_fs());
+        jobs += report.jobs_completed;
+    }
+    BenchResult {
+        name: "serve_throughput".to_string(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        detail: format!(
+            "16-node 8-tenant mixed trace, {} requests x 3 policies, {jobs} jobs",
+            trace.len()
+        ),
+        fingerprint: format!("{fp:016x}"),
+        extra: String::new(),
+    }
+}
+
+/// The same trace sharded over OS threads by the replica runner. Returns
+/// the bench entry plus the wall-clock speedup vs the 1-thread run of the
+/// same sharding workload.
+fn serve_replica_bench(quick: bool, threads: usize) -> (BenchResult, f64) {
+    let (system, tenants, trace) = serve_trace(quick);
+    let config = ServeConfig::default();
+    let single = run_replicas(&system, &tenants, &config, std::slice::from_ref(&trace))
+        .expect("single shard completes");
+    let shards = trace::shard_balanced(&trace, threads);
+    let outcome = run_replicas(&system, &tenants, &config, &shards).expect("replicas complete");
+    let speedup = single.wall.as_secs_f64() / outcome.wall.as_secs_f64().max(1e-9);
+    let bench = BenchResult {
+        name: format!("serve_throughput_mt{threads}"),
+        wall_ms: outcome.wall.as_secs_f64() * 1e3,
+        detail: format!(
+            "replica runner, {} requests over {threads} threads ({} jobs)",
+            trace.len(),
+            outcome.jobs_completed()
+        ),
+        fingerprint: format!("{:016x}", outcome.fingerprint),
+        extra: format!(", \"speedup_vs_1t\": {speedup:.2}"),
+    };
+    (bench, speedup)
 }
 
 /// Pulls `"field": value` out of the object slice for one bench entry in a
@@ -159,6 +242,12 @@ fn main() {
     results.push(system_bench("single_node_fig6", 1, fig6_sizes));
     eprintln!("perf_baseline: timing 16-node fig7 sweep {fig7_sizes:?}...");
     results.push(system_bench("fig7_16node", 16, fig7_sizes));
+    eprintln!("perf_baseline: timing multi-tenant serving (3 policies)...");
+    results.push(serve_bench(quick));
+    eprintln!("perf_baseline: timing threaded replica serving...");
+    let (mt, speedup) = serve_replica_bench(quick, 4);
+    eprintln!("perf_baseline: replica speedup vs 1 thread: {speedup:.2}x");
+    results.push(mt);
 
     let mut mismatches = Vec::new();
     let mut json = String::new();
@@ -171,8 +260,8 @@ fn main() {
     json.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         let mut entry = format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"detail\": \"{}\", \"fingerprint\": \"{}\"",
-            r.name, r.wall_ms, r.detail, r.fingerprint
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"detail\": \"{}\", \"fingerprint\": \"{}\"{}",
+            r.name, r.wall_ms, r.detail, r.fingerprint, r.extra
         );
         if let Some(prev) = before.as_deref().and_then(|b| before_entry(b, &r.name)) {
             if let Some(ms) = json_field(prev, "wall_ms").and_then(|v| v.parse::<f64>().ok()) {

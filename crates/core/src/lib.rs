@@ -14,6 +14,8 @@
 //! * [`gemm_plus`] — the GEMM⁺ mapping scheme: multi-node tiling
 //!   (Fig. 5(a)), stash & lock (Fig. 5(b)) and CPU/MMAE overlap
 //!   (Fig. 5(c)).
+//! * [`group`] — node-group allocation and Fig. 5(a) partitioning onto
+//!   explicit groups, for schedulers that space-share the machine.
 //! * [`runner`] — a builder-style high-level API for examples and
 //!   harnesses.
 //!
@@ -32,13 +34,20 @@
 //! ```
 
 pub mod gemm_plus;
+pub mod group;
 pub mod node;
 pub mod physical;
 pub mod runner;
 pub mod system;
 
 pub use gemm_plus::{GemmPlusReport, GemmPlusScratch, GemmPlusTask};
+pub use group::{partition_onto, NodePool};
+/// The mapping-layer fault the simulators propagate (re-exported so
+/// layers above `maco-core` can name it without a `maco-vm` dependency).
+pub use maco_vm::page_table::TranslateFault;
 pub use node::ComputeNode;
 pub use physical::{PhysicalModel, UnitPhysical};
 pub use runner::{Maco, MacoBuilder};
-pub use system::{MacoSystem, NodeReport, SystemConfig, SystemReport};
+pub use system::{
+    InFlightGemm, MacoSystem, NodeReport, SystemConfig, SystemReport, TaskAdmitError,
+};

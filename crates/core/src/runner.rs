@@ -43,7 +43,18 @@ impl MacoBuilder {
     }
 
     /// Sets the number of compute nodes (1..=16).
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately if `nodes` is outside the documented `1..=16`
+    /// range (the 4×4 mesh capacity), rather than deferring the failure to
+    /// [`MacoBuilder::build`].
     pub fn nodes(mut self, nodes: usize) -> Self {
+        let capacity = self.config.fabric.shape.node_count();
+        assert!(
+            (1..=capacity).contains(&nodes),
+            "nodes must be in 1..={capacity}, got {nodes}"
+        );
         self.config.nodes = nodes;
         self
     }
@@ -188,6 +199,26 @@ mod tests {
         assert_eq!(cfg.mmae.sa_rows, 16);
         assert_eq!(cfg.mmae.lanes_override, Some(1));
         assert_eq!(cfg.ccm_gbps, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes must be in 1..=16, got 0")]
+    fn builder_rejects_zero_nodes() {
+        let _ = Maco::builder().nodes(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes must be in 1..=16, got 17")]
+    fn builder_rejects_more_nodes_than_the_mesh() {
+        let _ = Maco::builder().nodes(17);
+    }
+
+    #[test]
+    fn builder_accepts_the_full_documented_range() {
+        for n in [1usize, 16] {
+            let maco = Maco::builder().nodes(n).build();
+            assert_eq!(maco.system.config().nodes, n);
+        }
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! is the machinery behind Fig. 6 (translation prediction), Fig. 7
 //! (scalability) and Fig. 8 (DNN throughput).
 
+use std::fmt;
+
 use maco_cpu::core::CpuCore;
 use maco_cpu::CpuConfig;
+use maco_isa::mtq::MtqError;
 use maco_isa::params::GemmParams;
-use maco_isa::stq::{SlaveTaskQueue, TaskKind};
+use maco_isa::stq::{SlaveTaskQueue, StqError, TaskKind};
 use maco_isa::{Asid, Precision};
 use maco_mem::dram::{Dram, DramConfig};
 use maco_mem::l3::L3Config;
@@ -275,6 +278,16 @@ impl MacoSystem {
         &self.nodes[node].cpu
     }
 
+    /// Read access to a node's slave task queue (occupancy inspection).
+    pub fn stq(&self, node: usize) -> &SlaveTaskQueue {
+        &self.nodes[node].stq
+    }
+
+    /// The ASID the system assigned to a node's resident context.
+    pub fn node_asid(&self, node: usize) -> Asid {
+        self.nodes[node].asid
+    }
+
     /// Ensures `[base, base+bytes)` is mapped in the shared layout.
     fn ensure_mapped(&mut self, base: u64, bytes: u64) -> Result<(), TranslateFault> {
         let have = self.mapped.get(&base).copied().unwrap_or(0);
@@ -311,6 +324,123 @@ impl MacoSystem {
             GemmParams::new(A_BASE, B_BASE, C_BASE, Y_BASE, m, n, k, precision)
                 .expect("validated dimensions"),
         )
+    }
+
+    /// Maps (growing the shared layout as needed) and returns the GEMM
+    /// descriptor for an `m×n×k` task — the public entry point external
+    /// schedulers use before [`MacoSystem::begin_gemm`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TranslateFault`]s (mapping failures).
+    pub fn map_gemm(
+        &mut self,
+        m: u64,
+        n: u64,
+        k: u64,
+        precision: Precision,
+    ) -> Result<GemmParams, TranslateFault> {
+        self.build_params(m, n, k, precision)
+    }
+
+    /// Resets the shared resources (mesh fabric, CCM slices, DRAM) to the
+    /// start of a fresh simulated episode. [`MacoSystem::run_parallel_gemm`]
+    /// and friends do this implicitly; external schedulers driving the
+    /// reentrant [`MacoSystem::begin_gemm`]/[`MacoSystem::step_gemm`] API
+    /// call it once per serving episode.
+    pub fn reset_shared_resources(&mut self) {
+        self.fabric.reset();
+        self.dram.reset();
+        for ccm in &mut self.ccms {
+            ccm.reset();
+        }
+    }
+
+    /// Starts one GEMM task on `node` at simulated time `at`, on behalf of
+    /// the process `asid`: the full MPAIS round trip (`MA_CFG` on the CPU,
+    /// STQ submission) followed by task issue, exactly as the closed-loop
+    /// runners do. The returned [`InFlightGemm`] is stepped to completion
+    /// with [`MacoSystem::step_gemm`] — external schedulers interleave many
+    /// of these on the shared timeline by always stepping the task with the
+    /// minimum `(now, tiebreak)` key.
+    ///
+    /// The pass translations are tagged with the node's resident context
+    /// (the shared layout means a hit is valid across tenants); the MTQ
+    /// entry carries `asid`, so per-tenant occupancy accounting and the
+    /// Fig. 3 protocol observe the submitting process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskAdmitError`] when the node's MTQ or STQ has no free
+    /// entry (software would retry) or the parameter block is rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an active compute node.
+    pub fn begin_gemm(
+        &mut self,
+        node: usize,
+        asid: Asid,
+        params: GemmParams,
+        at: SimTime,
+    ) -> Result<InFlightGemm, TaskAdmitError> {
+        assert!(node < self.config.nodes, "node {node} is not active");
+        let state = &mut self.nodes[node];
+        let (maid, issue) = state.cpu.issue_ma_cfg(asid).map_err(TaskAdmitError::Mtq)?;
+        match state.stq.submit(maid, TaskKind::Gemm, &params.pack()) {
+            Ok(None) => {}
+            Ok(Some(resp)) => {
+                // Parse rejection: the STQ responds straight to the MTQ
+                // entry, which then holds the exception until MA_CLEAR.
+                state
+                    .cpu
+                    .mmae_response(resp.maid, resp.exception)
+                    .expect("entry was just allocated");
+                return Err(TaskAdmitError::Rejected(maid));
+            }
+            Err(e) => {
+                // Roll the MTQ allocation back; the caller retries later.
+                state.cpu.mtq_mut().clear(maid).expect("entry exists");
+                return Err(TaskAdmitError::Stq(e));
+            }
+        }
+        let t0 = at + issue + self.config.mmae.clock.cycles(TASK_ISSUE_CYCLES);
+        Ok(InFlightGemm {
+            run: GemmRun::new(node, maid.index(), params, &self.config, t0),
+            asid,
+            done: false,
+        })
+    }
+
+    /// Advances one tile step of an in-flight task. On completion the MPAIS
+    /// response cycle runs (STQ → MTQ → `MA_STATE` release, Fig. 3 state ②)
+    /// and the final [`NodeReport`] is returned; the task must not be
+    /// stepped again afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TranslateFault`]s raised by the pass translation.
+    pub fn step_gemm(
+        &mut self,
+        task: &mut InFlightGemm,
+    ) -> Result<Option<NodeReport>, TranslateFault> {
+        debug_assert!(!task.done, "stepping a completed task");
+        match self.advance_step(&mut task.run)? {
+            Some(report) => {
+                // MMAE responds to the MTQ; software then polls MA_STATE,
+                // observes Done and releases the entry (Fig. 3 state 2).
+                let node = &mut self.nodes[task.run.node];
+                let resp = node.stq.complete_active(None).expect("task was active");
+                debug_assert_eq!(resp.maid.index(), task.run.maid);
+                node.cpu.mmae_response(resp.maid, None).expect("running");
+                node.cpu
+                    .issue_ma_state(resp.maid, task.asid)
+                    .expect("entry exists");
+                task.done = true;
+                Ok(Some(report))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Runs the same independent `m×n×k` GEMM on every active node
@@ -362,25 +492,15 @@ impl MacoSystem {
     fn run_tasks(&mut self, tasks: &[GemmParams]) -> Result<SystemReport, TranslateFault> {
         assert!(!tasks.is_empty());
         let start = SimTime::ZERO;
-        self.fabric.reset();
-        self.dram.reset();
-        for ccm in &mut self.ccms {
-            ccm.reset();
-        }
+        self.reset_shared_resources();
 
-        let mut runs: Vec<GemmRun> = Vec::with_capacity(tasks.len());
+        let mut runs: Vec<InFlightGemm> = Vec::with_capacity(tasks.len());
         for (i, params) in tasks.iter().enumerate() {
-            // MPAIS round trip: MA_CFG on the CPU, STQ submission.
-            let node = &mut self.nodes[i];
-            let (maid, issue) = node
-                .cpu
-                .issue_ma_cfg(node.asid)
-                .expect("fresh MTQ has room");
-            node.stq
-                .submit(maid, TaskKind::Gemm, &params.pack())
-                .expect("fresh STQ has room");
-            let t0 = start + issue + self.config.mmae.clock.cycles(TASK_ISSUE_CYCLES);
-            runs.push(GemmRun::new(i, maid.index(), *params, &self.config, t0));
+            let asid = self.nodes[i].asid;
+            runs.push(
+                self.begin_gemm(i, asid, *params, start)
+                    .expect("fresh queues have room"),
+            );
         }
 
         // The event "heap": per-run next-event times, selected by linear
@@ -389,7 +509,7 @@ impl MacoSystem {
         // gives the batching bound below for free. Selection order is the
         // heap's exactly: minimum `(time, node)`, a total order because
         // node indices are unique.
-        let mut pending: Vec<Option<SimTime>> = runs.iter().map(|r| Some(r.now)).collect();
+        let mut pending: Vec<Option<SimTime>> = runs.iter().map(|r| Some(r.now())).collect();
         let mut remaining = pending.len();
         let mut reports: Vec<Option<NodeReport>> = vec![None; tasks.len()];
 
@@ -417,11 +537,11 @@ impl MacoSystem {
             // the scheduler runs once per whole phase instead of once per
             // tile step.
             let finished = loop {
-                match self.advance_step(&mut runs[ni])? {
+                match self.step_gemm(&mut runs[ni])? {
                     Some(report) => break Some(report),
                     None => {
                         if let Some(r) = runner_up {
-                            if (runs[ni].now, ni) > r {
+                            if (runs[ni].now(), ni) > r {
                                 break None;
                             }
                         }
@@ -430,20 +550,11 @@ impl MacoSystem {
             };
             match finished {
                 Some(report) => {
-                    // MMAE responds to the MTQ; software then polls MA_STATE,
-                    // observes Done and releases the entry (Fig. 3 state 2).
-                    let node = &mut self.nodes[ni];
-                    let asid = node.asid;
-                    let resp = node.stq.complete_active(None).expect("task was active");
-                    node.cpu.mmae_response(resp.maid, None).expect("running");
-                    node.cpu
-                        .issue_ma_state(resp.maid, asid)
-                        .expect("entry exists");
                     reports[ni] = Some(report);
                     pending[ni] = None;
                     remaining -= 1;
                 }
-                None => pending[ni] = Some(runs[ni].now),
+                None => pending[ni] = Some(runs[ni].now()),
             }
         }
 
@@ -868,10 +979,72 @@ struct MirrorEntry {
     history_after: u64,
 }
 
+/// Why a task could not be started on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskAdmitError {
+    /// `MA_CFG` found no free MTQ entry; software retries later.
+    Mtq(MtqError),
+    /// The node's STQ had no room to buffer the task.
+    Stq(StqError),
+    /// The STQ rejected the parameter block; the MTQ entry holds the
+    /// exception until `MA_CLEAR` (Fig. 3 state ④).
+    Rejected(maco_isa::mtq::Maid),
+}
+
+impl fmt::Display for TaskAdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskAdmitError::Mtq(e) => write!(f, "MA_CFG refused: {e}"),
+            TaskAdmitError::Stq(e) => write!(f, "STQ refused: {e}"),
+            TaskAdmitError::Rejected(m) => write!(f, "parameters rejected, {m} holds exception"),
+        }
+    }
+}
+
+impl std::error::Error for TaskAdmitError {}
+
+/// One GEMM task in flight on a node, begun via [`MacoSystem::begin_gemm`]
+/// and advanced by [`MacoSystem::step_gemm`]. External schedulers hold many
+/// of these and interleave their steps in global `(now, tiebreak)` order —
+/// exactly the discipline the closed-loop runners use internally — so
+/// multi-job co-simulation on the shared resources stays deterministic.
+pub struct InFlightGemm {
+    run: GemmRun,
+    asid: Asid,
+    done: bool,
+}
+
+impl InFlightGemm {
+    /// The task's current position on the simulated timeline (its next
+    /// event time while running; its completion time once done).
+    pub fn now(&self) -> SimTime {
+        self.run.now
+    }
+
+    /// The compute node executing the task.
+    pub fn node(&self) -> usize {
+        self.run.node
+    }
+
+    /// The submitting process.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// The MTQ entry index (MAID) the task occupies on its node.
+    pub fn maid(&self) -> u8 {
+        self.run.maid
+    }
+
+    /// Whether the task has completed (stepping must stop).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
 /// Per-node GEMM execution state.
 struct GemmRun {
     node: usize,
-    #[allow(dead_code)]
     maid: u8,
     params: GemmParams,
     passes: Vec<BlockPass>,

@@ -148,6 +148,10 @@ impl std::error::Error for MtqError {}
 #[derive(Debug, Clone)]
 pub struct MasterTaskQueue {
     entries: Vec<MtqEntry>,
+    /// High-water mark of simultaneously allocated entries — the occupancy
+    /// signal multi-tenant schedulers read to see how close a core's MTQ
+    /// came to refusing `MA_CFG`.
+    peak_in_use: usize,
 }
 
 impl MasterTaskQueue {
@@ -163,6 +167,7 @@ impl MasterTaskQueue {
         );
         MasterTaskQueue {
             entries: vec![MtqEntry::default(); entries],
+            peak_in_use: 0,
         }
     }
 
@@ -174,6 +179,20 @@ impl MasterTaskQueue {
     /// Number of currently allocated entries.
     pub fn in_use(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Number of currently allocated entries owned by `asid` — the
+    /// per-tenant occupancy a serving layer accounts against each process.
+    pub fn in_use_by(&self, asid: Asid) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.valid && e.asid == Some(asid))
+            .count()
+    }
+
+    /// Highest simultaneous occupancy observed since construction.
+    pub fn peak_in_use(&self) -> usize {
+        self.peak_in_use
     }
 
     /// `MA_CFG`: allocates the lowest-indexed free entry for `asid`.
@@ -193,6 +212,7 @@ impl MasterTaskQueue {
             asid: Some(asid),
             exception: None,
         };
+        self.peak_in_use = self.peak_in_use.max(self.in_use());
         Ok(Maid(idx as u8))
     }
 
@@ -450,6 +470,24 @@ mod tests {
         assert_eq!(mtq.query(m1, asid(1)).unwrap(), QueryOutcome::Running);
         // Cross-process queries observe Reclaimed (mismatch), not state.
         assert_eq!(mtq.query(m1, asid(0)).unwrap(), QueryOutcome::Reclaimed);
+    }
+
+    #[test]
+    fn occupancy_accounting_per_asid_and_peak() {
+        let mut mtq = MasterTaskQueue::new(4);
+        let m0 = mtq.allocate(asid(1)).unwrap();
+        let _m1 = mtq.allocate(asid(1)).unwrap();
+        let _m2 = mtq.allocate(asid(2)).unwrap();
+        assert_eq!(mtq.in_use_by(asid(1)), 2);
+        assert_eq!(mtq.in_use_by(asid(2)), 1);
+        assert_eq!(mtq.in_use_by(asid(3)), 0);
+        assert_eq!(mtq.peak_in_use(), 3);
+
+        // Releases lower occupancy but never the peak.
+        mtq.complete(m0).unwrap();
+        mtq.query_release(m0, asid(1)).unwrap();
+        assert_eq!(mtq.in_use_by(asid(1)), 1);
+        assert_eq!(mtq.peak_in_use(), 3);
     }
 
     #[test]

@@ -124,6 +124,9 @@ pub struct SlaveTaskQueue {
     capacity: usize,
     completed: u64,
     excepted: u64,
+    /// High-water mark of buffered tasks (active included) — the occupancy
+    /// signal a serving layer reads to see how deep the MMAE's backlog ran.
+    peak_len: usize,
 }
 
 impl SlaveTaskQueue {
@@ -139,6 +142,7 @@ impl SlaveTaskQueue {
             capacity,
             completed: 0,
             excepted: 0,
+            peak_len: 0,
         }
     }
 
@@ -164,6 +168,7 @@ impl SlaveTaskQueue {
         match StqTask::parse(kind, block) {
             Ok(task) => {
                 self.queue.push_back((maid, task));
+                self.peak_len = self.peak_len.max(self.queue.len());
                 Ok(None)
             }
             Err(_) => {
@@ -230,6 +235,11 @@ impl SlaveTaskQueue {
     /// Total tasks terminated by exceptions (parse failures included).
     pub fn excepted(&self) -> u64 {
         self.excepted
+    }
+
+    /// Highest simultaneous queue depth observed since construction.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -328,6 +338,19 @@ mod tests {
             .is_none());
         assert!(matches!(stq.active(), Some((_, StqTask::Move(_)))));
         assert_eq!(stq.len(), 3);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut stq = SlaveTaskQueue::new(3);
+        stq.submit(Maid::new(0), TaskKind::Gemm, &gemm_block())
+            .unwrap();
+        stq.submit(Maid::new(1), TaskKind::Gemm, &gemm_block())
+            .unwrap();
+        stq.complete_active(None).unwrap();
+        stq.complete_active(None).unwrap();
+        assert!(stq.is_empty());
+        assert_eq!(stq.peak_len(), 2, "peak survives the drain");
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Tenants, job specifications and the admission queue.
+//!
+//! A *tenant* is one process sharing the machine: it owns an [`Asid`]
+//! (the identity MPAIS task-queue entries carry, Section III.C) and a
+//! fair-share weight. A *job* is one unit of served work — a single
+//! GEMM⁺ layer or a whole DNN stream — submitted with a priority, an
+//! optional deadline and a requested gang width. The [`JobQueue`] is the
+//! admission layer: a bounded buffer of pending jobs; when it is full the
+//! submission is rejected up front rather than growing latency unboundedly.
+
+use std::fmt;
+
+use maco_core::gemm_plus::GemmPlusTask;
+use maco_cpu::kernels::Kernel;
+use maco_isa::Asid;
+use maco_sim::{SimDuration, SimTime};
+use maco_workloads::dnn::EpilogueClass;
+use maco_workloads::trace::TraceRequest;
+
+/// One process sharing the serving machine.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Display name.
+    pub name: String,
+    /// The tenant's address-space identifier (tags its MTQ entries).
+    pub asid: Asid,
+    /// Fair-share weight (relative service entitlement, ≥ 1).
+    pub weight: u32,
+}
+
+impl Tenant {
+    /// Creates a tenant with weight 1.
+    pub fn new(name: impl Into<String>, asid: Asid) -> Self {
+        Tenant {
+            name: name.into(),
+            asid,
+            weight: 1,
+        }
+    }
+
+    /// Sets the fair-share weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        assert!(weight >= 1, "weights start at 1");
+        self.weight = weight;
+        self
+    }
+
+    /// A fleet of `n` equal-weight tenants (`tenant0..`) with ASIDs in a
+    /// range disjoint from the per-node resident contexts.
+    pub fn fleet(n: usize) -> Vec<Tenant> {
+        (0..n)
+            .map(|i| Tenant::new(format!("tenant{i}"), Asid::new(100 + i as u16)))
+            .collect()
+    }
+}
+
+/// Identifier of a submitted job, unique within a serving episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// One submitted unit of work: a GEMM⁺ layer stream plus its scheduling
+/// attributes.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Index of the submitting tenant.
+    pub tenant: usize,
+    /// The layer stream (one entry = one GEMM⁺ layer).
+    pub layers: Vec<GemmPlusTask>,
+    /// Arrival time on the simulated clock.
+    pub arrival: SimTime,
+    /// Scheduling priority (higher is more urgent; FIFO orders within
+    /// descending priority class).
+    pub priority: u8,
+    /// Completion deadline relative to arrival.
+    pub deadline: Option<SimDuration>,
+    /// Requested gang width (co-scheduled nodes; clamped to the machine).
+    pub gang_width: usize,
+}
+
+impl JobSpec {
+    /// A single-layer job with default attributes.
+    pub fn single(tenant: usize, layer: GemmPlusTask, arrival: SimTime) -> Self {
+        JobSpec {
+            tenant,
+            layers: vec![layer],
+            arrival,
+            priority: 0,
+            deadline: None,
+            gang_width: 1,
+        }
+    }
+
+    /// Converts a generated [`TraceRequest`] into a job: each GEMM layer
+    /// becomes a GEMM⁺ layer with the epilogue kernel its class implies.
+    pub fn from_request(request: &TraceRequest) -> Self {
+        let layers = request
+            .layers
+            .iter()
+            .map(|layer| {
+                let mut task = GemmPlusTask::gemm(
+                    layer.shape.m,
+                    layer.shape.n,
+                    layer.shape.k,
+                    maco_isa::Precision::Fp32,
+                );
+                if let Some(kernel) = epilogue_kernel(layer.epilogue) {
+                    task = task.with_epilogue(kernel);
+                }
+                task
+            })
+            .collect();
+        JobSpec {
+            tenant: request.tenant,
+            layers,
+            arrival: request.arrival,
+            priority: request.priority,
+            deadline: request.deadline,
+            gang_width: request.gang_width,
+        }
+    }
+
+    /// Total GEMM flops over all layers.
+    pub fn flops(&self) -> u64 {
+        self.layers.iter().map(GemmPlusTask::flops).sum()
+    }
+}
+
+/// The epilogue kernel a layer class maps to (Fig. 5(c) non-GEMM work).
+pub fn epilogue_kernel(class: EpilogueClass) -> Option<Kernel> {
+    match class {
+        EpilogueClass::None => None,
+        EpilogueClass::Relu => Some(Kernel::relu()),
+        EpilogueClass::Gelu => Some(Kernel::gelu()),
+        EpilogueClass::Norm => Some(Kernel::layernorm()),
+        EpilogueClass::Softmax => Some(Kernel::softmax()),
+    }
+}
+
+/// Why the admission layer refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The pending queue is at capacity; the tenant retries later.
+    QueueFull,
+    /// The job has no layers.
+    EmptyJob,
+    /// The tenant index is not registered with the server.
+    UnknownTenant,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull => write!(f, "pending queue is full"),
+            AdmissionError::EmptyJob => write!(f, "job has no layers"),
+            AdmissionError::UnknownTenant => write!(f, "tenant is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// The admission rules that do not depend on queue state — the single
+/// source of truth shared by [`crate::Server::validate`] and the episode
+/// submission path.
+pub fn validate_spec(tenant_count: usize, spec: &JobSpec) -> Result<(), AdmissionError> {
+    if spec.tenant >= tenant_count {
+        return Err(AdmissionError::UnknownTenant);
+    }
+    if spec.layers.is_empty() || spec.layers.iter().any(|l| l.m * l.n * l.k == 0) {
+        return Err(AdmissionError::EmptyJob);
+    }
+    Ok(())
+}
+
+/// The bounded admission queue of pending (admitted, not yet scheduled)
+/// jobs, in admission order.
+#[derive(Debug, Clone)]
+pub struct JobQueue {
+    capacity: usize,
+    pending: Vec<JobId>,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue needs capacity");
+        JobQueue {
+            capacity,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Admits a job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmissionError::QueueFull`] at capacity.
+    pub fn admit(&mut self, id: JobId) -> Result<(), AdmissionError> {
+        if self.pending.len() == self.capacity {
+            return Err(AdmissionError::QueueFull);
+        }
+        self.pending.push(id);
+        Ok(())
+    }
+
+    /// Removes a job that was scheduled (or cancelled).
+    pub fn remove(&mut self, id: JobId) {
+        self.pending.retain(|&p| p != id);
+    }
+
+    /// Pending jobs in admission order.
+    pub fn pending(&self) -> &[JobId] {
+        &self.pending
+    }
+
+    /// Number of pending jobs.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maco_isa::Precision;
+
+    #[test]
+    fn queue_bounds_admission() {
+        let mut q = JobQueue::new(2);
+        q.admit(JobId(0)).unwrap();
+        q.admit(JobId(1)).unwrap();
+        assert_eq!(q.admit(JobId(2)), Err(AdmissionError::QueueFull));
+        q.remove(JobId(0));
+        assert_eq!(q.len(), 1);
+        q.admit(JobId(2)).unwrap();
+        assert_eq!(q.pending(), &[JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn spec_flops_sum_layers() {
+        let spec = JobSpec {
+            tenant: 0,
+            layers: vec![
+                GemmPlusTask::gemm(8, 8, 8, Precision::Fp32),
+                GemmPlusTask::gemm(4, 4, 4, Precision::Fp32),
+            ],
+            arrival: SimTime::ZERO,
+            priority: 0,
+            deadline: None,
+            gang_width: 2,
+        };
+        assert_eq!(spec.flops(), 2 * 512 + 2 * 64);
+    }
+
+    #[test]
+    fn fleet_has_distinct_asids() {
+        let fleet = Tenant::fleet(8);
+        for (i, t) in fleet.iter().enumerate() {
+            assert_eq!(t.asid, Asid::new(100 + i as u16));
+            assert_eq!(t.weight, 1);
+        }
+    }
+}

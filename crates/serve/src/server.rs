@@ -1,0 +1,592 @@
+//! The serving core: a virtual-time co-simulation loop that interleaves
+//! many in-flight jobs on one shared [`MacoSystem`] timeline.
+//!
+//! The loop is a discrete-event merge of two streams — job arrivals from
+//! the trace, and tile-step events of in-flight gang members — always
+//! processing the minimum `(time, tiebreak)` event. Gang members advance
+//! through [`MacoSystem::step_gemm`], so contention between tenants on the
+//! mesh, the CCM slices and DRAM emerges from the same resource queueing
+//! that produces Fig. 7; nothing about multi-tenancy is modelled
+//! analytically. Every decision (admission, policy pick, placement) is a
+//! pure function of prior simulated state, which is what makes the
+//! resulting schedule fingerprint byte-identical across same-seed runs.
+
+use maco_core::group::{partition_onto, NodePool};
+use maco_core::system::{InFlightGemm, MacoSystem, TaskAdmitError};
+use maco_core::TranslateFault;
+use maco_sim::{SimDuration, SimTime};
+
+use crate::job::{validate_spec, AdmissionError, JobId, JobQueue, JobSpec, Tenant};
+use crate::report::{fold_fingerprint, NodeLease, ServeReport, TenantReport};
+use crate::sched::{select, Candidate, Policy};
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Admission-queue capacity (pending jobs beyond this are rejected).
+    pub queue_capacity: usize,
+    /// Upper bound on any job's gang width.
+    pub max_gang: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            policy: Policy::Fifo,
+            queue_capacity: 64,
+            max_gang: 16,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A configuration running `policy` with the other knobs at default.
+    pub fn with_policy(policy: Policy) -> Self {
+        ServeConfig {
+            policy,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// Errors the serving loop can surface.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A pass translation faulted (mapping failure).
+    Translate(TranslateFault),
+    /// A node refused a task dispatch — a scheduler invariant violation,
+    /// since gangs hold nodes exclusively.
+    Admit(TaskAdmitError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Translate(e) => write!(f, "translation fault: {e:?}"),
+            ServeError::Admit(e) => write!(f, "dispatch refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TranslateFault> for ServeError {
+    fn from(e: TranslateFault) -> Self {
+        ServeError::Translate(e)
+    }
+}
+
+impl From<TaskAdmitError> for ServeError {
+    fn from(e: TaskAdmitError) -> Self {
+        ServeError::Admit(e)
+    }
+}
+
+/// The multi-tenant GEMM server: a [`MacoSystem`] plus a tenant fleet and
+/// a scheduling configuration.
+pub struct Server {
+    system: MacoSystem,
+    tenants: Vec<Tenant>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Builds a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tenant fleet or a zero `max_gang`.
+    pub fn new(system: MacoSystem, tenants: Vec<Tenant>, config: ServeConfig) -> Self {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        assert!(config.max_gang >= 1, "gangs have at least one member");
+        Server {
+            system,
+            tenants,
+            config,
+        }
+    }
+
+    /// The underlying machine.
+    pub fn system(&self) -> &MacoSystem {
+        &self.system
+    }
+
+    /// The registered tenant fleet.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Checks a job against the admission rules that do not depend on
+    /// queue state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`AdmissionError`] the submission would be rejected
+    /// with.
+    pub fn validate(&self, spec: &JobSpec) -> Result<(), AdmissionError> {
+        validate_spec(self.tenants.len(), spec)
+    }
+
+    /// Serves a generated trace (see [`maco_workloads::trace`]): converts
+    /// each request into a job and runs the episode to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`]s from the co-simulation.
+    pub fn run_trace(
+        &mut self,
+        trace: &[maco_workloads::trace::TraceRequest],
+    ) -> Result<ServeReport, ServeError> {
+        self.run_jobs(trace.iter().map(JobSpec::from_request).collect())
+    }
+
+    /// Runs one serving episode over `specs` (arrival-sorted internally)
+    /// until every admitted job has completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`]s from the co-simulation.
+    pub fn run_jobs(&mut self, mut specs: Vec<JobSpec>) -> Result<ServeReport, ServeError> {
+        specs.sort_by_key(|s| s.arrival);
+        self.system.reset_shared_resources();
+        let ep = Episode::new(&mut self.system, &self.tenants, &self.config, &specs);
+        ep.run()
+    }
+}
+
+/// One gang member's task in flight.
+struct ActiveTask {
+    task: InFlightGemm,
+    /// Global dispatch sequence number — the deterministic tiebreak for
+    /// equal event times.
+    seq: u64,
+    job: usize,
+    layer: usize,
+    /// When this layer was dispatched (folded into the fingerprint).
+    layer_start: SimTime,
+    /// CPU epilogue time extending past the member's GEMM (the Fig. 5(c)
+    /// non-overlappable tail, or the whole epilogue without overlap).
+    epilogue_tail: SimDuration,
+}
+
+/// Per-job episode state.
+struct Job {
+    spec: JobSpec,
+    /// Effective gang width (requested, clamped to machine and config).
+    width: usize,
+    /// Cached total flops (SJF key).
+    flops_total: u64,
+    group: Vec<usize>,
+    layer: usize,
+    members_left: usize,
+    /// Max member end (epilogue tails included) of the current layer.
+    layer_end: SimTime,
+    /// Index of this job's first lease in the episode lease log.
+    lease_start: usize,
+    finished: bool,
+}
+
+/// All mutable state of one serving episode.
+struct Episode<'a> {
+    system: &'a mut MacoSystem,
+    tenants: &'a [Tenant],
+    config: &'a ServeConfig,
+    /// Arrival-sorted job stream and the next-to-arrive cursor.
+    specs: &'a [JobSpec],
+    next: usize,
+    weights: Vec<u32>,
+    pool: NodePool,
+    queue: JobQueue,
+    jobs: Vec<Job>,
+    active: Vec<ActiveTask>,
+    served: Vec<u64>,
+    stats: Vec<TenantReport>,
+    leases: Vec<NodeLease>,
+    /// Armed when a queued job is blocked on nodes whose free time lies in
+    /// the simulated future (completions are processed in event order, so
+    /// such nodes exist): the scheduler retries at this instant.
+    wake: Option<SimTime>,
+    fingerprint: u64,
+    seq: u64,
+    last_finish: SimTime,
+    jobs_completed: u64,
+    jobs_rejected: u64,
+    total_flops: u64,
+}
+
+impl<'a> Episode<'a> {
+    fn new(
+        system: &'a mut MacoSystem,
+        tenants: &'a [Tenant],
+        config: &'a ServeConfig,
+        specs: &'a [JobSpec],
+    ) -> Self {
+        let nodes = system.node_count();
+        let stats = tenants
+            .iter()
+            .map(|t| TenantReport {
+                name: t.name.clone(),
+                weight: t.weight,
+                submitted: 0,
+                completed: 0,
+                rejected: 0,
+                flops: 0,
+                latency_sum: SimDuration::ZERO,
+                latency_max: SimDuration::ZERO,
+                deadline_misses: 0,
+                peak_mtq: 0,
+                peak_stq: 0,
+            })
+            .collect();
+        Episode {
+            system,
+            tenants,
+            config,
+            specs,
+            next: 0,
+            weights: tenants.iter().map(|t| t.weight).collect(),
+            pool: NodePool::new(nodes),
+            queue: JobQueue::new(config.queue_capacity),
+            jobs: Vec::new(),
+            active: Vec::new(),
+            served: vec![0; tenants.len()],
+            stats,
+            leases: Vec::new(),
+            wake: None,
+            fingerprint: 0,
+            seq: 0,
+            last_finish: SimTime::ZERO,
+            jobs_completed: 0,
+            jobs_rejected: 0,
+            total_flops: 0,
+        }
+    }
+
+    /// The event-merge loop.
+    fn run(mut self) -> Result<ServeReport, ServeError> {
+        loop {
+            let task = self
+                .active
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, a)| (a.task.now(), a.seq))
+                .map(|(i, a)| (a.task.now(), a.seq, i));
+            let arrival = self.specs.get(self.next).map(|s| s.arrival);
+            let wake = self.wake;
+            if task.is_none() && arrival.is_none() && wake.is_none() {
+                break;
+            }
+            let task_time = task.map(|(t, _, _)| t);
+            // Tie order is arrival, then wake, then task step, so admission
+            // and scheduling state are current before any same-instant
+            // stepping decision.
+            let arrival_first = arrival.is_some_and(|at| {
+                task_time.is_none_or(|tt| at <= tt) && wake.is_none_or(|w| at <= w)
+            });
+            let wake_first =
+                !arrival_first && wake.is_some_and(|w| task_time.is_none_or(|tt| w <= tt));
+            if arrival_first {
+                let at = arrival.expect("arrival_first implies an arrival");
+                let spec = self.specs[self.next].clone();
+                self.next += 1;
+                self.submit(&spec);
+                self.try_schedule(at)?;
+            } else if wake_first {
+                let at = wake.expect("wake_first implies a wake");
+                self.wake = None;
+                self.try_schedule(at)?;
+            } else {
+                let (_, _, idx) = task.expect("no arrival or wake, so a task exists");
+                // Batch contiguous steps of the minimal task while it
+                // stays at or below every other event — the same
+                // exact-equivalence batching the closed-loop runner uses,
+                // bounded additionally by the next arrival and wake.
+                let runner_up = self
+                    .active
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != idx)
+                    .map(|(_, a)| (a.task.now(), a.seq))
+                    .min();
+                let completed = loop {
+                    if self.system.step_gemm(&mut self.active[idx].task)?.is_some() {
+                        break true;
+                    }
+                    let key = (self.active[idx].task.now(), self.active[idx].seq);
+                    if arrival.is_some_and(|at| key.0 >= at)
+                        || wake.is_some_and(|w| key.0 >= w)
+                        || runner_up.is_some_and(|r| key > r)
+                    {
+                        break false;
+                    }
+                };
+                if completed {
+                    self.member_done(idx)?;
+                }
+            }
+        }
+        debug_assert!(self.queue.is_empty(), "pending jobs at episode end");
+        debug_assert!(self.active.is_empty());
+        let nodes = self.system.node_count();
+        Ok(ServeReport {
+            policy: self.config.policy,
+            tenants: self.stats,
+            jobs_completed: self.jobs_completed,
+            jobs_rejected: self.jobs_rejected,
+            makespan: self.last_finish.since(SimTime::ZERO),
+            total_flops: self.total_flops,
+            machine_peak_mtq: (0..nodes)
+                .map(|n| self.system.cpu(n).mtq().peak_in_use())
+                .max()
+                .unwrap_or(0),
+            machine_peak_stq: (0..nodes)
+                .map(|n| self.system.stq(n).peak_len())
+                .max()
+                .unwrap_or(0),
+            leases: self.leases,
+            fingerprint: self.fingerprint,
+        })
+    }
+
+    /// Admission: validates, bounds the queue, registers the job.
+    fn submit(&mut self, spec: &JobSpec) {
+        if spec.tenant < self.stats.len() {
+            self.stats[spec.tenant].submitted += 1;
+        }
+        if validate_spec(self.tenants.len(), spec).is_err() {
+            self.jobs_rejected += 1;
+            if spec.tenant < self.stats.len() {
+                self.stats[spec.tenant].rejected += 1;
+            }
+            return;
+        }
+        let id = JobId(self.jobs.len() as u64);
+        match self.queue.admit(id) {
+            Ok(()) => {
+                let width = spec
+                    .gang_width
+                    .clamp(1, self.config.max_gang.min(self.pool.capacity()));
+                self.jobs.push(Job {
+                    width,
+                    flops_total: spec.flops(),
+                    spec: spec.clone(),
+                    group: Vec::new(),
+                    layer: 0,
+                    members_left: 0,
+                    layer_end: SimTime::ZERO,
+                    lease_start: 0,
+                    finished: false,
+                });
+            }
+            Err(AdmissionError::QueueFull) => {
+                self.jobs_rejected += 1;
+                self.stats[spec.tenant].rejected += 1;
+            }
+            Err(_) => unreachable!("validated above"),
+        }
+    }
+
+    /// Admits (and possibly starts, on nodes already free at their
+    /// arrival instants) every job arriving at or before `upto`. Called
+    /// when a completing step leaps past pending arrivals on the
+    /// simulated clock, so that the completion's rescheduling never hands
+    /// freed nodes to a job "in the past" — freed nodes only serve work
+    /// dispatched at or after the time they became free.
+    fn drain_arrivals(&mut self, upto: SimTime) -> Result<(), ServeError> {
+        while let Some(spec) = self.specs.get(self.next) {
+            let at = spec.arrival;
+            if at > upto {
+                break;
+            }
+            let spec = spec.clone();
+            self.next += 1;
+            self.submit(&spec);
+            self.try_schedule(at)?;
+        }
+        Ok(())
+    }
+
+    /// Starts pending jobs while the policy finds one whose gang fits the
+    /// free nodes (backfilling).
+    fn try_schedule(&mut self, now: SimTime) -> Result<(), ServeError> {
+        loop {
+            if self.queue.is_empty() {
+                return Ok(());
+            }
+            let free = self.pool.free_count(now);
+            let candidates: Vec<Candidate> = self
+                .queue
+                .pending()
+                .iter()
+                .map(|&JobId(id)| {
+                    let j = &self.jobs[id as usize];
+                    Candidate {
+                        id,
+                        tenant: j.spec.tenant,
+                        arrival: j.spec.arrival,
+                        priority: j.spec.priority,
+                        flops: j.flops_total,
+                        width: j.width,
+                    }
+                })
+                .collect();
+            let pick = if free == 0 {
+                None
+            } else {
+                select(
+                    self.config.policy,
+                    &candidates,
+                    free,
+                    &self.served,
+                    &self.weights,
+                )
+            };
+            let Some(pick) = pick else {
+                // Blocked on nodes that free later on the simulated clock
+                // (their completions were processed ahead of `now` in
+                // event order): arm the retry wake-up.
+                if let Some(t) = self.pool.next_free_after(now) {
+                    self.wake = Some(self.wake.map_or(t, |w| w.min(t)));
+                }
+                return Ok(());
+            };
+            let ji = pick as usize;
+            let group = self
+                .pool
+                .allocate(self.jobs[ji].width, now)
+                .expect("select checked the fit");
+            self.queue.remove(JobId(pick));
+            let tenant = self.jobs[ji].spec.tenant;
+            self.jobs[ji].lease_start = self.leases.len();
+            for &node in &group {
+                self.leases.push(NodeLease {
+                    node,
+                    job: pick,
+                    tenant,
+                    from: now,
+                    until: now,
+                });
+            }
+            self.jobs[ji].group = group;
+            self.begin_layer(ji, now)?;
+        }
+    }
+
+    /// Dispatches the current layer of `ji` across its gang at time `at`.
+    fn begin_layer(&mut self, ji: usize, at: SimTime) -> Result<(), ServeError> {
+        let layer = self.jobs[ji].spec.layers[self.jobs[ji].layer].clone();
+        let parts = partition_onto(layer.m, layer.n, layer.k, &self.jobs[ji].group);
+        debug_assert!(!parts.is_empty(), "admission rejects degenerate layers");
+        let tenant = self.jobs[ji].spec.tenant;
+        let asid = self.tenants[tenant].asid;
+        let cpu_cfg = self.system.config().cpu;
+        let tiling = self.system.config().mmae.tiling;
+        for &(node, (pm, pn, pk)) in &parts {
+            let params = self.system.map_gemm(pm, pn, pk, layer.precision)?;
+            let task = self.system.begin_gemm(node, asid, params, at)?;
+            // The epilogue tail that extends a member past its GEMM: with
+            // Fig. 5(c) overlap only the final block's epilogue is
+            // exposed; without it the whole epilogue serialises.
+            let epilogue_tail = match &layer.epilogue {
+                Some(kernel) => {
+                    let epi = kernel.time_on(&cpu_cfg, pm * pn, layer.precision);
+                    if layer.overlap {
+                        let blocks = pm.div_ceil(tiling.tr) * pn.div_ceil(tiling.tc);
+                        SimDuration::from_fs(epi.as_fs() / blocks.max(1))
+                    } else {
+                        epi
+                    }
+                }
+                None => SimDuration::ZERO,
+            };
+            self.active.push(ActiveTask {
+                task,
+                seq: self.seq,
+                job: ji,
+                layer: self.jobs[ji].layer,
+                layer_start: at,
+                epilogue_tail,
+            });
+            self.seq += 1;
+        }
+        self.jobs[ji].members_left = parts.len();
+        self.jobs[ji].layer_end = at;
+        // Occupancy accounting through the MPAIS queues themselves. The
+        // MTQ sum spans every node, not just this gang: a tenant running
+        // several concurrent jobs holds entries machine-wide.
+        let mut mtq = 0;
+        let mut stq = 0;
+        for node in 0..self.system.node_count() {
+            mtq += self.system.cpu(node).mtq().in_use_by(asid);
+        }
+        for &(node, _) in &parts {
+            stq = stq.max(self.system.stq(node).len());
+        }
+        self.stats[tenant].peak_mtq = self.stats[tenant].peak_mtq.max(mtq);
+        self.stats[tenant].peak_stq = self.stats[tenant].peak_stq.max(stq);
+        Ok(())
+    }
+
+    /// Handles one gang member finishing its layer slice.
+    fn member_done(&mut self, idx: usize) -> Result<(), ServeError> {
+        let done = self.active.swap_remove(idx);
+        let member_end = done.task.now() + done.epilogue_tail;
+        let ji = done.job;
+        self.fingerprint = [
+            self.jobs[ji].spec.tenant as u64,
+            done.layer as u64,
+            done.task.node() as u64,
+            done.layer_start.as_fs(),
+            member_end.as_fs(),
+        ]
+        .iter()
+        .fold(fold_fingerprint(self.fingerprint, ji as u64), |h, &x| {
+            fold_fingerprint(h, x)
+        });
+        let job = &mut self.jobs[ji];
+        job.members_left -= 1;
+        job.layer_end = job.layer_end.max(member_end);
+        if job.members_left > 0 {
+            return Ok(());
+        }
+
+        // Layer barrier reached: account service, advance or retire.
+        let tenant = job.spec.tenant;
+        let layer_flops = job.spec.layers[job.layer].flops();
+        let layer_end = job.layer_end;
+        self.served[tenant] += layer_flops;
+        self.stats[tenant].flops += layer_flops;
+        self.total_flops += layer_flops;
+        job.layer += 1;
+        if job.layer < job.spec.layers.len() {
+            return self.begin_layer(ji, layer_end);
+        }
+
+        // Job complete. First admit any arrivals the final step leapt
+        // past, so the rescheduling below never dispatches into the past;
+        // then close leases, free the gang and pull in queued work.
+        self.drain_arrivals(layer_end)?;
+        let job = &mut self.jobs[ji];
+        job.finished = true;
+        let latency = layer_end.since(job.spec.arrival);
+        let lease_range = job.lease_start..job.lease_start + job.group.len();
+        let group = std::mem::take(&mut job.group);
+        let deadline_missed = job.spec.deadline.is_some_and(|d| latency > d);
+        for lease in &mut self.leases[lease_range] {
+            lease.until = layer_end;
+        }
+        self.pool.release(&group, layer_end);
+        self.jobs_completed += 1;
+        self.last_finish = self.last_finish.max(layer_end);
+        let st = &mut self.stats[tenant];
+        st.completed += 1;
+        st.latency_sum += latency;
+        st.latency_max = st.latency_max.max(latency);
+        if deadline_missed {
+            st.deadline_misses += 1;
+        }
+        self.try_schedule(layer_end)
+    }
+}

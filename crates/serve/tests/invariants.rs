@@ -1,0 +1,231 @@
+//! Property-based invariants of the serving subsystem.
+//!
+//! Three properties over randomized tenant/job mixes, plus the
+//! acceptance-style end-to-end check: a 16-node, 8-tenant mixed
+//! BERT/GPT-3/ResNet trace completes under every policy with
+//! byte-identical schedule fingerprints across repeated same-seed runs.
+
+use proptest::prelude::*;
+
+use maco_core::gemm_plus::GemmPlusTask;
+use maco_core::system::{MacoSystem, SystemConfig};
+use maco_isa::Precision;
+use maco_serve::{JobSpec, Policy, ServeConfig, ServeReport, Server, Tenant};
+use maco_sim::{SimDuration, SimTime};
+use maco_workloads::trace::{self, TraceConfig};
+
+fn small_system(nodes: usize) -> MacoSystem {
+    MacoSystem::new(SystemConfig {
+        nodes,
+        ..SystemConfig::default()
+    })
+}
+
+/// Builds a synthetic job mix from sampled raw values: `raw` yields one
+/// job per `(tenant, dim, layers, width, gap)` tuple, with GEMM dims in
+/// multiples of 32 so episodes stay cheap at 128 cases.
+fn synthetic_jobs(raw: &[(u64, u64, u64, u64, u64)], tenants: usize) -> Vec<JobSpec> {
+    let mut arrival = SimTime::ZERO;
+    raw.iter()
+        .map(|&(tenant, dim, layers, width, gap)| {
+            arrival += SimDuration::from_ns(200 + gap);
+            let d = 32 * (1 + dim);
+            JobSpec {
+                tenant: tenant as usize % tenants,
+                layers: (0..1 + layers)
+                    .map(|i| GemmPlusTask::gemm(d, d + 32 * i, d, Precision::Fp32))
+                    .collect(),
+                arrival,
+                priority: (tenant % 4) as u8,
+                deadline: None,
+                gang_width: 1 + width as usize,
+            }
+        })
+        .collect()
+}
+
+fn policy_of(idx: u64) -> Policy {
+    Policy::ALL[idx as usize % Policy::ALL.len()]
+}
+
+/// Leases on one node must never overlap: gangs hold nodes exclusively.
+fn assert_exclusive_leases(report: &ServeReport, nodes: usize) {
+    for node in 0..nodes {
+        let mut spans: Vec<(SimTime, SimTime, u64)> = report
+            .leases
+            .iter()
+            .filter(|l| l.node == node)
+            .map(|l| (l.from, l.until, l.job))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1,
+                "node {node}: job {} ({:?}..{:?}) overlaps job {} ({:?}..{:?})",
+                w[0].2,
+                w[0].0,
+                w[0].1,
+                w[1].2,
+                w[1].0,
+                w[1].1,
+            );
+        }
+    }
+}
+
+proptest! {
+    /// No two concurrent jobs ever share a compute node.
+    #[test]
+    fn no_two_jobs_share_a_node(
+        raw in proptest::collection::vec((0u64..6, 0u64..3, 0u64..2, 0u64..4, 0u64..2000), 2..6),
+        nodes in 2usize..6,
+        policy in 0u64..3,
+    ) {
+        let specs = synthetic_jobs(&raw, 4);
+        let mut server = Server::new(
+            small_system(nodes),
+            Tenant::fleet(4),
+            ServeConfig::with_policy(policy_of(policy)),
+        );
+        let report = server.run_jobs(specs).expect("episode completes");
+        prop_assert_eq!(report.jobs_completed as usize, raw.len());
+        assert_exclusive_leases(&report, nodes);
+    }
+
+    /// Gang partitioning and layer chaining conserve FLOPs exactly: the
+    /// served total equals the serial sum over every submitted job.
+    #[test]
+    fn flops_conserved_vs_serial(
+        raw in proptest::collection::vec((0u64..6, 0u64..3, 0u64..2, 0u64..4, 0u64..2000), 2..6),
+        nodes in 2usize..6,
+        policy in 0u64..3,
+    ) {
+        let specs = synthetic_jobs(&raw, 4);
+        let serial: u64 = specs.iter().map(JobSpec::flops).sum();
+        let mut server = Server::new(
+            small_system(nodes),
+            Tenant::fleet(4),
+            ServeConfig::with_policy(policy_of(policy)),
+        );
+        let report = server.run_jobs(specs).expect("episode completes");
+        prop_assert_eq!(report.total_flops, serial);
+        let per_tenant: u64 = report.tenants.iter().map(|t| t.flops).sum();
+        prop_assert_eq!(per_tenant, serial, "tenant attribution covers everything");
+    }
+
+    /// Identical inputs yield byte-identical schedule fingerprints, on a
+    /// reused server and on a freshly built one.
+    #[test]
+    fn same_seed_same_fingerprint(
+        raw in proptest::collection::vec((0u64..6, 0u64..3, 0u64..2, 0u64..4, 0u64..2000), 2..5),
+        nodes in 2usize..6,
+        policy in 0u64..3,
+    ) {
+        let specs = synthetic_jobs(&raw, 4);
+        let config = ServeConfig::with_policy(policy_of(policy));
+        let mut server = Server::new(small_system(nodes), Tenant::fleet(4), config.clone());
+        let a = server.run_jobs(specs.clone()).expect("episode completes");
+        let b = server.run_jobs(specs.clone()).expect("episode completes");
+        prop_assert_eq!(a.fingerprint, b.fingerprint, "reused server diverged");
+        let mut fresh = Server::new(small_system(nodes), Tenant::fleet(4), config);
+        let c = fresh.run_jobs(specs).expect("episode completes");
+        prop_assert_eq!(a.fingerprint, c.fingerprint, "fresh server diverged");
+        prop_assert_eq!(a.makespan, c.makespan);
+    }
+}
+
+/// The acceptance configuration: 16 nodes, 8 tenants, mixed models.
+fn acceptance_trace() -> Vec<trace::TraceRequest> {
+    trace::generate(&TraceConfig {
+        seed: 0xACCE,
+        tenants: 8,
+        requests: 12,
+        layer_cap: 2,
+        ..TraceConfig::default()
+    })
+}
+
+#[test]
+fn mixed_trace_completes_under_every_policy_deterministically() {
+    let trace = acceptance_trace();
+    assert!(
+        {
+            let mut tenants: Vec<usize> = trace.iter().map(|r| r.tenant).collect();
+            tenants.sort_unstable();
+            tenants.dedup();
+            tenants.len() >= 5
+        },
+        "trace exercises a real tenant mix"
+    );
+    for policy in Policy::ALL {
+        let run = |t: &[trace::TraceRequest]| {
+            let mut server = Server::new(
+                small_system(16),
+                Tenant::fleet(8),
+                ServeConfig::with_policy(policy),
+            );
+            server.run_trace(t).expect("trace completes")
+        };
+        let a = run(&trace);
+        let b = run(&trace);
+        assert_eq!(a.jobs_completed, trace.len() as u64, "{policy:?} completes");
+        assert_eq!(a.jobs_rejected, 0);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "{policy:?} schedule must be byte-identical across same-seed runs"
+        );
+        assert_eq!(a.makespan, b.makespan);
+        assert_exclusive_leases(&a, 16);
+        assert!(a.fairness() > 0.0 && a.fairness() <= 1.0);
+        assert!(a.total_gflops() > 0.0);
+        // Occupancy flowed through the MPAIS queues, per tenant and via
+        // the queues' own high-water counters.
+        assert!(a.tenants.iter().any(|t| t.peak_mtq > 0));
+        assert!(a.tenants.iter().any(|t| t.peak_stq > 0));
+        assert!(a.machine_peak_mtq > 0);
+        assert!(a.machine_peak_stq > 0);
+    }
+}
+
+#[test]
+fn replica_shards_match_single_threaded_runs_exactly() {
+    let trace = acceptance_trace();
+    let shards = trace::shard_by_tenant(&trace, 3);
+    let system = SystemConfig {
+        nodes: 8,
+        ..SystemConfig::default()
+    };
+    let tenants = Tenant::fleet(8);
+    let config = ServeConfig::with_policy(Policy::Fifo);
+    let outcome =
+        maco_serve::run_replicas(&system, &tenants, &config, &shards).expect("replicas complete");
+    assert_eq!(outcome.jobs_completed(), trace.len() as u64);
+    // Every shard's report is bit-identical to serving that shard alone
+    // on one thread: the threads only buy wall-clock, never outcomes.
+    for (shard, threaded) in shards.iter().zip(&outcome.reports) {
+        let mut solo = Server::new(
+            MacoSystem::new(system.clone()),
+            tenants.clone(),
+            config.clone(),
+        );
+        let report = solo.run_trace(shard).expect("shard completes");
+        assert_eq!(report.fingerprint, threaded.fingerprint);
+        assert_eq!(report.makespan, threaded.makespan);
+        assert_eq!(report.total_flops, threaded.total_flops);
+    }
+}
+
+#[test]
+fn deadlines_and_priorities_are_observed() {
+    // An impossible deadline is reported missed, not dropped.
+    let mut server = Server::new(small_system(2), Tenant::fleet(2), ServeConfig::default());
+    let mut spec = JobSpec::single(
+        0,
+        GemmPlusTask::gemm(512, 512, 512, Precision::Fp32),
+        SimTime::ZERO,
+    );
+    spec.deadline = Some(SimDuration::from_ns(1));
+    let report = server.run_jobs(vec![spec]).expect("completes");
+    assert_eq!(report.tenants[0].deadline_misses, 1);
+    assert_eq!(report.tenants[0].completed, 1);
+}

@@ -10,12 +10,18 @@
 //!   [`resnet`], [`bert`] and [`gpt3`] extract each network's GEMM stream
 //!   from the published layer shapes (convolutions via im2col), since a
 //!   GEMM engine's throughput depends only on the dimension stream.
+//!
+//! [`trace`] composes the DNN streams into deterministic multi-tenant
+//! arrival traces (seeded inter-arrival jitter + model mix) for the
+//! `maco-serve` serving layer and its benchmarks.
 
 pub mod bert;
 pub mod dnn;
 pub mod gemm;
 pub mod gpt3;
 pub mod resnet;
+pub mod trace;
 
 pub use dnn::{DnnModel, GemmLayer};
 pub use gemm::{fig6_sizes, fig7_sizes, random_matrix, GemmShape};
+pub use trace::{ModelKind, TraceConfig, TraceRequest};

@@ -1,0 +1,345 @@
+//! Deterministic multi-tenant arrival-stream generation.
+//!
+//! A serving layer is exercised with *traces*: per-tenant request streams
+//! with seeded inter-arrival jitter and a BERT / GPT-3 / ResNet model mix.
+//! Everything here is a pure function of [`TraceConfig`] — same seed, same
+//! trace, byte for byte — because the serving subsystem's schedule
+//! fingerprints are only meaningful if the input stream is reproducible.
+//! The generator deliberately uses only integer arithmetic on the in-tree
+//! [`SplitMix64`] (no `ln`/`exp`), so traces are identical across
+//! platforms and libm versions.
+
+use maco_sim::{SimDuration, SimTime, SplitMix64};
+
+use crate::bert::{bert, BertConfig};
+use crate::dnn::GemmLayer;
+use crate::gpt3::{gpt3, Gpt3Config};
+use crate::resnet::resnet50;
+
+/// The model family a request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// ResNet-50 (im2col convolution stream).
+    Resnet,
+    /// BERT-base encoder stream.
+    Bert,
+    /// GPT-3 decoder-slice stream.
+    Gpt3,
+}
+
+impl ModelKind {
+    /// Short display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ModelKind::Resnet => "resnet",
+            ModelKind::Bert => "bert",
+            ModelKind::Gpt3 => "gpt3",
+        }
+    }
+
+    /// The gang width a request of this model asks for by default: heavier
+    /// streams request wider node groups.
+    pub fn default_gang_width(self) -> usize {
+        match self {
+            ModelKind::Resnet => 2,
+            ModelKind::Bert => 4,
+            ModelKind::Gpt3 => 8,
+        }
+    }
+}
+
+/// One serving request: a tenant asks for a (possibly truncated) DNN GEMM
+/// stream at a simulated arrival time.
+#[derive(Debug, Clone)]
+pub struct TraceRequest {
+    /// Tenant index in `0..TraceConfig::tenants`.
+    pub tenant: usize,
+    /// Simulated arrival time.
+    pub arrival: SimTime,
+    /// Model family.
+    pub model: ModelKind,
+    /// The GEMM layer stream (repeats unrolled, truncated to
+    /// [`TraceConfig::layer_cap`]).
+    pub layers: Vec<GemmLayer>,
+    /// Scheduling priority (higher is more urgent).
+    pub priority: u8,
+    /// Completion deadline relative to arrival, if the tenant set one.
+    pub deadline: Option<SimDuration>,
+    /// Requested gang width (number of co-scheduled nodes).
+    pub gang_width: usize,
+}
+
+impl TraceRequest {
+    /// Total GEMM flops of the request.
+    pub fn flops(&self) -> u64 {
+        self.layers.iter().map(GemmLayer::flops).sum()
+    }
+}
+
+/// Configuration of a generated trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Seed for every random draw in the trace.
+    pub seed: u64,
+    /// Number of tenants; requests round-robin a uniform tenant draw.
+    pub tenants: usize,
+    /// Total requests in the trace.
+    pub requests: usize,
+    /// Mean inter-arrival gap; actual gaps jitter uniformly in
+    /// `[mean/2, 3·mean/2)`.
+    pub mean_interarrival: SimDuration,
+    /// Relative weights of the ResNet / BERT / GPT-3 mix.
+    pub model_mix: [u32; 3],
+    /// Truncate each request's unrolled layer stream to this many layers
+    /// (keeps co-simulation tractable; `usize::MAX` for full streams).
+    pub layer_cap: usize,
+    /// Deadline granted to every request, as a multiple of
+    /// `mean_interarrival` (None = best-effort tenants).
+    pub deadline_factor: Option<u32>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            seed: 0x5EED,
+            tenants: 8,
+            requests: 24,
+            mean_interarrival: SimDuration::from_ns_f64(40_000.0),
+            model_mix: [1, 1, 1],
+            layer_cap: 3,
+            // Mean gaps are tens of microseconds while the heavy GPT-3
+            // slices run for hundreds of milliseconds of simulated time:
+            // an SLO a few thousand gaps wide lets light requests meet it
+            // and queued-behind-heavy ones miss it.
+            deadline_factor: Some(5_000),
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A small configuration for unit tests and CI smoke runs.
+    pub fn quick(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            tenants: 4,
+            requests: 8,
+            layer_cap: 2,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// The scaled-down model streams the traces draw from: one inference slice
+/// per family, repeats unrolled. Shared so tests and benches agree on what
+/// "a BERT request" costs.
+fn model_layers(kind: ModelKind, cap: usize) -> Vec<GemmLayer> {
+    let model = match kind {
+        ModelKind::Resnet => resnet50(1),
+        ModelKind::Bert => bert(BertConfig::base(1, 128)),
+        ModelKind::Gpt3 => gpt3(Gpt3Config::sliced(1, 256)),
+    };
+    let mut layers = model.unrolled();
+    layers.truncate(cap);
+    layers
+}
+
+/// Generates the trace for `config`: requests sorted by arrival time
+/// (ties keep generation order), deterministic in every field.
+///
+/// # Panics
+///
+/// Panics if `tenants`, `requests` or the model mix are degenerate.
+pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
+    assert!(config.tenants >= 1, "need at least one tenant");
+    assert!(config.requests >= 1, "need at least one request");
+    let mix_total: u32 = config.model_mix.iter().sum();
+    assert!(mix_total > 0, "model mix must have positive weight");
+    assert!(
+        config.layer_cap >= 1,
+        "layer cap must keep at least a layer"
+    );
+
+    let mut rng = SplitMix64::new(config.seed);
+    let mean_fs = config.mean_interarrival.as_fs().max(1);
+    let mut now = SimTime::ZERO;
+    let mut out = Vec::with_capacity(config.requests);
+    // One unrolled-and-truncated stream per family, built on first use —
+    // requests of the same family share it by clone.
+    let mut streams: [Option<Vec<GemmLayer>>; 3] = [None, None, None];
+    for _ in 0..config.requests {
+        // Uniform jitter in [mean/2, 3*mean/2): integer-only, platform
+        // independent, same coefficient of variation trace to trace.
+        let gap = mean_fs / 2 + rng.next_below(mean_fs);
+        now += SimDuration::from_fs(gap);
+
+        let tenant = rng.next_below(config.tenants as u64) as usize;
+        let mut pick = rng.next_below(mix_total as u64) as u32;
+        let model = if pick < config.model_mix[0] {
+            ModelKind::Resnet
+        } else {
+            pick -= config.model_mix[0];
+            if pick < config.model_mix[1] {
+                ModelKind::Bert
+            } else {
+                ModelKind::Gpt3
+            }
+        };
+        let priority = rng.next_below(4) as u8;
+        let slot = match model {
+            ModelKind::Resnet => 0,
+            ModelKind::Bert => 1,
+            ModelKind::Gpt3 => 2,
+        };
+        let layers = streams[slot]
+            .get_or_insert_with(|| model_layers(model, config.layer_cap))
+            .clone();
+        out.push(TraceRequest {
+            tenant,
+            arrival: now,
+            model,
+            layers,
+            priority,
+            deadline: config
+                .deadline_factor
+                .map(|f| SimDuration::from_fs(mean_fs.saturating_mul(f as u64))),
+            gang_width: model.default_gang_width(),
+        });
+    }
+    out
+}
+
+/// Splits a trace into `shards` independent streams by tenant
+/// (`tenant % shards`), preserving arrival order within each shard — the
+/// input to the threaded replica runner, where each OS thread serves one
+/// shard on its own simulated machine.
+pub fn shard_by_tenant(trace: &[TraceRequest], shards: usize) -> Vec<Vec<TraceRequest>> {
+    assert!(shards >= 1, "need at least one shard");
+    let mut out = vec![Vec::new(); shards];
+    for req in trace {
+        out[req.tenant % shards].push(req.clone());
+    }
+    out
+}
+
+/// Splits a trace into `shards` streams balancing *work* rather than
+/// tenant count: each request goes to the shard with the least
+/// accumulated flops so far (ties to the lowest shard index), preserving
+/// arrival order within each shard. Deterministic, and much better
+/// wall-clock scaling than [`shard_by_tenant`] when a few heavy requests
+/// (the GPT-3 slices) dominate the stream.
+pub fn shard_balanced(trace: &[TraceRequest], shards: usize) -> Vec<Vec<TraceRequest>> {
+    assert!(shards >= 1, "need at least one shard");
+    let mut out = vec![Vec::new(); shards];
+    let mut load = vec![0u64; shards];
+    for req in trace {
+        let lightest = (0..shards).min_by_key(|&s| (load[s], s)).expect(">= 1");
+        load[lightest] += req.flops();
+        out[lightest].push(req.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let config = TraceConfig::default();
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.model, y.model);
+            assert_eq!(x.priority, y.priority);
+            assert_eq!(x.layers, y.layers);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = generate(&TraceConfig::quick(1));
+        let b = generate(&TraceConfig::quick(2));
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.tenant != y.tenant || x.arrival != y.arrival),
+            "seeds 1 and 2 produced identical traces"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotonic_and_jittered() {
+        let config = TraceConfig::default();
+        let trace = generate(&config);
+        let mean = config.mean_interarrival.as_fs();
+        let mut last = SimTime::ZERO;
+        for req in &trace {
+            let gap = req.arrival.since(last).as_fs();
+            assert!(gap >= mean / 2 && gap < mean / 2 + mean, "gap {gap}");
+            last = req.arrival;
+        }
+    }
+
+    #[test]
+    fn mix_and_caps_respected() {
+        let config = TraceConfig {
+            requests: 60,
+            model_mix: [0, 1, 0], // BERT only
+            layer_cap: 2,
+            ..TraceConfig::default()
+        };
+        for req in generate(&config) {
+            assert_eq!(req.model, ModelKind::Bert);
+            assert!(req.layers.len() <= 2);
+            assert!(req.flops() > 0);
+            assert_eq!(req.gang_width, 4);
+            assert!(req.deadline.is_some());
+        }
+    }
+
+    #[test]
+    fn balanced_sharding_partitions_without_loss_and_balances_flops() {
+        let trace = generate(&TraceConfig::default());
+        let shards = shard_balanced(&trace, 4);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, trace.len());
+        let loads: Vec<u64> = shards
+            .iter()
+            .map(|s| s.iter().map(TraceRequest::flops).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let sum: u64 = loads.iter().sum();
+        // Greedy least-loaded keeps the heaviest shard well below the
+        // whole stream (tenant-hashing routinely fails this).
+        assert!(
+            max < sum * 3 / 4,
+            "imbalanced shards: {loads:?} (total {sum})"
+        );
+        for shard in &shards {
+            let mut last = SimTime::ZERO;
+            for req in shard {
+                assert!(req.arrival >= last, "order preserved");
+                last = req.arrival;
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_partitions_without_loss() {
+        let trace = generate(&TraceConfig::default());
+        let shards = shard_by_tenant(&trace, 3);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, trace.len());
+        for (s, shard) in shards.iter().enumerate() {
+            let mut last = SimTime::ZERO;
+            for req in shard {
+                assert_eq!(req.tenant % 3, s);
+                assert!(req.arrival >= last, "order preserved");
+                last = req.arrival;
+            }
+        }
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`mem`] — caches, MOESI directory, lockable L3, DRAM.
 //! * [`noc`] — the 4×4 mesh network.
 //! * [`cpu`] — the general-purpose core model.
-//! * [`workloads`] — HPL sweeps and DNN GEMM streams.
+//! * [`workloads`] — HPL sweeps, DNN GEMM streams and multi-tenant
+//!   arrival traces.
+//! * [`serve`] — the multi-tenant serving layer: admission, gang
+//!   scheduling, virtual-time co-simulation, replica sharding.
 //! * [`baselines`] — the Fig. 8 comparators.
 //!
 //! # Quickstart
@@ -36,6 +39,7 @@ pub use maco_isa as isa;
 pub use maco_mem as mem;
 pub use maco_mmae as mmae;
 pub use maco_noc as noc;
+pub use maco_serve as serve;
 pub use maco_sim as sim;
 pub use maco_vm as vm;
 pub use maco_workloads as workloads;
