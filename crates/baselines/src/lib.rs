@@ -42,6 +42,19 @@ pub trait GemmEngine {
     fn gemm_time(&mut self, m: u64, n: u64, k: u64, precision: Precision) -> SimDuration;
 }
 
+/// Fresh instances of the three *analytic* comparators (Baseline-1,
+/// Gem5-RASA, Gemmini) at the paper's configuration, in the Fig. 8 bar
+/// order. Baseline-2 is an ablation of the simulated system rather than an
+/// analytic model, so sweep harnesses rebuild it from each design point's
+/// own configuration instead (see `maco-explore`).
+pub fn analytic_comparators() -> Vec<Box<dyn GemmEngine>> {
+    vec![
+        Box::new(cpu_only::CpuOnly::paper()),
+        Box::new(rasa::RasaLike::paper()),
+        Box::new(gemmini::GemminiLike::paper()),
+    ]
+}
+
 /// Runs a DNN GEMM stream through an engine and reports average throughput
 /// in GFLOPS (the Fig. 8 y-axis).
 pub fn dnn_throughput(engine: &mut dyn GemmEngine, model: &DnnModel) -> f64 {

@@ -2,94 +2,35 @@
 //! versus Baseline-1 (CPU-only), Baseline-2 (no mapping scheme), Gem5-RASA
 //! and Gemmini — every solution normalised to 16×16 processing elements
 //! (MACO: 16 nodes × 4×4 SA, one FP32 MAC per PE).
+//!
+//! This bin is a printing front-end over the named experiment
+//! `maco_explore::figures::fig8`; the figure tests pin that experiment to
+//! the seed properties, so the table here cannot drift from them.
 
-use maco_baselines::cpu_only::CpuOnly;
-use maco_baselines::gemmini::GemminiLike;
-use maco_baselines::no_mapping::{fig8_maco, maco_dnn_throughput};
-use maco_baselines::rasa::RasaLike;
-use maco_baselines::{dnn_throughput, GemmEngine};
 use maco_bench::{quick_mode, row};
-use maco_workloads::bert::{bert, BertConfig};
-use maco_workloads::dnn::DnnModel;
-use maco_workloads::gpt3::{gpt3, Gpt3Config};
-use maco_workloads::resnet::resnet50;
-
-fn models() -> Vec<DnnModel> {
-    if quick_mode() {
-        vec![resnet50(4), bert(BertConfig::base(1, 256))]
-    } else {
-        vec![
-            resnet50(8),
-            bert(BertConfig::large(1, 384)),
-            gpt3(Gpt3Config::sliced(2, 1024)),
-        ]
-    }
-}
+use maco_explore::figures;
 
 fn main() {
     println!("Fig. 8 — comparison with state-of-the-art on DL workloads");
     println!("throughput in GFLOPS, FP32, all solutions at 16x16 PEs");
     println!("{}", "-".repeat(76));
 
-    let models = models();
+    let fig8 = figures::fig8(quick_mode());
     let mut widths = vec![24usize];
-    widths.extend(std::iter::repeat_n(12, models.len()));
+    widths.extend(std::iter::repeat_n(12, fig8.models.len()));
     let mut header = vec!["system".to_string()];
-    header.extend(models.iter().map(|m| m.name.to_string()));
+    header.extend(fig8.models.iter().cloned());
     println!("{}", row(&header, &widths));
 
-    // Analytic comparators.
-    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut b1 = CpuOnly::paper();
-    let mut rasa = RasaLike::paper();
-    let mut gemmini = GemminiLike::paper();
-    for (name, engine) in [
-        ("Baseline-1", &mut b1 as &mut dyn GemmEngine),
-        ("Gem5-RASA", &mut rasa),
-        ("Gemmini", &mut gemmini),
-    ] {
-        let vals: Vec<f64> = models.iter().map(|m| dnn_throughput(engine, m)).collect();
-        rows.push((name.to_string(), vals));
-    }
-
-    // Simulated MACO machines (Baseline-2 = mapping off, MACO = mapping on).
-    for (name, mapping) in [("Baseline-2", false), ("MACO", true)] {
-        let vals: Vec<f64> = models
-            .iter()
-            .map(|m| {
-                let mut maco = fig8_maco(mapping);
-                maco_dnn_throughput(&mut maco, m, mapping)
-            })
-            .collect();
-        rows.push((name.to_string(), vals));
-    }
-    rows.sort_by(|a, b| {
-        // Print in the paper's bar order.
-        let order = ["Baseline-1", "Baseline-2", "Gem5-RASA", "Gemmini", "MACO"];
-        let pa = order.iter().position(|&o| o == a.0).unwrap();
-        let pb = order.iter().position(|&o| o == b.0).unwrap();
-        pa.cmp(&pb)
-    });
-
-    let maco_vals = rows.last().expect("MACO row").1.clone();
-    for (name, vals) in &rows {
+    for (name, vals) in &fig8.rows {
         let mut cells = vec![name.clone()];
         cells.extend(vals.iter().map(|v| format!("{v:.0}")));
         println!("{}", row(&cells, &widths));
     }
     println!();
     println!("speedups of MACO (geometric mean across workloads):");
-    for (name, vals) in &rows {
-        if name == "MACO" {
-            continue;
-        }
-        let gm: f64 = vals
-            .iter()
-            .zip(&maco_vals)
-            .map(|(v, m)| m / v)
-            .product::<f64>()
-            .powf(1.0 / vals.len() as f64);
-        println!("  vs {name:<12} {gm:.2}x");
+    for (name, _) in &fig8.rows[..fig8.rows.len() - 1] {
+        println!("  vs {name:<26} {:.2}x", fig8.maco_speedup_over(name));
     }
     println!();
     println!("paper: MACO up to 1.1 TFLOPS @88% efficiency; ~3.3x vs Baseline-1,");

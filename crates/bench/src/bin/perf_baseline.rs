@@ -13,7 +13,11 @@
 //!   policies), fingerprinting every schedule;
 //! * `serve_throughput_mt4` — the same trace sharded over 4 OS threads by
 //!   the replica runner (its `speedup_vs_1t` field is wall-clock only;
-//!   per-shard simulated outcomes are bit-identical to single-thread).
+//!   per-shard simulated outcomes are bit-identical to single-thread);
+//! * `explore_sweep` — a `maco-explore` design-space sweep (nodes ×
+//!   prediction × stash/lock with all four baseline comparators), whose
+//!   sweep fingerprint pins the explorer's simulated outcomes under the
+//!   strict gate exactly like the serving schedules.
 //!
 //! Every bench also records a *fingerprint* folding the simulated results
 //! (output bits for kernels, makespans and efficiencies for system runs).
@@ -33,6 +37,7 @@
 use std::time::Instant;
 
 use maco_core::system::{MacoSystem, SystemConfig};
+use maco_explore::{Explorer, SweepGrid};
 use maco_isa::Precision;
 use maco_mmae::kernels::{GemmOperands, GemmScratch};
 use maco_mmae::Mmae;
@@ -190,6 +195,44 @@ fn serve_replica_bench(quick: bool, threads: usize) -> (BenchResult, f64) {
     (bench, speedup)
 }
 
+/// Design-space sweep through `maco-explore`: node count × prediction ×
+/// stash/lock, every point also running the four baseline comparators. The
+/// bench fingerprint is the sweep fingerprint itself, so the strict gate
+/// pins every simulated point (and the sharded runner's equivalence to
+/// serial is asserted here on every run, not just under `cargo test`).
+fn explore_bench(quick: bool) -> BenchResult {
+    let grid = SweepGrid {
+        nodes: if quick { vec![1, 4] } else { vec![1, 4, 16] },
+        sizes: if quick {
+            vec![512]
+        } else {
+            vec![512, 1024, 2048]
+        },
+        prediction: vec![true, false],
+        stash_lock: vec![true, false],
+        ..SweepGrid::default()
+    };
+    let t0 = Instant::now();
+    let report = Explorer::new().threads(4).run(&grid);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let serial = Explorer::new().run(&grid);
+    assert_eq!(
+        report.fingerprint, serial.fingerprint,
+        "sharded sweep must match serial bit for bit"
+    );
+    let frontier = report.pareto_frontier().len();
+    BenchResult {
+        name: "explore_sweep".to_string(),
+        wall_ms,
+        detail: format!(
+            "{} points x 5 systems, {frontier}-point Pareto frontier",
+            report.points.len()
+        ),
+        fingerprint: report.fingerprint_hex(),
+        extra: format!(", \"pareto_points\": {frontier}"),
+    }
+}
+
 /// Pulls `"field": value` out of the object slice for one bench entry in a
 /// previous report (the format is our own, so a scan is enough).
 fn json_field<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
@@ -248,6 +291,8 @@ fn main() {
     let (mt, speedup) = serve_replica_bench(quick, 4);
     eprintln!("perf_baseline: replica speedup vs 1 thread: {speedup:.2}x");
     results.push(mt);
+    eprintln!("perf_baseline: timing design-space sweep (maco-explore)...");
+    results.push(explore_bench(quick));
 
     let mut mismatches = Vec::new();
     let mut json = String::new();

@@ -22,12 +22,36 @@
 
 use maco_isa::Precision;
 use maco_mmae::config::TilingConfig;
+use maco_noc::topology::MeshShape;
 use maco_vm::page_table::TranslateFault;
 
 use crate::gemm_plus::{run_dnn_stream, run_gemm_plus, DnnReport, GemmPlusReport, GemmPlusTask};
 use crate::system::{MacoSystem, SystemConfig, SystemReport};
 
 /// Builder for a [`Maco`] machine.
+///
+/// Every architectural knob the paper's evaluation sweeps — node count,
+/// CCM service bandwidth and fan-out, mesh dimensions, DRAM channels,
+/// MMAE geometry/tiling, predictive translation and the stash & lock
+/// mapping scheme — is settable here, and each setter validates its
+/// argument immediately rather than deferring the failure to
+/// [`MacoBuilder::build`].
+///
+/// ```
+/// use maco_core::runner::Maco;
+///
+/// let machine = Maco::builder()
+///     .nodes(8)
+///     .ccm_gbps(25.0)
+///     .ccm_fanout(2)
+///     .mesh(4, 4)
+///     .dram_channels(8)
+///     .prediction(true)
+///     .stash_lock(true)
+///     .build();
+/// assert_eq!(machine.config().nodes, 8);
+/// assert_eq!(machine.config().dram.channels, 8);
+/// ```
 #[derive(Debug, Clone)]
 pub struct MacoBuilder {
     config: SystemConfig,
@@ -73,21 +97,103 @@ impl MacoBuilder {
     }
 
     /// Overrides the systolic-array geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
     pub fn sa(mut self, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate {rows}x{cols} SA");
         self.config.mmae.sa_rows = rows;
         self.config.mmae.sa_cols = cols;
         self
     }
 
     /// Forces a per-PE SIMD width (Fig. 8 PE-count normalisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
     pub fn lanes_override(mut self, lanes: u64) -> Self {
+        assert!(lanes > 0, "lanes_override must be positive");
         self.config.mmae.lanes_override = Some(lanes);
         self
     }
 
     /// Overrides the tiling scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tile extent is zero or a second-level extent exceeds
+    /// its first-level block.
     pub fn tiling(mut self, tiling: TilingConfig) -> Self {
+        assert!(
+            tiling.tr > 0 && tiling.tc > 0 && tiling.tk > 0,
+            "zero first-level tile extent"
+        );
+        assert!(
+            tiling.ttr > 0 && tiling.ttc > 0 && tiling.ttk > 0,
+            "zero second-level tile extent"
+        );
+        assert!(
+            tiling.ttr <= tiling.tr && tiling.ttc <= tiling.tc && tiling.ttk <= tiling.tk,
+            "second-level tiles must fit inside the first-level block"
+        );
         self.config.mmae.tiling = tiling;
+        self
+    }
+
+    /// Sets the per-slice CCM service bandwidth in GB/s (the shared-resource
+    /// knee behind the Fig. 7 multi-node loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not a positive finite number.
+    pub fn ccm_gbps(mut self, gbps: f64) -> Self {
+        assert!(
+            gbps.is_finite() && gbps > 0.0,
+            "ccm_gbps must be positive and finite, got {gbps}"
+        );
+        self.config.ccm_gbps = gbps;
+        self
+    }
+
+    /// Sets how many CCM slices one tile transfer fans out across.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn ccm_fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout > 0, "ccm_fanout must be at least 1");
+        self.config.ccm_fanout = fanout;
+        self
+    }
+
+    /// Sets the mesh fabric dimensions (`cols × rows` routers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero, or if the already-configured node
+    /// count no longer fits the shrunken mesh.
+    pub fn mesh(mut self, cols: u8, rows: u8) -> Self {
+        assert!(cols > 0 && rows > 0, "degenerate {cols}x{rows} mesh");
+        let shape = MeshShape::new(cols, rows);
+        assert!(
+            self.config.nodes <= shape.node_count(),
+            "{} nodes do not fit a {cols}x{rows} mesh",
+            self.config.nodes
+        );
+        self.config.fabric.shape = shape;
+        self
+    }
+
+    /// Sets the number of independent DRAM channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn dram_channels(mut self, channels: usize) -> Self {
+        assert!(channels > 0, "need at least one DRAM channel");
+        self.config.dram.channels = channels;
         self
     }
 
@@ -125,6 +231,11 @@ impl Maco {
     /// The underlying system (full control for advanced experiments).
     pub fn system_mut(&mut self) -> &mut MacoSystem {
         &mut self.system
+    }
+
+    /// The configuration the machine was built with.
+    pub fn config(&self) -> &SystemConfig {
+        self.system.config()
     }
 
     /// Runs one logical GEMM, partitioned column-wise across the nodes per
@@ -211,6 +322,91 @@ mod tests {
     #[should_panic(expected = "nodes must be in 1..=16, got 17")]
     fn builder_rejects_more_nodes_than_the_mesh() {
         let _ = Maco::builder().nodes(17);
+    }
+
+    #[test]
+    #[should_panic(expected = "ccm_fanout must be at least 1")]
+    fn builder_rejects_zero_ccm_fanout() {
+        let _ = Maco::builder().ccm_fanout(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ccm_gbps must be positive and finite")]
+    fn builder_rejects_non_positive_ccm_bandwidth() {
+        let _ = Maco::builder().ccm_gbps(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ccm_gbps must be positive and finite")]
+    fn builder_rejects_nan_ccm_bandwidth() {
+        let _ = Maco::builder().ccm_gbps(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate 0x4 mesh")]
+    fn builder_rejects_empty_mesh() {
+        let _ = Maco::builder().mesh(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 nodes do not fit a 2x2 mesh")]
+    fn builder_rejects_mesh_smaller_than_the_node_count() {
+        let _ = Maco::builder().nodes(16).mesh(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one DRAM channel")]
+    fn builder_rejects_zero_dram_channels() {
+        let _ = Maco::builder().dram_channels(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate 0x4 SA")]
+    fn builder_rejects_degenerate_sa() {
+        let _ = Maco::builder().sa(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes_override must be positive")]
+    fn builder_rejects_zero_lanes() {
+        let _ = Maco::builder().lanes_override(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero second-level tile extent")]
+    fn builder_rejects_zero_tile_extent() {
+        let t = TilingConfig {
+            ttr: 0,
+            ..TilingConfig::default()
+        };
+        let _ = Maco::builder().tiling(t);
+    }
+
+    #[test]
+    #[should_panic(expected = "second-level tiles must fit")]
+    fn builder_rejects_inverted_tile_nesting() {
+        let base = TilingConfig::default();
+        let t = TilingConfig {
+            ttr: base.tr + 1,
+            ..base
+        };
+        let _ = Maco::builder().tiling(t);
+    }
+
+    #[test]
+    fn builder_mesh_and_memory_knobs_reach_the_config() {
+        let maco = Maco::builder()
+            .nodes(4)
+            .mesh(2, 2)
+            .ccm_gbps(40.0)
+            .ccm_fanout(2)
+            .dram_channels(8)
+            .build();
+        let cfg = maco.config();
+        assert_eq!(cfg.fabric.shape.node_count(), 4);
+        assert_eq!(cfg.ccm_gbps, 40.0);
+        assert_eq!(cfg.ccm_fanout, 2);
+        assert_eq!(cfg.dram.channels, 8);
     }
 
     #[test]

@@ -369,6 +369,28 @@ impl MacoSystem {
     /// entry carries `asid`, so per-tenant occupancy accounting and the
     /// Fig. 3 protocol observe the submitting process.
     ///
+    /// ```
+    /// use maco_core::system::{MacoSystem, SystemConfig};
+    /// use maco_isa::Precision;
+    /// use maco_sim::SimTime;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut sys = MacoSystem::new(SystemConfig { nodes: 2, ..SystemConfig::default() });
+    /// sys.reset_shared_resources();
+    /// let params = sys.map_gemm(256, 256, 256, Precision::Fp64)?;
+    /// let asid = sys.node_asid(0);
+    /// let mut task = sys.begin_gemm(0, asid, params, SimTime::ZERO)?;
+    /// let report = loop {
+    ///     if let Some(report) = sys.step_gemm(&mut task)? {
+    ///         break report;
+    ///     }
+    /// };
+    /// assert!(task.is_done());
+    /// assert_eq!(report.flops, 2 * 256 * 256 * 256);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`TaskAdmitError`] when the node's MTQ or STQ has no free

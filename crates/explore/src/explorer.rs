@@ -1,0 +1,352 @@
+//! The deterministic sweep runner.
+
+use maco_baselines::analytic_comparators;
+use maco_sim::{fold_fingerprint, SimDuration};
+
+use crate::grid::{SweepGrid, SweepPoint};
+use crate::report::SweepReport;
+use crate::roofline::{roofline, RooflineBound};
+
+/// Throughput one comparator achieved at one design point.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Comparator display name (Fig. 8 naming).
+    pub name: String,
+    /// Achieved throughput in GFLOPS on the point's workload.
+    pub gflops: f64,
+}
+
+/// Everything measured at one design point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The design point.
+    pub point: SweepPoint,
+    /// Aggregate simulated throughput in GFLOPS.
+    pub gflops: f64,
+    /// Average per-node computational efficiency (Fig. 6/7 y-axis).
+    pub efficiency: f64,
+    /// Simulated makespan.
+    pub makespan: SimDuration,
+    /// DRAM bytes the simulation moved.
+    pub dram_bytes: u64,
+    /// The analytical roofline bound for this point.
+    pub roofline: RooflineBound,
+    /// Comparator throughputs at this point (empty when the explorer runs
+    /// with baselines disabled).
+    pub baselines: Vec<BaselineResult>,
+    /// Order-sensitive hash of this point's simulated outcome bits.
+    pub fingerprint: u64,
+}
+
+impl PointResult {
+    /// Predicted-minus-simulated efficiency: how far below the analytical
+    /// roofline the simulation lands (the Fig. 6-style gap column).
+    pub fn roofline_gap(&self) -> f64 {
+        self.roofline.predicted_efficiency() - self.efficiency
+    }
+
+    /// Strict Pareto dominance over the sweep's three standing objectives:
+    /// throughput ↑, efficiency ↑, node count ↓.
+    pub fn dominates(&self, other: &PointResult) -> bool {
+        let no_worse = self.gflops >= other.gflops
+            && self.efficiency >= other.efficiency
+            && self.point.nodes <= other.point.nodes;
+        let better = self.gflops > other.gflops
+            || self.efficiency > other.efficiency
+            || self.point.nodes < other.point.nodes;
+        no_worse && better
+    }
+}
+
+/// Runs a [`SweepGrid`] deterministically: the cartesian product is
+/// evaluated point by point — optionally sharded across OS threads — and
+/// every point's result is bit-identical regardless of sharding, because
+/// each point builds its own fresh machine and comparators.
+///
+/// ```
+/// use maco_explore::{Explorer, SweepGrid};
+///
+/// let grid = SweepGrid {
+///     nodes: vec![1, 2],
+///     sizes: vec![256],
+///     prediction: vec![true, false],
+///     ..SweepGrid::default()
+/// };
+/// let serial = Explorer::new().baselines(false).run(&grid);
+/// assert_eq!(serial.points.len(), 4);
+/// // Sharding across threads changes wall-clock only, never outcomes.
+/// let sharded = Explorer::new().baselines(false).threads(2).run(&grid);
+/// assert_eq!(serial.fingerprint, sharded.fingerprint);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    threads: usize,
+    baselines: bool,
+}
+
+impl Explorer {
+    /// A serial explorer with baseline comparison enabled.
+    pub fn new() -> Self {
+        Explorer {
+            threads: 1,
+            baselines: true,
+        }
+    }
+
+    /// Shards the sweep across `threads` OS threads (contiguous index
+    /// ranges, joined in shard order — the `serve::run_replicas`
+    /// discipline, so results and fingerprint match the serial run bit for
+    /// bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the per-point comparator runs (the three
+    /// analytic Fig. 8 baselines plus the simulated Baseline-2 ablation).
+    pub fn baselines(mut self, on: bool) -> Self {
+        self.baselines = on;
+        self
+    }
+
+    /// Runs the grid and returns the collected report.
+    ///
+    /// Infeasible points (e.g. a node count exceeding a swept mesh's
+    /// capacity) are skipped deterministically and counted in
+    /// [`SweepReport::skipped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty (some axis has no values).
+    pub fn run(&self, grid: &SweepGrid) -> SweepReport {
+        assert!(!grid.is_empty(), "sweep grid has an empty axis");
+        let points: Vec<SweepPoint> = grid.points().filter(SweepPoint::is_feasible).collect();
+        let skipped = grid.len() - points.len();
+
+        let threads = self.threads.min(points.len()).max(1);
+        let results: Vec<PointResult> = if threads == 1 {
+            points.iter().map(|p| self.run_point(p)).collect()
+        } else {
+            // Contiguous shards, results concatenated in shard order: the
+            // final vector is in point-index order exactly as the serial
+            // loop produces it.
+            let chunk = points.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = points
+                    .chunks(chunk)
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            shard.iter().map(|p| self.run_point(p)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            })
+        };
+
+        let fingerprint = results
+            .iter()
+            .fold(0u64, |h, r| fold_fingerprint(h, r.fingerprint));
+        SweepReport {
+            points: results,
+            skipped,
+            fingerprint,
+        }
+    }
+
+    /// Evaluates one design point on fresh machines. Self-contained by
+    /// construction: no state crosses points, which is what makes the
+    /// sharded runner bit-identical to the serial one.
+    fn run_point(&self, point: &SweepPoint) -> PointResult {
+        let (m, n, k) = (point.size, point.size, point.size);
+        let mut maco = point.build();
+        let roofline = roofline(maco.config(), m, n, k, point.precision);
+        let report = maco
+            .parallel_gemm(m, n, k, point.precision)
+            .expect("system-managed mapping cannot fault for valid sizes");
+
+        let mut fp = fold_fingerprint(0, point.index as u64);
+        fp = fold_fingerprint(fp, report.makespan.as_fs());
+        for node in &report.nodes {
+            fp = fold_fingerprint(fp, node.elapsed.as_fs());
+            fp = fold_fingerprint(fp, node.translation.pages);
+        }
+        fp = fold_fingerprint(fp, report.dram_bytes);
+
+        let mut baselines = Vec::new();
+        if self.baselines {
+            // Baseline-2 is this very design point with the mapping scheme
+            // ablated — a second full simulation, not an analytic stand-in.
+            // When the point itself already has the mapping off, the main
+            // run *is* that simulation (fresh machines are deterministic),
+            // so its results are reused instead of re-simulated.
+            let (b2_gflops, b2_makespan) = if point.stash_lock {
+                let mut b2 = point.builder().stash_lock(false).build();
+                let b2_report = b2
+                    .parallel_gemm(m, n, k, point.precision)
+                    .expect("same mapping as the main run");
+                (b2_report.total_gflops(), b2_report.makespan)
+            } else {
+                (report.total_gflops(), report.makespan)
+            };
+            baselines.push(BaselineResult {
+                name: "Baseline-2 (no mapping)".to_string(),
+                gflops: b2_gflops,
+            });
+            fp = fold_fingerprint(fp, b2_makespan.as_fs());
+            let flops = 2 * m * n * k;
+            for mut engine in analytic_comparators() {
+                // The analytic engines model one monolithic device, so
+                // their column is device throughput on one of the point's
+                // GEMMs (running them per node back to back leaves the
+                // rate unchanged).
+                let time = engine.gemm_time(m, n, k, point.precision);
+                let gflops = if time.is_zero() {
+                    0.0
+                } else {
+                    flops as f64 / time.as_ns()
+                };
+                baselines.push(BaselineResult {
+                    name: engine.name().to_string(),
+                    gflops,
+                });
+                fp = fold_fingerprint(fp, gflops.to_bits());
+            }
+        }
+
+        PointResult {
+            gflops: report.total_gflops(),
+            efficiency: report.avg_efficiency(),
+            makespan: report.makespan,
+            dram_bytes: report.dram_bytes,
+            roofline,
+            baselines,
+            fingerprint: fp,
+            point: *point,
+        }
+    }
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid {
+            nodes: vec![1, 2],
+            sizes: vec![256],
+            prediction: vec![true, false],
+            ..SweepGrid::default()
+        }
+    }
+
+    #[test]
+    fn serial_run_covers_every_feasible_point() {
+        let grid = small_grid();
+        let r = Explorer::new().baselines(false).run(&grid);
+        assert_eq!(r.points.len(), 4);
+        assert_eq!(r.skipped, 0);
+        for (i, p) in r.points.iter().enumerate() {
+            assert_eq!(p.point.index, i);
+            assert!(p.efficiency > 0.0 && p.efficiency <= 1.0);
+            assert!(p.gflops > 0.0);
+        }
+    }
+
+    #[test]
+    fn prediction_axis_shows_the_fig6_ordering() {
+        let grid = SweepGrid {
+            nodes: vec![1],
+            sizes: vec![1024],
+            prediction: vec![true, false],
+            ..SweepGrid::default()
+        };
+        let r = Explorer::new().baselines(false).run(&grid);
+        assert!(r.points[0].point.prediction);
+        assert!(
+            r.points[0].efficiency > r.points[1].efficiency,
+            "prediction must help at n=1024"
+        );
+    }
+
+    #[test]
+    fn baselines_attach_four_comparators() {
+        let grid = SweepGrid {
+            nodes: vec![1],
+            sizes: vec![256],
+            ..SweepGrid::default()
+        };
+        let r = Explorer::new().run(&grid);
+        let names: Vec<&str> = r.points[0]
+            .baselines
+            .iter()
+            .map(|b| b.name.as_str())
+            .collect();
+        assert_eq!(names.len(), 4);
+        assert!(names[0].starts_with("Baseline-2"));
+        for b in &r.points[0].baselines {
+            assert!(b.gflops > 0.0, "{}: {}", b.name, b.gflops);
+        }
+    }
+
+    #[test]
+    fn simulation_stays_under_the_roofline() {
+        let grid = SweepGrid {
+            nodes: vec![1, 16],
+            sizes: vec![1024],
+            ..SweepGrid::default()
+        };
+        let r = Explorer::new().baselines(false).run(&grid);
+        for p in &r.points {
+            assert!(
+                p.gflops <= p.roofline.predicted_gflops() * 1.001,
+                "point {} beats its roofline: {} vs {}",
+                p.point.index,
+                p.gflops,
+                p.roofline.predicted_gflops()
+            );
+            assert!(p.roofline_gap() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn skipped_points_are_counted() {
+        let grid = SweepGrid {
+            nodes: vec![4, 16],
+            mesh: vec![(2, 2), (4, 4)],
+            sizes: vec![256],
+            ..SweepGrid::default()
+        };
+        let r = Explorer::new().baselines(false).run(&grid);
+        assert_eq!(r.skipped, 1);
+        assert_eq!(r.points.len(), 3);
+    }
+
+    #[test]
+    fn sharded_equals_serial_bit_for_bit() {
+        let grid = small_grid();
+        let serial = Explorer::new().run(&grid);
+        let sharded = Explorer::new().threads(3).run(&grid);
+        assert_eq!(serial.fingerprint, sharded.fingerprint);
+        assert_eq!(serial.points.len(), sharded.points.len());
+        for (a, b) in serial.points.iter().zip(&sharded.points) {
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(a.gflops.to_bits(), b.gflops.to_bits());
+        }
+    }
+}

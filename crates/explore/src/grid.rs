@@ -1,0 +1,334 @@
+//! The declarative sweep grid: axes over the `SystemConfig` surface.
+
+use maco_core::runner::{Maco, MacoBuilder};
+use maco_core::system::SystemConfig;
+use maco_isa::Precision;
+use maco_mmae::config::TilingConfig;
+
+/// A declarative design-space grid: one `Vec` per swept axis, enumerated as
+/// a cartesian product in a fixed, documented order.
+///
+/// Every axis defaults to a singleton holding the paper's value, so a grid
+/// that only names the axes it cares about sweeps exactly those:
+///
+/// ```
+/// use maco_explore::SweepGrid;
+///
+/// let grid = SweepGrid {
+///     nodes: vec![1, 4, 16],
+///     prediction: vec![true, false],
+///     ..SweepGrid::default()
+/// };
+/// assert_eq!(grid.len(), 6);
+/// ```
+///
+/// Enumeration order is mixed-radix with `nodes` outermost and `stash_lock`
+/// innermost (the field order below), so a point's index is stable for a
+/// given grid — the property the sweep fingerprint and the sharded runner
+/// both build on.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Active compute nodes (Fig. 7 x-axis).
+    pub nodes: Vec<usize>,
+    /// Square matrix sizes `n` (one `n×n×n` GEMM per node).
+    pub sizes: Vec<u64>,
+    /// MMAE operand precisions.
+    pub precisions: Vec<Precision>,
+    /// CCM service bandwidth per slice in GB/s (the Fig. 7 knee knob).
+    pub ccm_gbps: Vec<f64>,
+    /// CCM slices one tile transfer fans out across.
+    pub ccm_fanout: Vec<usize>,
+    /// Mesh fabric dimensions as `(cols, rows)`.
+    pub mesh: Vec<(u8, u8)>,
+    /// Independent DRAM channels.
+    pub dram_channels: Vec<usize>,
+    /// MMAE tiling schemes.
+    pub tilings: Vec<TilingConfig>,
+    /// Predictive address translation on/off (Fig. 6 knob).
+    pub prediction: Vec<bool>,
+    /// Stash & lock mapping scheme on/off (Fig. 8 Baseline-2 knob).
+    pub stash_lock: Vec<bool>,
+}
+
+impl Default for SweepGrid {
+    /// Every axis a singleton at the paper's default configuration.
+    fn default() -> Self {
+        let d = SystemConfig::default();
+        SweepGrid {
+            nodes: vec![d.nodes],
+            sizes: vec![1024],
+            precisions: vec![Precision::Fp64],
+            ccm_gbps: vec![d.ccm_gbps],
+            ccm_fanout: vec![d.ccm_fanout],
+            mesh: vec![(d.fabric.shape.cols, d.fabric.shape.rows)],
+            dram_channels: vec![d.dram.channels],
+            tilings: vec![d.mmae.tiling],
+            prediction: vec![d.prediction],
+            stash_lock: vec![d.stash_lock],
+        }
+    }
+}
+
+impl SweepGrid {
+    /// Number of points in the cartesian product (zero if any axis is
+    /// empty; infeasible points still count — the explorer skips them).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+            * self.sizes.len()
+            * self.precisions.len()
+            * self.ccm_gbps.len()
+            * self.ccm_fanout.len()
+            * self.mesh.len()
+            * self.dram_channels.len()
+            * self.tilings.len()
+            * self.prediction.len()
+            * self.stash_lock.len()
+    }
+
+    /// True if any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The point at `index` in enumeration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn point(&self, index: usize) -> SweepPoint {
+        assert!(index < self.len(), "point {index} out of {}", self.len());
+        // Mixed-radix decomposition, innermost axis in the lowest digits.
+        let mut rest = index;
+        let mut digit = |len: usize| {
+            let d = rest % len;
+            rest /= len;
+            d
+        };
+        let stash_lock = self.stash_lock[digit(self.stash_lock.len())];
+        let prediction = self.prediction[digit(self.prediction.len())];
+        let tiling = self.tilings[digit(self.tilings.len())];
+        let dram_channels = self.dram_channels[digit(self.dram_channels.len())];
+        let mesh = self.mesh[digit(self.mesh.len())];
+        let ccm_fanout = self.ccm_fanout[digit(self.ccm_fanout.len())];
+        let ccm_gbps = self.ccm_gbps[digit(self.ccm_gbps.len())];
+        let precision = self.precisions[digit(self.precisions.len())];
+        let size = self.sizes[digit(self.sizes.len())];
+        let nodes = self.nodes[digit(self.nodes.len())];
+        SweepPoint {
+            index,
+            nodes,
+            size,
+            precision,
+            ccm_gbps,
+            ccm_fanout,
+            mesh,
+            dram_channels,
+            tiling,
+            prediction,
+            stash_lock,
+        }
+    }
+
+    /// Iterates every point in enumeration order.
+    pub fn points(&self) -> impl Iterator<Item = SweepPoint> + '_ {
+        (0..self.len()).map(|i| self.point(i))
+    }
+}
+
+/// One fully-resolved design point of a [`SweepGrid`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Position in the grid's enumeration order.
+    pub index: usize,
+    /// Active compute nodes.
+    pub nodes: usize,
+    /// Square matrix size `n` (each node runs an independent `n×n×n` GEMM).
+    pub size: u64,
+    /// Operand precision.
+    pub precision: Precision,
+    /// CCM service bandwidth per slice in GB/s.
+    pub ccm_gbps: f64,
+    /// CCM fan-out per tile transfer.
+    pub ccm_fanout: usize,
+    /// Mesh dimensions as `(cols, rows)`.
+    pub mesh: (u8, u8),
+    /// DRAM channels.
+    pub dram_channels: usize,
+    /// MMAE tiling scheme.
+    pub tiling: TilingConfig,
+    /// Predictive address translation.
+    pub prediction: bool,
+    /// Stash & lock mapping scheme.
+    pub stash_lock: bool,
+}
+
+impl SweepPoint {
+    /// Whether the point is realisable: positive node count that fits the
+    /// mesh, a positive size, and a well-nested tiling (the same conditions
+    /// [`MacoBuilder::tiling`] and [`MacoBuilder::mesh`] enforce).
+    /// Infeasible points are counted as skipped by the explorer rather
+    /// than failing the sweep.
+    pub fn is_feasible(&self) -> bool {
+        let capacity = self.mesh.0 as usize * self.mesh.1 as usize;
+        let t = self.tiling;
+        self.nodes >= 1
+            && self.nodes <= capacity
+            && self.size >= 1
+            && t.tr > 0
+            && t.tc > 0
+            && t.tk > 0
+            && t.ttr > 0
+            && t.ttc > 0
+            && t.ttk > 0
+            && t.ttr <= t.tr
+            && t.ttc <= t.tc
+            && t.ttk <= t.tk
+    }
+
+    /// Builds the machine for this point through the public
+    /// [`MacoBuilder`] surface (every knob validated on the way in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is not [feasible](SweepPoint::is_feasible).
+    pub fn build(&self) -> Maco {
+        self.builder().build()
+    }
+
+    /// The configured [`MacoBuilder`] for this point (callers can layer
+    /// extra knobs before building).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is not [feasible](SweepPoint::is_feasible).
+    pub fn builder(&self) -> MacoBuilder {
+        assert!(self.is_feasible(), "infeasible point {self:?}");
+        let (cols, rows) = self.mesh;
+        // The builder validates each step against the *current* state, so
+        // drop to one node before reshaping the mesh — valid for any
+        // non-degenerate mesh — then set the real count against it.
+        Maco::builder()
+            .nodes(1)
+            .mesh(cols, rows)
+            .nodes(self.nodes)
+            .ccm_gbps(self.ccm_gbps)
+            .ccm_fanout(self.ccm_fanout)
+            .dram_channels(self.dram_channels)
+            .tiling(self.tiling)
+            .prediction(self.prediction)
+            .stash_lock(self.stash_lock)
+    }
+
+    /// The resolved [`SystemConfig`] for this point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is not [feasible](SweepPoint::is_feasible).
+    pub fn system_config(&self) -> SystemConfig {
+        self.build().config().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_one_paper_point() {
+        let g = SweepGrid::default();
+        assert_eq!(g.len(), 1);
+        let p = g.point(0);
+        assert_eq!(p.nodes, 16);
+        assert!(p.prediction && p.stash_lock);
+        let cfg = p.system_config();
+        assert_eq!(cfg.nodes, 16);
+        assert_eq!(cfg.ccm_gbps, SystemConfig::default().ccm_gbps);
+    }
+
+    #[test]
+    fn enumeration_covers_the_product_exactly_once() {
+        let g = SweepGrid {
+            nodes: vec![1, 2, 4],
+            sizes: vec![256, 512],
+            prediction: vec![true, false],
+            ..SweepGrid::default()
+        };
+        assert_eq!(g.len(), 12);
+        let pts: Vec<SweepPoint> = g.points().collect();
+        assert_eq!(pts.len(), 12);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // Every combination appears exactly once.
+        for &n in &g.nodes {
+            for &s in &g.sizes {
+                for &pr in &g.prediction {
+                    let hits = pts
+                        .iter()
+                        .filter(|p| p.nodes == n && p.size == s && p.prediction == pr)
+                        .count();
+                    assert_eq!(hits, 1, "nodes={n} size={s} prediction={pr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn innermost_axis_varies_fastest() {
+        let g = SweepGrid {
+            nodes: vec![1, 2],
+            stash_lock: vec![true, false],
+            ..SweepGrid::default()
+        };
+        let pts: Vec<SweepPoint> = g.points().collect();
+        assert!(pts[0].stash_lock);
+        assert!(!pts[1].stash_lock);
+        assert_eq!(pts[0].nodes, pts[1].nodes);
+        assert_ne!(pts[0].nodes, pts[2].nodes);
+    }
+
+    #[test]
+    fn infeasible_mesh_points_are_flagged_not_built() {
+        let g = SweepGrid {
+            nodes: vec![4, 16],
+            mesh: vec![(2, 2), (4, 4)],
+            ..SweepGrid::default()
+        };
+        let feasible: Vec<bool> = g.points().map(|p| p.is_feasible()).collect();
+        // 16 nodes on a 2x2 mesh is the one impossible combination.
+        assert_eq!(feasible.iter().filter(|f| !**f).count(), 1);
+        for p in g.points().filter(SweepPoint::is_feasible) {
+            let cfg = p.system_config();
+            assert_eq!(cfg.nodes, p.nodes);
+        }
+    }
+
+    #[test]
+    fn malformed_tilings_are_infeasible_not_panics() {
+        use maco_mmae::config::TilingConfig;
+        let base = TilingConfig::default();
+        let g = SweepGrid {
+            tilings: vec![
+                base,
+                TilingConfig { ttr: 0, ..base },
+                TilingConfig {
+                    ttr: base.tr + 1,
+                    ..base
+                },
+            ],
+            ..SweepGrid::default()
+        };
+        let feasible: Vec<bool> = g.points().map(|p| p.is_feasible()).collect();
+        assert_eq!(feasible, vec![true, false, false]);
+    }
+
+    #[test]
+    fn empty_axis_means_empty_grid() {
+        let g = SweepGrid {
+            sizes: vec![],
+            ..SweepGrid::default()
+        };
+        assert!(g.is_empty());
+        assert_eq!(g.points().count(), 0);
+    }
+}

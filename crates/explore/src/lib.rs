@@ -1,0 +1,58 @@
+//! # maco-explore — declarative design-space exploration
+//!
+//! The paper is titled *Exploring* GEMM acceleration, and its evaluation is
+//! a set of design-space sweeps. This crate makes those sweeps first-class:
+//!
+//! * [`grid`] — [`SweepGrid`], a declarative cartesian product over the
+//!   `SystemConfig` surface (nodes, CCM bandwidth/fan-out, mesh dims, DRAM
+//!   channels, MMAE tiling/precision, prediction, stash & lock), with a
+//!   fixed enumeration order;
+//! * [`explorer`] — [`Explorer`], which evaluates every feasible point on a
+//!   fresh machine, optionally sharded across OS threads with results
+//!   bit-identical to the serial run, and compares each point against the
+//!   four `maco-baselines` comparators;
+//! * [`roofline`](mod@roofline) — the analytical compute/memory bound
+//!   each point is cross-checked against (the predicted-vs-simulated gap
+//!   column);
+//! * [`pareto`] — Pareto-frontier extraction over throughput, efficiency
+//!   and node count;
+//! * [`report`] — [`SweepReport`]: JSON/CSV emission and the sweep
+//!   fingerprint the CI strict gate pins;
+//! * [`figures`] — Fig. 6, Fig. 7 and Fig. 8 as named experiments built on
+//!   the same machinery (`explore::figures::{fig6, fig7, fig8}`).
+//!
+//! # Example
+//!
+//! ```
+//! use maco_explore::{Explorer, SweepGrid};
+//!
+//! // Sweep node count against predictive translation at n=256.
+//! let grid = SweepGrid {
+//!     nodes: vec![1, 4],
+//!     sizes: vec![256],
+//!     prediction: vec![true, false],
+//!     ..SweepGrid::default()
+//! };
+//! let report = Explorer::new().baselines(false).run(&grid);
+//! assert_eq!(report.points.len(), 4);
+//! // Every point carries its roofline bound; none beats it.
+//! for p in &report.points {
+//!     assert!(p.gflops <= p.roofline.predicted_gflops() * 1.001);
+//! }
+//! // The frontier keeps only undominated designs.
+//! assert!(!report.pareto_frontier().is_empty());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod explorer;
+pub mod figures;
+pub mod grid;
+pub mod pareto;
+pub mod report;
+pub mod roofline;
+
+pub use explorer::{BaselineResult, Explorer, PointResult};
+pub use grid::{SweepGrid, SweepPoint};
+pub use report::SweepReport;
+pub use roofline::{roofline, RooflineBound};

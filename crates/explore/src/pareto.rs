@@ -1,0 +1,61 @@
+//! Pareto-frontier extraction over sweep results.
+
+/// Indices (in input order) of the items no other item dominates, under a
+/// caller-supplied strict dominance relation: `dominates(a, b)` must mean
+/// "`a` is at least as good as `b` on every objective and strictly better
+/// on at least one". Ties (items equal on all objectives) dominate in
+/// neither direction, so both survive.
+///
+/// ```
+/// use maco_explore::pareto::frontier_indices;
+///
+/// // Maximise both coordinates.
+/// let pts = [(1.0, 4.0), (3.0, 3.0), (2.0, 2.0), (4.0, 1.0)];
+/// let dom = |a: &(f64, f64), b: &(f64, f64)| {
+///     a.0 >= b.0 && a.1 >= b.1 && (a.0 > b.0 || a.1 > b.1)
+/// };
+/// assert_eq!(frontier_indices(&pts, dom), vec![0, 1, 3]); // (2,2) is dominated
+/// ```
+pub fn frontier_indices<T>(items: &[T], dominates: impl Fn(&T, &T) -> bool) -> Vec<usize> {
+    (0..items.len())
+        .filter(|&i| {
+            items
+                .iter()
+                .enumerate()
+                .all(|(j, other)| j == i || !dominates(other, &items[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(a: &(u64, u64), b: &(u64, u64)) -> bool {
+        a.0 >= b.0 && a.1 >= b.1 && (a.0 > b.0 || a.1 > b.1)
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        assert_eq!(frontier_indices(&[] as &[(u64, u64)], dom), vec![]);
+        assert_eq!(frontier_indices(&[(1, 1)], dom), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        let pts = [(2, 2), (2, 2), (1, 1)];
+        assert_eq!(frontier_indices(&pts, dom), vec![0, 1]);
+    }
+
+    #[test]
+    fn chain_keeps_only_the_top() {
+        let pts = [(1, 1), (2, 2), (3, 3)];
+        assert_eq!(frontier_indices(&pts, dom), vec![2]);
+    }
+
+    #[test]
+    fn antichain_survives_whole() {
+        let pts = [(1, 3), (2, 2), (3, 1)];
+        assert_eq!(frontier_indices(&pts, dom), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Sweep reports: Pareto extraction, JSON/CSV emission, the fingerprint.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::explorer::PointResult;
+use crate::pareto::frontier_indices;
+
+/// The collected outcome of one [`crate::Explorer::run`].
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-point results in grid enumeration order (feasible points only).
+    pub points: Vec<PointResult>,
+    /// Grid points skipped as infeasible.
+    pub skipped: usize,
+    /// Order-sensitive fold of every point fingerprint — two runs of the
+    /// same grid produce the same value bit for bit, serial or sharded.
+    /// The CI strict gate pins the `explore_sweep` scenario's value.
+    pub fingerprint: u64,
+}
+
+impl SweepReport {
+    /// The fingerprint as the 16-hex-digit string the perf baseline pins.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+
+    /// Indices into [`SweepReport::points`] of the Pareto frontier under
+    /// the standing objectives (GFLOPS ↑, efficiency ↑, nodes ↓): no
+    /// returned point is dominated by any other point of the sweep.
+    pub fn pareto_frontier(&self) -> Vec<usize> {
+        frontier_indices(&self.points, PointResult::dominates)
+    }
+
+    /// The frontier as borrowed results, in enumeration order.
+    pub fn pareto_points(&self) -> Vec<&PointResult> {
+        self.pareto_frontier()
+            .into_iter()
+            .map(|i| &self.points[i])
+            .collect()
+    }
+
+    /// Serialises the report as JSON (hand-rolled, dependency-free, the
+    /// same convention `BENCH_perf.json` uses).
+    pub fn to_json(&self) -> String {
+        let pareto = self.pareto_frontier();
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"fingerprint\": \"{}\",", self.fingerprint_hex());
+        let _ = writeln!(out, "  \"skipped\": {},", self.skipped);
+        let _ = writeln!(
+            out,
+            "  \"pareto_frontier\": [{}],",
+            pareto
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let pt = &p.point;
+            let _ = write!(
+                out,
+                "    {{\"index\": {}, \"nodes\": {}, \"size\": {}, \"precision\": \"{:?}\", \
+                 \"ccm_gbps\": {}, \"ccm_fanout\": {}, \"mesh\": \"{}x{}\", \
+                 \"dram_channels\": {}, \"prediction\": {}, \"stash_lock\": {}, \
+                 \"gflops\": {:.3}, \"efficiency\": {:.6}, \"makespan_fs\": {}, \
+                 \"dram_bytes\": {}, \"roofline_gflops\": {:.3}, \"roofline_gap\": {:.6}",
+                pt.index,
+                pt.nodes,
+                pt.size,
+                pt.precision,
+                pt.ccm_gbps,
+                pt.ccm_fanout,
+                pt.mesh.0,
+                pt.mesh.1,
+                pt.dram_channels,
+                pt.prediction,
+                pt.stash_lock,
+                p.gflops,
+                p.efficiency,
+                p.makespan.as_fs(),
+                p.dram_bytes,
+                p.roofline.predicted_gflops(),
+                p.roofline_gap(),
+            );
+            for b in &p.baselines {
+                let _ = write!(out, ", \"{}\": {:.3}", b.name, b.gflops);
+            }
+            out.push('}');
+            if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serialises the report as CSV, one row per point. Baseline columns
+    /// follow the fixed columns when the sweep ran with baselines enabled.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,nodes,size,precision,ccm_gbps,ccm_fanout,mesh,dram_channels,\
+             prediction,stash_lock,gflops,efficiency,makespan_fs,dram_bytes,\
+             roofline_gflops,roofline_gap",
+        );
+        if let Some(first) = self.points.first() {
+            for b in &first.baselines {
+                let _ = write!(out, ",{}", b.name.replace(',', ";"));
+            }
+        }
+        out.push('\n');
+        for p in &self.points {
+            let pt = &p.point;
+            let _ = write!(
+                out,
+                "{},{},{},{:?},{},{},{}x{},{},{},{},{:.3},{:.6},{},{},{:.3},{:.6}",
+                pt.index,
+                pt.nodes,
+                pt.size,
+                pt.precision,
+                pt.ccm_gbps,
+                pt.ccm_fanout,
+                pt.mesh.0,
+                pt.mesh.1,
+                pt.dram_channels,
+                pt.prediction,
+                pt.stash_lock,
+                p.gflops,
+                p.efficiency,
+                p.makespan.as_fs(),
+                p.dram_bytes,
+                p.roofline.predicted_gflops(),
+                p.roofline_gap(),
+            );
+            for b in &p.baselines {
+                let _ = write!(out, ",{:.3}", b.gflops);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`SweepReport::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes [`SweepReport::to_csv`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Explorer, SweepGrid};
+
+    fn tiny_report() -> super::SweepReport {
+        let grid = SweepGrid {
+            nodes: vec![1, 2],
+            sizes: vec![256],
+            ..SweepGrid::default()
+        };
+        Explorer::new().run(&grid)
+    }
+
+    #[test]
+    fn json_and_csv_cover_every_point() {
+        let r = tiny_report();
+        let json = r.to_json();
+        assert!(json.contains(&r.fingerprint_hex()));
+        assert!(json.contains("\"pareto_frontier\""));
+        assert_eq!(json.matches("\"index\":").count(), r.points.len());
+        let csv = r.to_csv();
+        // Header plus one line per point.
+        assert_eq!(csv.lines().count(), r.points.len() + 1);
+        assert!(csv.starts_with("index,nodes,size"));
+        assert!(csv.contains("Baseline-2"));
+    }
+
+    #[test]
+    fn pareto_frontier_is_internally_consistent() {
+        let r = tiny_report();
+        let frontier = r.pareto_frontier();
+        assert!(!frontier.is_empty(), "a non-empty sweep has a frontier");
+        for &i in &frontier {
+            for (j, other) in r.points.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !other.dominates(&r.points[i]),
+                        "frontier point {i} dominated by {j}"
+                    );
+                }
+            }
+        }
+    }
+}

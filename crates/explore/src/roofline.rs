@@ -1,0 +1,118 @@
+//! Analytical roofline bounds for one design point.
+//!
+//! The explorer cross-checks every simulated point against a first-order
+//! roofline model (Williams et al., CACM 2009, in the co-design style of
+//! the tiled-MM evaluation frameworks): achievable throughput is the lower
+//! of the compute roof (every MMAE busy every cycle) and the memory roof
+//! (arithmetic intensity × aggregate DRAM bandwidth). The *gap* between the
+//! roofline prediction and the simulated result is a per-point column in
+//! the sweep report — large gaps flag design points where a resource the
+//! model ignores (translation stalls, CCM occupancy, mesh hops) dominates,
+//! which is exactly the effect Fig. 6 and Fig. 7 quantify.
+
+use maco_core::system::SystemConfig;
+use maco_isa::Precision;
+
+/// The two roofs bounding one design point, in GFLOPS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineBound {
+    /// Compute roof: `nodes × per-engine peak` at the point's precision.
+    pub compute_gflops: f64,
+    /// Memory roof: arithmetic intensity × aggregate DRAM bandwidth.
+    pub memory_gflops: f64,
+}
+
+impl RooflineBound {
+    /// The binding roof — the analytically predicted throughput.
+    pub fn predicted_gflops(&self) -> f64 {
+        self.compute_gflops.min(self.memory_gflops)
+    }
+
+    /// Predicted computational efficiency: the binding roof over the
+    /// compute roof (1.0 when compute-bound).
+    pub fn predicted_efficiency(&self) -> f64 {
+        if self.compute_gflops == 0.0 {
+            0.0
+        } else {
+            self.predicted_gflops() / self.compute_gflops
+        }
+    }
+
+    /// True when the memory roof binds.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_gflops < self.compute_gflops
+    }
+}
+
+/// Roofline bound for `nodes` independent `m×n×k` GEMMs (the Fig. 6/7
+/// workload shape) on `cfg`.
+///
+/// The DRAM traffic model is the mapped (stash & lock) ideal: A and B are
+/// fetched from DRAM exactly once, C is read and written once —
+/// `(m·k + k·n + 2·m·n) · elem` bytes per node. Everything the simulator
+/// adds on top (reuse misses without the lock, translation walks, CCM
+/// service, mesh hops) widens the reported gap rather than moving the
+/// bound, which is what makes the gap column interpretable.
+pub fn roofline(cfg: &SystemConfig, m: u64, n: u64, k: u64, precision: Precision) -> RooflineBound {
+    let nodes = cfg.nodes as f64;
+    let compute_gflops = nodes * cfg.mmae.peak_gflops(precision);
+    let flops = nodes * (2 * m * n * k) as f64;
+    let bytes = nodes * ((m * k + k * n + 2 * m * n) * precision.bytes()) as f64;
+    // GB/s is bytes per nanosecond, so intensity (flops/byte) × GB/s is
+    // flops per nanosecond — GFLOPS.
+    let memory_gflops = if bytes == 0.0 {
+        compute_gflops
+    } else {
+        (flops / bytes) * cfg.dram.total_gbps()
+    };
+    RooflineBound {
+        compute_gflops,
+        memory_gflops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_square_gemms_are_compute_bound() {
+        let cfg = SystemConfig::single_node();
+        let r = roofline(&cfg, 4096, 4096, 4096, Precision::Fp64);
+        assert!(!r.memory_bound(), "{r:?}");
+        assert_eq!(r.predicted_gflops(), r.compute_gflops);
+        assert_eq!(r.predicted_efficiency(), 1.0);
+        // One node at FP64: 80 GFLOPS peak (Table IV).
+        assert!((r.compute_gflops - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skinny_gemms_hit_the_memory_roof() {
+        // m=n=32, huge k: ~2 flops per byte of A/B traffic, far below the
+        // machine balance point.
+        let cfg = SystemConfig::default();
+        let r = roofline(&cfg, 32, 32, 1 << 20, Precision::Fp64);
+        assert!(r.memory_bound(), "{r:?}");
+        assert!(r.predicted_efficiency() < 0.5);
+    }
+
+    #[test]
+    fn roofs_scale_with_nodes_and_channels() {
+        let one = roofline(
+            &SystemConfig::single_node(),
+            1024,
+            1024,
+            1024,
+            Precision::Fp32,
+        );
+        let sixteen = roofline(&SystemConfig::default(), 1024, 1024, 1024, Precision::Fp32);
+        assert!((sixteen.compute_gflops / one.compute_gflops - 16.0).abs() < 1e-9);
+        // Independent per-node GEMMs scale flops and bytes together, so
+        // intensity — and with it the memory roof — is node-invariant.
+        assert!((sixteen.memory_gflops - one.memory_gflops).abs() < 1e-9);
+        let mut wide = SystemConfig::default();
+        wide.dram.channels *= 2;
+        let doubled = roofline(&wide, 1024, 1024, 1024, Precision::Fp32);
+        assert!((doubled.memory_gflops / sixteen.memory_gflops - 2.0).abs() < 1e-9);
+    }
+}

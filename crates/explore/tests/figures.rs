@@ -1,0 +1,111 @@
+//! Cross-checks of the named figure experiments against the seed test
+//! suite's headline assertions (`tests/integration_system.rs`) and against
+//! fresh direct `MacoSystem` simulations: the explorer-built figures must
+//! agree with the hand-written paths bit for bit.
+
+use maco_core::system::{MacoSystem, SystemConfig};
+use maco_explore::figures;
+use maco_isa::Precision;
+
+fn direct_efficiency(nodes: usize, n: u64, prediction: bool) -> f64 {
+    let cfg = SystemConfig {
+        nodes,
+        prediction,
+        ..SystemConfig::default()
+    };
+    MacoSystem::new(cfg)
+        .run_parallel_gemm(n, n, n, Precision::Fp64)
+        .expect("mapped")
+        .avg_efficiency()
+}
+
+/// The seed Fig. 6 property, re-asserted on the named experiment: the
+/// prediction gap peaks at n ≥ 1024 and collapses below 512.
+#[test]
+fn fig6_experiment_has_the_seed_gap_shape() {
+    let rows = figures::fig6(true);
+    let row = |size: u64| *rows.iter().find(|r| r.size == size).expect("swept size");
+    let gap_small = row(256).gap();
+    let gap_peak = row(1024).gap();
+    assert!(gap_peak > 0.04, "peak gap {gap_peak} too small");
+    assert!(gap_small < 0.02, "small-size gap {gap_small} too large");
+    assert!(gap_peak > 2.0 * gap_small, "gap must grow with size");
+}
+
+/// The named experiment's cells equal a direct simulation exactly — the
+/// explorer adds orchestration, never different physics.
+#[test]
+fn fig6_experiment_matches_direct_simulation_bitwise() {
+    for row in figures::fig6(true) {
+        let with = direct_efficiency(1, row.size, true);
+        let without = direct_efficiency(1, row.size, false);
+        assert_eq!(
+            row.with_prediction.to_bits(),
+            with.to_bits(),
+            "n={} with prediction",
+            row.size
+        );
+        assert_eq!(
+            row.without_prediction.to_bits(),
+            without.to_bits(),
+            "n={} without prediction",
+            row.size
+        );
+    }
+}
+
+/// The seed Fig. 7 property, re-asserted on the named experiment: scaling
+/// to 16 nodes at n=2048 costs a bounded slice of efficiency.
+#[test]
+fn fig7_experiment_has_the_seed_scaling_shape() {
+    let report = figures::fig7(true);
+    assert_eq!(report.node_counts, vec![1, 2, 4, 8, 16]);
+    let row = report
+        .rows
+        .iter()
+        .find(|r| r.size == 2048)
+        .expect("2048 swept");
+    let e1 = row.efficiency[0];
+    let e16 = *row.efficiency.last().unwrap();
+    let loss = e1 - e16;
+    assert!((0.03..0.25).contains(&loss), "1→16 loss {loss}");
+    assert!(e16 > 0.75, "16-node efficiency {e16}");
+    // Efficiency decays monotonically with node count at this size.
+    for pair in row.efficiency.windows(2) {
+        assert!(pair[1] <= pair[0] + 1e-9, "non-monotone: {pair:?}");
+    }
+    assert!(report.avg_scaling_loss() > 0.0);
+}
+
+/// Fig. 7 cells equal direct simulations exactly.
+#[test]
+fn fig7_experiment_matches_direct_simulation_bitwise() {
+    let report = figures::fig7(true);
+    for row in &report.rows {
+        for (&nodes, &eff) in report.node_counts.iter().zip(&row.efficiency) {
+            let direct = direct_efficiency(nodes, row.size, true);
+            assert_eq!(
+                eff.to_bits(),
+                direct.to_bits(),
+                "size={} nodes={nodes}",
+                row.size
+            );
+        }
+    }
+}
+
+/// The seed Fig. 8 relationships, re-asserted on the named experiment:
+/// MACO beats every comparator, and Baseline-2 (mapping ablated) trails
+/// MACO on every workload.
+#[test]
+fn fig8_experiment_preserves_the_seed_ordering() {
+    let r = figures::fig8(true);
+    assert_eq!(r.models.len(), 2, "quick mode runs the two smoke models");
+    for (name, vals) in &r.rows[..r.rows.len() - 1] {
+        for (v, m) in vals.iter().zip(r.maco()) {
+            assert!(m > v, "MACO {m} must beat {name} {v}");
+        }
+    }
+    assert!(r.maco_speedup_over("Baseline-1") > 2.0);
+    assert!(r.maco_speedup_over("Baseline-2") > 1.0);
+}

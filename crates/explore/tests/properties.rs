@@ -1,0 +1,116 @@
+//! Property suites for the exploration machinery (vendored proptest,
+//! 128 cases each): Pareto-frontier correctness on arbitrary point clouds,
+//! and sweep determinism — same grid ⇒ identical fingerprint, with the
+//! sharded runner bit-identical to the serial one.
+
+use maco_explore::pareto::frontier_indices;
+use maco_explore::{Explorer, SweepGrid};
+use proptest::prelude::*;
+
+/// Strict three-objective dominance matching the sweep's standing
+/// objectives (two maximised, one minimised).
+fn dominates(a: &(u64, u64, u64), b: &(u64, u64, u64)) -> bool {
+    let no_worse = a.0 >= b.0 && a.1 >= b.1 && a.2 <= b.2;
+    let better = a.0 > b.0 || a.1 > b.1 || a.2 < b.2;
+    no_worse && better
+}
+
+proptest! {
+    /// No dominated point survives frontier extraction, and every point
+    /// dropped from the frontier is dominated by some survivor — together:
+    /// the frontier is exactly the set of maximal elements.
+    #[test]
+    fn pareto_frontier_is_exactly_the_maximal_set(
+        pts in proptest::collection::vec((0u64..8, 0u64..8, 0u64..8), 1..40)
+    ) {
+        let frontier = frontier_indices(&pts, dominates);
+        prop_assert!(!frontier.is_empty(), "non-empty input keeps a frontier");
+        for &i in &frontier {
+            for (j, other) in pts.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !dominates(other, &pts[i]),
+                        "frontier point {i} {:?} dominated by {j} {:?}",
+                        pts[i], other
+                    );
+                }
+            }
+        }
+        for (i, p) in pts.iter().enumerate() {
+            if !frontier.contains(&i) {
+                prop_assert!(
+                    frontier.iter().any(|&s| dominates(&pts[s], p)),
+                    "dropped point {i} {p:?} dominated by no survivor"
+                );
+            }
+        }
+    }
+
+    /// Frontier membership is insensitive to input order: a point on the
+    /// frontier stays on it after the cloud is rotated.
+    #[test]
+    fn pareto_frontier_is_order_insensitive(
+        pts in proptest::collection::vec((0u64..6, 0u64..6, 0u64..6), 2..24),
+        shift in 1usize..8
+    ) {
+        let frontier: Vec<(u64, u64, u64)> = frontier_indices(&pts, dominates)
+            .into_iter()
+            .map(|i| pts[i])
+            .collect();
+        let mut rotated = pts.clone();
+        rotated.rotate_left(shift % pts.len());
+        let rotated_frontier: Vec<(u64, u64, u64)> = frontier_indices(&rotated, dominates)
+            .into_iter()
+            .map(|i| rotated[i])
+            .collect();
+        // Same multiset of surviving values.
+        let mut a = frontier.clone();
+        let mut b = rotated_frontier.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The node-count subsets the determinism property samples grids from.
+const NODE_AXES: [&[usize]; 4] = [&[1], &[2], &[1, 2], &[1, 4]];
+
+proptest! {
+    /// Same grid ⇒ identical fingerprint, and the sharded runner matches
+    /// the serial one bit for bit — for randomly chosen small grids over
+    /// nodes, sizes, prediction and stash/lock, at any thread count.
+    #[test]
+    fn sweep_fingerprint_is_deterministic_and_shard_invariant(
+        axis in 0usize..4,
+        size in 0usize..3,
+        contrast in 0usize..3,
+        threads in 2usize..5
+    ) {
+        let sizes = [vec![128], vec![256], vec![128, 256]][size].clone();
+        let (prediction, stash_lock) = match contrast {
+            0 => (vec![true, false], vec![true]),
+            1 => (vec![true], vec![true, false]),
+            _ => (vec![true, false], vec![true, false]),
+        };
+        let grid = SweepGrid {
+            nodes: NODE_AXES[axis].to_vec(),
+            sizes,
+            prediction,
+            stash_lock,
+            ..SweepGrid::default()
+        };
+        let serial = Explorer::new().baselines(false).run(&grid);
+        let again = Explorer::new().baselines(false).run(&grid);
+        prop_assert_eq!(serial.fingerprint, again.fingerprint);
+        let sharded = Explorer::new().baselines(false).threads(threads).run(&grid);
+        prop_assert_eq!(serial.fingerprint, sharded.fingerprint);
+        prop_assert_eq!(serial.points.len(), sharded.points.len());
+        for (a, b) in serial.points.iter().zip(&sharded.points) {
+            prop_assert_eq!(a.point.index, b.point.index);
+            prop_assert_eq!(a.makespan, b.makespan);
+            prop_assert_eq!(a.dram_bytes, b.dram_bytes);
+            prop_assert_eq!(a.gflops.to_bits(), b.gflops.to_bits());
+            prop_assert_eq!(a.fingerprint, b.fingerprint);
+        }
+    }
+}

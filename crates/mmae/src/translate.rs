@@ -75,7 +75,7 @@ const WARM_PASSES: u32 = 2;
 
 /// Memoised per-pass translation cache: [`PassKey`] → (stream counters,
 /// times simulated exactly). Block passes are cyclic in steady state, so
-/// after [`WARM_PASSES`] exact simulations of a shape the recorded
+/// after `WARM_PASSES` (2) exact simulations of a shape the recorded
 /// counters are exact for every later occurrence.
 #[derive(Debug, Default)]
 pub struct TranslationMemo {
@@ -89,7 +89,7 @@ impl TranslationMemo {
     }
 
     /// The memoised counters for `key`, once it has been simulated exactly
-    /// [`WARM_PASSES`] times; `None` means the caller must simulate the
+    /// `WARM_PASSES` times; `None` means the caller must simulate the
     /// pass and [`TranslationMemo::record`] the result.
     pub fn cached(&self, key: PassKey) -> Option<StreamTranslation> {
         self.map

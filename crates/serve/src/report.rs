@@ -5,11 +5,10 @@ use maco_sim::{SimDuration, SimTime};
 
 use crate::sched::Policy;
 
-/// Folds one value into an order-sensitive 64-bit fingerprint (the same
-/// rotate–xor–multiply chain the tracked perf baseline uses).
-pub fn fold_fingerprint(h: u64, x: u64) -> u64 {
-    (h.rotate_left(7) ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
+/// Folds one value into an order-sensitive 64-bit fingerprint (re-exported
+/// from [`maco_sim::fold_fingerprint`], the one implementation every
+/// determinism gate in the workspace shares).
+pub use maco_sim::fold_fingerprint;
 
 /// Service observed by one tenant over an episode.
 #[derive(Debug, Clone)]

@@ -96,6 +96,17 @@ impl BuildHasher for FxBuildHasher {
 /// A `HashMap` keyed through [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
+/// Folds one value into an order-sensitive 64-bit fingerprint — the
+/// rotate–xor–multiply chain every determinism gate in the workspace uses
+/// (the serving layer's schedule fingerprints, the tracked perf baseline,
+/// the design-space sweep fingerprints). Order sensitivity is the point:
+/// folding the same values in a different order produces a different
+/// fingerprint, so a reordered schedule or sweep cannot masquerade as the
+/// pinned one.
+pub fn fold_fingerprint(h: u64, x: u64) -> u64 {
+    (h.rotate_left(7) ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,7 +49,7 @@ pub mod time;
 pub mod timeline;
 
 pub use events::EventQueue;
-pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use hash::{fold_fingerprint, FxBuildHasher, FxHashMap, FxHasher};
 pub use resource::{BandwidthResource, LatencyBandwidthResource, ThroughputMeter};
 pub use rng::SplitMix64;
 pub use stats::Stats;

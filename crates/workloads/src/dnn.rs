@@ -97,6 +97,24 @@ pub fn conv_as_gemm(
     }
 }
 
+/// The workload mix of the Fig. 8 comparison — one list shared by the
+/// `fig8` bench binary and the `maco-explore` named experiment, so the two
+/// can never drift apart. `quick` trims to the fast pair CI smoke runs use.
+pub fn fig8_models(quick: bool) -> Vec<DnnModel> {
+    use crate::bert::{bert, BertConfig};
+    use crate::gpt3::{gpt3, Gpt3Config};
+    use crate::resnet::resnet50;
+    if quick {
+        vec![resnet50(4), bert(BertConfig::base(1, 256))]
+    } else {
+        vec![
+            resnet50(8),
+            bert(BertConfig::large(1, 384)),
+            gpt3(Gpt3Config::sliced(2, 1024)),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,6 @@ pub mod gpt3;
 pub mod resnet;
 pub mod trace;
 
-pub use dnn::{DnnModel, GemmLayer};
+pub use dnn::{fig8_models, DnnModel, GemmLayer};
 pub use gemm::{fig6_sizes, fig7_sizes, random_matrix, GemmShape};
 pub use trace::{ModelKind, TraceConfig, TraceRequest};

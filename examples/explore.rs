@@ -1,0 +1,127 @@
+//! Design-space exploration demo: reproduces Fig. 6, Fig. 7 and Fig. 8 as
+//! named `maco-explore` experiments (asserting the seed test suite's
+//! headline properties on each), then runs a custom sweep over nodes ×
+//! CCM bandwidth × prediction, prints its Pareto frontier and roofline
+//! gaps, and writes the JSON/CSV reports.
+//!
+//! ```sh
+//! cargo run --release --example explore            # quick axes
+//! MACO_FULL=1 cargo run --release --example explore # the paper's full axes
+//! ```
+
+use maco::explore::{figures, Explorer, SweepGrid};
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("MACO_FULL").is_err();
+
+    // --- Fig. 6: prediction on/off on one node -------------------------
+    println!("fig6 — single-node efficiency with/without prediction (FP64)");
+    println!("{:>8} {:>8} {:>10} {:>7}", "size", "with", "without", "gap");
+    let fig6 = figures::fig6(quick);
+    for row in &fig6 {
+        println!(
+            "{:>8} {:>8} {:>10} {:>7}",
+            row.size,
+            pct(row.with_prediction),
+            pct(row.without_prediction),
+            pct(row.gap())
+        );
+    }
+    // The seed suite's Fig. 6 property, re-asserted on the named experiment.
+    let gap_at = |size: u64| fig6.iter().find(|r| r.size == size).expect("swept").gap();
+    assert!(gap_at(1024) > 0.04, "Fig. 6 peak gap lost");
+    assert!(gap_at(256) < 0.02, "Fig. 6 small-size gap out of shape");
+
+    // --- Fig. 7: node scaling ------------------------------------------
+    println!("\nfig7 — avg per-node efficiency vs node count (FP64)");
+    let fig7 = figures::fig7(quick);
+    print!("{:>8}", "size");
+    for c in &fig7.node_counts {
+        print!("{:>8}", format!("{c}-node"));
+    }
+    println!();
+    for row in &fig7.rows {
+        print!("{:>8}", row.size);
+        for eff in &row.efficiency {
+            print!("{:>8}", pct(*eff));
+        }
+        println!();
+    }
+    println!("avg 1→16 scaling loss: {}", pct(fig7.avg_scaling_loss()));
+    let at_2048 = fig7
+        .rows
+        .iter()
+        .find(|r| r.size == 2048)
+        .expect("2048 swept");
+    let loss = at_2048.efficiency[0] - at_2048.efficiency.last().unwrap();
+    assert!((0.03..0.25).contains(&loss), "Fig. 7 scaling loss {loss}");
+
+    // --- Fig. 8: DNN throughput vs the comparators ---------------------
+    println!("\nfig8 — DNN throughput in GFLOPS (FP32, 16x16 PEs)");
+    let fig8 = figures::fig8(quick);
+    print!("{:>26}", "system");
+    for m in &fig8.models {
+        print!("{m:>12}");
+    }
+    println!();
+    for (name, vals) in &fig8.rows {
+        print!("{name:>26}");
+        for v in vals {
+            print!("{v:>12.0}");
+        }
+        println!();
+    }
+    for comparator in ["Baseline-1", "Baseline-2", "Gem5-RASA", "Gemmini"] {
+        let speedup = fig8.maco_speedup_over(comparator);
+        println!("  MACO vs {comparator:<12} {speedup:.2}x");
+        assert!(speedup > 1.0, "MACO must beat {comparator}");
+    }
+
+    // --- A custom sweep: nodes × CCM bandwidth × prediction ------------
+    let grid = SweepGrid {
+        nodes: vec![1, 4, 16],
+        sizes: vec![if quick { 1024 } else { 4096 }],
+        ccm_gbps: vec![10.0, 20.0, 40.0],
+        prediction: vec![true, false],
+        ..SweepGrid::default()
+    };
+    println!(
+        "\ncustom sweep: {} points (nodes x ccm_gbps x prediction), 4 threads",
+        grid.len()
+    );
+    let report = Explorer::new().threads(4).run(&grid);
+    println!(
+        "{:>6} {:>6} {:>9} {:>6} {:>9} {:>8} {:>9}",
+        "nodes", "ccm", "pred", "eff", "gflops", "roofline", "gap"
+    );
+    let frontier = report.pareto_frontier();
+    for (i, p) in report.points.iter().enumerate() {
+        let mark = if frontier.contains(&i) { " *" } else { "" };
+        println!(
+            "{:>6} {:>6} {:>9} {:>6} {:>9.1} {:>8.1} {:>9}{mark}",
+            p.point.nodes,
+            p.point.ccm_gbps,
+            p.point.prediction,
+            pct(p.efficiency),
+            p.gflops,
+            p.roofline.predicted_gflops(),
+            pct(p.roofline_gap()),
+        );
+    }
+    println!("(* = Pareto frontier: gflops ↑, efficiency ↑, nodes ↓)");
+    println!("sweep fingerprint: {}", report.fingerprint_hex());
+
+    let out_dir = std::path::Path::new("target").join("explore");
+    std::fs::create_dir_all(&out_dir)?;
+    report.write_json(out_dir.join("sweep.json"))?;
+    report.write_csv(out_dir.join("sweep.csv"))?;
+    println!(
+        "reports written to {}/sweep.{{json,csv}}",
+        out_dir.display()
+    );
+    Ok(())
+}

@@ -16,6 +16,9 @@
 //! * [`serve`] — the multi-tenant serving layer: admission, gang
 //!   scheduling, virtual-time co-simulation, replica sharding.
 //! * [`baselines`] — the Fig. 8 comparators.
+//! * [`explore`] — declarative design-space sweeps: `SweepGrid` →
+//!   `Explorer` → Pareto frontiers, roofline gaps and the named
+//!   Fig. 6/7/8 experiments.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 pub use maco_baselines as baselines;
 pub use maco_core as core;
 pub use maco_cpu as cpu;
+pub use maco_explore as explore;
 pub use maco_isa as isa;
 pub use maco_mem as mem;
 pub use maco_mmae as mmae;
