@@ -17,7 +17,11 @@
 //! * `explore_sweep` — a `maco-explore` design-space sweep (nodes ×
 //!   prediction × stash/lock with all four baseline comparators), whose
 //!   sweep fingerprint pins the explorer's simulated outcomes under the
-//!   strict gate exactly like the serving schedules.
+//!   strict gate exactly like the serving schedules;
+//! * `cluster_throughput` — scale-out serving through `maco-cluster`: the
+//!   fleet trace on one 16-node machine vs a 4×4-node fleet at the
+//!   bandwidth-constrained uncore point, with `speedup_vs_one_machine`
+//!   recording the fleet's throughput advantage at equal total nodes.
 //!
 //! Every bench also records a *fingerprint* folding the simulated results
 //! (output bits for kernels, makespans and efficiencies for system runs).
@@ -36,6 +40,7 @@
 
 use std::time::Instant;
 
+use maco_cluster::{Cluster, ClusterSpec};
 use maco_core::system::{MacoSystem, SystemConfig};
 use maco_explore::{Explorer, SweepGrid};
 use maco_isa::Precision;
@@ -233,6 +238,49 @@ fn explore_bench(quick: bool) -> BenchResult {
     }
 }
 
+/// Scale-out serving through `maco-cluster`: the fleet trace (dense
+/// single-layer mixed BERT/GPT-3/ResNet burst) on one 16-node machine vs
+/// a 4×4-node fleet of the same per-node hardware, both at the
+/// bandwidth-constrained uncore design point (4 GB/s per CCM slice) where
+/// the scale-out question is interesting. The fingerprint folds both
+/// fleet fingerprints, so the strict gate pins routing, migration
+/// charges, k-split reductions and every machine schedule on both sides;
+/// `speedup_vs_one_machine` is the fleet-over-single-chip throughput
+/// ratio at equal total node count (the ≥2x acceptance figure).
+fn cluster_bench(quick: bool) -> BenchResult {
+    let trace_config = TraceConfig {
+        requests: if quick { 12 } else { 32 },
+        ..TraceConfig::fleet(0xF1EE7)
+    };
+    let trace = trace::generate(&trace_config);
+    let tenants = Tenant::fleet(trace_config.tenants);
+    let t0 = Instant::now();
+    let mut one = Cluster::new(ClusterSpec::bandwidth_constrained(1, 16), tenants.clone());
+    let r1 = one.run_trace(&trace).expect("one-machine fleet completes");
+    let mut four = Cluster::new(ClusterSpec::bandwidth_constrained(4, 4), tenants);
+    let r4 = four.run_trace(&trace).expect("4-machine fleet completes");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let speedup = r4.total_gflops() / r1.total_gflops().max(1e-9);
+    let fp = fold_bits(fold_bits(0, r1.fingerprint), r4.fingerprint);
+    BenchResult {
+        name: "cluster_throughput".to_string(),
+        wall_ms,
+        detail: format!(
+            "fleet trace {} requests: 1x16 {:.0} GFLOPS vs 4x4 {:.0} GFLOPS ({} splits, {} migrations)",
+            trace.len(),
+            r1.total_gflops(),
+            r4.total_gflops(),
+            r4.splits,
+            r4.migrations,
+        ),
+        fingerprint: format!("{fp:016x}"),
+        extra: format!(
+            ", \"speedup_vs_one_machine\": {speedup:.2}, \"fleet_gflops\": {:.1}",
+            r4.total_gflops()
+        ),
+    }
+}
+
 /// Pulls `"field": value` out of the object slice for one bench entry in a
 /// previous report (the format is our own, so a scan is enough).
 fn json_field<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
@@ -293,6 +341,8 @@ fn main() {
     results.push(mt);
     eprintln!("perf_baseline: timing design-space sweep (maco-explore)...");
     results.push(explore_bench(quick));
+    eprintln!("perf_baseline: timing scale-out fleet serving (maco-cluster)...");
+    results.push(cluster_bench(quick));
 
     let mut mismatches = Vec::new();
     let mut json = String::new();

@@ -1,0 +1,473 @@
+//! The fleet: a front-end router over many machines, composed onto one
+//! global virtual-time timeline.
+//!
+//! Every machine runs the *same* co-simulation a standalone
+//! [`maco_serve::Server`] runs — a [`maco_serve::Engine`] driving that
+//! machine's [`MacoSystem`] through the reentrant
+//! `begin_gemm`/`step_gemm` core API — and the cluster merges the
+//! machines' event streams: the global loop always processes the minimum
+//! of (next unrouted fleet arrival, every machine's next event), routing
+//! arrivals first on ties exactly like the per-machine loop does. Machines
+//! share no simulated hardware, so advancing one machine never perturbs
+//! another; all cross-machine coupling flows through the interconnect
+//! cost model (migration transfers delay arrivals, k-split all-reduces
+//! delay completions) and through the router's load accounting, both of
+//! which are pure functions of previously processed events. That is what
+//! makes the fleet fingerprint byte-identical across same-seed runs.
+//!
+//! Multi-machine engines admit work at the *router's horizon*: a
+//! completion whose simulated time leaps past the next unrouted fleet
+//! arrival stops its queued-arrival drain there (see [`Engine::advance`]'s
+//! `bound`), so machine-local admission order always equals
+//! `(arrival, push order)`; arrivals beyond the horizon are admitted
+//! later at their own event times, with the time-aware node pool keeping
+//! freed nodes invisible before their free instants. A one-machine
+//! cluster skips the horizon entirely — with no placement freedom the
+//! router routes eagerly — and is therefore bit-identical to a
+//! standalone [`maco_serve::Server`] (tested, including under timestamp
+//! tie storms).
+
+use maco_core::system::MacoSystem;
+use maco_serve::{validate_spec, Engine, JobOutcome, JobSpec, Tenant};
+use maco_sim::{FxHashMap, LatencyBandwidthResource, SimTime};
+use maco_workloads::trace::TraceRequest;
+
+use crate::report::{fold_fingerprint, ClusterReport, JobRecord, MachineReport};
+use crate::spec::{ClusterSpec, Placement};
+use crate::split::split_job;
+
+/// Errors a fleet episode can surface (the per-machine co-simulation's).
+pub type ClusterError = maco_serve::ServeError;
+
+/// The fleet: a [`ClusterSpec`] instantiated into real machines plus the
+/// fleet-wide tenant registry (every tenant is registered on every
+/// machine; placement decides where its jobs actually run).
+pub struct Cluster {
+    spec: ClusterSpec,
+    tenants: Vec<Tenant>,
+    systems: Vec<MacoSystem>,
+}
+
+impl Cluster {
+    /// Instantiates the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty machine list or tenant fleet (and propagates the
+    /// machine configurations' own validation).
+    pub fn new(spec: ClusterSpec, tenants: Vec<Tenant>) -> Self {
+        assert!(!spec.machines.is_empty(), "need at least one machine");
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        let systems = spec
+            .machines
+            .iter()
+            .map(|m| MacoSystem::new(m.system.clone()))
+            .collect();
+        Cluster {
+            spec,
+            tenants,
+            systems,
+        }
+    }
+
+    /// The fleet declaration.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The fleet-wide tenant registry.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// Total compute nodes across the fleet.
+    pub fn total_nodes(&self) -> usize {
+        self.spec.total_nodes()
+    }
+
+    /// Serves a generated trace (see [`maco_workloads::trace`]) across the
+    /// fleet: converts each request into a job and runs the episode to
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusterError`]s from the per-machine co-simulations.
+    pub fn run_trace(&mut self, trace: &[TraceRequest]) -> Result<ClusterReport, ClusterError> {
+        self.run_jobs(trace.iter().map(JobSpec::from_request).collect())
+    }
+
+    /// Runs one fleet episode over `specs` (arrival-sorted internally)
+    /// until every routed job has completed on its machine(s) and every
+    /// pending reduction has drained.
+    ///
+    /// Each machine's [`maco_serve::ServeConfig::queue_capacity`] must
+    /// accommodate its routed backlog: a machine-level admission overflow
+    /// would desynchronise the fleet's job accounting, so the episode
+    /// fails loudly (panics) instead of misattributing completions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusterError`]s from the per-machine co-simulations.
+    pub fn run_jobs(&mut self, mut specs: Vec<JobSpec>) -> Result<ClusterReport, ClusterError> {
+        specs.sort_by_key(|s| s.arrival);
+        let machines = self.systems.len();
+        for sys in &mut self.systems {
+            sys.reset_shared_resources();
+        }
+        let mut engines: Vec<Engine> = self
+            .spec
+            .machines
+            .iter()
+            .map(|m| Engine::new(m.system.nodes, &self.tenants, &m.serve))
+            .collect();
+        let mut ep = FleetEpisode {
+            icn: LatencyBandwidthResource::new(
+                self.spec.interconnect.latency,
+                self.spec.interconnect.gbps,
+            ),
+            outstanding: vec![0; machines],
+            tenant_home: vec![None; self.tenants.len()],
+            rr: 0,
+            slots: vec![Vec::new(); machines],
+            records: Vec::with_capacity(specs.len()),
+            reductions: FxHashMap::default(),
+            jobs_completed: 0,
+            jobs_rejected: 0,
+            migrations: 0,
+            splits: 0,
+            last_finish: SimTime::ZERO,
+            fingerprint: 0,
+        };
+
+        // A fleet of one has no routing freedom: every job lands on
+        // machine 0, nothing migrates, nothing splits. Routing eagerly is
+        // therefore decision-identical to lazy routing — and it lets the
+        // engine run with no external horizon, which makes the
+        // one-machine cluster reproduce the standalone `Server` schedule
+        // bit for bit (the contract the equivalence tests pin) even at
+        // the contention corners where a bounded arrival drain would
+        // reorder scheduling attempts.
+        let mut cursor = 0usize;
+        if machines == 1 {
+            while cursor < specs.len() {
+                let spec = specs[cursor].clone();
+                ep.route(&self.spec, &self.tenants, &mut engines, spec, cursor);
+                cursor += 1;
+            }
+        }
+
+        // The global event merge: route the next fleet arrival or advance
+        // the machine owning the minimum next event, arrivals first on
+        // ties (so routing state is current before any same-instant step).
+        loop {
+            let arrival = specs.get(cursor).map(|s| s.arrival);
+            let machine = engines
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.next_event().map(|t| (t, i)))
+                .min();
+            let arrival_first = match (arrival, machine) {
+                (Some(at), Some((mt, _))) => at <= mt,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if arrival_first {
+                let spec = specs[cursor].clone();
+                let index = cursor;
+                cursor += 1;
+                ep.route(&self.spec, &self.tenants, &mut engines, spec, index);
+            } else if let Some((_, i)) = machine {
+                if let Some(outcome) = engines[i].advance(&mut self.systems[i], arrival)? {
+                    ep.complete(i, outcome);
+                }
+            } else {
+                break;
+            }
+        }
+        debug_assert!(ep.reductions.is_empty(), "unfinished reductions");
+
+        let machine_reports: Vec<MachineReport> = engines
+            .into_iter()
+            .zip(&self.systems)
+            .zip(&self.spec.machines)
+            .map(|((engine, system), mspec)| MachineReport {
+                name: mspec.name.clone(),
+                nodes: mspec.system.nodes,
+                serve: engine.finish(system),
+            })
+            .collect();
+        let mut fp = ep.fingerprint;
+        let mut makespan = ep.last_finish;
+        for m in &machine_reports {
+            fp = fold_fingerprint(fp, m.serve.fingerprint);
+            makespan = makespan.max(SimTime::ZERO + m.serve.makespan);
+        }
+        fp = fold_fingerprint(fp, makespan.as_fs());
+        Ok(ClusterReport {
+            jobs: ep.records,
+            jobs_completed: ep.jobs_completed,
+            jobs_rejected: ep.jobs_rejected,
+            makespan: makespan.since(SimTime::ZERO),
+            total_flops: machine_reports.iter().map(|m| m.serve.total_flops).sum(),
+            interconnect_bytes: ep.icn.bandwidth().bytes_transferred(),
+            interconnect_busy: ep.icn.bandwidth().busy_time(),
+            migrations: ep.migrations,
+            splits: ep.splits,
+            machines: machine_reports,
+            fingerprint: fp,
+        })
+    }
+}
+
+/// An unfinished data-parallel reduction barrier.
+struct Reduction {
+    parts_left: usize,
+    /// Latest part completion so far.
+    end: SimTime,
+    /// All-reduce bytes charged when the barrier clears (zero = m-split).
+    reduce_bytes: u64,
+}
+
+/// Mutable router state of one fleet episode.
+struct FleetEpisode {
+    icn: LatencyBandwidthResource,
+    /// Per machine: routed-minus-completed GEMM flops.
+    outstanding: Vec<u64>,
+    /// Per tenant: the machine its latest job ran on.
+    tenant_home: Vec<Option<usize>>,
+    /// Round-robin cursor.
+    rr: usize,
+    /// Per machine: record index per admission slot, mirroring the
+    /// machine engine's arrival ordering (sorted insert by effective
+    /// arrival, stable on ties) so a [`JobOutcome`]'s machine-local
+    /// [`maco_serve::JobId`] maps back to the fleet record.
+    slots: Vec<Vec<(SimTime, usize)>>,
+    records: Vec<JobRecord>,
+    /// Record index → pending reduction barrier, for split jobs.
+    reductions: FxHashMap<usize, Reduction>,
+    jobs_completed: u64,
+    jobs_rejected: u64,
+    migrations: u64,
+    splits: u64,
+    last_finish: SimTime,
+    fingerprint: u64,
+}
+
+impl FleetEpisode {
+    /// Routes one arrival: validates, picks machine(s), charges the
+    /// interconnect, pushes the job (or its parts) into the machine
+    /// engine(s).
+    fn route(
+        &mut self,
+        spec: &ClusterSpec,
+        tenants: &[Tenant],
+        engines: &mut [Engine],
+        job: JobSpec,
+        index: usize,
+    ) {
+        let machines = engines.len();
+        self.fingerprint = fold_fingerprint(self.fingerprint, index as u64);
+        if validate_spec(tenants.len(), &job).is_err() {
+            self.jobs_rejected += 1;
+            self.records.push(JobRecord {
+                index,
+                tenant: job.tenant,
+                arrival: job.arrival,
+                effective_arrival: job.arrival,
+                machines: Vec::new(),
+                split: None,
+                migrated: false,
+                finished_at: None,
+                flops: job.flops(),
+            });
+            return;
+        }
+        let flops = job.flops();
+
+        // Data-parallel split: single-layer jobs above the threshold fan
+        // out across the least-loaded machines; whole DNN streams always
+        // stay machine-affine.
+        let want_ways = spec.split.max_ways.min(machines);
+        if job.layers.len() == 1 && flops >= spec.split.min_flops && want_ways >= 2 {
+            let split = split_job(&job, spec.split.kind, want_ways);
+            if split.parts.len() >= 2 {
+                let mut order: Vec<usize> = (0..machines).collect();
+                order.sort_by_key(|&m| (self.outstanding[m], m));
+                let targets: Vec<usize> = order[..split.parts.len()].to_vec();
+                let effective = if split.scatter_bytes > 0 {
+                    self.icn.access(job.arrival, split.scatter_bytes)
+                } else {
+                    job.arrival
+                };
+                for (part, &m) in split.parts.iter().zip(&targets) {
+                    let part_spec = JobSpec {
+                        layers: vec![part.task.clone()],
+                        arrival: effective,
+                        ..job.clone()
+                    };
+                    self.outstanding[m] += part_spec.flops();
+                    self.push_slot(m, effective, index);
+                    engines[m].push(part_spec);
+                    self.fingerprint = fold_fingerprint(self.fingerprint, m as u64);
+                }
+                self.fingerprint = fold_fingerprint(self.fingerprint, effective.as_fs());
+                self.reductions.insert(
+                    index,
+                    Reduction {
+                        parts_left: targets.len(),
+                        end: SimTime::ZERO,
+                        reduce_bytes: split.reduce_bytes,
+                    },
+                );
+                self.splits += 1;
+                // The split's primary machine becomes the tenant's home
+                // (the scatter already priced the operand movement, so no
+                // separate migration charge).
+                self.tenant_home[job.tenant] = Some(targets[0]);
+                self.records.push(JobRecord {
+                    index,
+                    tenant: job.tenant,
+                    arrival: job.arrival,
+                    effective_arrival: effective,
+                    machines: targets,
+                    split: Some(spec.split.kind),
+                    migrated: false,
+                    finished_at: None,
+                    flops,
+                });
+                return;
+            }
+        }
+
+        // Machine-affine placement.
+        let m = self.place(spec.placement, machines, job.tenant);
+        let migrated = self.tenant_home[job.tenant].is_some_and(|h| h != m);
+        let effective = if migrated {
+            // The tenant's context and this job's weights move over the
+            // interconnect before the job can start on the new machine.
+            let weight_bytes: u64 = job
+                .layers
+                .iter()
+                .map(|l| l.k * l.n * l.precision.bytes())
+                .sum();
+            self.migrations += 1;
+            self.icn.access(
+                job.arrival,
+                spec.interconnect.migration_bytes + weight_bytes,
+            )
+        } else {
+            job.arrival
+        };
+        self.tenant_home[job.tenant] = Some(m);
+        self.outstanding[m] += flops;
+        self.push_slot(m, effective, index);
+        let spec_for_machine = JobSpec {
+            arrival: effective,
+            ..job.clone()
+        };
+        engines[m].push(spec_for_machine);
+        self.fingerprint = fold_fingerprint(self.fingerprint, m as u64);
+        self.fingerprint = fold_fingerprint(self.fingerprint, effective.as_fs());
+        self.records.push(JobRecord {
+            index,
+            tenant: job.tenant,
+            arrival: job.arrival,
+            effective_arrival: effective,
+            machines: vec![m],
+            split: None,
+            migrated,
+            finished_at: None,
+            flops,
+        });
+    }
+
+    /// The machine-affine placement decision.
+    fn place(&mut self, placement: Placement, machines: usize, tenant: usize) -> usize {
+        match placement {
+            Placement::RoundRobin => {
+                let m = self.rr % machines;
+                self.rr += 1;
+                m
+            }
+            Placement::LeastLoaded => (0..machines)
+                .min_by_key(|&m| (self.outstanding[m], m))
+                .expect("at least one machine"),
+            Placement::TenantAffinity { spill } => {
+                let home = self.tenant_home[tenant].unwrap_or(tenant % machines);
+                let total: u64 = self.outstanding.iter().sum();
+                // Spill when the home's load exceeds `spill`× the fleet
+                // average: home·machines > spill·total, cross-multiplied
+                // so the comparison stays in integers.
+                let overloaded = total > 0
+                    && (self.outstanding[home] as u128 * machines as u128)
+                        > (spill as u128 * total as u128);
+                if overloaded {
+                    (0..machines)
+                        .min_by_key(|&m| (self.outstanding[m], m))
+                        .expect("at least one machine")
+                } else {
+                    home
+                }
+            }
+        }
+    }
+
+    /// Mirrors [`Engine::push`]'s sorted insertion so machine-local job
+    /// ids (admission order) map back to fleet records: the engine admits
+    /// pushed jobs in `(arrival, push order)` order, and pushes never
+    /// predate an already-admitted arrival, so the i-th element of this
+    /// list is the engine's job i by the time it can complete.
+    fn push_slot(&mut self, machine: usize, at: SimTime, record: usize) {
+        let slots = &mut self.slots[machine];
+        let mut idx = slots.len();
+        while idx > 0 && slots[idx - 1].0 > at {
+            idx -= 1;
+        }
+        slots.insert(idx, (at, record));
+    }
+
+    /// Processes one machine-level job completion: load accounting, split
+    /// reduction barriers, fleet-level completion records.
+    fn complete(&mut self, machine: usize, outcome: JobOutcome) {
+        let (slot_arrival, rec) = self.slots[machine][outcome.job.0 as usize];
+        // The slot list assumes the engine admitted every routed job: a
+        // machine-level admission rejection (queue overflow) would shift
+        // all later machine-local job ids off their slots. Fail loudly
+        // instead of attributing completions to the wrong records.
+        assert!(
+            slot_arrival == outcome.arrival && self.records[rec].tenant == outcome.tenant,
+            "machine {machine} admission desync (queue overflow?): routed jobs must fit \
+             the machine's ServeConfig::queue_capacity"
+        );
+        self.outstanding[machine] = self.outstanding[machine].saturating_sub(outcome.flops);
+        self.fingerprint = fold_fingerprint(self.fingerprint, machine as u64);
+        self.fingerprint = fold_fingerprint(self.fingerprint, outcome.finished_at.as_fs());
+        let finished = match self.reductions.get_mut(&rec) {
+            Some(red) => {
+                red.parts_left -= 1;
+                red.end = red.end.max(outcome.finished_at);
+                if red.parts_left > 0 {
+                    return;
+                }
+                // Barrier cleared: the k-split pays its all-reduce on the
+                // interconnect; the m-split completes with its last part.
+                let red = self.reductions.remove(&rec).expect("present");
+                if red.reduce_bytes > 0 {
+                    self.icn.access(red.end, red.reduce_bytes)
+                } else {
+                    red.end
+                }
+            }
+            None => outcome.finished_at,
+        };
+        self.records[rec].finished_at = Some(finished);
+        self.jobs_completed += 1;
+        self.last_finish = self.last_finish.max(finished);
+        self.fingerprint = fold_fingerprint(self.fingerprint, finished.as_fs());
+    }
+}

@@ -1,0 +1,59 @@
+//! # maco-cluster — scale-out serving across a fleet of MACO machines
+//!
+//! The paper evaluates one 16-node chip; a production deployment puts a
+//! *fleet* of them behind one front door. This crate is that front door:
+//! a declarative [`ClusterSpec`] names the machines (heterogeneous node
+//! counts and CCM bandwidths allowed), the inter-machine interconnect
+//! cost model, the placement policy and the data-parallel split rule, and
+//! [`Cluster`] runs multi-tenant traces across the whole fleet on one
+//! global virtual-time timeline.
+//!
+//! * [`spec`] — [`ClusterSpec`], [`MachineSpec`], [`InterconnectSpec`],
+//!   [`Placement`] (round-robin / least-loaded / tenant-affinity with
+//!   spill) and [`SplitSpec`].
+//! * [`cluster`] — [`Cluster`]: the front-end router and the global event
+//!   merge over per-machine [`maco_serve::Engine`]s. Machines share no
+//!   simulated hardware; all coupling flows through the interconnect
+//!   (migration transfers, scatters, all-reduces) and the router's load
+//!   accounting, keeping fleet schedules byte-identical across same-seed
+//!   runs.
+//! * [`split`] — data-parallel GEMM splitting: `k`-split (modeled
+//!   all-reduce, numerically bit-identical to the unsplit kernel) and
+//!   `m`-split (no reduction).
+//! * [`report`] — [`ClusterReport`]: fleet latency/throughput/fairness,
+//!   per-machine serving reports, interconnect traffic and the cluster
+//!   fingerprint the CI strict gate pins.
+//!
+//! # Example
+//!
+//! ```
+//! use maco_cluster::{Cluster, ClusterSpec, Placement};
+//! use maco_serve::Tenant;
+//! use maco_workloads::trace::{self, TraceConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Four 4-node machines behind a tenant-affinity router.
+//! let spec = ClusterSpec::uniform(4, 4)
+//!     .with_placement(Placement::TenantAffinity { spill: 2 });
+//! let mut fleet = Cluster::new(spec, Tenant::fleet(4));
+//! let trace = trace::generate(&TraceConfig { tenants: 4, requests: 6, ..TraceConfig::quick(3) });
+//! let report = fleet.run_trace(&trace)?;
+//! assert_eq!(report.jobs_completed, 6);
+//! // Same seed, same fleet schedule — byte for byte.
+//! let report2 = fleet.run_trace(&trace)?;
+//! assert_eq!(report.fingerprint, report2.fingerprint);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod report;
+pub mod spec;
+pub mod split;
+
+pub use cluster::{Cluster, ClusterError};
+pub use report::{ClusterReport, JobRecord, MachineReport};
+pub use spec::{ClusterSpec, InterconnectSpec, MachineSpec, Placement, SplitKind, SplitSpec};
+pub use split::{split_job, SplitJob};

@@ -1,0 +1,164 @@
+//! Fleet-wide reports: per-machine serving outcomes, global job records,
+//! interconnect traffic and the cluster fingerprint.
+
+use maco_serve::ServeReport;
+use maco_sim::{SimDuration, SimTime};
+
+use crate::spec::SplitKind;
+
+/// Re-export of the workspace-wide fingerprint fold (one implementation,
+/// shared by every determinism gate).
+pub use maco_sim::fold_fingerprint;
+
+/// One machine's outcome over a cluster episode.
+#[derive(Debug, Clone)]
+pub struct MachineReport {
+    /// Machine display name (from the spec).
+    pub name: String,
+    /// The machine's compute node count.
+    pub nodes: usize,
+    /// The machine-local serving report (leases, tenant stats, schedule
+    /// fingerprint — everything a standalone [`maco_serve::Server`] run
+    /// reports).
+    pub serve: ServeReport,
+}
+
+impl MachineReport {
+    /// Machine throughput in GFLOPS over the *fleet* makespan — the
+    /// utilisation view: what share of the episode this machine spent
+    /// doing useful work.
+    pub fn gflops_over(&self, fleet_makespan: SimDuration) -> f64 {
+        if fleet_makespan.is_zero() {
+            0.0
+        } else {
+            self.serve.total_flops as f64 / fleet_makespan.as_ns()
+        }
+    }
+}
+
+/// The routing history of one submitted job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Position in the arrival-sorted submitted stream.
+    pub index: usize,
+    /// Submitting tenant.
+    pub tenant: usize,
+    /// Original arrival time at the front-end router.
+    pub arrival: SimTime,
+    /// Arrival time on the target machine(s), after any migration or
+    /// scatter delay on the interconnect.
+    pub effective_arrival: SimTime,
+    /// Participating machines, in part order (one entry unless split).
+    pub machines: Vec<usize>,
+    /// The data-parallel split applied, if any.
+    pub split: Option<SplitKind>,
+    /// Whether routing this job moved its tenant across machines (and
+    /// paid the migration transfer).
+    pub migrated: bool,
+    /// Fleet-level completion time (all parts done, reductions included);
+    /// `None` for jobs rejected at admission.
+    pub finished_at: Option<SimTime>,
+    /// Total GEMM flops.
+    pub flops: u64,
+}
+
+impl JobRecord {
+    /// End-to-end latency (router arrival → fleet completion), when the
+    /// job completed.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.finished_at.map(|t| t.since(self.arrival))
+    }
+}
+
+/// The outcome of one fleet episode.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-machine reports, in fleet index order.
+    pub machines: Vec<MachineReport>,
+    /// Per-job routing and completion records, in arrival order.
+    pub jobs: Vec<JobRecord>,
+    /// Jobs that ran to fleet-level completion (a split job counts once).
+    pub jobs_completed: u64,
+    /// Jobs refused at router admission.
+    pub jobs_rejected: u64,
+    /// Fleet makespan: start of time to the last fleet-level completion
+    /// (reduction tails included).
+    pub makespan: SimDuration,
+    /// Total GEMM flops served across the fleet.
+    pub total_flops: u64,
+    /// Bytes moved across the inter-machine interconnect (migrations,
+    /// scatters, reductions).
+    pub interconnect_bytes: u64,
+    /// Cumulative interconnect busy time (serialisation only).
+    pub interconnect_busy: SimDuration,
+    /// Cross-machine tenant migrations the router charged.
+    pub migrations: u64,
+    /// Jobs the router split data-parallel.
+    pub splits: u64,
+    /// Order-sensitive fold of every routing decision, completion and
+    /// machine schedule fingerprint — byte-identical across same-seed
+    /// runs.
+    pub fingerprint: u64,
+}
+
+impl ClusterReport {
+    /// Aggregate fleet throughput in GFLOPS over the makespan.
+    pub fn total_gflops(&self) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            self.total_flops as f64 / self.makespan.as_ns()
+        }
+    }
+
+    /// Fleet-wide served flops per tenant (summed across machines).
+    pub fn per_tenant_flops(&self) -> Vec<u64> {
+        let tenants = self.machines.first().map_or(0, |m| m.serve.tenants.len());
+        (0..tenants)
+            .map(|t| self.machines.iter().map(|m| m.serve.tenants[t].flops).sum())
+            .collect()
+    }
+
+    /// Jain's fairness index over fleet-wide weighted tenant service,
+    /// across tenants that submitted work anywhere in the fleet.
+    pub fn fairness(&self) -> f64 {
+        let tenants = self.machines.first().map_or(0, |m| m.serve.tenants.len());
+        let xs: Vec<f64> = (0..tenants)
+            .filter(|&t| {
+                self.machines
+                    .iter()
+                    .any(|m| m.serve.tenants[t].submitted > 0)
+            })
+            .map(|t| {
+                let flops: u64 = self.machines.iter().map(|m| m.serve.tenants[t].flops).sum();
+                let weight = self.machines[0].serve.tenants[t].weight;
+                flops as f64 / weight as f64
+            })
+            .collect();
+        if xs.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = xs.iter().sum();
+        let sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sq == 0.0 {
+            1.0
+        } else {
+            (sum * sum) / (xs.len() as f64 * sq)
+        }
+    }
+
+    /// Mean end-to-end latency over completed jobs.
+    pub fn mean_latency(&self) -> SimDuration {
+        let done: Vec<SimDuration> = self.jobs.iter().filter_map(JobRecord::latency).collect();
+        if done.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u64 = done.iter().map(|d| d.as_fs()).sum();
+        SimDuration::from_fs(sum / done.len() as u64)
+    }
+
+    /// The fingerprint as the 16-hex-digit string reports embed.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+}

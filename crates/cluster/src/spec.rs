@@ -1,0 +1,270 @@
+//! Fleet declaration: machines, interconnect cost model, placement policy
+//! and the data-parallel split rule.
+
+use maco_core::system::SystemConfig;
+use maco_serve::ServeConfig;
+use maco_sim::SimDuration;
+
+/// One machine of the fleet: an independently configured [`SystemConfig`]
+/// (heterogeneous node counts and CCM bandwidths are allowed) plus its
+/// serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Display name (used in reports).
+    pub name: String,
+    /// The machine's hardware configuration.
+    pub system: SystemConfig,
+    /// The machine's serving configuration (policy, queue bound, gangs).
+    pub serve: ServeConfig,
+}
+
+impl MachineSpec {
+    /// A machine named `name` with `nodes` compute nodes and every other
+    /// knob at the paper default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is outside `1..=16`.
+    pub fn new(name: impl Into<String>, nodes: usize) -> Self {
+        assert!((1..=16).contains(&nodes), "machines have 1..=16 nodes");
+        MachineSpec {
+            name: name.into(),
+            system: SystemConfig {
+                nodes,
+                ..SystemConfig::default()
+            },
+            serve: ServeConfig::default(),
+        }
+    }
+
+    /// A homogeneous fleet: `machines` machines (`m0..`) of `nodes_each`
+    /// nodes.
+    pub fn uniform(machines: usize, nodes_each: usize) -> Vec<MachineSpec> {
+        (0..machines)
+            .map(|i| MachineSpec::new(format!("m{i}"), nodes_each))
+            .collect()
+    }
+}
+
+/// The inter-machine interconnect: a shared latency + bandwidth resource
+/// (one fabric, transfers queue behind each other) charged on cross-machine
+/// tenant migration and on data-parallel GEMM scatters/reductions. Within a
+/// machine the mesh/CCM/DRAM model applies; this model only prices traffic
+/// that crosses machine boundaries.
+#[derive(Debug, Clone)]
+pub struct InterconnectSpec {
+    /// Fixed per-transfer latency (link + switch traversal).
+    pub latency: SimDuration,
+    /// Shared fabric bandwidth in GB/s.
+    pub gbps: f64,
+    /// Fixed per-migration context payload in bytes (page tables, runtime
+    /// state), charged on top of the migrating job's weight bytes.
+    pub migration_bytes: u64,
+}
+
+impl Default for InterconnectSpec {
+    /// A 200 Gb/s fabric with 2 µs latency and a 1 MiB migration context —
+    /// datacenter-NIC territory, deliberately far slower than the on-chip
+    /// mesh so machine affinity matters.
+    fn default() -> Self {
+        InterconnectSpec {
+            latency: SimDuration::from_ns(2_000),
+            gbps: 25.0,
+            migration_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The front-end router's placement policy: which machine a newly arrived
+/// job is sent to. Every policy is a pure function of prior routing and
+/// completion state, so placements are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Machines in cyclic order, ignoring load (the baseline; it migrates
+    /// tenants constantly and pays for it on the interconnect).
+    RoundRobin,
+    /// The machine with the least outstanding GEMM flops (routed minus
+    /// completed), ties to the lowest index.
+    LeastLoaded,
+    /// Jobs follow their tenant's current home machine (initially
+    /// `tenant % machines`), avoiding migration traffic — unless the home
+    /// is overloaded, in which case the job spills to the least-loaded
+    /// machine and the tenant migrates. `spill` is the overload factor:
+    /// the home spills when its outstanding flops exceed `spill` times the
+    /// fleet-average outstanding flops (integer cross-multiplied, so the
+    /// comparison is exact).
+    TenantAffinity {
+        /// Overload factor triggering a spill (≥ 1; higher = stickier).
+        spill: u32,
+    },
+}
+
+impl Placement {
+    /// The three policies at representative settings, in a stable order
+    /// (benchmarks and tests sweep this).
+    pub const ALL: [Placement; 3] = [
+        Placement::RoundRobin,
+        Placement::LeastLoaded,
+        Placement::TenantAffinity { spill: 2 },
+    ];
+
+    /// Display tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::LeastLoaded => "least-loaded",
+            Placement::TenantAffinity { .. } => "tenant-affinity",
+        }
+    }
+}
+
+/// How a large GEMM⁺ layer is split data-parallel across machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    /// Split the reduction extent: every machine computes a partial
+    /// product over one `k`-span and the partials are combined by a
+    /// modeled all-reduce on the interconnect (charged at completion).
+    /// The combine runs in span order at the working precision, so the
+    /// result is bit-identical to the unsplit kernel
+    /// (`maco_mmae::kernels::matmul_ksplit_into` proves this).
+    KSplit,
+    /// Split the output rows: machines own disjoint row slabs, no
+    /// reduction is needed (only the operand scatter is charged).
+    MSplit,
+}
+
+/// When and how the router splits a job across machines.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitSpec {
+    /// Only single-layer jobs of at least this many GEMM flops split;
+    /// whole DNN streams (multi-layer jobs) always stay machine-affine.
+    pub min_flops: u64,
+    /// Upper bound on the number of participating machines.
+    pub max_ways: usize,
+    /// Split dimension.
+    pub kind: SplitKind,
+}
+
+impl SplitSpec {
+    /// Never split (the default): every job runs on exactly one machine.
+    pub fn disabled() -> Self {
+        SplitSpec {
+            min_flops: u64::MAX,
+            max_ways: 1,
+            kind: SplitKind::KSplit,
+        }
+    }
+
+    /// Split single-layer jobs of at least `min_flops` across up to
+    /// `max_ways` machines.
+    pub fn new(kind: SplitKind, min_flops: u64, max_ways: usize) -> Self {
+        SplitSpec {
+            min_flops,
+            max_ways,
+            kind,
+        }
+    }
+}
+
+impl Default for SplitSpec {
+    fn default() -> Self {
+        SplitSpec::disabled()
+    }
+}
+
+/// A fleet declaration: the machines, the interconnect between them, the
+/// placement policy and the split rule.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// The machines, in fleet index order.
+    pub machines: Vec<MachineSpec>,
+    /// The inter-machine interconnect cost model.
+    pub interconnect: InterconnectSpec,
+    /// The front-end placement policy.
+    pub placement: Placement,
+    /// The data-parallel split rule.
+    pub split: SplitSpec,
+}
+
+impl ClusterSpec {
+    /// A homogeneous fleet under [`Placement::LeastLoaded`] with splits
+    /// disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is zero or a machine's node count is invalid.
+    pub fn uniform(machines: usize, nodes_each: usize) -> Self {
+        assert!(machines >= 1, "need at least one machine");
+        ClusterSpec {
+            machines: MachineSpec::uniform(machines, nodes_each),
+            interconnect: InterconnectSpec::default(),
+            placement: Placement::LeastLoaded,
+            split: SplitSpec::disabled(),
+        }
+    }
+
+    /// The scale-out benchmark fleet (the `cluster_throughput` scenario in
+    /// `perf_baseline`): `machines`×`nodes_each` machines whose uncore is
+    /// bandwidth-constrained — 4 GB/s per CCM slice, below the Fig. 7
+    /// knee, the design point where 16 co-located nodes starve their
+    /// shared slices while 4-node machines keep theirs to themselves —
+    /// under least-loaded placement with a 1-GFLOP k-split. At this point
+    /// scale-out honestly beats scale-up at equal total node count: the
+    /// fleet replicates the uncore per chip, and heavy single-layer jobs
+    /// fan out across machines instead of queueing on one.
+    pub fn bandwidth_constrained(machines: usize, nodes_each: usize) -> Self {
+        let mut spec = ClusterSpec::uniform(machines, nodes_each)
+            .with_placement(Placement::LeastLoaded)
+            .with_split(SplitSpec::new(SplitKind::KSplit, 1_000_000_000, machines));
+        for m in &mut spec.machines {
+            m.system.ccm_gbps = 4.0;
+        }
+        spec
+    }
+
+    /// Sets the placement policy.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the split rule.
+    pub fn with_split(mut self, split: SplitSpec) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Total compute nodes across the fleet.
+    pub fn total_nodes(&self) -> usize {
+        self.machines.iter().map(|m| m.system.nodes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fleet_shapes() {
+        let spec = ClusterSpec::uniform(4, 4);
+        assert_eq!(spec.machines.len(), 4);
+        assert_eq!(spec.total_nodes(), 16);
+        assert_eq!(spec.machines[2].name, "m2");
+        assert_eq!(spec.machines[2].system.nodes, 4);
+    }
+
+    #[test]
+    fn placement_tags_are_stable() {
+        let names: Vec<&str> = Placement::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["round-robin", "least-loaded", "tenant-affinity"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn oversized_machines_are_rejected() {
+        let _ = MachineSpec::new("big", 17);
+    }
+}

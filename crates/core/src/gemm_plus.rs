@@ -141,6 +141,51 @@ pub fn partition_shapes_into(
     }
 }
 
+/// Splits a reduction extent `k` into at most `ways` consecutive non-empty
+/// spans, as evenly as possible (earlier spans take the remainder). This is
+/// the *data-parallel* split a fleet uses across whole machines: each
+/// machine computes a partial product over its span and the partials are
+/// combined by an all-reduce, in span order — which is exactly the
+/// accumulation order of the unsplit kernel, so the combined result is
+/// bit-identical (see `maco_mmae::kernels::matmul_ksplit_into`).
+pub fn partition_depth(k: u64, ways: usize) -> Vec<u64> {
+    let ways = (ways as u64).max(1);
+    let base = k / ways;
+    let extra = k % ways;
+    (0..ways)
+        .map(|i| base + u64::from(i < extra))
+        .filter(|&d| d > 0)
+        .collect()
+}
+
+/// Splits one GEMM⁺ layer into data-parallel machine parts along the
+/// reduction extent (`k`-split): each part keeps the full `m×n` output and
+/// takes one span of `k`. The epilogue, if any, stays attached to every
+/// part description; callers combining partials apply it once after the
+/// reduction. Flops are conserved exactly: `Σ 2·m·n·kᵢ = 2·m·n·k`.
+pub fn split_task_k(task: &GemmPlusTask, ways: usize) -> Vec<GemmPlusTask> {
+    partition_depth(task.k, ways)
+        .into_iter()
+        .map(|ki| GemmPlusTask {
+            k: ki,
+            ..task.clone()
+        })
+        .collect()
+}
+
+/// Splits one GEMM⁺ layer into data-parallel machine parts along the
+/// output rows (`m`-split): no reduction is needed to combine parts, each
+/// owns a disjoint row slab of the output. Degenerate slivers are dropped.
+pub fn split_task_m(task: &GemmPlusTask, ways: usize) -> Vec<GemmPlusTask> {
+    partition_depth(task.m, ways)
+        .into_iter()
+        .map(|mi| GemmPlusTask {
+            m: mi,
+            ..task.clone()
+        })
+        .collect()
+}
+
 /// Reusable staging for repeated GEMM⁺ layers: partition shapes and
 /// timeline lane labels, built once and reused across every layer of a
 /// DNN stream instead of being reallocated per layer.
@@ -317,6 +362,37 @@ mod tests {
         assert_eq!(partition_columns(2, 4), vec![1, 1]);
         let parts = partition_columns(9216, 16);
         assert_eq!(parts.iter().sum::<u64>(), 9216);
+    }
+
+    #[test]
+    fn depth_partition_covers_exactly_and_drops_zeros() {
+        assert_eq!(partition_depth(1024, 4), vec![256; 4]);
+        assert_eq!(partition_depth(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(partition_depth(2, 4), vec![1, 1]);
+        assert_eq!(partition_depth(7, 1), vec![7]);
+        for (k, ways) in [(9216u64, 16usize), (33, 5), (1, 8)] {
+            let parts = partition_depth(k, ways);
+            assert_eq!(parts.iter().sum::<u64>(), k);
+            assert!(parts.iter().all(|&d| d > 0));
+        }
+    }
+
+    #[test]
+    fn task_splits_conserve_flops() {
+        let task =
+            GemmPlusTask::gemm(512, 384, 1000, Precision::Fp32).with_epilogue(Kernel::relu());
+        let ksplit = split_task_k(&task, 3);
+        assert_eq!(
+            ksplit.iter().map(GemmPlusTask::flops).sum::<u64>(),
+            task.flops()
+        );
+        assert!(ksplit.iter().all(|p| p.m == task.m && p.n == task.n));
+        let msplit = split_task_m(&task, 3);
+        assert_eq!(
+            msplit.iter().map(GemmPlusTask::flops).sum::<u64>(),
+            task.flops()
+        );
+        assert!(msplit.iter().all(|p| p.k == task.k && p.n == task.n));
     }
 
     #[test]

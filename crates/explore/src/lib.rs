@@ -19,7 +19,10 @@
 //! * [`report`] — [`SweepReport`]: JSON/CSV emission and the sweep
 //!   fingerprint the CI strict gate pins;
 //! * [`figures`] — Fig. 6, Fig. 7 and Fig. 8 as named experiments built on
-//!   the same machinery (`explore::figures::{fig6, fig7, fig8}`).
+//!   the same machinery (`explore::figures::{fig6, fig7, fig8}`);
+//! * [`scaling`] — the cluster-size axis: how a fixed node budget carved
+//!   into 1/2/4 machines serves the same trace through `maco-cluster`
+//!   (the scale-out curve the `cluster_throughput` perf scenario pins).
 //!
 //! # Example
 //!
@@ -51,8 +54,10 @@ pub mod grid;
 pub mod pareto;
 pub mod report;
 pub mod roofline;
+pub mod scaling;
 
 pub use explorer::{BaselineResult, Explorer, PointResult};
 pub use grid::{SweepGrid, SweepPoint};
 pub use report::SweepReport;
 pub use roofline::{roofline, RooflineBound};
+pub use scaling::{cluster_scaling, ClusterScalePoint, ClusterScalingReport};

@@ -1,0 +1,163 @@
+//! The cluster-size axis: a scale-out sweep over fleet shapes at constant
+//! total node count.
+//!
+//! Where [`crate::SweepGrid`] sweeps the knobs of *one* machine, this
+//! module sweeps how a fixed node budget is carved into machines — one
+//! 16-node chip, two 8-node chips, four 4-node chips — serving the same
+//! trace through `maco-cluster`. The interesting output is the scale-out
+//! curve: at bandwidth-generous design points the single chip wins on
+//! gang width; at the CCM knee the fleet's replicated uncore wins (the
+//! `cluster_throughput` perf scenario pins the 4-machine point of exactly
+//! this sweep).
+
+use maco_cluster::{Cluster, ClusterSpec};
+use maco_serve::Tenant;
+use maco_sim::{fold_fingerprint, SimDuration};
+use maco_workloads::trace::{self, TraceConfig};
+
+/// One fleet shape's outcome in a scale-out sweep.
+#[derive(Debug, Clone)]
+pub struct ClusterScalePoint {
+    /// Machines in the fleet.
+    pub machines: usize,
+    /// Nodes per machine (`total_nodes / machines`).
+    pub nodes_per_machine: usize,
+    /// Fleet throughput in GFLOPS over the episode makespan.
+    pub gflops: f64,
+    /// Fleet makespan.
+    pub makespan: SimDuration,
+    /// Jobs the router split data-parallel.
+    pub splits: u64,
+    /// Bytes moved across the inter-machine interconnect.
+    pub interconnect_bytes: u64,
+    /// The fleet schedule fingerprint.
+    pub fingerprint: u64,
+}
+
+/// The collected scale-out sweep.
+#[derive(Debug, Clone)]
+pub struct ClusterScalingReport {
+    /// One row per feasible machine count, in sweep order.
+    pub points: Vec<ClusterScalePoint>,
+    /// Machine counts skipped because they do not divide the node budget
+    /// (or would exceed a machine's 16-node cap).
+    pub skipped: usize,
+    /// Order-sensitive fold of every point fingerprint.
+    pub fingerprint: u64,
+}
+
+impl ClusterScalingReport {
+    /// Throughput of the fleet shape with `machines` machines, if swept.
+    pub fn gflops_at(&self, machines: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.machines == machines)
+            .map(|p| p.gflops)
+    }
+
+    /// Fleet-over-single-chip speedup at `machines` machines (both shapes
+    /// must have been swept).
+    pub fn speedup_at(&self, machines: usize) -> Option<f64> {
+        let one = self.gflops_at(1)?;
+        self.gflops_at(machines).map(|g| g / one)
+    }
+}
+
+/// Runs the scale-out sweep: for every entry of `machine_counts` that
+/// divides `total_nodes` into machines of 1..=16 nodes, builds the fleet
+/// with `spec_of(machines, nodes_per_machine)` and serves the trace
+/// `trace_config` generates. Deterministic point to point — each fleet is
+/// built fresh — so the report fingerprint pins the whole curve.
+///
+/// # Panics
+///
+/// Panics if no machine count is feasible, or propagates a fleet
+/// episode's error (the system-managed mapping cannot fault for generated
+/// traces).
+pub fn cluster_scaling(
+    machine_counts: &[usize],
+    total_nodes: usize,
+    trace_config: &TraceConfig,
+    spec_of: impl Fn(usize, usize) -> ClusterSpec,
+) -> ClusterScalingReport {
+    let trace = trace::generate(trace_config);
+    let tenants = Tenant::fleet(trace_config.tenants);
+    let mut points = Vec::new();
+    let mut skipped = 0usize;
+    for &machines in machine_counts {
+        let feasible = machines >= 1
+            && total_nodes.is_multiple_of(machines)
+            && (1..=16).contains(&(total_nodes / machines));
+        if !feasible {
+            skipped += 1;
+            continue;
+        }
+        let nodes_per_machine = total_nodes / machines;
+        let mut fleet = Cluster::new(spec_of(machines, nodes_per_machine), tenants.clone());
+        let report = fleet
+            .run_trace(&trace)
+            .expect("system-managed mapping cannot fault");
+        points.push(ClusterScalePoint {
+            machines,
+            nodes_per_machine,
+            gflops: report.total_gflops(),
+            makespan: report.makespan,
+            splits: report.splits,
+            interconnect_bytes: report.interconnect_bytes,
+            fingerprint: report.fingerprint,
+        });
+    }
+    assert!(!points.is_empty(), "no feasible fleet shape");
+    let fingerprint = points
+        .iter()
+        .fold(0u64, |h, p| fold_fingerprint(h, p.fingerprint));
+    ClusterScalingReport {
+        points,
+        skipped,
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_trace() -> TraceConfig {
+        TraceConfig {
+            requests: 6,
+            ..TraceConfig::quick(42)
+        }
+    }
+
+    #[test]
+    fn sweep_covers_feasible_shapes_and_skips_the_rest() {
+        let r = cluster_scaling(&[1, 2, 3, 4, 32], 16, &quick_trace(), |m, n| {
+            ClusterSpec::uniform(m, n)
+        });
+        let machines: Vec<usize> = r.points.iter().map(|p| p.machines).collect();
+        assert_eq!(
+            machines,
+            vec![1, 2, 4],
+            "3 and 32 do not divide 16 into 1..=16"
+        );
+        assert_eq!(r.skipped, 2);
+        for p in &r.points {
+            assert_eq!(p.machines * p.nodes_per_machine, 16);
+            assert!(p.gflops > 0.0);
+        }
+        assert!(r.gflops_at(2).is_some());
+        assert!(r.speedup_at(4).is_some());
+        assert!(r.gflops_at(3).is_none());
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let run = || {
+            cluster_scaling(&[1, 2], 8, &quick_trace(), |m, n| {
+                ClusterSpec::uniform(m, n)
+            })
+            .fingerprint
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,114 @@
+//! Differential testing of the explorer against direct simulation.
+//!
+//! The fig6/7/8 suites cross-check three *named* experiments bit for bit;
+//! this suite generalises the check to arbitrary sweep points: 128
+//! randomly sampled `SweepGrid` points (proptest-driven), each asserted
+//! bit-identical — makespan, efficiency, throughput, DRAM traffic —
+//! between the `Explorer` path (grid → builder → fresh machine) and a
+//! hand-built `MacoSystem` of the same configuration. The explorer adds
+//! orchestration, never different physics, anywhere in the design space.
+
+use proptest::prelude::*;
+
+use maco_core::system::{MacoSystem, SystemConfig};
+use maco_explore::{Explorer, SweepGrid};
+use maco_isa::Precision;
+
+/// The sampled axis pools (kept small so 128 debug-mode cases stay
+/// cheap; the pools still cross the interesting knees).
+const SIZES: [u64; 3] = [64, 128, 256];
+const CCM_GBPS: [f64; 3] = [10.0, 20.0, 40.0];
+const FANOUT: [usize; 2] = [2, 4];
+const PRECISIONS: [Precision; 3] = [Precision::Fp64, Precision::Fp32, Precision::Fp16];
+
+proptest! {
+    /// Any single sweep point reproduces a direct simulation exactly.
+    #[test]
+    fn arbitrary_point_matches_direct_simulation_bitwise(
+        nodes in 1usize..5,
+        size in 0usize..3,
+        ccm in 0usize..3,
+        fanout in 0usize..2,
+        precision in 0usize..3,
+        prediction in 0u64..2,
+        stash_lock in 0u64..2,
+    ) {
+        let grid = SweepGrid {
+            nodes: vec![nodes],
+            sizes: vec![SIZES[size]],
+            precisions: vec![PRECISIONS[precision]],
+            ccm_gbps: vec![CCM_GBPS[ccm]],
+            ccm_fanout: vec![FANOUT[fanout]],
+            prediction: vec![prediction == 1],
+            stash_lock: vec![stash_lock == 1],
+            ..SweepGrid::default()
+        };
+        let sweep = Explorer::new().baselines(false).run(&grid);
+        prop_assert_eq!(sweep.points.len(), 1);
+        let point = &sweep.points[0];
+
+        // The same configuration, assembled by hand — not through the
+        // grid, not through the builder.
+        let config = SystemConfig {
+            nodes,
+            ccm_gbps: CCM_GBPS[ccm],
+            ccm_fanout: FANOUT[fanout],
+            prediction: prediction == 1,
+            stash_lock: stash_lock == 1,
+            ..SystemConfig::default()
+        };
+        let n = SIZES[size];
+        let direct = MacoSystem::new(config)
+            .run_parallel_gemm(n, n, n, PRECISIONS[precision])
+            .expect("system-managed mapping cannot fault");
+
+        prop_assert_eq!(point.makespan, direct.makespan, "makespan");
+        prop_assert_eq!(
+            point.efficiency.to_bits(),
+            direct.avg_efficiency().to_bits(),
+            "efficiency"
+        );
+        prop_assert_eq!(
+            point.gflops.to_bits(),
+            direct.total_gflops().to_bits(),
+            "throughput"
+        );
+        prop_assert_eq!(point.dram_bytes, direct.dram_bytes, "DRAM bytes");
+    }
+}
+
+/// A multi-axis grid's points each match direct simulation — the
+/// mixed-radix enumeration hands every point the right knob values (an
+/// index-decoding bug would pass the single-point property above).
+#[test]
+fn multi_axis_grid_points_each_match_direct_simulation() {
+    let grid = SweepGrid {
+        nodes: vec![1, 3],
+        sizes: vec![96, 192],
+        prediction: vec![true, false],
+        ccm_gbps: vec![8.0, 20.0],
+        ..SweepGrid::default()
+    };
+    let sweep = Explorer::new().baselines(false).run(&grid);
+    assert_eq!(sweep.points.len(), 16);
+    for p in &sweep.points {
+        let config = SystemConfig {
+            nodes: p.point.nodes,
+            ccm_gbps: p.point.ccm_gbps,
+            prediction: p.point.prediction,
+            ..SystemConfig::default()
+        };
+        let n = p.point.size;
+        let direct = MacoSystem::new(config)
+            .run_parallel_gemm(n, n, n, p.point.precision)
+            .expect("mapped");
+        assert_eq!(p.makespan, direct.makespan, "point {}", p.point.index);
+        assert_eq!(
+            p.efficiency.to_bits(),
+            direct.avg_efficiency().to_bits(),
+            "point {}",
+            p.point.index
+        );
+        assert_eq!(p.dram_bytes, direct.dram_bytes, "point {}", p.point.index);
+    }
+}

@@ -202,6 +202,100 @@ pub fn matmul_into(
     }
 }
 
+/// Continues a split reduction: computes `Y = A×B + Y₀` where `y` already
+/// holds a previous [`matmul_into`] (or `matmul_resume_into`) output for
+/// the *same* output tile — i.e. values already at the PE working
+/// precision. Unlike [`matmul_into`], the partial-sum input is **not**
+/// re-rounded through the operand precision (an FP16 task accumulates in
+/// FP32, so its partials are FP32 values that must re-enter the chain
+/// untouched). Chaining consecutive `k`-spans through this function
+/// therefore reproduces the unsplit kernel's accumulation chain element
+/// for element — the bit-identity the cluster's data-parallel `k`-split
+/// relies on, proven by [`matmul_ksplit_into`]'s property suite.
+///
+/// # Panics
+///
+/// Panics if `y.len() != m·n` (`ops.c` is ignored; pass the previous
+/// output in `y`).
+pub fn matmul_resume_into(
+    pack: &mut PackScratch,
+    ops: GemmOperands<'_>,
+    precision: Precision,
+    y: &mut [f64],
+) {
+    assert_eq!(y.len(), ops.m * ops.n, "Y shape mismatch");
+    match precision {
+        Precision::Fp64 => {
+            kernel_ikj(ops.a, ops.b, y, ops.m, ops.n, ops.k);
+        }
+        Precision::Fp32 | Precision::Fp16 => {
+            // Operands round through the input precision; the accumulator
+            // resumes from the working-precision partials verbatim (an
+            // f32 value round-trips f64 → f32 exactly).
+            match precision {
+                Precision::Fp32 => {
+                    pack_f32(ops.a, &mut pack.a32);
+                    pack_f32(ops.b, &mut pack.b32);
+                }
+                _ => {
+                    pack_f16(ops.a, &mut pack.a32);
+                    pack_f16(ops.b, &mut pack.b32);
+                }
+            }
+            pack_f32(y, &mut pack.acc32);
+            kernel_ikj(&pack.a32, &pack.b32, &mut pack.acc32, ops.m, ops.n, ops.k);
+            for (yo, &acc) in y.iter_mut().zip(&pack.acc32) {
+                *yo = acc as f64;
+            }
+        }
+    }
+}
+
+/// Computes `Y = A×B + C` as a chain of consecutive reduction spans — the
+/// functional model of a data-parallel `k`-split whose all-reduce combines
+/// machine partials in span order at the working precision. The first span
+/// runs [`matmul_into`] (rounding `C` through the operand precision, as
+/// the unsplit kernel does); every later span resumes the accumulation
+/// with [`matmul_resume_into`]. The result is bit-identical to one unsplit
+/// [`matmul_into`] over the full `k`, for every precision and any split.
+///
+/// # Panics
+///
+/// Panics if `splits` is empty, contains a zero, or does not sum to
+/// `ops.k`.
+pub fn matmul_ksplit_into(
+    pack: &mut PackScratch,
+    ops: GemmOperands<'_>,
+    precision: Precision,
+    splits: &[u64],
+    y: &mut [f64],
+) {
+    assert!(!splits.is_empty(), "need at least one reduction span");
+    assert!(splits.iter().all(|&s| s > 0), "empty reduction span");
+    assert_eq!(
+        splits.iter().sum::<u64>(),
+        ops.k as u64,
+        "spans must cover the reduction exactly"
+    );
+    let mut k0 = 0usize;
+    for (i, &span) in splits.iter().enumerate() {
+        let span = span as usize;
+        // Gather this span's A columns (row-major A strides by k) and B
+        // rows (contiguous).
+        let a_span: Vec<f64> = (0..ops.m)
+            .flat_map(|r| ops.a[r * ops.k + k0..r * ops.k + k0 + span].iter().copied())
+            .collect();
+        let b_span = &ops.b[k0 * ops.n..(k0 + span) * ops.n];
+        let part = GemmOperands::new(&a_span, b_span, ops.c, ops.m, ops.n, span);
+        if i == 0 {
+            matmul_into(pack, part, precision, y);
+        } else {
+            matmul_resume_into(pack, part, precision, y);
+        }
+        k0 += span;
+    }
+}
+
 /// The retained naive i-j-l triple loop — the reference the optimized
 /// kernels are proved bit-identical to. Kept deliberately simple; only
 /// tests and the equivalence suite should call it.
@@ -283,6 +377,31 @@ mod tests {
                         yi.to_bits(),
                         ri.to_bits(),
                         "{p:?} {m}x{n}x{k} element {i}: {yi} vs {ri}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ksplit_chain_matches_unsplit_bitwise() {
+        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            for splits in [vec![20u64], vec![10, 10], vec![1, 5, 14], vec![7, 13]] {
+                let (m, n, k) = (9, 6, 20);
+                let a = random(11, m * k);
+                let b = random(12, k * n);
+                let c = random(13, m * n);
+                let ops = GemmOperands::new(&a, &b, &c, m, n, k);
+                let mut pack = PackScratch::default();
+                let mut whole = vec![0.0; m * n];
+                matmul_into(&mut pack, ops, p, &mut whole);
+                let mut split = vec![0.0; m * n];
+                matmul_ksplit_into(&mut pack, ops, p, &splits, &mut split);
+                for (i, (w, s)) in whole.iter().zip(&split).enumerate() {
+                    assert_eq!(
+                        w.to_bits(),
+                        s.to_bits(),
+                        "{p:?} splits {splits:?} element {i}: {w} vs {s}"
                     );
                 }
             }

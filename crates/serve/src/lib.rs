@@ -15,7 +15,10 @@
 //!   Fig. 5(a), and independent tenants co-run on the remaining nodes.
 //! * [`server`] — the virtual-time co-simulation loop interleaving all
 //!   in-flight jobs on the shared timeline via the core's reentrant
-//!   `begin_gemm`/`step_gemm` stepping API.
+//!   `begin_gemm`/`step_gemm` stepping API. The loop body is the
+//!   steppable [`Engine`] (arrivals pushed incrementally, events advanced
+//!   one at a time), which `maco-cluster` composes one-per-machine onto a
+//!   fleet-wide timeline.
 //! * [`report`] — per-tenant latency/throughput/fairness reports, node
 //!   leases, and the schedule fingerprint used by determinism checks.
 //! * [`replica`] — a `std::thread` replica runner sharding independent
@@ -57,4 +60,4 @@ pub use job::{validate_spec, AdmissionError, JobId, JobQueue, JobSpec, Tenant};
 pub use replica::{run_replicas, ReplicaOutcome};
 pub use report::{NodeLease, ServeReport, TenantReport};
 pub use sched::Policy;
-pub use server::{ServeConfig, ServeError, Server};
+pub use server::{Engine, JobOutcome, ServeConfig, ServeError, Server};

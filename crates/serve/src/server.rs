@@ -10,6 +10,15 @@
 //! analytically. Every decision (admission, policy pick, placement) is a
 //! pure function of prior simulated state, which is what makes the
 //! resulting schedule fingerprint byte-identical across same-seed runs.
+//!
+//! The loop body lives in [`Engine`], a steppable form of the episode
+//! state: arrivals are [pushed](Engine::push) incrementally and events are
+//! [advanced](Engine::advance) one at a time. [`Server::run_jobs`] drives
+//! an engine to completion over one machine; `maco-cluster` holds one
+//! engine per machine and merges their [`Engine::next_event`] streams onto
+//! a single fleet-wide timeline.
+
+use std::collections::VecDeque;
 
 use maco_core::group::{partition_onto, NodePool};
 use maco_core::system::{InFlightGemm, MacoSystem, TaskAdmitError};
@@ -151,8 +160,14 @@ impl Server {
     pub fn run_jobs(&mut self, mut specs: Vec<JobSpec>) -> Result<ServeReport, ServeError> {
         specs.sort_by_key(|s| s.arrival);
         self.system.reset_shared_resources();
-        let ep = Episode::new(&mut self.system, &self.tenants, &self.config, &specs);
-        ep.run()
+        let mut engine = Engine::new(self.system.node_count(), &self.tenants, &self.config);
+        for spec in specs {
+            engine.push(spec);
+        }
+        while engine.next_event().is_some() {
+            engine.advance(&mut self.system, None)?;
+        }
+        Ok(engine.finish(&self.system))
     }
 }
 
@@ -188,14 +203,67 @@ struct Job {
     finished: bool,
 }
 
-/// All mutable state of one serving episode.
-struct Episode<'a> {
-    system: &'a mut MacoSystem,
-    tenants: &'a [Tenant],
-    config: &'a ServeConfig,
-    /// Arrival-sorted job stream and the next-to-arrive cursor.
-    specs: &'a [JobSpec],
-    next: usize,
+/// One retired job, as reported by [`Engine::advance`]: the external
+/// composition layer (the cluster's fleet router) uses these to keep its
+/// per-machine load accounting and data-parallel reduction barriers in
+/// sync with the simulated schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The completed job, numbered in admission order within the episode.
+    pub job: JobId,
+    /// Submitting tenant.
+    pub tenant: usize,
+    /// The job's arrival time (as submitted to this engine).
+    pub arrival: SimTime,
+    /// Completion time on the simulated clock (last layer's last member,
+    /// epilogue tails included).
+    pub finished_at: SimTime,
+    /// Total GEMM flops the job served.
+    pub flops: u64,
+}
+
+/// All scheduler and co-simulation state of one serving episode, in
+/// steppable form.
+///
+/// An engine is fed arrival-ordered job specs through [`Engine::push`] and
+/// advanced one discrete event at a time with [`Engine::advance`]; it never
+/// owns the machine it drives, so a composition layer can hold many
+/// engines, one per [`MacoSystem`], and merge their event streams onto a
+/// single global timeline (always advancing the engine with the minimum
+/// [`Engine::next_event`]). [`Server::run_jobs`] is exactly that loop over
+/// one machine, and produces bit-identical schedules to the pre-engine
+/// monolithic loop.
+///
+/// ```
+/// use maco_core::system::{MacoSystem, SystemConfig};
+/// use maco_serve::{Engine, JobSpec, ServeConfig, Tenant};
+/// use maco_core::gemm_plus::GemmPlusTask;
+/// use maco_isa::Precision;
+/// use maco_sim::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut system = MacoSystem::new(SystemConfig { nodes: 2, ..SystemConfig::default() });
+/// system.reset_shared_resources();
+/// let tenants = Tenant::fleet(1);
+/// let mut engine = Engine::new(system.node_count(), &tenants, &ServeConfig::default());
+/// engine.push(JobSpec::single(
+///     0,
+///     GemmPlusTask::gemm(128, 128, 128, Precision::Fp32),
+///     SimTime::ZERO,
+/// ));
+/// while engine.next_event().is_some() {
+///     engine.advance(&mut system, None)?;
+/// }
+/// let report = engine.finish(&system);
+/// assert_eq!(report.jobs_completed, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Engine {
+    tenants: Vec<Tenant>,
+    config: ServeConfig,
+    /// Arrival-sorted pending job stream (not yet submitted).
+    arrivals: VecDeque<JobSpec>,
     weights: Vec<u32>,
     pool: NodePool,
     queue: JobQueue,
@@ -216,14 +284,19 @@ struct Episode<'a> {
     total_flops: u64,
 }
 
-impl<'a> Episode<'a> {
-    fn new(
-        system: &'a mut MacoSystem,
-        tenants: &'a [Tenant],
-        config: &'a ServeConfig,
-        specs: &'a [JobSpec],
-    ) -> Self {
-        let nodes = system.node_count();
+impl Engine {
+    /// Creates an idle engine for a `nodes`-node machine serving `tenants`
+    /// under `config`. The engine only records the machine's shape; the
+    /// [`MacoSystem`] itself is passed to every [`Engine::advance`] call
+    /// (and should have had its shared resources reset at episode start).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tenant fleet, a zero `max_gang` or a zero node
+    /// count.
+    pub fn new(nodes: usize, tenants: &[Tenant], config: &ServeConfig) -> Self {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        assert!(config.max_gang >= 1, "gangs have at least one member");
         let stats = tenants
             .iter()
             .map(|t| TenantReport {
@@ -240,13 +313,11 @@ impl<'a> Episode<'a> {
                 peak_stq: 0,
             })
             .collect();
-        Episode {
-            system,
-            tenants,
-            config,
-            specs,
-            next: 0,
+        Engine {
             weights: tenants.iter().map(|t| t.weight).collect(),
+            tenants: tenants.to_vec(),
+            config: config.clone(),
+            arrivals: VecDeque::new(),
             pool: NodePool::new(nodes),
             queue: JobQueue::new(config.queue_capacity),
             jobs: Vec::new(),
@@ -264,73 +335,135 @@ impl<'a> Episode<'a> {
         }
     }
 
-    /// The event-merge loop.
-    fn run(mut self) -> Result<ServeReport, ServeError> {
-        loop {
-            let task = self
+    /// Feeds one future arrival into the engine. Pushes keep the pending
+    /// stream arrival-sorted (equal arrival times keep push order), so a
+    /// composition layer may interleave pushes with [`Engine::advance`]
+    /// calls — e.g. to inject a migration-delayed job — as long as no
+    /// pushed arrival predates an arrival already processed.
+    pub fn push(&mut self, spec: JobSpec) {
+        // Almost always an append (routers hand arrivals over in global
+        // time order); the backward scan only runs for delayed arrivals.
+        let at = spec.arrival;
+        let mut idx = self.arrivals.len();
+        while idx > 0 && self.arrivals[idx - 1].arrival > at {
+            idx -= 1;
+        }
+        self.arrivals.insert(idx, spec);
+    }
+
+    /// The engine's next event time: the earliest of the next pending
+    /// arrival, the armed scheduler wake-up and the minimum in-flight task
+    /// step. `None` when the episode has fully drained.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let task = self.active.iter().map(|a| a.task.now()).min();
+        let arrival = self.arrivals.front().map(|s| s.arrival);
+        [task, arrival, self.wake].into_iter().flatten().min()
+    }
+
+    /// Completed GEMM flops served so far (monotone over the episode).
+    pub fn flops_served(&self) -> u64 {
+        self.total_flops
+    }
+
+    /// Processes exactly one event on `system`: an arrival (admission and
+    /// a scheduling attempt), a scheduler wake-up, or a batch of tile
+    /// steps of the minimal in-flight task. Returns the retired job when
+    /// the event completed one.
+    ///
+    /// `bound` is an *external* event horizon: tile-step batching breaks
+    /// when the stepped task reaches it, and completion-triggered arrival
+    /// draining stops at it, so a composition layer merging several
+    /// engines can bound each engine by the next global event it owns
+    /// (typically the next unrouted fleet arrival) — a later push then
+    /// never predates an already-admitted arrival, which keeps admission
+    /// order equal to `(arrival, push order)`. Passing `None` reproduces
+    /// the single-machine loop exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeError`]s from the co-simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no event (see [`Engine::next_event`]).
+    pub fn advance(
+        &mut self,
+        system: &mut MacoSystem,
+        bound: Option<SimTime>,
+    ) -> Result<Option<JobOutcome>, ServeError> {
+        let task = self
+            .active
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, a)| (a.task.now(), a.seq))
+            .map(|(i, a)| (a.task.now(), a.seq, i));
+        let arrival = self.arrivals.front().map(|s| s.arrival);
+        let wake = self.wake;
+        assert!(
+            task.is_some() || arrival.is_some() || wake.is_some(),
+            "advance called on a drained engine"
+        );
+        let task_time = task.map(|(t, _, _)| t);
+        // Tie order is arrival, then wake, then task step, so admission
+        // and scheduling state are current before any same-instant
+        // stepping decision.
+        let arrival_first = arrival
+            .is_some_and(|at| task_time.is_none_or(|tt| at <= tt) && wake.is_none_or(|w| at <= w));
+        let wake_first = !arrival_first && wake.is_some_and(|w| task_time.is_none_or(|tt| w <= tt));
+        if arrival_first {
+            let spec = self.arrivals.pop_front().expect("arrival_first");
+            let at = spec.arrival;
+            self.submit(&spec);
+            self.try_schedule(system, at)?;
+        } else if wake_first {
+            let at = wake.expect("wake_first implies a wake");
+            self.wake = None;
+            self.try_schedule(system, at)?;
+        } else {
+            let (_, _, idx) = task.expect("no arrival or wake, so a task exists");
+            // Batch contiguous steps of the minimal task while it stays at
+            // or below every other event — the same exact-equivalence
+            // batching the closed-loop runner uses, bounded additionally
+            // by the next arrival, the wake and the external horizon.
+            let runner_up = self
                 .active
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, a)| (a.task.now(), a.seq))
-                .map(|(i, a)| (a.task.now(), a.seq, i));
-            let arrival = self.specs.get(self.next).map(|s| s.arrival);
-            let wake = self.wake;
-            if task.is_none() && arrival.is_none() && wake.is_none() {
-                break;
-            }
-            let task_time = task.map(|(t, _, _)| t);
-            // Tie order is arrival, then wake, then task step, so admission
-            // and scheduling state are current before any same-instant
-            // stepping decision.
-            let arrival_first = arrival.is_some_and(|at| {
-                task_time.is_none_or(|tt| at <= tt) && wake.is_none_or(|w| at <= w)
-            });
-            let wake_first =
-                !arrival_first && wake.is_some_and(|w| task_time.is_none_or(|tt| w <= tt));
-            if arrival_first {
-                let at = arrival.expect("arrival_first implies an arrival");
-                let spec = self.specs[self.next].clone();
-                self.next += 1;
-                self.submit(&spec);
-                self.try_schedule(at)?;
-            } else if wake_first {
-                let at = wake.expect("wake_first implies a wake");
-                self.wake = None;
-                self.try_schedule(at)?;
-            } else {
-                let (_, _, idx) = task.expect("no arrival or wake, so a task exists");
-                // Batch contiguous steps of the minimal task while it
-                // stays at or below every other event — the same
-                // exact-equivalence batching the closed-loop runner uses,
-                // bounded additionally by the next arrival and wake.
-                let runner_up = self
-                    .active
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != idx)
-                    .map(|(_, a)| (a.task.now(), a.seq))
-                    .min();
-                let completed = loop {
-                    if self.system.step_gemm(&mut self.active[idx].task)?.is_some() {
-                        break true;
-                    }
-                    let key = (self.active[idx].task.now(), self.active[idx].seq);
-                    if arrival.is_some_and(|at| key.0 >= at)
-                        || wake.is_some_and(|w| key.0 >= w)
-                        || runner_up.is_some_and(|r| key > r)
-                    {
-                        break false;
-                    }
-                };
-                if completed {
-                    self.member_done(idx)?;
+                .filter(|&(i, _)| i != idx)
+                .map(|(_, a)| (a.task.now(), a.seq))
+                .min();
+            let completed = loop {
+                if system.step_gemm(&mut self.active[idx].task)?.is_some() {
+                    break true;
                 }
+                let key = (self.active[idx].task.now(), self.active[idx].seq);
+                if arrival.is_some_and(|at| key.0 >= at)
+                    || wake.is_some_and(|w| key.0 >= w)
+                    || bound.is_some_and(|b| key.0 >= b)
+                    || runner_up.is_some_and(|r| key > r)
+                {
+                    break false;
+                }
+            };
+            if completed {
+                return self.member_done(system, idx, bound);
             }
         }
+        Ok(None)
+    }
+
+    /// Finishes the episode and produces its report.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that no work is pending or in flight (the engine was
+    /// advanced until [`Engine::next_event`] returned `None`).
+    pub fn finish(self, system: &MacoSystem) -> ServeReport {
         debug_assert!(self.queue.is_empty(), "pending jobs at episode end");
         debug_assert!(self.active.is_empty());
-        let nodes = self.system.node_count();
-        Ok(ServeReport {
+        debug_assert!(self.arrivals.is_empty());
+        let nodes = system.node_count();
+        ServeReport {
             policy: self.config.policy,
             tenants: self.stats,
             jobs_completed: self.jobs_completed,
@@ -338,16 +471,16 @@ impl<'a> Episode<'a> {
             makespan: self.last_finish.since(SimTime::ZERO),
             total_flops: self.total_flops,
             machine_peak_mtq: (0..nodes)
-                .map(|n| self.system.cpu(n).mtq().peak_in_use())
+                .map(|n| system.cpu(n).mtq().peak_in_use())
                 .max()
                 .unwrap_or(0),
             machine_peak_stq: (0..nodes)
-                .map(|n| self.system.stq(n).peak_len())
+                .map(|n| system.stq(n).peak_len())
                 .max()
                 .unwrap_or(0),
             leases: self.leases,
             fingerprint: self.fingerprint,
-        })
+        }
     }
 
     /// Admission: validates, bounds the queue, registers the job.
@@ -389,28 +522,41 @@ impl<'a> Episode<'a> {
     }
 
     /// Admits (and possibly starts, on nodes already free at their
-    /// arrival instants) every job arriving at or before `upto`. Called
-    /// when a completing step leaps past pending arrivals on the
+    /// arrival instants) every pushed job arriving at or before `upto`.
+    /// Called when a completing step leaps past pending arrivals on the
     /// simulated clock, so that the completion's rescheduling never hands
     /// freed nodes to a job "in the past" — freed nodes only serve work
     /// dispatched at or after the time they became free.
-    fn drain_arrivals(&mut self, upto: SimTime) -> Result<(), ServeError> {
-        while let Some(spec) = self.specs.get(self.next) {
+    ///
+    /// The drain also stops at the external `bound`: admitting past the
+    /// composition layer's horizon would let a later [`Engine::push`]
+    /// (necessarily timestamped at or after that horizon) predate an
+    /// already-admitted arrival, breaking the admission-order contract.
+    /// Arrivals beyond the bound are admitted later, at their own event
+    /// times — the time-aware node pool keeps the schedules identical in
+    /// spirit: freed nodes stay invisible before their free instant.
+    fn drain_arrivals(
+        &mut self,
+        system: &mut MacoSystem,
+        upto: SimTime,
+        bound: Option<SimTime>,
+    ) -> Result<(), ServeError> {
+        let cut = bound.map_or(upto, |b| upto.min(b));
+        while let Some(spec) = self.arrivals.front() {
             let at = spec.arrival;
-            if at > upto {
+            if at > cut {
                 break;
             }
-            let spec = spec.clone();
-            self.next += 1;
+            let spec = self.arrivals.pop_front().expect("front exists");
             self.submit(&spec);
-            self.try_schedule(at)?;
+            self.try_schedule(system, at)?;
         }
         Ok(())
     }
 
     /// Starts pending jobs while the policy finds one whose gang fits the
     /// free nodes (backfilling).
-    fn try_schedule(&mut self, now: SimTime) -> Result<(), ServeError> {
+    fn try_schedule(&mut self, system: &mut MacoSystem, now: SimTime) -> Result<(), ServeError> {
         loop {
             if self.queue.is_empty() {
                 return Ok(());
@@ -470,22 +616,27 @@ impl<'a> Episode<'a> {
                 });
             }
             self.jobs[ji].group = group;
-            self.begin_layer(ji, now)?;
+            self.begin_layer(system, ji, now)?;
         }
     }
 
     /// Dispatches the current layer of `ji` across its gang at time `at`.
-    fn begin_layer(&mut self, ji: usize, at: SimTime) -> Result<(), ServeError> {
+    fn begin_layer(
+        &mut self,
+        system: &mut MacoSystem,
+        ji: usize,
+        at: SimTime,
+    ) -> Result<(), ServeError> {
         let layer = self.jobs[ji].spec.layers[self.jobs[ji].layer].clone();
         let parts = partition_onto(layer.m, layer.n, layer.k, &self.jobs[ji].group);
         debug_assert!(!parts.is_empty(), "admission rejects degenerate layers");
         let tenant = self.jobs[ji].spec.tenant;
         let asid = self.tenants[tenant].asid;
-        let cpu_cfg = self.system.config().cpu;
-        let tiling = self.system.config().mmae.tiling;
+        let cpu_cfg = system.config().cpu;
+        let tiling = system.config().mmae.tiling;
         for &(node, (pm, pn, pk)) in &parts {
-            let params = self.system.map_gemm(pm, pn, pk, layer.precision)?;
-            let task = self.system.begin_gemm(node, asid, params, at)?;
+            let params = system.map_gemm(pm, pn, pk, layer.precision)?;
+            let task = system.begin_gemm(node, asid, params, at)?;
             // The epilogue tail that extends a member past its GEMM: with
             // Fig. 5(c) overlap only the final block's epilogue is
             // exposed; without it the whole epilogue serialises.
@@ -518,19 +669,25 @@ impl<'a> Episode<'a> {
         // several concurrent jobs holds entries machine-wide.
         let mut mtq = 0;
         let mut stq = 0;
-        for node in 0..self.system.node_count() {
-            mtq += self.system.cpu(node).mtq().in_use_by(asid);
+        for node in 0..system.node_count() {
+            mtq += system.cpu(node).mtq().in_use_by(asid);
         }
         for &(node, _) in &parts {
-            stq = stq.max(self.system.stq(node).len());
+            stq = stq.max(system.stq(node).len());
         }
         self.stats[tenant].peak_mtq = self.stats[tenant].peak_mtq.max(mtq);
         self.stats[tenant].peak_stq = self.stats[tenant].peak_stq.max(stq);
         Ok(())
     }
 
-    /// Handles one gang member finishing its layer slice.
-    fn member_done(&mut self, idx: usize) -> Result<(), ServeError> {
+    /// Handles one gang member finishing its layer slice; returns the
+    /// retired job when this was the last member of its last layer.
+    fn member_done(
+        &mut self,
+        system: &mut MacoSystem,
+        idx: usize,
+        bound: Option<SimTime>,
+    ) -> Result<Option<JobOutcome>, ServeError> {
         let done = self.active.swap_remove(idx);
         let member_end = done.task.now() + done.epilogue_tail;
         let ji = done.job;
@@ -549,7 +706,7 @@ impl<'a> Episode<'a> {
         job.members_left -= 1;
         job.layer_end = job.layer_end.max(member_end);
         if job.members_left > 0 {
-            return Ok(());
+            return Ok(None);
         }
 
         // Layer barrier reached: account service, advance or retire.
@@ -561,16 +718,19 @@ impl<'a> Episode<'a> {
         self.total_flops += layer_flops;
         job.layer += 1;
         if job.layer < job.spec.layers.len() {
-            return self.begin_layer(ji, layer_end);
+            self.begin_layer(system, ji, layer_end)?;
+            return Ok(None);
         }
 
         // Job complete. First admit any arrivals the final step leapt
         // past, so the rescheduling below never dispatches into the past;
         // then close leases, free the gang and pull in queued work.
-        self.drain_arrivals(layer_end)?;
+        self.drain_arrivals(system, layer_end, bound)?;
         let job = &mut self.jobs[ji];
         job.finished = true;
-        let latency = layer_end.since(job.spec.arrival);
+        let arrival = job.spec.arrival;
+        let latency = layer_end.since(arrival);
+        let flops = job.flops_total;
         let lease_range = job.lease_start..job.lease_start + job.group.len();
         let group = std::mem::take(&mut job.group);
         let deadline_missed = job.spec.deadline.is_some_and(|d| latency > d);
@@ -587,6 +747,13 @@ impl<'a> Episode<'a> {
         if deadline_missed {
             st.deadline_misses += 1;
         }
-        self.try_schedule(layer_end)
+        self.try_schedule(system, layer_end)?;
+        Ok(Some(JobOutcome {
+            job: JobId(ji as u64),
+            tenant,
+            arrival,
+            finished_at: layer_end,
+            flops,
+        }))
     }
 }

@@ -134,6 +134,166 @@ proptest! {
     }
 }
 
+/// Builds an adversarial tie-storm job mix: arrival gaps of 0–2 ns (far
+/// below any service time, so arrivals, wakes and completions constantly
+/// collide on the simulated clock) and minimal 1×1×1 "zero-duration"
+/// layers mixed with real ones. This is the regime that caught the two
+/// PR 3 scheduler bugs — completions processed in event order leaping
+/// past same-instant arrivals, and freed nodes serving dispatches
+/// timestamped in their busy past.
+fn tie_storm_jobs(raw: &[(u64, u64, u64, u64)], tenants: usize) -> Vec<JobSpec> {
+    let mut arrival = SimTime::ZERO;
+    raw.iter()
+        .map(|&(tenant, dim, width, gap)| {
+            // gap ∈ {0, 1, 2} ns: most consecutive jobs share a timestamp.
+            arrival += SimDuration::from_ns(gap % 3);
+            let d = if dim == 0 { 1 } else { 32 * dim };
+            JobSpec {
+                tenant: tenant as usize % tenants,
+                layers: vec![GemmPlusTask::gemm(d, d, d, Precision::Fp32)],
+                arrival,
+                priority: (tenant % 4) as u8,
+                deadline: Some(SimDuration::from_ns(1)),
+                gang_width: 1 + width as usize,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Under timestamp tie storms and zero-duration jobs, every policy
+    /// still completes everything with exclusive leases, exact flops
+    /// accounting and a reproducible schedule — the event-order vs
+    /// timestamp-order fixes (arrival draining, time-aware `NodePool`)
+    /// hold at the boundaries they were written for.
+    #[test]
+    fn tie_storms_preserve_scheduler_invariants(
+        raw in proptest::collection::vec((0u64..6, 0u64..3, 0u64..5, 0u64..3), 3..9),
+        nodes in 1usize..5,
+        policy in 0u64..3,
+    ) {
+        let specs = tie_storm_jobs(&raw, 4);
+        let serial: u64 = specs.iter().map(JobSpec::flops).sum();
+        let config = ServeConfig::with_policy(policy_of(policy));
+        let mut server = Server::new(small_system(nodes), Tenant::fleet(4), config.clone());
+        let a = server.run_jobs(specs.clone()).expect("episode completes");
+        prop_assert_eq!(a.jobs_completed as usize, raw.len());
+        prop_assert_eq!(a.total_flops, serial);
+        assert_exclusive_leases(&a, nodes);
+        // Every lease interval is well-formed even when jobs are
+        // effectively instantaneous.
+        for lease in &a.leases {
+            prop_assert!(lease.until >= lease.from);
+        }
+        let mut fresh = Server::new(small_system(nodes), Tenant::fleet(4), config);
+        let b = fresh.run_jobs(specs).expect("episode completes");
+        prop_assert_eq!(a.fingerprint, b.fingerprint, "tie-break order must be total");
+        prop_assert_eq!(a.makespan, b.makespan);
+    }
+}
+
+/// The sharpest tie: every job arrives at exactly t=0, widths spanning
+/// 1..=2×nodes (clamped), minimal and heavy layers interleaved. All three
+/// policies must drain the queue with exclusive leases and identical
+/// repeat fingerprints.
+#[test]
+fn simultaneous_arrivals_drain_under_every_policy() {
+    let nodes = 3;
+    let specs: Vec<JobSpec> = (0..8)
+        .map(|i| {
+            let d = if i % 2 == 0 { 1 } else { 64 };
+            JobSpec {
+                tenant: i % 4,
+                layers: vec![GemmPlusTask::gemm(d, d, d, Precision::Fp32)],
+                arrival: SimTime::ZERO,
+                priority: (i % 3) as u8,
+                deadline: None,
+                gang_width: 1 + i % (2 * nodes),
+            }
+        })
+        .collect();
+    for policy in Policy::ALL {
+        let run = |specs: Vec<JobSpec>| {
+            let mut server = Server::new(
+                small_system(nodes),
+                Tenant::fleet(4),
+                ServeConfig::with_policy(policy),
+            );
+            server.run_jobs(specs).expect("episode completes")
+        };
+        let a = run(specs.clone());
+        let b = run(specs.clone());
+        assert_eq!(a.jobs_completed, 8, "{policy:?}");
+        assert_exclusive_leases(&a, nodes);
+        assert_eq!(a.fingerprint, b.fingerprint, "{policy:?}");
+    }
+}
+
+/// Empty shards flow through the replica runner end to end: sharding an
+/// empty trace (or more shards than requests) produces zero-job episodes
+/// whose reports and fingerprint contributions are well-defined — the
+/// documented `shard_by_tenant`/`shard_balanced` empty-shard behaviour.
+#[test]
+fn empty_and_sparse_shards_serve_cleanly_through_run_replicas() {
+    let system = SystemConfig {
+        nodes: 4,
+        ..SystemConfig::default()
+    };
+    let tenants = Tenant::fleet(4);
+    let config = ServeConfig::default();
+
+    // Entirely empty trace → every shard empty.
+    let empty = trace::shard_by_tenant(&[], 3);
+    assert_eq!(empty.len(), 3);
+    let outcome = maco_serve::run_replicas(&system, &tenants, &config, &empty)
+        .expect("empty replicas complete");
+    assert_eq!(outcome.jobs_completed(), 0);
+    assert_eq!(outcome.total_flops(), 0);
+    for report in &outcome.reports {
+        assert_eq!(report.jobs_completed, 0);
+        assert_eq!(report.fingerprint, 0, "no schedule events, zero fold");
+        assert!(report.makespan.is_zero());
+    }
+    // The combined fingerprint of all-empty shards is the zero fold —
+    // stable, so a baseline comparison cannot be tripped by an empty day.
+    assert_eq!(outcome.fingerprint, 0);
+
+    // More shards than requests: the occupied shards match their solo
+    // runs, the empty ones serve zero jobs.
+    let trace = trace::generate(&TraceConfig {
+        tenants: 2,
+        requests: 2,
+        ..TraceConfig::quick(77)
+    });
+    let shards = trace::shard_by_tenant(&trace, 6);
+    assert!(shards.iter().filter(|s| s.is_empty()).count() >= 4);
+    let outcome =
+        maco_serve::run_replicas(&system, &tenants, &config, &shards).expect("replicas complete");
+    assert_eq!(outcome.jobs_completed(), trace.len() as u64);
+    for (shard, report) in shards.iter().zip(&outcome.reports) {
+        assert_eq!(report.jobs_completed, shard.len() as u64);
+        if shard.is_empty() {
+            assert_eq!(report.fingerprint, 0);
+        } else {
+            assert_ne!(report.fingerprint, 0);
+        }
+    }
+
+    // Single tenant, many shards: all work lands on one replica; the
+    // rest idle. End-to-end totals still add up.
+    let solo_trace = trace::generate(&TraceConfig {
+        tenants: 1,
+        requests: 3,
+        ..TraceConfig::quick(78)
+    });
+    let solo_shards = trace::shard_by_tenant(&solo_trace, 4);
+    let outcome = maco_serve::run_replicas(&system, &tenants, &config, &solo_shards)
+        .expect("replicas complete");
+    assert_eq!(outcome.jobs_completed(), 3);
+    assert_eq!(outcome.reports[0].jobs_completed, 3);
+    assert!(outcome.reports[1..].iter().all(|r| r.jobs_completed == 0));
+}
+
 /// The acceptance configuration: 16 nodes, 8 tenants, mixed models.
 fn acceptance_trace() -> Vec<trace::TraceRequest> {
     trace::generate(&TraceConfig {

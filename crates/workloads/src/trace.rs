@@ -127,6 +127,24 @@ impl TraceConfig {
             ..TraceConfig::default()
         }
     }
+
+    /// The fleet-scale serving mix (the `maco-cluster` scenario): a burst
+    /// of single-layer requests — every request is one GEMM⁺ layer, so
+    /// heavy layers are eligible for the cluster's data-parallel split —
+    /// arriving densely enough to saturate a multi-machine fleet. The
+    /// GPT-3 heads carry almost all the flops; the BERT/ResNet requests
+    /// are the latency-sensitive background traffic placement must keep
+    /// flowing around them.
+    pub fn fleet(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            tenants: 8,
+            requests: 32,
+            layer_cap: 1,
+            mean_interarrival: SimDuration::from_ns_f64(10_000.0),
+            ..TraceConfig::default()
+        }
+    }
 }
 
 /// The scaled-down model streams the traces draw from: one inference slice
@@ -212,6 +230,14 @@ pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
 /// (`tenant % shards`), preserving arrival order within each shard — the
 /// input to the threaded replica runner, where each OS thread serves one
 /// shard on its own simulated machine.
+///
+/// Always returns exactly `shards` streams, some possibly **empty**: an
+/// empty input trace yields `shards` empty shards, `shards > requests`
+/// leaves at least `shards - requests` shards empty, and a single-tenant
+/// trace fills only shard `tenant % shards`. Empty shards are valid
+/// replica inputs — `maco_serve::run_replicas` serves them as zero-job
+/// episodes with a zero fingerprint contribution (regression-tested end
+/// to end in `crates/serve/tests/invariants.rs`).
 pub fn shard_by_tenant(trace: &[TraceRequest], shards: usize) -> Vec<Vec<TraceRequest>> {
     assert!(shards >= 1, "need at least one shard");
     let mut out = vec![Vec::new(); shards];
@@ -227,6 +253,10 @@ pub fn shard_by_tenant(trace: &[TraceRequest], shards: usize) -> Vec<Vec<TraceRe
 /// arrival order within each shard. Deterministic, and much better
 /// wall-clock scaling than [`shard_by_tenant`] when a few heavy requests
 /// (the GPT-3 slices) dominate the stream.
+///
+/// Like [`shard_by_tenant`], always returns exactly `shards` streams and
+/// leaves trailing shards empty when there are fewer requests than shards
+/// (greedy least-loaded fills shard 0 first on ties).
 pub fn shard_balanced(trace: &[TraceRequest], shards: usize) -> Vec<Vec<TraceRequest>> {
     assert!(shards >= 1, "need at least one shard");
     let mut out = vec![Vec::new(); shards];
@@ -325,6 +355,70 @@ mod tests {
                 last = req.arrival;
             }
         }
+    }
+
+    #[test]
+    fn fleet_preset_is_single_layer_and_dense() {
+        let config = TraceConfig::fleet(9);
+        let trace = generate(&config);
+        assert_eq!(trace.len(), 32);
+        assert!(trace.iter().all(|r| r.layers.len() == 1));
+        assert!(
+            trace.iter().any(|r| r.flops() >= 1_000_000_000),
+            "the mix carries split-eligible heavy layers"
+        );
+        let span = trace.last().unwrap().arrival.since(trace[0].arrival);
+        assert!(
+            span < SimDuration::from_ns_f64(1_000_000.0),
+            "burst arrival"
+        );
+    }
+
+    #[test]
+    fn sharding_empty_trace_yields_empty_shards() {
+        for shards in [1usize, 3] {
+            let by_tenant = shard_by_tenant(&[], shards);
+            assert_eq!(by_tenant.len(), shards);
+            assert!(by_tenant.iter().all(Vec::is_empty));
+            let balanced = shard_balanced(&[], shards);
+            assert_eq!(balanced.len(), shards);
+            assert!(balanced.iter().all(Vec::is_empty));
+        }
+    }
+
+    #[test]
+    fn more_shards_than_requests_leaves_trailing_shards_empty() {
+        let trace = generate(&TraceConfig {
+            requests: 3,
+            ..TraceConfig::quick(5)
+        });
+        let shards = shard_balanced(&trace, 8);
+        assert_eq!(shards.len(), 8);
+        let non_empty = shards.iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(non_empty, 3, "one request per least-loaded shard");
+        assert!(shards[3..].iter().all(Vec::is_empty));
+        let by_tenant = shard_by_tenant(&trace, 8);
+        assert_eq!(by_tenant.len(), 8);
+        assert_eq!(
+            by_tenant.iter().map(Vec::len).sum::<usize>(),
+            trace.len(),
+            "nothing lost"
+        );
+    }
+
+    #[test]
+    fn single_tenant_fills_only_its_hash_shard() {
+        let trace = generate(&TraceConfig {
+            tenants: 1,
+            requests: 6,
+            ..TraceConfig::quick(11)
+        });
+        let shards = shard_by_tenant(&trace, 4);
+        assert_eq!(shards[0].len(), 6, "tenant 0 hashes to shard 0");
+        assert!(shards[1..].iter().all(Vec::is_empty));
+        // Work-balanced sharding spreads even a single tenant.
+        let balanced = shard_balanced(&trace, 4);
+        assert!(balanced.iter().filter(|s| !s.is_empty()).count() > 1);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Fleet serving demo: the dense single-layer BERT / GPT-3 / ResNet burst
+//! served by one 16-node machine and by fleets of 2×8 and 4×4 machines of
+//! the same per-node hardware, at the bandwidth-constrained uncore design
+//! point. The scale-out curve shows the fleet's replicated CCM/DRAM and
+//! the data-parallel k-split beating the single chip at equal total node
+//! count — and the placement policies trading migration traffic against
+//! balance.
+//!
+//! ```sh
+//! cargo run --release --example cluster
+//! ```
+
+use maco::cluster::{Cluster, ClusterSpec, Placement};
+use maco::explore::scaling::cluster_scaling;
+use maco::serve::Tenant;
+use maco::workloads::trace::{self, TraceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_config = TraceConfig::fleet(2026);
+    let trace = trace::generate(&trace_config);
+    let tenants = Tenant::fleet(trace_config.tenants);
+    println!(
+        "maco-cluster demo: {} requests, {} tenants, 16 total nodes",
+        trace.len(),
+        tenants.len()
+    );
+    println!("{}", "=".repeat(76));
+
+    // The scale-out curve at constant node budget.
+    let sweep = cluster_scaling(&[1, 2, 4], 16, &trace_config, |machines, nodes| {
+        ClusterSpec::bandwidth_constrained(machines, nodes)
+    });
+    for p in &sweep.points {
+        println!(
+            "{}x{:<2} machines: {:>7.1} GFLOPS  makespan {:>8.1} ms  splits {:>2}  \
+             interconnect {:>6.1} MB  fingerprint {:016x}",
+            p.machines,
+            p.nodes_per_machine,
+            p.gflops,
+            p.makespan.as_us() / 1e3,
+            p.splits,
+            p.interconnect_bytes as f64 / 1e6,
+            p.fingerprint,
+        );
+    }
+    let speedup = sweep.speedup_at(4).expect("both shapes swept");
+    println!("scale-out speedup 4x4 over 1x16: {speedup:.2}x");
+    assert!(speedup >= 2.0, "the acceptance scenario holds");
+
+    // Placement policies on the 4-machine fleet.
+    println!("{}", "=".repeat(76));
+    for placement in Placement::ALL {
+        let spec = ClusterSpec::bandwidth_constrained(4, 4).with_placement(placement);
+        let mut fleet = Cluster::new(spec, tenants.clone());
+        let report = fleet.run_trace(&trace)?;
+        println!(
+            "placement {:<15} {:>7.1} GFLOPS  mean latency {:>8.1} ms  migrations {:>2}  \
+             fairness {:.3}",
+            placement.name(),
+            report.total_gflops(),
+            report.mean_latency().as_us() / 1e3,
+            report.migrations,
+            report.fairness(),
+        );
+        for m in &report.machines {
+            println!(
+                "  {:<4} {:>2} nodes  jobs {:>2}  {:>7.1} GFLOPS share  peak MTQ {}",
+                m.name,
+                m.nodes,
+                m.serve.jobs_completed,
+                m.gflops_over(report.makespan),
+                m.serve.machine_peak_mtq,
+            );
+        }
+        // Same seed, same fleet schedule — byte for byte.
+        let again = fleet.run_trace(&trace)?;
+        assert_eq!(report.fingerprint, again.fingerprint);
+    }
+    Ok(())
+}

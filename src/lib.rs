@@ -15,6 +15,9 @@
 //!   arrival traces.
 //! * [`serve`] — the multi-tenant serving layer: admission, gang
 //!   scheduling, virtual-time co-simulation, replica sharding.
+//! * [`cluster`] — scale-out serving across a fleet of machines:
+//!   placement policies, the inter-machine interconnect cost model,
+//!   data-parallel GEMM splits and the global fleet timeline.
 //! * [`baselines`] — the Fig. 8 comparators.
 //! * [`explore`] — declarative design-space sweeps: `SweepGrid` →
 //!   `Explorer` → Pareto frontiers, roofline gaps and the named
@@ -36,6 +39,7 @@
 //! ```
 
 pub use maco_baselines as baselines;
+pub use maco_cluster as cluster;
 pub use maco_core as core;
 pub use maco_cpu as cpu;
 pub use maco_explore as explore;
