@@ -21,7 +21,11 @@
 //! * `cluster_throughput` — scale-out serving through `maco-cluster`: the
 //!   fleet trace on one 16-node machine vs a 4×4-node fleet at the
 //!   bandwidth-constrained uncore point, with `speedup_vs_one_machine`
-//!   recording the fleet's throughput advantage at equal total nodes.
+//!   recording the fleet's throughput advantage at equal total nodes;
+//! * `serve_throughput_100k` — the event-core throughput stressor: 10⁵
+//!   all-micro single-layer requests (10⁴ in quick mode) streamed through
+//!   a 4×4-node fleet, asserting near-linear wall-clock scaling in trace
+//!   length (full mode measures 10⁴ vs 10⁵).
 //!
 //! Every bench also records a *fingerprint* folding the simulated results
 //! (output bits for kernels, makespans and efficiencies for system runs).
@@ -281,6 +285,68 @@ fn cluster_bench(quick: bool) -> BenchResult {
     }
 }
 
+/// One micro-fleet streaming run: `requests` all-micro single-layer jobs
+/// through a 4×4-node streaming fleet. Returns (wall seconds, fleet
+/// fingerprint, jobs completed).
+fn micro_fleet_run(requests: usize) -> (f64, u64, u64) {
+    let config = TraceConfig::micro(0x100C, requests);
+    let trace = trace::generate(&config);
+    let tenants = Tenant::fleet(config.tenants);
+    let mut cluster = Cluster::new(ClusterSpec::streaming(4, 4, requests), tenants);
+    let t0 = Instant::now();
+    let report = cluster.run_trace(&trace).expect("micro fleet completes");
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        report.jobs_completed, requests as u64,
+        "every micro request completes"
+    );
+    (wall, report.fingerprint, report.jobs_completed)
+}
+
+/// The event-core throughput stressor: stream 10⁵ micro requests (10⁴ in
+/// quick mode) through a 4-machine fleet. Full mode also runs the 10⁴
+/// reference and asserts near-linear wall-clock scaling in trace length —
+/// a 10× trace must cost at most ~2× its proportional share, i.e. the
+/// per-event cost of the heap-based engine core must stay flat as queues
+/// deepen. The fingerprint pins the (mode-sized) schedule under the
+/// strict gate like every other scenario.
+fn throughput_100k_bench(quick: bool) -> BenchResult {
+    let base = 10_000usize;
+    let (base_wall, base_fp, base_jobs) = micro_fleet_run(base);
+    if quick {
+        return BenchResult {
+            name: "serve_throughput_100k".to_string(),
+            wall_ms: base_wall * 1e3,
+            detail: format!(
+                "micro fleet 4x4 nodes, {base} requests ({base_jobs} jobs), quick-scale"
+            ),
+            fingerprint: format!("{base_fp:016x}"),
+            extra: format!(", \"requests_per_sec\": {:.0}", base as f64 / base_wall),
+        };
+    }
+    let big = base * 10;
+    let (big_wall, big_fp, big_jobs) = micro_fleet_run(big);
+    let scaling = big_wall / base_wall.max(1e-9);
+    assert!(
+        scaling < 20.0,
+        "event core is super-linear: {big} requests cost {scaling:.1}x the wall clock \
+         of {base} (near-linear would be ~10x)"
+    );
+    BenchResult {
+        name: "serve_throughput_100k".to_string(),
+        wall_ms: big_wall * 1e3,
+        detail: format!(
+            "micro fleet 4x4 nodes, {big} requests ({big_jobs} jobs), \
+             {scaling:.1}x wall vs {base} requests"
+        ),
+        fingerprint: format!("{big_fp:016x}"),
+        extra: format!(
+            ", \"requests_per_sec\": {:.0}, \"scaling_10x\": {scaling:.2}",
+            big as f64 / big_wall
+        ),
+    }
+}
+
 /// Pulls `"field": value` out of the object slice for one bench entry in a
 /// previous report (the format is our own, so a scan is enough).
 fn json_field<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
@@ -343,6 +409,8 @@ fn main() {
     results.push(explore_bench(quick));
     eprintln!("perf_baseline: timing scale-out fleet serving (maco-cluster)...");
     results.push(cluster_bench(quick));
+    eprintln!("perf_baseline: timing the 100k-request event-core stressor...");
+    results.push(throughput_100k_bench(quick));
 
     let mut mismatches = Vec::new();
     let mut json = String::new();

@@ -7,7 +7,13 @@
 //! `begin_gemm`/`step_gemm` core API — and the cluster merges the
 //! machines' event streams: the global loop always processes the minimum
 //! of (next unrouted fleet arrival, every machine's next event), routing
-//! arrivals first on ties exactly like the per-machine loop does. Machines
+//! arrivals first on ties exactly like the per-machine loop does. The
+//! merge is a lazy-deletion min-heap of machine cursors `(time, machine)`
+//! re-keyed only for machines whose event stream actually changed (the
+//! one just advanced, the ones just routed to); a popped cursor is valid
+//! iff it still equals its machine's [`Engine::next_event`], so stale
+//! entries cost one O(log n) discard instead of a per-step fleet scan.
+//! Machines
 //! share no simulated hardware, so advancing one machine never perturbs
 //! another; all cross-machine coupling flows through the interconnect
 //! cost model (migration transfers delay arrivals, k-split all-reduces
@@ -26,6 +32,9 @@
 //! router routes eagerly — and is therefore bit-identical to a
 //! standalone [`maco_serve::Server`] (tested, including under timestamp
 //! tie storms).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use maco_core::system::MacoSystem;
 use maco_serve::{validate_spec, Engine, JobOutcome, JobSpec, Tenant};
@@ -107,14 +116,22 @@ impl Cluster {
     ///
     /// Each machine's [`maco_serve::ServeConfig::queue_capacity`] must
     /// accommodate its routed backlog: a machine-level admission overflow
-    /// would desynchronise the fleet's job accounting, so the episode
-    /// fails loudly (panics) instead of misattributing completions.
+    /// would desynchronise the fleet's job accounting, so capacities are
+    /// validated *before* the episode starts, and an undersized machine is a
+    /// clear, early panic naming the machine — never a mid-episode
+    /// accounting desync.
     ///
     /// # Errors
     ///
     /// Propagates [`ClusterError`]s from the per-machine co-simulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a machine's queue capacity cannot hold the worst-case
+    /// routed backlog, naming the offending machine.
     pub fn run_jobs(&mut self, mut specs: Vec<JobSpec>) -> Result<ClusterReport, ClusterError> {
         specs.sort_by_key(|s| s.arrival);
+        self.validate_capacity(&specs);
         let machines = self.systems.len();
         for sys in &mut self.systems {
             sys.reset_shared_resources();
@@ -133,7 +150,8 @@ impl Cluster {
             outstanding: vec![0; machines],
             tenant_home: vec![None; self.tenants.len()],
             rr: 0,
-            slots: vec![Vec::new(); machines],
+            slots: (0..machines).map(|_| SlotMap::default()).collect(),
+            cursors: BinaryHeap::new(),
             records: Vec::with_capacity(specs.len()),
             reductions: FxHashMap::default(),
             jobs_completed: 0,
@@ -153,9 +171,9 @@ impl Cluster {
         // the contention corners where a bounded arrival drain would
         // reorder scheduling attempts.
         let mut cursor = 0usize;
+        let mut pending = std::collections::VecDeque::from(specs);
         if machines == 1 {
-            while cursor < specs.len() {
-                let spec = specs[cursor].clone();
+            while let Some(spec) = pending.pop_front() {
                 ep.route(&self.spec, &self.tenants, &mut engines, spec, cursor);
                 cursor += 1;
             }
@@ -164,27 +182,40 @@ impl Cluster {
         // The global event merge: route the next fleet arrival or advance
         // the machine owning the minimum next event, arrivals first on
         // ties (so routing state is current before any same-instant step).
+        // The machine minimum comes from the lazy-deletion cursor heap:
+        // stale cursors (no longer equal to their machine's next event)
+        // are discarded on pop, and every engine push/advance re-keys the
+        // touched machine, so the top valid cursor is always the true
+        // fleet minimum without rescanning every machine per step.
         loop {
-            let arrival = specs.get(cursor).map(|s| s.arrival);
-            let machine = engines
-                .iter()
-                .enumerate()
-                .filter_map(|(i, e)| e.next_event().map(|t| (t, i)))
-                .min();
+            let arrival = pending.front().map(|s| s.arrival);
+            let machine = loop {
+                match ep.cursors.peek() {
+                    None => break None,
+                    Some(&Reverse(cur @ (t, m))) => {
+                        if engines[m].next_event() == Some(t) {
+                            break Some(cur);
+                        }
+                        ep.cursors.pop();
+                    }
+                }
+            };
             let arrival_first = match (arrival, machine) {
                 (Some(at), Some((mt, _))) => at <= mt,
                 (Some(_), None) => true,
                 (None, _) => false,
             };
             if arrival_first {
-                let spec = specs[cursor].clone();
+                let spec = pending.pop_front().expect("peeked above");
                 let index = cursor;
                 cursor += 1;
                 ep.route(&self.spec, &self.tenants, &mut engines, spec, index);
             } else if let Some((_, i)) = machine {
+                ep.cursors.pop();
                 if let Some(outcome) = engines[i].advance(&mut self.systems[i], arrival)? {
                     ep.complete(i, outcome);
                 }
+                ep.rekey(&engines[i], i);
             } else {
                 break;
             }
@@ -222,6 +253,36 @@ impl Cluster {
             fingerprint: fp,
         })
     }
+
+    /// Pre-flight admission-capacity check: every machine must be able to
+    /// hold the worst-case routed backlog, i.e. every admissible job in
+    /// the episode (placement is load-dependent, so LeastLoaded and
+    /// spilling TenantAffinity can in principle send *all* jobs to one
+    /// machine; a split contributes at most one part per machine per
+    /// job). An undersized queue would otherwise surface as a
+    /// machine-level admission rejection deep inside the episode, where
+    /// it desynchronises the slot accounting — here it is an early,
+    /// attributable error instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics naming the first offending machine.
+    fn validate_capacity(&self, specs: &[JobSpec]) {
+        let admissible = specs
+            .iter()
+            .filter(|s| validate_spec(self.tenants.len(), s).is_ok())
+            .count();
+        for (i, m) in self.spec.machines.iter().enumerate() {
+            assert!(
+                m.serve.queue_capacity >= admissible,
+                "machine {i} ({}) queue_capacity {} cannot hold the episode's worst-case \
+                 routed backlog of {admissible} jobs; raise ServeConfig::queue_capacity on \
+                 that machine or shard the trace",
+                m.name,
+                m.serve.queue_capacity,
+            );
+        }
+    }
 }
 
 /// An unfinished data-parallel reduction barrier.
@@ -233,6 +294,48 @@ struct Reduction {
     reduce_bytes: u64,
 }
 
+/// Per-machine mapping from the engine's admission-ordered job ids back
+/// to fleet record indices.
+///
+/// Routed jobs enter the `pending` min-heap keyed `(effective arrival,
+/// route order)` — exactly the order the machine engine admits them in
+/// (its push contract guarantees no pushed arrival predates an admitted
+/// one, so heap order *is* admission order). Ranks are materialised
+/// lazily: when job `i` completes, the heap is drained up to slot `i`.
+/// Every job with id ≤ `i` was already routed by then, and any later
+/// route keys strictly after the drained prefix, so the prefix is final —
+/// each slot costs one O(log n) heap pop instead of the old O(n)
+/// backward-scan sorted insert.
+#[derive(Default)]
+struct SlotMap {
+    /// Routed-but-not-ranked jobs: `(effective arrival, route seq, record)`.
+    pending: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// Monotone route counter — the stable tiebreak for equal arrivals.
+    seq: u64,
+    /// Slot `i` = the machine engine's job `i`: `(effective arrival,
+    /// record index)`.
+    assigned: Vec<(SimTime, usize)>,
+}
+
+impl SlotMap {
+    /// The `(effective arrival, record)` of machine-local job `id`,
+    /// materialising ranks up to `id` on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine reports a job that was never routed.
+    fn resolve(&mut self, id: usize) -> (SimTime, usize) {
+        while self.assigned.len() <= id {
+            let Reverse((at, _, rec)) = self
+                .pending
+                .pop()
+                .expect("engine completed a job that was never routed");
+            self.assigned.push((at, rec));
+        }
+        self.assigned[id]
+    }
+}
+
 /// Mutable router state of one fleet episode.
 struct FleetEpisode {
     icn: LatencyBandwidthResource,
@@ -242,11 +345,11 @@ struct FleetEpisode {
     tenant_home: Vec<Option<usize>>,
     /// Round-robin cursor.
     rr: usize,
-    /// Per machine: record index per admission slot, mirroring the
-    /// machine engine's arrival ordering (sorted insert by effective
-    /// arrival, stable on ties) so a [`JobOutcome`]'s machine-local
-    /// [`maco_serve::JobId`] maps back to the fleet record.
-    slots: Vec<Vec<(SimTime, usize)>>,
+    /// Per machine: the admission-slot → fleet-record mapping.
+    slots: Vec<SlotMap>,
+    /// Lazy-deletion min-heap of machine cursors `(next event, machine)`
+    /// driving the global merge; see [`FleetEpisode::rekey`].
+    cursors: BinaryHeap<Reverse<(SimTime, usize)>>,
     records: Vec<JobRecord>,
     /// Record index → pending reduction barrier, for split jobs.
     reductions: FxHashMap<usize, Reduction>,
@@ -304,15 +407,21 @@ impl FleetEpisode {
                 } else {
                     job.arrival
                 };
-                for (part, &m) in split.parts.iter().zip(&targets) {
+                for (part, &m) in split.parts.into_iter().zip(&targets) {
+                    // Built field by field: the part owns its single
+                    // layer, so no clone of the parent layer stream.
                     let part_spec = JobSpec {
-                        layers: vec![part.task.clone()],
+                        tenant: job.tenant,
+                        layers: vec![part.task],
                         arrival: effective,
-                        ..job.clone()
+                        priority: job.priority,
+                        deadline: job.deadline,
+                        gang_width: job.gang_width,
                     };
                     self.outstanding[m] += part_spec.flops();
                     self.push_slot(m, effective, index);
                     engines[m].push(part_spec);
+                    self.rekey(&engines[m], m);
                     self.fingerprint = fold_fingerprint(self.fingerprint, m as u64);
                 }
                 self.fingerprint = fold_fingerprint(self.fingerprint, effective.as_fs());
@@ -366,17 +475,21 @@ impl FleetEpisode {
         self.tenant_home[job.tenant] = Some(m);
         self.outstanding[m] += flops;
         self.push_slot(m, effective, index);
-        let spec_for_machine = JobSpec {
+        let tenant = job.tenant;
+        let arrival = job.arrival;
+        // The routed job moves into the machine engine whole — the layer
+        // stream is never cloned on the routing path.
+        engines[m].push(JobSpec {
             arrival: effective,
-            ..job.clone()
-        };
-        engines[m].push(spec_for_machine);
+            ..job
+        });
+        self.rekey(&engines[m], m);
         self.fingerprint = fold_fingerprint(self.fingerprint, m as u64);
         self.fingerprint = fold_fingerprint(self.fingerprint, effective.as_fs());
         self.records.push(JobRecord {
             index,
-            tenant: job.tenant,
-            arrival: job.arrival,
+            tenant,
+            arrival,
             effective_arrival: effective,
             machines: vec![m],
             split: None,
@@ -384,6 +497,19 @@ impl FleetEpisode {
             finished_at: None,
             flops,
         });
+    }
+
+    /// Re-keys one machine in the global-merge cursor heap: pushes the
+    /// machine's *current* next event. Called after every operation that
+    /// can change a machine's event stream (an [`Engine::push`] during
+    /// routing, an [`Engine::advance`]); superseded entries are left in
+    /// the heap and discarded lazily when popped, so every machine with a
+    /// pending event always has one current cursor and the heap top's
+    /// first valid entry is the true fleet minimum.
+    fn rekey(&mut self, engine: &Engine, machine: usize) {
+        if let Some(t) = engine.next_event() {
+            self.cursors.push(Reverse((t, machine)));
+        }
     }
 
     /// The machine-affine placement decision.
@@ -417,25 +543,22 @@ impl FleetEpisode {
         }
     }
 
-    /// Mirrors [`Engine::push`]'s sorted insertion so machine-local job
-    /// ids (admission order) map back to fleet records: the engine admits
-    /// pushed jobs in `(arrival, push order)` order, and pushes never
-    /// predate an already-admitted arrival, so the i-th element of this
-    /// list is the engine's job i by the time it can complete.
+    /// Registers one routed job with the machine's [`SlotMap`], mirroring
+    /// [`Engine::push`] ordering: the engine admits pushed jobs in
+    /// `(arrival, push order)` order, and pushes never predate an
+    /// already-admitted arrival, so the slot map's rank `i` is the
+    /// engine's job `i` by the time it can complete.
     fn push_slot(&mut self, machine: usize, at: SimTime, record: usize) {
-        let slots = &mut self.slots[machine];
-        let mut idx = slots.len();
-        while idx > 0 && slots[idx - 1].0 > at {
-            idx -= 1;
-        }
-        slots.insert(idx, (at, record));
+        let slot = &mut self.slots[machine];
+        slot.pending.push(Reverse((at, slot.seq, record)));
+        slot.seq += 1;
     }
 
     /// Processes one machine-level job completion: load accounting, split
     /// reduction barriers, fleet-level completion records.
     fn complete(&mut self, machine: usize, outcome: JobOutcome) {
-        let (slot_arrival, rec) = self.slots[machine][outcome.job.0 as usize];
-        // The slot list assumes the engine admitted every routed job: a
+        let (slot_arrival, rec) = self.slots[machine].resolve(outcome.job.0 as usize);
+        // The slot map assumes the engine admitted every routed job: a
         // machine-level admission rejection (queue overflow) would shift
         // all later machine-local job ids off their slots. Fail loudly
         // instead of attributing completions to the wrong records.
@@ -444,7 +567,23 @@ impl FleetEpisode {
             "machine {machine} admission desync (queue overflow?): routed jobs must fit \
              the machine's ServeConfig::queue_capacity"
         );
-        self.outstanding[machine] = self.outstanding[machine].saturating_sub(outcome.flops);
+        // Outstanding flops are a strict routed-minus-completed ledger; a
+        // completion exceeding what was routed means the accounting is
+        // corrupt and every load-aware placement decision after it would
+        // be skewed. Debug builds fail loudly; release builds clamp.
+        self.outstanding[machine] = match self.outstanding[machine].checked_sub(outcome.flops) {
+            Some(rest) => rest,
+            None => {
+                if cfg!(debug_assertions) {
+                    panic!(
+                        "machine {machine} outstanding-flops underflow: completed {} flops \
+                         with only {} outstanding — routed/completed accounting desynced",
+                        outcome.flops, self.outstanding[machine]
+                    );
+                }
+                0
+            }
+        };
         self.fingerprint = fold_fingerprint(self.fingerprint, machine as u64);
         self.fingerprint = fold_fingerprint(self.fingerprint, outcome.finished_at.as_fs());
         let finished = match self.reductions.get_mut(&rec) {
@@ -469,5 +608,86 @@ impl FleetEpisode {
         self.jobs_completed += 1;
         self.last_finish = self.last_finish.max(finished);
         self.fingerprint = fold_fingerprint(self.fingerprint, finished.as_fs());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maco_serve::JobId;
+    use maco_sim::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    fn episode(machines: usize) -> FleetEpisode {
+        FleetEpisode {
+            icn: LatencyBandwidthResource::new(SimDuration::ZERO, 1.0),
+            outstanding: vec![0; machines],
+            tenant_home: vec![None; 4],
+            rr: 0,
+            slots: (0..machines).map(|_| SlotMap::default()).collect(),
+            cursors: BinaryHeap::new(),
+            records: Vec::new(),
+            reductions: FxHashMap::default(),
+            jobs_completed: 0,
+            jobs_rejected: 0,
+            migrations: 0,
+            splits: 0,
+            last_finish: SimTime::ZERO,
+            fingerprint: 0,
+        }
+    }
+
+    /// The lazily drained slot map materialises machine-local job ids in
+    /// `(effective arrival, route order)` rank — the engine's admission
+    /// order — regardless of resolution order.
+    #[test]
+    fn slot_map_resolves_in_arrival_then_route_order() {
+        let mut sm = SlotMap::default();
+        sm.pending.push(Reverse((t(5), 0, 10)));
+        sm.pending.push(Reverse((t(1), 1, 11)));
+        sm.pending.push(Reverse((t(5), 2, 12)));
+        sm.seq = 3;
+        // Rank 0 is the earliest arrival; equal arrivals rank by route
+        // order. Out-of-order resolution still lands on the same ranks.
+        assert_eq!(sm.resolve(2), (t(5), 12));
+        assert_eq!(sm.resolve(0), (t(1), 11));
+        assert_eq!(sm.resolve(1), (t(5), 10));
+    }
+
+    /// Regression: a completion reporting more flops than its machine has
+    /// outstanding is a corrupted routed-minus-completed ledger and must
+    /// fail loudly in debug builds — `saturating_sub` used to mask it and
+    /// silently skew every load-aware placement decision afterwards.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outstanding-flops underflow")]
+    fn outstanding_underflow_panics_in_debug() {
+        let mut ep = episode(1);
+        ep.outstanding[0] = 10;
+        ep.records.push(JobRecord {
+            index: 0,
+            tenant: 0,
+            arrival: t(0),
+            effective_arrival: t(0),
+            machines: vec![0],
+            split: None,
+            migrated: false,
+            finished_at: None,
+            flops: 100,
+        });
+        ep.push_slot(0, t(0), 0);
+        ep.complete(
+            0,
+            JobOutcome {
+                job: JobId(0),
+                tenant: 0,
+                arrival: t(0),
+                finished_at: t(7),
+                flops: 100,
+            },
+        );
     }
 }

@@ -222,6 +222,22 @@ impl ClusterSpec {
         spec
     }
 
+    /// The high-request-rate streaming fleet (the `serve_throughput_100k`
+    /// perf scenario): `machines`×`nodes_each` machines at the paper
+    /// default hardware, sticky tenant-affinity placement (no spill in a
+    /// balanced stream, so no interconnect traffic serialises 10⁵
+    /// arrivals) and splits disabled. Every machine's admission queue is
+    /// sized to `backlog` — the episode's request count — so the
+    /// pre-flight capacity check admits the whole trace.
+    pub fn streaming(machines: usize, nodes_each: usize, backlog: usize) -> Self {
+        let mut spec = ClusterSpec::uniform(machines, nodes_each)
+            .with_placement(Placement::TenantAffinity { spill: 1_000 });
+        for m in &mut spec.machines {
+            m.serve.queue_capacity = backlog.max(1);
+        }
+        spec
+    }
+
     /// Sets the placement policy.
     pub fn with_placement(mut self, placement: Placement) -> Self {
         self.placement = placement;

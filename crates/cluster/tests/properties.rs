@@ -339,3 +339,55 @@ fn four_machine_fleet_beats_one_machine_at_equal_nodes() {
     assert!(r4.mean_latency() > SimDuration::ZERO);
     assert!(r4.interconnect_bytes > 0, "splits paid the interconnect");
 }
+
+/// Regression for the mid-episode overflow panic: an undersized machine
+/// admission queue used to surface as an opaque slot-desync assert deep
+/// inside `FleetEpisode::complete`; it must now fail *before* the episode
+/// starts, with the offending machine named.
+#[test]
+#[should_panic(expected = "machine 1 (m1) queue_capacity 2")]
+fn undersized_machine_queue_fails_preflight_naming_the_machine() {
+    let mut spec = ClusterSpec::uniform(2, 2);
+    spec.machines[1].serve.queue_capacity = 2;
+    let mut cluster = Cluster::new(spec, Tenant::fleet(2));
+    let jobs: Vec<JobSpec> = (0..3)
+        .map(|i| {
+            JobSpec::single(
+                0,
+                GemmPlusTask::gemm(32, 32, 32, Precision::Fp32),
+                SimTime::ZERO + SimDuration::from_ns(i),
+            )
+        })
+        .collect();
+    let _ = cluster.run_jobs(jobs);
+}
+
+/// The pre-flight bound counts only admissible jobs: invalid specs are
+/// rejected at routing and never occupy a machine queue slot, so a trace
+/// of mostly-degenerate jobs still runs on small queues.
+#[test]
+fn preflight_ignores_inadmissible_jobs() {
+    let mut spec = ClusterSpec::uniform(2, 2);
+    for m in &mut spec.machines {
+        m.serve.queue_capacity = 2;
+    }
+    let mut cluster = Cluster::new(spec, Tenant::fleet(2));
+    let mut jobs: Vec<JobSpec> = (0..4)
+        .map(|i| {
+            // Degenerate (zero-extent) layers are inadmissible.
+            JobSpec::single(
+                0,
+                GemmPlusTask::gemm(0, 32, 32, Precision::Fp32),
+                SimTime::ZERO + SimDuration::from_ns(i),
+            )
+        })
+        .collect();
+    jobs.push(JobSpec::single(
+        1,
+        GemmPlusTask::gemm(32, 32, 32, Precision::Fp32),
+        SimTime::ZERO + SimDuration::from_ns(9),
+    ));
+    let report = cluster.run_jobs(jobs).expect("episode completes");
+    assert_eq!(report.jobs_completed, 1);
+    assert_eq!(report.jobs_rejected, 4);
+}

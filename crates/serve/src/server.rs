@@ -17,10 +17,35 @@
 //! an engine to completion over one machine; `maco-cluster` holds one
 //! engine per machine and merges their [`Engine::next_event`] streams onto
 //! a single fleet-wide timeline.
+//!
+//! # The event core
+//!
+//! The engine is an O(log n)-per-event priority structure. Its logical
+//! event key is `(SimTime, kind, seq)` where `kind` orders
+//! arrival < wake < task-step on equal times, realised as three sources
+//! merged by an explicit tie-break:
+//!
+//! * **arrivals** — a binary min-heap keyed `(arrival, push seq)`, so
+//!   equal arrival times pop in push order (exactly the order the old
+//!   sorted-insert `VecDeque` produced — which is why schedule
+//!   fingerprints survived the rebuild bit for bit);
+//! * **wake** — a single armed instant (at most one retry is ever
+//!   pending), kept as an `Option<SimTime>`;
+//! * **task steps** — a binary min-heap of in-flight gang members keyed
+//!   `(task.now(), dispatch seq)`. A task's key only changes while it is
+//!   *outside* the heap (pop → step batch → reinsert), so no decrease-key
+//!   operation is needed and a plain binary heap suffices.
+//!
+//! Per-event cost is therefore O(log n) in the number of pending arrivals
+//! plus in-flight members — flat enough to stream 10⁵-request traces (the
+//! `serve_throughput_100k` perf scenario) with near-linear wall clock in
+//! trace length.
 
-use std::collections::VecDeque;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
-use maco_core::group::{partition_onto, NodePool};
+use maco_core::gemm_plus::partition_shapes_into;
+use maco_core::group::NodePool;
 use maco_core::system::{InFlightGemm, MacoSystem, TaskAdmitError};
 use maco_core::TranslateFault;
 use maco_sim::{SimDuration, SimTime};
@@ -171,7 +196,39 @@ impl Server {
     }
 }
 
-/// One gang member's task in flight.
+/// One pushed-but-not-admitted arrival in the pending heap, ordered by
+/// `(arrival, push seq)` so equal arrival times pop in push order — the
+/// same stable order the pre-heap sorted-insert stream produced.
+struct PendingArrival {
+    at: SimTime,
+    seq: u64,
+    spec: JobSpec,
+}
+
+impl PartialEq for PendingArrival {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for PendingArrival {}
+
+impl PartialOrd for PendingArrival {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingArrival {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One gang member's task in flight, ordered by `(task.now(), seq)` — the
+/// deterministic step order. A member's key is only mutated while it is
+/// outside the heap (popped, step-batched, reinserted), so heap order
+/// stays consistent without a decrease-key operation.
 struct ActiveTask {
     task: InFlightGemm,
     /// Global dispatch sequence number — the deterministic tiebreak for
@@ -184,6 +241,32 @@ struct ActiveTask {
     /// CPU epilogue time extending past the member's GEMM (the Fig. 5(c)
     /// non-overlappable tail, or the whole epilogue without overlap).
     epilogue_tail: SimDuration,
+}
+
+impl ActiveTask {
+    fn key(&self) -> (SimTime, u64) {
+        (self.task.now(), self.seq)
+    }
+}
+
+impl PartialEq for ActiveTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for ActiveTask {}
+
+impl PartialOrd for ActiveTask {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ActiveTask {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
 }
 
 /// Per-job episode state.
@@ -234,6 +317,11 @@ pub struct JobOutcome {
 /// one machine, and produces bit-identical schedules to the pre-engine
 /// monolithic loop.
 ///
+/// Internally the engine is the O(log n) event core described in the
+/// [module docs](crate::server): a pending-arrival heap, a single armed
+/// wake instant and an in-flight member heap, merged in
+/// arrival < wake < task-step order on equal times.
+///
 /// ```
 /// use maco_core::system::{MacoSystem, SystemConfig};
 /// use maco_serve::{Engine, JobSpec, ServeConfig, Tenant};
@@ -262,13 +350,20 @@ pub struct JobOutcome {
 pub struct Engine {
     tenants: Vec<Tenant>,
     config: ServeConfig,
-    /// Arrival-sorted pending job stream (not yet submitted).
-    arrivals: VecDeque<JobSpec>,
+    /// Pending job stream (not yet submitted): min-heap on
+    /// `(arrival, push seq)`.
+    arrivals: BinaryHeap<Reverse<PendingArrival>>,
+    /// Monotone push counter — the stable tiebreak for equal arrivals.
+    push_seq: u64,
+    /// Latest arrival time already admitted from the pending stream; the
+    /// floor the [`Engine::push`] contract is checked against.
+    arrival_floor: SimTime,
     weights: Vec<u32>,
     pool: NodePool,
     queue: JobQueue,
     jobs: Vec<Job>,
-    active: Vec<ActiveTask>,
+    /// In-flight gang members: min-heap on `(task.now(), dispatch seq)`.
+    active: BinaryHeap<Reverse<ActiveTask>>,
     served: Vec<u64>,
     stats: Vec<TenantReport>,
     leases: Vec<NodeLease>,
@@ -276,6 +371,10 @@ pub struct Engine {
     /// the simulated future (completions are processed in event order, so
     /// such nodes exist): the scheduler retries at this instant.
     wake: Option<SimTime>,
+    /// Reusable scheduling-candidate buffer (no per-event allocation).
+    cand_buf: Vec<Candidate>,
+    /// Reusable gang-partition shape buffer (no per-layer allocation).
+    shape_buf: Vec<(u64, u64, u64)>,
     fingerprint: u64,
     seq: u64,
     last_finish: SimTime,
@@ -317,15 +416,19 @@ impl Engine {
             weights: tenants.iter().map(|t| t.weight).collect(),
             tenants: tenants.to_vec(),
             config: config.clone(),
-            arrivals: VecDeque::new(),
+            arrivals: BinaryHeap::new(),
+            push_seq: 0,
+            arrival_floor: SimTime::ZERO,
             pool: NodePool::new(nodes),
             queue: JobQueue::new(config.queue_capacity),
             jobs: Vec::new(),
-            active: Vec::new(),
+            active: BinaryHeap::new(),
             served: vec![0; tenants.len()],
             stats,
             leases: Vec::new(),
             wake: None,
+            cand_buf: Vec::new(),
+            shape_buf: Vec::new(),
             fingerprint: 0,
             seq: 0,
             last_finish: SimTime::ZERO,
@@ -335,28 +438,39 @@ impl Engine {
         }
     }
 
-    /// Feeds one future arrival into the engine. Pushes keep the pending
-    /// stream arrival-sorted (equal arrival times keep push order), so a
-    /// composition layer may interleave pushes with [`Engine::advance`]
-    /// calls — e.g. to inject a migration-delayed job — as long as no
-    /// pushed arrival predates an arrival already processed.
+    /// Feeds one future arrival into the engine. The pending stream pops
+    /// in `(arrival, push order)` order — equal arrival times keep push
+    /// order — so a composition layer may interleave pushes with
+    /// [`Engine::advance`] calls (e.g. to inject a migration-delayed job)
+    /// as long as no pushed arrival predates an arrival already processed.
+    ///
+    /// That contract is *enforced* in debug builds: a violating push would
+    /// silently corrupt admission order (job ids no longer equal
+    /// `(arrival, push order)` rank) and desync any external slot mapping
+    /// built on it, so it debug-panics here instead of corrupting the
+    /// episode downstream.
     pub fn push(&mut self, spec: JobSpec) {
-        // Almost always an append (routers hand arrivals over in global
-        // time order); the backward scan only runs for delayed arrivals.
-        let at = spec.arrival;
-        let mut idx = self.arrivals.len();
-        while idx > 0 && self.arrivals[idx - 1].arrival > at {
-            idx -= 1;
-        }
-        self.arrivals.insert(idx, spec);
+        debug_assert!(
+            spec.arrival >= self.arrival_floor,
+            "Engine::push contract violated: pushed arrival at {:?} fs predates an \
+             already-processed arrival at {:?} fs — admission order would desync",
+            spec.arrival.as_fs(),
+            self.arrival_floor.as_fs(),
+        );
+        self.arrivals.push(Reverse(PendingArrival {
+            at: spec.arrival,
+            seq: self.push_seq,
+            spec,
+        }));
+        self.push_seq += 1;
     }
 
     /// The engine's next event time: the earliest of the next pending
     /// arrival, the armed scheduler wake-up and the minimum in-flight task
     /// step. `None` when the episode has fully drained.
     pub fn next_event(&self) -> Option<SimTime> {
-        let task = self.active.iter().map(|a| a.task.now()).min();
-        let arrival = self.arrivals.front().map(|s| s.arrival);
+        let task = self.active.peek().map(|Reverse(a)| a.task.now());
+        let arrival = self.arrivals.peek().map(|Reverse(p)| p.at);
         [task, arrival, self.wake].into_iter().flatten().min()
     }
 
@@ -391,19 +505,14 @@ impl Engine {
         system: &mut MacoSystem,
         bound: Option<SimTime>,
     ) -> Result<Option<JobOutcome>, ServeError> {
-        let task = self
-            .active
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, a)| (a.task.now(), a.seq))
-            .map(|(i, a)| (a.task.now(), a.seq, i));
-        let arrival = self.arrivals.front().map(|s| s.arrival);
+        let task_key = self.active.peek().map(|Reverse(a)| a.key());
+        let arrival = self.arrivals.peek().map(|Reverse(p)| p.at);
         let wake = self.wake;
         assert!(
-            task.is_some() || arrival.is_some() || wake.is_some(),
+            task_key.is_some() || arrival.is_some() || wake.is_some(),
             "advance called on a drained engine"
         );
-        let task_time = task.map(|(t, _, _)| t);
+        let task_time = task_key.map(|(t, _)| t);
         // Tie order is arrival, then wake, then task step, so admission
         // and scheduling state are current before any same-instant
         // stepping decision.
@@ -411,32 +520,32 @@ impl Engine {
             .is_some_and(|at| task_time.is_none_or(|tt| at <= tt) && wake.is_none_or(|w| at <= w));
         let wake_first = !arrival_first && wake.is_some_and(|w| task_time.is_none_or(|tt| w <= tt));
         if arrival_first {
-            let spec = self.arrivals.pop_front().expect("arrival_first");
-            let at = spec.arrival;
-            self.submit(&spec);
+            let Reverse(pending) = self.arrivals.pop().expect("arrival_first");
+            let at = pending.at;
+            self.arrival_floor = at;
+            self.submit(pending.spec);
             self.try_schedule(system, at)?;
         } else if wake_first {
             let at = wake.expect("wake_first implies a wake");
             self.wake = None;
             self.try_schedule(system, at)?;
         } else {
-            let (_, _, idx) = task.expect("no arrival or wake, so a task exists");
+            let Reverse(mut entry) = self
+                .active
+                .pop()
+                .expect("no arrival or wake, so a task exists");
             // Batch contiguous steps of the minimal task while it stays at
             // or below every other event — the same exact-equivalence
             // batching the closed-loop runner uses, bounded additionally
-            // by the next arrival, the wake and the external horizon.
-            let runner_up = self
-                .active
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| i != idx)
-                .map(|(_, a)| (a.task.now(), a.seq))
-                .min();
+            // by the next arrival, the wake and the external horizon. The
+            // heap's new minimum is exactly the old linear scan's
+            // runner-up.
+            let runner_up = self.active.peek().map(|Reverse(a)| a.key());
             let completed = loop {
-                if system.step_gemm(&mut self.active[idx].task)?.is_some() {
+                if system.step_gemm(&mut entry.task)?.is_some() {
                     break true;
                 }
-                let key = (self.active[idx].task.now(), self.active[idx].seq);
+                let key = (entry.task.now(), entry.seq);
                 if arrival.is_some_and(|at| key.0 >= at)
                     || wake.is_some_and(|w| key.0 >= w)
                     || bound.is_some_and(|b| key.0 >= b)
@@ -446,8 +555,9 @@ impl Engine {
                 }
             };
             if completed {
-                return self.member_done(system, idx, bound);
+                return self.member_done(system, entry, bound);
             }
+            self.active.push(Reverse(entry));
         }
         Ok(None)
     }
@@ -483,12 +593,13 @@ impl Engine {
         }
     }
 
-    /// Admission: validates, bounds the queue, registers the job.
-    fn submit(&mut self, spec: &JobSpec) {
+    /// Admission: validates, bounds the queue, registers the job. Takes
+    /// the spec by value — the hot path never clones a layer stream.
+    fn submit(&mut self, spec: JobSpec) {
         if spec.tenant < self.stats.len() {
             self.stats[spec.tenant].submitted += 1;
         }
-        if validate_spec(self.tenants.len(), spec).is_err() {
+        if validate_spec(self.tenants.len(), &spec).is_err() {
             self.jobs_rejected += 1;
             if spec.tenant < self.stats.len() {
                 self.stats[spec.tenant].rejected += 1;
@@ -504,7 +615,7 @@ impl Engine {
                 self.jobs.push(Job {
                     width,
                     flops_total: spec.flops(),
-                    spec: spec.clone(),
+                    spec,
                     group: Vec::new(),
                     layer: 0,
                     members_left: 0,
@@ -542,13 +653,11 @@ impl Engine {
         bound: Option<SimTime>,
     ) -> Result<(), ServeError> {
         let cut = bound.map_or(upto, |b| upto.min(b));
-        while let Some(spec) = self.arrivals.front() {
-            let at = spec.arrival;
-            if at > cut {
-                break;
-            }
-            let spec = self.arrivals.pop_front().expect("front exists");
-            self.submit(&spec);
+        while self.arrivals.peek().is_some_and(|Reverse(p)| p.at <= cut) {
+            let Reverse(pending) = self.arrivals.pop().expect("peeked above");
+            let at = pending.at;
+            self.arrival_floor = at;
+            self.submit(pending.spec);
             self.try_schedule(system, at)?;
         }
         Ok(())
@@ -562,11 +671,12 @@ impl Engine {
                 return Ok(());
             }
             let free = self.pool.free_count(now);
-            let candidates: Vec<Candidate> = self
-                .queue
-                .pending()
-                .iter()
-                .map(|&JobId(id)| {
+            let pick = if free == 0 {
+                None
+            } else {
+                let mut candidates = std::mem::take(&mut self.cand_buf);
+                candidates.clear();
+                candidates.extend(self.queue.pending().iter().map(|&JobId(id)| {
                     let j = &self.jobs[id as usize];
                     Candidate {
                         id,
@@ -576,18 +686,16 @@ impl Engine {
                         flops: j.flops_total,
                         width: j.width,
                     }
-                })
-                .collect();
-            let pick = if free == 0 {
-                None
-            } else {
-                select(
+                }));
+                let pick = select(
                     self.config.policy,
                     &candidates,
                     free,
                     &self.served,
                     &self.weights,
-                )
+                );
+                self.cand_buf = candidates;
+                pick
             };
             let Some(pick) = pick else {
                 // Blocked on nodes that free later on the simulated clock
@@ -628,13 +736,25 @@ impl Engine {
         at: SimTime,
     ) -> Result<(), ServeError> {
         let layer = self.jobs[ji].spec.layers[self.jobs[ji].layer].clone();
-        let parts = partition_onto(layer.m, layer.n, layer.k, &self.jobs[ji].group);
-        debug_assert!(!parts.is_empty(), "admission rejects degenerate layers");
+        partition_shapes_into(
+            layer.m,
+            layer.n,
+            layer.k,
+            self.jobs[ji].group.len(),
+            &mut self.shape_buf,
+        );
+        debug_assert!(
+            !self.shape_buf.is_empty(),
+            "admission rejects degenerate layers"
+        );
         let tenant = self.jobs[ji].spec.tenant;
         let asid = self.tenants[tenant].asid;
         let cpu_cfg = system.config().cpu;
         let tiling = system.config().mmae.tiling;
-        for &(node, (pm, pn, pk)) in &parts {
+        let parts = self.shape_buf.len();
+        for j in 0..parts {
+            let (pm, pn, pk) = self.shape_buf[j];
+            let node = self.jobs[ji].group[j];
             let params = system.map_gemm(pm, pn, pk, layer.precision)?;
             let task = system.begin_gemm(node, asid, params, at)?;
             // The epilogue tail that extends a member past its GEMM: with
@@ -652,17 +772,17 @@ impl Engine {
                 }
                 None => SimDuration::ZERO,
             };
-            self.active.push(ActiveTask {
+            self.active.push(Reverse(ActiveTask {
                 task,
                 seq: self.seq,
                 job: ji,
                 layer: self.jobs[ji].layer,
                 layer_start: at,
                 epilogue_tail,
-            });
+            }));
             self.seq += 1;
         }
-        self.jobs[ji].members_left = parts.len();
+        self.jobs[ji].members_left = parts;
         self.jobs[ji].layer_end = at;
         // Occupancy accounting through the MPAIS queues themselves. The
         // MTQ sum spans every node, not just this gang: a tenant running
@@ -672,8 +792,8 @@ impl Engine {
         for node in 0..system.node_count() {
             mtq += system.cpu(node).mtq().in_use_by(asid);
         }
-        for &(node, _) in &parts {
-            stq = stq.max(system.stq(node).len());
+        for j in 0..parts {
+            stq = stq.max(system.stq(self.jobs[ji].group[j]).len());
         }
         self.stats[tenant].peak_mtq = self.stats[tenant].peak_mtq.max(mtq);
         self.stats[tenant].peak_stq = self.stats[tenant].peak_stq.max(stq);
@@ -685,10 +805,9 @@ impl Engine {
     fn member_done(
         &mut self,
         system: &mut MacoSystem,
-        idx: usize,
+        done: ActiveTask,
         bound: Option<SimTime>,
     ) -> Result<Option<JobOutcome>, ServeError> {
-        let done = self.active.swap_remove(idx);
         let member_end = done.task.now() + done.epilogue_tail;
         let ji = done.job;
         self.fingerprint = [

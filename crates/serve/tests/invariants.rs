@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use maco_core::gemm_plus::GemmPlusTask;
 use maco_core::system::{MacoSystem, SystemConfig};
 use maco_isa::Precision;
-use maco_serve::{JobSpec, Policy, ServeConfig, ServeReport, Server, Tenant};
+use maco_serve::{Engine, JobSpec, Policy, ServeConfig, ServeReport, Server, Tenant};
 use maco_sim::{SimDuration, SimTime};
 use maco_workloads::trace::{self, TraceConfig};
 
@@ -373,6 +373,143 @@ fn replica_shards_match_single_threaded_runs_exactly() {
         assert_eq!(report.makespan, threaded.makespan);
         assert_eq!(report.total_flops, threaded.total_flops);
     }
+}
+
+proptest! {
+    /// The heap-based pending stream admits jobs in exactly the order the
+    /// old sorted-insert `VecDeque` did: a stable sort of the push stream
+    /// by arrival time (equal arrivals keep push order). Jobs carry
+    /// unique flops as identity tags; the engine's admission index (the
+    /// `JobOutcome::job` id) must rank them identically to the reference
+    /// stable sort, even when most arrivals collide on the same instant.
+    #[test]
+    fn tie_storm_admission_order_matches_sorted_insert(
+        gaps in proptest::collection::vec(0u64..3, 2..10),
+    ) {
+        let tenants = Tenant::fleet(2);
+        let config = ServeConfig::default();
+        let mut system = small_system(2);
+        system.reset_shared_resources();
+        let mut engine = Engine::new(system.node_count(), &tenants, &config);
+        // Unique dims → unique flops → each outcome names its spec.
+        let mut arrival = SimTime::ZERO;
+        let specs: Vec<JobSpec> = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, &gap)| {
+                arrival += SimDuration::from_ns(gap);
+                let d = 8 * (1 + i as u64);
+                JobSpec::single(0, GemmPlusTask::gemm(d, d, d, Precision::Fp32), arrival)
+            })
+            .collect();
+        for spec in &specs {
+            engine.push(spec.clone());
+        }
+        // Reference: the old sorted-insert order is a stable sort of the
+        // push stream by arrival.
+        let mut expected: Vec<u64> = specs.iter().map(JobSpec::flops).collect();
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        order.sort_by_key(|&i| specs[i].arrival);
+        expected = order.into_iter().map(|i| expected[i]).collect();
+
+        let mut by_admission: Vec<Option<u64>> = vec![None; specs.len()];
+        while engine.next_event().is_some() {
+            if let Some(outcome) = engine.advance(&mut system, None).expect("episode completes") {
+                by_admission[outcome.job.0 as usize] = Some(outcome.flops);
+            }
+        }
+        let actual: Vec<u64> = by_admission
+            .into_iter()
+            .map(|f| f.expect("every admitted job completes"))
+            .collect();
+        prop_assert_eq!(actual, expected, "heap order != stable sorted-insert order");
+    }
+}
+
+/// A drained engine reports no next event, and `finish` closes the
+/// episode cleanly — the composition layer's termination condition.
+#[test]
+fn drained_engine_has_no_next_event() {
+    let tenants = Tenant::fleet(1);
+    let config = ServeConfig::default();
+    let mut system = small_system(2);
+    system.reset_shared_resources();
+    let mut engine = Engine::new(system.node_count(), &tenants, &config);
+    assert_eq!(engine.next_event(), None, "idle engine has no events");
+    engine.push(JobSpec::single(
+        0,
+        GemmPlusTask::gemm(32, 32, 32, Precision::Fp32),
+        SimTime::ZERO,
+    ));
+    assert_eq!(engine.next_event(), Some(SimTime::ZERO));
+    while engine.next_event().is_some() {
+        engine
+            .advance(&mut system, None)
+            .expect("episode completes");
+    }
+    assert_eq!(engine.next_event(), None, "drained engine has no events");
+    let report = engine.finish(&system);
+    assert_eq!(report.jobs_completed, 1);
+}
+
+/// Advancing past the drain is a caller bug and panics loudly instead of
+/// spinning or fabricating events.
+#[test]
+#[should_panic(expected = "drained engine")]
+fn advancing_a_drained_engine_panics() {
+    let tenants = Tenant::fleet(1);
+    let config = ServeConfig::default();
+    let mut system = small_system(1);
+    system.reset_shared_resources();
+    let mut engine = Engine::new(system.node_count(), &tenants, &config);
+    let _ = engine.advance(&mut system, None);
+}
+
+/// The `Engine::push` contract — no pushed arrival predates an arrival
+/// already processed — is enforced in debug builds: a violating push
+/// would silently corrupt admission order and desync the cluster's slot
+/// mapping, so it must fail at the push, not downstream.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "push contract violated")]
+fn push_predating_a_processed_arrival_panics_in_debug() {
+    let tenants = Tenant::fleet(1);
+    let config = ServeConfig::default();
+    let mut system = small_system(2);
+    system.reset_shared_resources();
+    let mut engine = Engine::new(system.node_count(), &tenants, &config);
+    let late = SimTime::ZERO + SimDuration::from_ns(100);
+    engine.push(JobSpec::single(
+        0,
+        GemmPlusTask::gemm(32, 32, 32, Precision::Fp32),
+        late,
+    ));
+    // Process the 100 ns arrival...
+    engine.advance(&mut system, None).expect("arrival admits");
+    // ...then push one timestamped before it: the contract violation.
+    engine.push(JobSpec::single(
+        0,
+        GemmPlusTask::gemm(16, 16, 16, Precision::Fp32),
+        SimTime::ZERO + SimDuration::from_ns(10),
+    ));
+}
+
+/// A tenant that completes nothing reports a zero mean latency (the
+/// `checked_div` path), not a panic or a poisoned value.
+#[test]
+fn zero_completed_jobs_mean_latency_is_zero() {
+    let mut server = Server::new(small_system(2), Tenant::fleet(2), ServeConfig::default());
+    // Only tenant 0 submits; tenant 1 completes nothing.
+    let report = server
+        .run_jobs(vec![JobSpec::single(
+            0,
+            GemmPlusTask::gemm(32, 32, 32, Precision::Fp32),
+            SimTime::ZERO,
+        )])
+        .expect("episode completes");
+    assert_eq!(report.tenants[1].completed, 0);
+    assert_eq!(report.tenants[1].mean_latency(), SimDuration::ZERO);
+    assert!(report.tenants[0].mean_latency() > SimDuration::ZERO);
 }
 
 #[test]

@@ -12,7 +12,8 @@
 use maco_sim::{SimDuration, SimTime, SplitMix64};
 
 use crate::bert::{bert, BertConfig};
-use crate::dnn::GemmLayer;
+use crate::dnn::{EpilogueClass, GemmLayer};
+use crate::gemm::GemmShape;
 use crate::gpt3::{gpt3, Gpt3Config};
 use crate::resnet::resnet50;
 
@@ -25,6 +26,10 @@ pub enum ModelKind {
     Bert,
     /// GPT-3 decoder-slice stream.
     Gpt3,
+    /// A single tiny GEMM (64³, no epilogue) — the request-rate stressor
+    /// for 10⁵-request throughput traces, where per-request simulation
+    /// cost must stay negligible next to event-core bookkeeping.
+    Micro,
 }
 
 impl ModelKind {
@@ -34,6 +39,7 @@ impl ModelKind {
             ModelKind::Resnet => "resnet",
             ModelKind::Bert => "bert",
             ModelKind::Gpt3 => "gpt3",
+            ModelKind::Micro => "micro",
         }
     }
 
@@ -44,6 +50,7 @@ impl ModelKind {
             ModelKind::Resnet => 2,
             ModelKind::Bert => 4,
             ModelKind::Gpt3 => 8,
+            ModelKind::Micro => 1,
         }
     }
 }
@@ -90,6 +97,10 @@ pub struct TraceConfig {
     pub mean_interarrival: SimDuration,
     /// Relative weights of the ResNet / BERT / GPT-3 mix.
     pub model_mix: [u32; 3],
+    /// Relative weight of [`ModelKind::Micro`] requests alongside the
+    /// three DNN families (zero — the default — leaves every existing
+    /// trace byte-identical: the random draw modulus is unchanged).
+    pub micro_weight: u32,
     /// Truncate each request's unrolled layer stream to this many layers
     /// (keeps co-simulation tractable; `usize::MAX` for full streams).
     pub layer_cap: usize,
@@ -106,6 +117,7 @@ impl Default for TraceConfig {
             requests: 24,
             mean_interarrival: SimDuration::from_ns_f64(40_000.0),
             model_mix: [1, 1, 1],
+            micro_weight: 0,
             layer_cap: 3,
             // Mean gaps are tens of microseconds while the heavy GPT-3
             // slices run for hundreds of milliseconds of simulated time:
@@ -145,6 +157,25 @@ impl TraceConfig {
             ..TraceConfig::default()
         }
     }
+
+    /// The 10⁵-request throughput stressor (the `serve_throughput_100k`
+    /// perf scenario): an all-[micro](ModelKind::Micro) single-layer
+    /// stream whose arrival rate is tuned so a small fleet keeps up —
+    /// pending queues stay short and wall clock measures the event core's
+    /// per-event cost, not scheduler-queue scans. Best-effort (no
+    /// deadlines), gang width 1.
+    pub fn micro(seed: u64, requests: usize) -> Self {
+        TraceConfig {
+            seed,
+            tenants: 8,
+            requests,
+            layer_cap: 1,
+            mean_interarrival: SimDuration::from_ns_f64(1_000.0),
+            model_mix: [0, 0, 0],
+            micro_weight: 1,
+            deadline_factor: None,
+        }
+    }
 }
 
 /// The scaled-down model streams the traces draw from: one inference slice
@@ -155,6 +186,14 @@ fn model_layers(kind: ModelKind, cap: usize) -> Vec<GemmLayer> {
         ModelKind::Resnet => resnet50(1),
         ModelKind::Bert => bert(BertConfig::base(1, 128)),
         ModelKind::Gpt3 => gpt3(Gpt3Config::sliced(1, 256)),
+        ModelKind::Micro => {
+            return vec![GemmLayer {
+                name: "micro",
+                shape: GemmShape::new(64, 64, 64),
+                repeats: 1,
+                epilogue: EpilogueClass::None,
+            }];
+        }
     };
     let mut layers = model.unrolled();
     layers.truncate(cap);
@@ -170,7 +209,7 @@ fn model_layers(kind: ModelKind, cap: usize) -> Vec<GemmLayer> {
 pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
     assert!(config.tenants >= 1, "need at least one tenant");
     assert!(config.requests >= 1, "need at least one request");
-    let mix_total: u32 = config.model_mix.iter().sum();
+    let mix_total: u32 = config.model_mix.iter().sum::<u32>() + config.micro_weight;
     assert!(mix_total > 0, "model mix must have positive weight");
     assert!(
         config.layer_cap >= 1,
@@ -183,7 +222,7 @@ pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
     let mut out = Vec::with_capacity(config.requests);
     // One unrolled-and-truncated stream per family, built on first use —
     // requests of the same family share it by clone.
-    let mut streams: [Option<Vec<GemmLayer>>; 3] = [None, None, None];
+    let mut streams: [Option<Vec<GemmLayer>>; 4] = [None, None, None, None];
     for _ in 0..config.requests {
         // Uniform jitter in [mean/2, 3*mean/2): integer-only, platform
         // independent, same coefficient of variation trace to trace.
@@ -199,7 +238,12 @@ pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
             if pick < config.model_mix[1] {
                 ModelKind::Bert
             } else {
-                ModelKind::Gpt3
+                pick -= config.model_mix[1];
+                if pick < config.model_mix[2] {
+                    ModelKind::Gpt3
+                } else {
+                    ModelKind::Micro
+                }
             }
         };
         let priority = rng.next_below(4) as u8;
@@ -207,6 +251,7 @@ pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
             ModelKind::Resnet => 0,
             ModelKind::Bert => 1,
             ModelKind::Gpt3 => 2,
+            ModelKind::Micro => 3,
         };
         let layers = streams[slot]
             .get_or_insert_with(|| model_layers(model, config.layer_cap))
@@ -372,6 +417,20 @@ mod tests {
             span < SimDuration::from_ns_f64(1_000_000.0),
             "burst arrival"
         );
+    }
+
+    #[test]
+    fn micro_preset_is_tiny_single_layer_width_one() {
+        let config = TraceConfig::micro(7, 500);
+        let trace = generate(&config);
+        assert_eq!(trace.len(), 500);
+        for req in &trace {
+            assert_eq!(req.model, ModelKind::Micro);
+            assert_eq!(req.layers.len(), 1);
+            assert_eq!(req.gang_width, 1);
+            assert!(req.deadline.is_none());
+            assert_eq!(req.flops(), 2 * 64 * 64 * 64);
+        }
     }
 
     #[test]
