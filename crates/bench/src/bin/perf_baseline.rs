@@ -22,6 +22,10 @@
 //!   fleet trace on one 16-node machine vs a 4×4-node fleet at the
 //!   bandwidth-constrained uncore point, with `speedup_vs_one_machine`
 //!   recording the fleet's throughput advantage at equal total nodes;
+//! * `cluster_failover` — the failover stressor: the failure-storm trace
+//!   on a 4×4-node fleet with two fixed-instant machine kills mid-burst
+//!   (one recovery), pinning the failover schedule, the fault-timeline
+//!   fingerprint and the worst failure-to-re-placement latency;
 //! * `serve_throughput_100k` — the event-core throughput stressor: 10⁵
 //!   all-micro single-layer requests (10⁴ in quick mode) streamed through
 //!   a 4×4-node fleet, asserting near-linear wall-clock scaling in trace
@@ -44,13 +48,14 @@
 
 use std::time::Instant;
 
-use maco_cluster::{Cluster, ClusterSpec};
+use maco_cluster::{Cluster, ClusterSpec, FaultSpec};
 use maco_core::system::{MacoSystem, SystemConfig};
 use maco_explore::{Explorer, SweepGrid};
 use maco_isa::Precision;
 use maco_mmae::kernels::{GemmOperands, GemmScratch};
 use maco_mmae::Mmae;
 use maco_serve::{run_replicas, Policy, ServeConfig, Server, Tenant};
+use maco_sim::{SimDuration, SimTime};
 use maco_workloads::gemm::fill_random_matrix;
 use maco_workloads::trace::{self, TraceConfig};
 
@@ -285,6 +290,61 @@ fn cluster_bench(quick: bool) -> BenchResult {
     }
 }
 
+/// The failover stressor: a 4-machine fleet serves the failure-storm
+/// trace while two machines fail-stop mid-burst at fixed instants (one
+/// recovers and rejoins, one stays dead). Pins the failover schedule
+/// *and* the fault-timeline fingerprint under the strict gate, plus the
+/// worst failure-to-re-placement latency — the metric the failure model
+/// trades makespan for. Lost jobs are asserted zero: eviction re-places
+/// work, never drops it.
+fn failover_bench(quick: bool) -> BenchResult {
+    let trace_config = TraceConfig {
+        requests: if quick { 16 } else { 48 },
+        ..TraceConfig::failover(0xFA110)
+    };
+    let trace = trace::generate(&trace_config);
+    let tenants = Tenant::fleet(trace_config.tenants);
+    // Kills land mid-burst (arrivals are ~5 µs apart): machine 1 dies for
+    // good a quarter through the arrival span, machine 2 dies at half and
+    // comes back online after a 100 µs outage.
+    let span_us = 5 * trace_config.requests as u64;
+    let kill_1 = SimTime::ZERO + SimDuration::from_us(span_us / 4);
+    let kill_2 = SimTime::ZERO + SimDuration::from_us(span_us / 2);
+    let faults = FaultSpec::none()
+        .with_failure(1, kill_1, None)
+        .with_failure(2, kill_2, Some(kill_2 + SimDuration::from_us(100)));
+    let spec = ClusterSpec::bandwidth_constrained(4, 4).with_faults(faults);
+    let t0 = Instant::now();
+    let mut fleet = Cluster::new(spec, tenants);
+    let report = fleet.run_trace(&trace).expect("failover fleet completes");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.fault.jobs_lost, 0, "failover dropped a job");
+    assert_eq!(report.fault.failures, 2);
+    assert_eq!(report.fault.recoveries, 1);
+    let fp = fold_bits(report.fingerprint, report.fault.fingerprint);
+    BenchResult {
+        name: "cluster_failover".to_string(),
+        wall_ms,
+        detail: format!(
+            "4x4 fleet, {} requests, 2 kills (1 recovery): {} re-placed, \
+             {:.1}% available, recovery latency {:.1} us",
+            trace.len(),
+            report.fault.jobs_replaced,
+            report.fault.availability * 100.0,
+            report.fault.recovery_latency_max.as_us(),
+        ),
+        fingerprint: format!("{fp:016x}"),
+        extra: format!(
+            ", \"fault_fingerprint\": \"{:016x}\", \"recovery_latency_ns\": {:.0}, \
+             \"jobs_replaced\": {}, \"availability\": {:.4}",
+            report.fault.fingerprint,
+            report.fault.recovery_latency_max.as_ns(),
+            report.fault.jobs_replaced,
+            report.fault.availability,
+        ),
+    }
+}
+
 /// One micro-fleet streaming run: `requests` all-micro single-layer jobs
 /// through a 4×4-node streaming fleet. Returns (wall seconds, fleet
 /// fingerprint, jobs completed).
@@ -409,6 +469,8 @@ fn main() {
     results.push(explore_bench(quick));
     eprintln!("perf_baseline: timing scale-out fleet serving (maco-cluster)...");
     results.push(cluster_bench(quick));
+    eprintln!("perf_baseline: timing failover under mid-burst machine kills...");
+    results.push(failover_bench(quick));
     eprintln!("perf_baseline: timing the 100k-request event-core stressor...");
     results.push(throughput_100k_bench(quick));
 

@@ -6,14 +6,15 @@
 //! machine's [`MacoSystem`] through the reentrant
 //! `begin_gemm`/`step_gemm` core API — and the cluster merges the
 //! machines' event streams: the global loop always processes the minimum
-//! of (next unrouted fleet arrival, every machine's next event), routing
-//! arrivals first on ties exactly like the per-machine loop does. The
-//! merge is a lazy-deletion min-heap of machine cursors `(time, machine)`
-//! re-keyed only for machines whose event stream actually changed (the
-//! one just advanced, the ones just routed to); a popped cursor is valid
-//! iff it still equals its machine's [`Engine::next_event`], so stale
-//! entries cost one O(log n) discard instead of a per-step fleet scan.
-//! Machines
+//! of (next fault event, next unrouted fleet arrival, next re-placement,
+//! every machine's next event), breaking ties in exactly that order (so
+//! fault and routing state are current before any same-instant machine
+//! step). The machine minimum comes from a lazy-deletion min-heap of
+//! machine cursors `(time, machine)` re-keyed only for machines whose
+//! event stream actually changed (the one just advanced, the ones just
+//! routed to); a popped cursor is valid iff it still equals its machine's
+//! [`Engine::next_event`], so stale entries cost one O(log n) discard
+//! instead of a per-step fleet scan. Machines
 //! share no simulated hardware, so advancing one machine never perturbs
 //! another; all cross-machine coupling flows through the interconnect
 //! cost model (migration transfers delay arrivals, k-split all-reduces
@@ -23,26 +24,52 @@
 //!
 //! Multi-machine engines admit work at the *router's horizon*: a
 //! completion whose simulated time leaps past the next unrouted fleet
-//! arrival stops its queued-arrival drain there (see [`Engine::advance`]'s
-//! `bound`), so machine-local admission order always equals
-//! `(arrival, push order)`; arrivals beyond the horizon are admitted
-//! later at their own event times, with the time-aware node pool keeping
-//! freed nodes invisible before their free instants. A one-machine
-//! cluster skips the horizon entirely — with no placement freedom the
-//! router routes eagerly — and is therefore bit-identical to a
-//! standalone [`maco_serve::Server`] (tested, including under timestamp
-//! tie storms).
+//! arrival (or fault event, or pending re-placement) stops its
+//! queued-arrival drain there (see [`Engine::advance`]'s `bound`), so
+//! machine-local admission order always equals `(arrival, push order)`;
+//! arrivals beyond the horizon are admitted later at their own event
+//! times, with the time-aware node pool keeping freed nodes invisible
+//! before their free instants. A one-machine fault-free cluster skips the
+//! horizon entirely — with no placement freedom the router routes eagerly
+//! — and is therefore bit-identical to a standalone
+//! [`maco_serve::Server`] (tested, including under timestamp tie storms).
+//!
+//! # Failure model
+//!
+//! A [`crate::spec::FaultSpec`] schedules deterministic fail-stops,
+//! recoveries and interconnect degradation windows as first-class events
+//! on the global timeline, processed *before* same-instant arrivals. A
+//! fail-stop evicts the machine's in-flight and queued jobs (an
+//! [`maco_serve::EvictedJob`] carries the un-served remainder: a DNN
+//! stream restarts from its last completed layer, a split part from its
+//! layer start), retires the engine incarnation, and re-places each
+//! remainder on a surviving machine after charging the state transfer
+//! (migration context + remaining weight bytes) through the
+//! interconnect. Completions the event core already committed stand even
+//! when timestamped past the fail instant — the core processes a gang's
+//! completion batch atomically, exactly as it leaps past routing
+//! horizons. The fail-stop contract is that **no admitted job is ever
+//! lost**: [`crate::report::FaultReport::jobs_lost`] is always 0, and
+//! the fault layer folds every event into its own fingerprint (separate
+//! from the schedule fingerprint, which stays bit-identical for
+//! fault-free runs). An optional [`AutoscalerSpec`] grows/shrinks the
+//! *active* placement set against sliding arrival-rate and deadline-miss
+//! windows; draining a machine only stops new placements — queued work
+//! finishes where it is.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use maco_core::system::MacoSystem;
-use maco_serve::{validate_spec, Engine, JobOutcome, JobSpec, Tenant};
-use maco_sim::{FxHashMap, LatencyBandwidthResource, SimTime};
+use maco_serve::{validate_spec, Engine, JobOutcome, JobSpec, ServeReport, Tenant};
+use maco_sim::{FxHashMap, LatencyBandwidthResource, SimDuration, SimTime};
 use maco_workloads::trace::TraceRequest;
 
-use crate::report::{fold_fingerprint, ClusterReport, JobRecord, MachineReport};
-use crate::spec::{ClusterSpec, Placement};
+use crate::report::{
+    fold_fingerprint, merge_serve_reports, ClusterDiagnostics, ClusterReport, FaultReport,
+    JobRecord, MachineReport, ScaleEvent,
+};
+use crate::spec::{AutoscalerSpec, ClusterSpec, DegradationWindow, Placement};
 use crate::split::split_job;
 
 /// Errors a fleet episode can surface (the per-machine co-simulation's).
@@ -111,15 +138,18 @@ impl Cluster {
     }
 
     /// Runs one fleet episode over `specs` (arrival-sorted internally)
-    /// until every routed job has completed on its machine(s) and every
-    /// pending reduction has drained.
+    /// until every routed job has completed on its machine(s), every
+    /// pending reduction has drained, every scheduled fault event has
+    /// been processed and every evicted remainder has been re-placed and
+    /// finished.
     ///
     /// Each machine's [`maco_serve::ServeConfig::queue_capacity`] must
     /// accommodate its routed backlog: a machine-level admission overflow
     /// would desynchronise the fleet's job accounting, so capacities are
     /// validated *before* the episode starts, and an undersized machine is a
     /// clear, early panic naming the machine — never a mid-episode
-    /// accounting desync.
+    /// accounting desync. (Re-placement cannot exceed the bound: a job
+    /// occupies one machine's queue at a time.)
     ///
     /// # Errors
     ///
@@ -128,10 +158,17 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics when a machine's queue capacity cannot hold the worst-case
-    /// routed backlog, naming the offending machine.
+    /// routed backlog (naming the offending machine), when the
+    /// [`crate::spec::FaultSpec`] or [`AutoscalerSpec`] is invalid for
+    /// this fleet, or when every machine is dead with no scheduled
+    /// recovery while work is still pending.
     pub fn run_jobs(&mut self, mut specs: Vec<JobSpec>) -> Result<ClusterReport, ClusterError> {
         specs.sort_by_key(|s| s.arrival);
         self.validate_capacity(&specs);
+        self.spec.faults.validate(self.spec.machines.len());
+        if let Some(a) = self.spec.autoscaler {
+            a.validate(self.spec.machines.len());
+        }
         let machines = self.systems.len();
         for sys in &mut self.systems {
             sys.reset_shared_resources();
@@ -142,53 +179,38 @@ impl Cluster {
             .iter()
             .map(|m| Engine::new(m.system.nodes, &self.tenants, &m.serve))
             .collect();
-        let mut ep = FleetEpisode {
-            icn: LatencyBandwidthResource::new(
-                self.spec.interconnect.latency,
-                self.spec.interconnect.gbps,
-            ),
-            outstanding: vec![0; machines],
-            tenant_home: vec![None; self.tenants.len()],
-            rr: 0,
-            slots: (0..machines).map(|_| SlotMap::default()).collect(),
-            cursors: BinaryHeap::new(),
-            records: Vec::with_capacity(specs.len()),
-            reductions: FxHashMap::default(),
-            jobs_completed: 0,
-            jobs_rejected: 0,
-            migrations: 0,
-            splits: 0,
-            last_finish: SimTime::ZERO,
-            fingerprint: 0,
-        };
+        let mut ep = FleetEpisode::new(&self.spec, self.tenants.len());
 
-        // A fleet of one has no routing freedom: every job lands on
-        // machine 0, nothing migrates, nothing splits. Routing eagerly is
-        // therefore decision-identical to lazy routing — and it lets the
-        // engine run with no external horizon, which makes the
-        // one-machine cluster reproduce the standalone `Server` schedule
-        // bit for bit (the contract the equivalence tests pin) even at
-        // the contention corners where a bounded arrival drain would
-        // reorder scheduling attempts.
+        // A fault-free fleet of one has no routing freedom: every job
+        // lands on machine 0, nothing migrates, nothing splits, nothing
+        // is ever evicted. Routing eagerly is therefore
+        // decision-identical to lazy routing — and it lets the engine run
+        // with no external horizon, which makes the one-machine cluster
+        // reproduce the standalone `Server` schedule bit for bit (the
+        // contract the equivalence tests pin) even at the contention
+        // corners where a bounded arrival drain would reorder scheduling
+        // attempts.
         let mut cursor = 0usize;
-        let mut pending = std::collections::VecDeque::from(specs);
-        if machines == 1 {
+        let mut pending = VecDeque::from(specs);
+        if machines == 1 && self.spec.faults.is_empty() && self.spec.autoscaler.is_none() {
             while let Some(spec) = pending.pop_front() {
                 ep.route(&self.spec, &self.tenants, &mut engines, spec, cursor);
                 cursor += 1;
             }
         }
 
-        // The global event merge: route the next fleet arrival or advance
-        // the machine owning the minimum next event, arrivals first on
-        // ties (so routing state is current before any same-instant step).
-        // The machine minimum comes from the lazy-deletion cursor heap:
-        // stale cursors (no longer equal to their machine's next event)
-        // are discarded on pop, and every engine push/advance re-keys the
-        // touched machine, so the top valid cursor is always the true
-        // fleet minimum without rescanning every machine per step.
+        // The global event merge: process the minimum of (next fault
+        // event, next fleet arrival, next re-placement, every machine's
+        // next event), ties broken fault < arrival < re-placement <
+        // machine step so router state is current before any same-instant
+        // step — and so a recovery scheduled at the instant a deferred
+        // re-placement wakes is processed first (the deferral's
+        // termination argument). With no faults and no re-placements this
+        // reduces exactly to the fault-free arrival-vs-machine merge.
         loop {
+            let fault = ep.faults.front().map(|f| f.at);
             let arrival = pending.front().map(|s| s.arrival);
+            let reroute = ep.reroutes.peek().map(|Reverse(r)| r.at);
             let machine = loop {
                 match ep.cursors.peek() {
                     None => break None,
@@ -200,19 +222,39 @@ impl Cluster {
                     }
                 }
             };
-            let arrival_first = match (arrival, machine) {
-                (Some(at), Some((mt, _))) => at <= mt,
+            let mt = machine.map(|(t, _)| t);
+            let le = |a: Option<SimTime>, b: Option<SimTime>| match (a, b) {
+                (Some(x), Some(y)) => x <= y,
                 (Some(_), None) => true,
                 (None, _) => false,
             };
-            if arrival_first {
+            if fault.is_some() && le(fault, arrival) && le(fault, reroute) && le(fault, mt) {
+                let ev = ep.faults.pop_front().expect("peeked above");
+                match ev.kind {
+                    FaultEventKind::Fail(i) => ep.fail(
+                        &self.spec,
+                        &self.tenants,
+                        &mut engines,
+                        &mut self.systems,
+                        i,
+                        ev.at,
+                    ),
+                    FaultEventKind::Recover(i) => ep.recover(i, ev.at),
+                    FaultEventKind::DegradeStart(d) => ep.degrade(d, true, ev.at),
+                    FaultEventKind::DegradeEnd(d) => ep.degrade(d, false, ev.at),
+                }
+            } else if arrival.is_some() && le(arrival, reroute) && le(arrival, mt) {
                 let spec = pending.pop_front().expect("peeked above");
                 let index = cursor;
                 cursor += 1;
                 ep.route(&self.spec, &self.tenants, &mut engines, spec, index);
+            } else if reroute.is_some() && le(reroute, mt) {
+                let Reverse(r) = ep.reroutes.pop().expect("peeked above");
+                ep.replace(&self.spec, &mut engines, r);
             } else if let Some((_, i)) = machine {
                 ep.cursors.pop();
-                if let Some(outcome) = engines[i].advance(&mut self.systems[i], arrival)? {
+                let horizon = [fault, arrival, reroute].into_iter().flatten().min();
+                if let Some(outcome) = engines[i].advance(&mut self.systems[i], horizon)? {
                     ep.complete(i, outcome);
                 }
                 ep.rekey(&engines[i], i);
@@ -221,15 +263,23 @@ impl Cluster {
             }
         }
         debug_assert!(ep.reductions.is_empty(), "unfinished reductions");
+        debug_assert!(ep.reroutes.is_empty(), "unplaced re-routes");
 
+        let mut retired = std::mem::take(&mut ep.retired);
         let machine_reports: Vec<MachineReport> = engines
             .into_iter()
+            .enumerate()
             .zip(&self.systems)
             .zip(&self.spec.machines)
-            .map(|((engine, system), mspec)| MachineReport {
-                name: mspec.name.clone(),
-                nodes: mspec.system.nodes,
-                serve: engine.finish(system),
+            .map(|(((i, engine), system), mspec)| {
+                let mut incs = std::mem::take(&mut retired[i]);
+                incs.push(engine.finish(system));
+                MachineReport {
+                    name: mspec.name.clone(),
+                    nodes: mspec.system.nodes,
+                    incarnations: incs.len() as u32,
+                    serve: merge_serve_reports(incs),
+                }
             })
             .collect();
         let mut fp = ep.fingerprint;
@@ -239,17 +289,67 @@ impl Cluster {
             makespan = makespan.max(SimTime::ZERO + m.serve.makespan);
         }
         fp = fold_fingerprint(fp, makespan.as_fs());
+
+        // Availability: alive machine-time over makespan × fleet size,
+        // open downtime intervals (no recovery) clipped at the makespan.
+        let span = makespan.since(SimTime::ZERO);
+        let mut down_total: u128 = 0;
+        for md in &ep.downs {
+            for &(start, end) in md {
+                let e = end.map_or(makespan, |t| t.max(SimTime::ZERO).min(makespan));
+                let s = start.min(makespan);
+                down_total += u128::from(e.saturating_since(s).as_fs());
+            }
+        }
+        let availability = if span.is_zero() {
+            1.0
+        } else {
+            let capacity = u128::from(span.as_fs()) * machines as u128;
+            (1.0 - down_total as f64 / capacity as f64).clamp(0.0, 1.0)
+        };
+        let (rl_max, rl_mean) = if ep.recovery_latencies.is_empty() {
+            (SimDuration::ZERO, SimDuration::ZERO)
+        } else {
+            let max = ep
+                .recovery_latencies
+                .iter()
+                .copied()
+                .fold(SimDuration::ZERO, SimDuration::max);
+            let sum: u64 = ep.recovery_latencies.iter().map(|d| d.as_fs()).sum();
+            (
+                max,
+                SimDuration::from_fs(sum / ep.recovery_latencies.len() as u64),
+            )
+        };
+        let jobs_lost = ep.records.len() as u64 - ep.jobs_completed - ep.jobs_rejected;
+        let fault = FaultReport {
+            failures: ep.failures,
+            recoveries: ep.recoveries,
+            jobs_replaced: ep.jobs_replaced,
+            replaced_bytes: ep.replaced_bytes,
+            jobs_lost,
+            availability,
+            recovery_latency_max: rl_max,
+            recovery_latency_mean: rl_mean,
+            goodput_flops: ep.goodput_flops,
+            deadline_misses: ep.deadline_misses,
+            scale_events: ep.scale_events,
+            peak_active: ep.peak_active,
+            fingerprint: ep.fault_fp,
+        };
         Ok(ClusterReport {
             jobs: ep.records,
             jobs_completed: ep.jobs_completed,
             jobs_rejected: ep.jobs_rejected,
-            makespan: makespan.since(SimTime::ZERO),
+            makespan: span,
             total_flops: machine_reports.iter().map(|m| m.serve.total_flops).sum(),
             interconnect_bytes: ep.icn.bandwidth().bytes_transferred(),
             interconnect_busy: ep.icn.bandwidth().busy_time(),
             migrations: ep.migrations,
             splits: ep.splits,
             machines: machine_reports,
+            fault,
+            diagnostics: ep.diagnostics,
             fingerprint: fp,
         })
     }
@@ -259,7 +359,8 @@ impl Cluster {
     /// the episode (placement is load-dependent, so LeastLoaded and
     /// spilling TenantAffinity can in principle send *all* jobs to one
     /// machine; a split contributes at most one part per machine per
-    /// job). An undersized queue would otherwise surface as a
+    /// job, and a re-placed remainder occupies only one machine at a
+    /// time). An undersized queue would otherwise surface as a
     /// machine-level admission rejection deep inside the episode, where
     /// it desynchronises the slot accounting — here it is an early,
     /// attributable error instead.
@@ -292,6 +393,55 @@ struct Reduction {
     end: SimTime,
     /// All-reduce bytes charged when the barrier clears (zero = m-split).
     reduce_bytes: u64,
+}
+
+/// What kind of fault-schedule event fired.
+#[derive(Debug, Clone, Copy)]
+enum FaultEventKind {
+    /// Machine fail-stop.
+    Fail(usize),
+    /// Machine recovery (fresh, cold incarnation rejoins the fleet).
+    Recover(usize),
+    /// Degradation window (by index into the spec) opens.
+    DegradeStart(usize),
+    /// Degradation window (by index into the spec) closes.
+    DegradeEnd(usize),
+}
+
+/// One scheduled fault event on the global timeline. Built once from the
+/// [`crate::spec::FaultSpec`], stably sorted by time (spec order breaks
+/// ties) and drained front-to-back by the merge loop.
+struct FaultEvent {
+    at: SimTime,
+    kind: FaultEventKind,
+}
+
+/// A pending re-placement: an evicted remainder (or a deferred arrival
+/// that found no eligible machine) waiting for its effective re-arrival
+/// instant on the global timeline. Ordered by `(at, seq)` so equal-time
+/// re-placements keep eviction order.
+struct ReRoute {
+    at: SimTime,
+    seq: u64,
+    rec: usize,
+    spec: JobSpec,
+}
+
+impl PartialEq for ReRoute {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for ReRoute {}
+impl PartialOrd for ReRoute {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReRoute {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
 }
 
 /// Per-machine mapping from the engine's admission-ordered job ids back
@@ -345,12 +495,16 @@ struct FleetEpisode {
     tenant_home: Vec<Option<usize>>,
     /// Round-robin cursor.
     rr: usize,
-    /// Per machine: the admission-slot → fleet-record mapping.
+    /// Per machine: the admission-slot → fleet-record mapping (reset on
+    /// fail-stop together with the engine incarnation).
     slots: Vec<SlotMap>,
     /// Lazy-deletion min-heap of machine cursors `(next event, machine)`
     /// driving the global merge; see [`FleetEpisode::rekey`].
     cursors: BinaryHeap<Reverse<(SimTime, usize)>>,
     records: Vec<JobRecord>,
+    /// Per record: the job's relative deadline (parallel to `records`),
+    /// for fleet-level SLO/goodput accounting.
+    deadlines: Vec<Option<SimDuration>>,
     /// Record index → pending reduction barrier, for split jobs.
     reductions: FxHashMap<usize, Reduction>,
     jobs_completed: u64,
@@ -359,12 +513,391 @@ struct FleetEpisode {
     splits: u64,
     last_finish: SimTime,
     fingerprint: u64,
+
+    // ---- failure / elasticity state ----
+    /// Scheduled fault events, time-sorted, drained front-to-back.
+    faults: VecDeque<FaultEvent>,
+    /// The spec's degradation windows (by index).
+    degradations: Vec<DegradationWindow>,
+    /// Which degradation windows are currently open.
+    win_active: Vec<bool>,
+    /// Product of open windows' latency multipliers (1 = pristine).
+    lat_mult: u64,
+    /// Product of open windows' bandwidth divisors (1 = pristine).
+    bw_div: u64,
+    /// Per machine: not currently failed.
+    alive: Vec<bool>,
+    /// Per machine: in the autoscaler's active placement set (all true
+    /// without an autoscaler).
+    active: Vec<bool>,
+    /// Every machine alive *and* active — the fast path that keeps
+    /// fault-free routing bit-identical to the pre-fault router.
+    full_fleet: bool,
+    /// Per machine: serve reports of retired (failed) incarnations.
+    retired: Vec<Vec<ServeReport>>,
+    /// Pending re-placements, ordered `(effective re-arrival, seq)`.
+    reroutes: BinaryHeap<Reverse<ReRoute>>,
+    reroute_seq: u64,
+    /// Per machine: downtime intervals `(failed_at, recovered_at)`;
+    /// `None` end = still down at episode end (clipped to makespan).
+    downs: Vec<Vec<(SimTime, Option<SimTime>)>>,
+    failures: u64,
+    recoveries: u64,
+    jobs_replaced: u64,
+    replaced_bytes: u64,
+    /// Per processed fail-stop: fail instant → last evicted remainder's
+    /// effective re-arrival (zero when nothing was evicted).
+    recovery_latencies: Vec<SimDuration>,
+    goodput_flops: u64,
+    deadline_misses: u64,
+    scaler: Option<AutoscalerSpec>,
+    /// Sliding window of routed-arrival instants (autoscaler only).
+    win_arrivals: VecDeque<SimTime>,
+    /// Sliding window of fleet-level deadline-miss instants.
+    win_misses: VecDeque<SimTime>,
+    /// Last autoscaler action (cooldown gate; capacity replacement after
+    /// a failure bypasses it).
+    last_scale: Option<SimTime>,
+    scale_events: Vec<ScaleEvent>,
+    peak_active: usize,
+    diagnostics: ClusterDiagnostics,
+    /// The failure layer's own order-sensitive event fold.
+    fault_fp: u64,
 }
 
 impl FleetEpisode {
-    /// Routes one arrival: validates, picks machine(s), charges the
+    /// Fresh episode state for one `run_jobs` call: compiles the fault
+    /// schedule into a time-sorted event queue and initialises the
+    /// autoscaler's active set (`min_machines` actives; the rest standby).
+    fn new(spec: &ClusterSpec, tenants: usize) -> Self {
+        let machines = spec.machines.len();
+        let mut events: Vec<FaultEvent> = Vec::new();
+        for f in &spec.faults.machine_faults {
+            events.push(FaultEvent {
+                at: f.at,
+                kind: FaultEventKind::Fail(f.machine),
+            });
+            if let Some(r) = f.recover_at {
+                events.push(FaultEvent {
+                    at: r,
+                    kind: FaultEventKind::Recover(f.machine),
+                });
+            }
+        }
+        for (d, w) in spec.faults.degradations.iter().enumerate() {
+            events.push(FaultEvent {
+                at: w.from,
+                kind: FaultEventKind::DegradeStart(d),
+            });
+            events.push(FaultEvent {
+                at: w.until,
+                kind: FaultEventKind::DegradeEnd(d),
+            });
+        }
+        events.sort_by_key(|e| e.at);
+        let scaler = spec.autoscaler;
+        let active: Vec<bool> = (0..machines)
+            .map(|m| scaler.is_none_or(|a| m < a.min_machines))
+            .collect();
+        let active_n = active.iter().filter(|&&a| a).count();
+        FleetEpisode {
+            icn: LatencyBandwidthResource::new(spec.interconnect.latency, spec.interconnect.gbps),
+            outstanding: vec![0; machines],
+            tenant_home: vec![None; tenants],
+            rr: 0,
+            slots: (0..machines).map(|_| SlotMap::default()).collect(),
+            cursors: BinaryHeap::new(),
+            records: Vec::new(),
+            deadlines: Vec::new(),
+            reductions: FxHashMap::default(),
+            jobs_completed: 0,
+            jobs_rejected: 0,
+            migrations: 0,
+            splits: 0,
+            last_finish: SimTime::ZERO,
+            fingerprint: 0,
+            faults: VecDeque::from(events),
+            degradations: spec.faults.degradations.clone(),
+            win_active: vec![false; spec.faults.degradations.len()],
+            lat_mult: 1,
+            bw_div: 1,
+            alive: vec![true; machines],
+            full_fleet: active_n == machines,
+            active,
+            retired: vec![Vec::new(); machines],
+            reroutes: BinaryHeap::new(),
+            reroute_seq: 0,
+            downs: vec![Vec::new(); machines],
+            failures: 0,
+            recoveries: 0,
+            jobs_replaced: 0,
+            replaced_bytes: 0,
+            recovery_latencies: Vec::new(),
+            goodput_flops: 0,
+            deadline_misses: 0,
+            scaler,
+            win_arrivals: VecDeque::new(),
+            win_misses: VecDeque::new(),
+            last_scale: None,
+            scale_events: Vec::new(),
+            peak_active: active_n,
+            diagnostics: ClusterDiagnostics::default(),
+            fault_fp: 0,
+        }
+    }
+
+    /// A machine can receive new placements iff it is alive and in the
+    /// active set.
+    fn eligible(&self, m: usize) -> bool {
+        self.alive[m] && self.active[m]
+    }
+
+    fn eligible_count(&self) -> usize {
+        (0..self.alive.len()).filter(|&m| self.eligible(m)).count()
+    }
+
+    fn update_full_fleet(&mut self) {
+        self.full_fleet = (0..self.alive.len()).all(|m| self.eligible(m));
+    }
+
+    /// Earliest still-scheduled recovery — the wake instant for work that
+    /// finds every machine dead.
+    fn next_recovery(&self) -> Option<SimTime> {
+        self.faults.iter().find_map(|e| match e.kind {
+            FaultEventKind::Recover(_) => Some(e.at),
+            _ => None,
+        })
+    }
+
+    /// Appends a record and its (parallel) deadline entry.
+    fn push_record(&mut self, record: JobRecord, deadline: Option<SimDuration>) {
+        self.records.push(record);
+        self.deadlines.push(deadline);
+    }
+
+    /// One interconnect transfer under the current degradation state:
+    /// pristine fabric takes the exact pre-fault path; open windows
+    /// stretch serialisation by the bandwidth divisor and add the extra
+    /// latency multiples on top of the pipelined base latency.
+    fn icn_access(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        if self.lat_mult == 1 && self.bw_div == 1 {
+            self.icn.access(at, bytes)
+        } else {
+            let service = self.icn.service_time(bytes) * self.bw_div;
+            self.icn.access_train(at, service, bytes) + self.icn.latency() * (self.lat_mult - 1)
+        }
+    }
+
+    /// Opens/closes degradation window `d` and recomputes the combined
+    /// multipliers (products over open windows, saturating).
+    fn degrade(&mut self, d: usize, start: bool, at: SimTime) {
+        let code: u64 = if start { 0xF3 } else { 0xF4 };
+        self.fault_fp = fold_fingerprint(self.fault_fp, code);
+        self.fault_fp = fold_fingerprint(self.fault_fp, d as u64);
+        self.fault_fp = fold_fingerprint(self.fault_fp, at.as_fs());
+        self.win_active[d] = start;
+        let mut lat: u64 = 1;
+        let mut bw: u64 = 1;
+        for (w, &on) in self.degradations.iter().zip(&self.win_active) {
+            if on {
+                lat = lat.saturating_mul(u64::from(w.latency_mult));
+                bw = bw.saturating_mul(u64::from(w.bandwidth_div));
+            }
+        }
+        self.lat_mult = lat;
+        self.bw_div = bw;
+    }
+
+    /// Fail-stop of machine `i` at `at`: evict everything un-finished,
+    /// retire the engine incarnation (its report is merged into the
+    /// machine's final view), cold-restart system and slot map, and queue
+    /// every evicted remainder for re-placement after charging its state
+    /// transfer through the interconnect. Completions the engine already
+    /// committed (even ones timestamped past `at`) stand.
+    fn fail(
+        &mut self,
+        cspec: &ClusterSpec,
+        tenants: &[Tenant],
+        engines: &mut [Engine],
+        systems: &mut [MacoSystem],
+        i: usize,
+        at: SimTime,
+    ) {
+        self.fault_fp = fold_fingerprint(self.fault_fp, 0xF1);
+        self.fault_fp = fold_fingerprint(self.fault_fp, i as u64);
+        self.fault_fp = fold_fingerprint(self.fault_fp, at.as_fs());
+        if !self.alive[i] {
+            return;
+        }
+        self.alive[i] = false;
+        self.downs[i].push((at, None));
+        self.failures += 1;
+        let was_active = self.active[i];
+        self.update_full_fleet();
+
+        let evicted = engines[i].evict_all(at);
+        let mspec = &cspec.machines[i];
+        let old = std::mem::replace(
+            &mut engines[i],
+            Engine::new(mspec.system.nodes, tenants, &mspec.serve),
+        );
+        self.retired[i].push(old.finish(&systems[i]));
+        systems[i] = MacoSystem::new(mspec.system.clone());
+        systems[i].reset_shared_resources();
+        // The old slot map resolves the evicted ids (including synthetic
+        // ids for never-admitted queued arrivals — the engine numbers
+        // them in admission order, which is exactly the slot map's heap
+        // order); the fresh incarnation starts with a fresh map.
+        let mut old_slots = std::mem::take(&mut self.slots[i]);
+        self.outstanding[i] = 0;
+
+        let mut latest = at;
+        for ej in evicted {
+            let (slot_arrival, rec) = old_slots.resolve(ej.id.0 as usize);
+            assert!(
+                slot_arrival == ej.spec.arrival && self.records[rec].tenant == ej.spec.tenant,
+                "machine {i} eviction desync: evicted job does not match its routed record"
+            );
+            let weight_bytes: u64 = ej
+                .spec
+                .layers
+                .iter()
+                .map(|l| l.k * l.n * l.precision.bytes())
+                .sum();
+            let bytes = cspec.interconnect.migration_bytes + weight_bytes;
+            let effective = self.icn_access(at, bytes);
+            self.replaced_bytes += bytes;
+            self.jobs_replaced += 1;
+            self.records[rec].requeues += 1;
+            self.fault_fp = fold_fingerprint(self.fault_fp, 0xF7);
+            self.fault_fp = fold_fingerprint(self.fault_fp, rec as u64);
+            self.fault_fp = fold_fingerprint(self.fault_fp, ej.completed_layers as u64);
+            self.fault_fp = fold_fingerprint(self.fault_fp, effective.as_fs());
+            self.reroutes.push(Reverse(ReRoute {
+                at: effective,
+                seq: self.reroute_seq,
+                rec,
+                spec: ej.spec,
+            }));
+            self.reroute_seq += 1;
+            latest = latest.max(effective);
+        }
+        self.recovery_latencies.push(latest.since(at));
+
+        // An autoscaled fleet replaces lost *capacity* immediately: the
+        // failed active machine's slot goes to the lowest-index alive
+        // standby, bypassing the cooldown (this is repair, not demand).
+        if self.scaler.is_some() && was_active {
+            self.active[i] = false;
+            if let Some(s) = (0..self.alive.len()).find(|&m| self.alive[m] && !self.active[m]) {
+                self.active[s] = true;
+                self.scale(at, true, s);
+            }
+            self.update_full_fleet();
+        }
+    }
+
+    /// Recovery of machine `i` at `at`: the machine rejoins the fleet as
+    /// a cold, empty incarnation (its fresh engine was installed at the
+    /// fail-stop). Under an autoscaler it rejoins as *standby* — unless
+    /// the fleet is otherwise empty, in which case it is force-activated
+    /// so deferred work can make progress.
+    fn recover(&mut self, i: usize, at: SimTime) {
+        self.fault_fp = fold_fingerprint(self.fault_fp, 0xF2);
+        self.fault_fp = fold_fingerprint(self.fault_fp, i as u64);
+        self.fault_fp = fold_fingerprint(self.fault_fp, at.as_fs());
+        if self.alive[i] {
+            return;
+        }
+        self.alive[i] = true;
+        if let Some(last) = self.downs[i].last_mut() {
+            last.1 = Some(at);
+        }
+        self.recoveries += 1;
+        if self.scaler.is_some() {
+            if self.eligible_count() == 0 {
+                self.active[i] = true;
+                self.scale(at, true, i);
+            } else {
+                self.active[i] = false;
+            }
+        }
+        self.update_full_fleet();
+    }
+
+    /// Records one autoscaler action on machine `m` (activation or
+    /// drain), folding it into the fault fingerprint.
+    fn scale(&mut self, at: SimTime, grew: bool, m: usize) {
+        let after = self.eligible_count();
+        self.scale_events.push(ScaleEvent {
+            at,
+            grew,
+            active_after: after,
+        });
+        self.peak_active = self.peak_active.max(after);
+        self.fault_fp = fold_fingerprint(self.fault_fp, 0xF5);
+        self.fault_fp = fold_fingerprint(self.fault_fp, u64::from(grew));
+        self.fault_fp = fold_fingerprint(self.fault_fp, m as u64);
+        self.fault_fp = fold_fingerprint(self.fault_fp, after as u64);
+        self.fault_fp = fold_fingerprint(self.fault_fp, at.as_fs());
+    }
+
+    /// One autoscaler decision at a routed arrival: slide the windows,
+    /// then grow (arrival rate above `grow_per_machine` per active
+    /// machine, or misses over budget) or shrink (no misses and rate
+    /// comfortably below `shrink_per_machine` per remaining machine),
+    /// subject to the cooldown. Draining only removes the machine from
+    /// the placement set — its queued work finishes where it is.
+    fn autoscale(&mut self, t: SimTime) {
+        let Some(a) = self.scaler else { return };
+        self.win_arrivals.push_back(t);
+        let cutoff = if t.since(SimTime::ZERO) > a.window {
+            t - a.window
+        } else {
+            SimTime::ZERO
+        };
+        while self.win_arrivals.front().is_some_and(|&x| x < cutoff) {
+            self.win_arrivals.pop_front();
+        }
+        while self.win_misses.front().is_some_and(|&x| x < cutoff) {
+            self.win_misses.pop_front();
+        }
+        if let Some(last) = self.last_scale {
+            if t.since(last) < a.cooldown {
+                return;
+            }
+        }
+        let active_n = self.eligible_count() as u64;
+        let rate = self.win_arrivals.len() as u64;
+        let misses = self.win_misses.len() as u64;
+        if rate > u64::from(a.grow_per_machine) * active_n || misses > u64::from(a.miss_budget) {
+            if let Some(s) = (0..self.alive.len()).find(|&m| self.alive[m] && !self.active[m]) {
+                self.active[s] = true;
+                self.last_scale = Some(t);
+                self.scale(t, true, s);
+                self.update_full_fleet();
+            }
+        } else if active_n > a.min_machines as u64
+            && misses == 0
+            && rate < u64::from(a.shrink_per_machine) * (active_n - 1)
+        {
+            if let Some(s) = (0..self.alive.len())
+                .rev()
+                .find(|&m| self.alive[m] && self.active[m])
+            {
+                self.active[s] = false;
+                self.last_scale = Some(t);
+                self.scale(t, false, s);
+                self.update_full_fleet();
+            }
+        }
+    }
+
+    /// Routes one arrival: validates, takes the autoscaler decision,
+    /// picks machine(s) among the eligible set, charges the
     /// interconnect, pushes the job (or its parts) into the machine
-    /// engine(s).
+    /// engine(s). With zero eligible machines the arrival is deferred to
+    /// the next scheduled recovery.
     fn route(
         &mut self,
         spec: &ClusterSpec,
@@ -377,33 +910,82 @@ impl FleetEpisode {
         self.fingerprint = fold_fingerprint(self.fingerprint, index as u64);
         if validate_spec(tenants.len(), &job).is_err() {
             self.jobs_rejected += 1;
-            self.records.push(JobRecord {
-                index,
-                tenant: job.tenant,
-                arrival: job.arrival,
-                effective_arrival: job.arrival,
-                machines: Vec::new(),
-                split: None,
-                migrated: false,
-                finished_at: None,
-                flops: job.flops(),
-            });
+            let deadline = job.deadline;
+            self.push_record(
+                JobRecord {
+                    index,
+                    tenant: job.tenant,
+                    arrival: job.arrival,
+                    effective_arrival: job.arrival,
+                    machines: Vec::new(),
+                    split: None,
+                    migrated: false,
+                    requeues: 0,
+                    finished_at: None,
+                    flops: job.flops(),
+                },
+                deadline,
+            );
             return;
         }
         let flops = job.flops();
+        self.autoscale(job.arrival);
+
+        // Every machine dead: defer to the next scheduled recovery (the
+        // fault-first tie order guarantees the recovery is processed
+        // before the deferred re-route at the same instant).
+        if !self.full_fleet && self.eligible_count() == 0 {
+            let wake = self
+                .next_recovery()
+                .expect("every machine is dead with no scheduled recovery: the fleet cannot serve this arrival");
+            let rec = self.records.len();
+            let deadline = job.deadline;
+            self.push_record(
+                JobRecord {
+                    index,
+                    tenant: job.tenant,
+                    arrival: job.arrival,
+                    effective_arrival: job.arrival,
+                    machines: Vec::new(),
+                    split: None,
+                    migrated: false,
+                    requeues: 0,
+                    finished_at: None,
+                    flops,
+                },
+                deadline,
+            );
+            self.reroutes.push(Reverse(ReRoute {
+                at: wake,
+                seq: self.reroute_seq,
+                rec,
+                spec: job,
+            }));
+            self.reroute_seq += 1;
+            return;
+        }
 
         // Data-parallel split: single-layer jobs above the threshold fan
-        // out across the least-loaded machines; whole DNN streams always
-        // stay machine-affine.
-        let want_ways = spec.split.max_ways.min(machines);
+        // out across the least-loaded eligible machines; whole DNN
+        // streams always stay machine-affine.
+        let elig_n = if self.full_fleet {
+            machines
+        } else {
+            self.eligible_count()
+        };
+        let want_ways = spec.split.max_ways.min(elig_n);
         if job.layers.len() == 1 && flops >= spec.split.min_flops && want_ways >= 2 {
             let split = split_job(&job, spec.split.kind, want_ways);
             if split.parts.len() >= 2 {
-                let mut order: Vec<usize> = (0..machines).collect();
+                let mut order: Vec<usize> = if self.full_fleet {
+                    (0..machines).collect()
+                } else {
+                    (0..machines).filter(|&m| self.eligible(m)).collect()
+                };
                 order.sort_by_key(|&m| (self.outstanding[m], m));
                 let targets: Vec<usize> = order[..split.parts.len()].to_vec();
                 let effective = if split.scatter_bytes > 0 {
-                    self.icn.access(job.arrival, split.scatter_bytes)
+                    self.icn_access(job.arrival, split.scatter_bytes)
                 } else {
                     job.arrival
                 };
@@ -438,17 +1020,21 @@ impl FleetEpisode {
                 // (the scatter already priced the operand movement, so no
                 // separate migration charge).
                 self.tenant_home[job.tenant] = Some(targets[0]);
-                self.records.push(JobRecord {
-                    index,
-                    tenant: job.tenant,
-                    arrival: job.arrival,
-                    effective_arrival: effective,
-                    machines: targets,
-                    split: Some(spec.split.kind),
-                    migrated: false,
-                    finished_at: None,
-                    flops,
-                });
+                self.push_record(
+                    JobRecord {
+                        index,
+                        tenant: job.tenant,
+                        arrival: job.arrival,
+                        effective_arrival: effective,
+                        machines: targets,
+                        split: Some(spec.split.kind),
+                        migrated: false,
+                        requeues: 0,
+                        finished_at: None,
+                        flops,
+                    },
+                    job.deadline,
+                );
                 return;
             }
         }
@@ -465,7 +1051,7 @@ impl FleetEpisode {
                 .map(|l| l.k * l.n * l.precision.bytes())
                 .sum();
             self.migrations += 1;
-            self.icn.access(
+            self.icn_access(
                 job.arrival,
                 spec.interconnect.migration_bytes + weight_bytes,
             )
@@ -477,6 +1063,7 @@ impl FleetEpisode {
         self.push_slot(m, effective, index);
         let tenant = job.tenant;
         let arrival = job.arrival;
+        let deadline = job.deadline;
         // The routed job moves into the machine engine whole — the layer
         // stream is never cloned on the routing path.
         engines[m].push(JobSpec {
@@ -486,17 +1073,62 @@ impl FleetEpisode {
         self.rekey(&engines[m], m);
         self.fingerprint = fold_fingerprint(self.fingerprint, m as u64);
         self.fingerprint = fold_fingerprint(self.fingerprint, effective.as_fs());
-        self.records.push(JobRecord {
-            index,
-            tenant,
-            arrival,
-            effective_arrival: effective,
-            machines: vec![m],
-            split: None,
-            migrated,
-            finished_at: None,
-            flops,
+        self.push_record(
+            JobRecord {
+                index,
+                tenant,
+                arrival,
+                effective_arrival: effective,
+                machines: vec![m],
+                split: None,
+                migrated,
+                requeues: 0,
+                finished_at: None,
+                flops,
+            },
+            deadline,
+        );
+    }
+
+    /// Re-places one evicted remainder (or deferred arrival) on an
+    /// eligible machine. With none eligible it re-defers to the next
+    /// scheduled recovery (state transfer was already charged at
+    /// eviction — deferral costs waiting, not bytes).
+    fn replace(&mut self, spec: &ClusterSpec, engines: &mut [Engine], r: ReRoute) {
+        if self.eligible_count() == 0 {
+            let wake = self
+                .next_recovery()
+                .expect("every machine is dead with no scheduled recovery: evicted work cannot be re-placed");
+            self.reroutes.push(Reverse(ReRoute {
+                at: wake.max(r.at),
+                seq: self.reroute_seq,
+                rec: r.rec,
+                spec: r.spec,
+            }));
+            self.reroute_seq += 1;
+            return;
+        }
+        let machines = engines.len();
+        let m = self.place(spec.placement, machines, r.spec.tenant);
+        self.tenant_home[r.spec.tenant] = Some(m);
+        self.outstanding[m] += r.spec.flops();
+        self.push_slot(m, r.at, r.rec);
+        let rec = r.rec;
+        let at = r.at;
+        engines[m].push(JobSpec {
+            arrival: at,
+            ..r.spec
         });
+        self.rekey(&engines[m], m);
+        self.fault_fp = fold_fingerprint(self.fault_fp, 0xF6);
+        self.fault_fp = fold_fingerprint(self.fault_fp, m as u64);
+        self.fault_fp = fold_fingerprint(self.fault_fp, rec as u64);
+        self.fault_fp = fold_fingerprint(self.fault_fp, at.as_fs());
+        if self.records[rec].machines.is_empty() {
+            // A deferred arrival is only now effectively admitted.
+            self.records[rec].effective_arrival = at;
+        }
+        self.records[rec].machines.push(m);
     }
 
     /// Re-keys one machine in the global-merge cursor heap: pushes the
@@ -512,30 +1144,68 @@ impl FleetEpisode {
         }
     }
 
-    /// The machine-affine placement decision.
+    /// The machine-affine placement decision. A full fleet takes the
+    /// exact pre-fault path (bit-identical decisions); otherwise the
+    /// same policies run restricted to the eligible machines.
     fn place(&mut self, placement: Placement, machines: usize, tenant: usize) -> usize {
+        if self.full_fleet {
+            return match placement {
+                Placement::RoundRobin => {
+                    let m = self.rr % machines;
+                    self.rr += 1;
+                    m
+                }
+                Placement::LeastLoaded => (0..machines)
+                    .min_by_key(|&m| (self.outstanding[m], m))
+                    .expect("at least one machine"),
+                Placement::TenantAffinity { spill } => {
+                    let home = self.tenant_home[tenant].unwrap_or(tenant % machines);
+                    let total: u64 = self.outstanding.iter().sum();
+                    // Spill when the home's load exceeds `spill`× the fleet
+                    // average: home·machines > spill·total, cross-multiplied
+                    // so the comparison stays in integers.
+                    let overloaded = total > 0
+                        && (self.outstanding[home] as u128 * machines as u128)
+                            > (spill as u128 * total as u128);
+                    if overloaded {
+                        (0..machines)
+                            .min_by_key(|&m| (self.outstanding[m], m))
+                            .expect("at least one machine")
+                    } else {
+                        home
+                    }
+                }
+            };
+        }
+        let n_elig = self.eligible_count();
+        debug_assert!(n_elig > 0, "place() with no eligible machines");
+        let least_eligible = |ep: &Self| {
+            (0..machines)
+                .filter(|&m| ep.eligible(m))
+                .min_by_key(|&m| (ep.outstanding[m], m))
+                .expect("at least one eligible machine")
+        };
         match placement {
             Placement::RoundRobin => {
-                let m = self.rr % machines;
+                let k = self.rr % n_elig;
                 self.rr += 1;
-                m
+                (0..machines)
+                    .filter(|&m| self.eligible(m))
+                    .nth(k)
+                    .expect("k < eligible count")
             }
-            Placement::LeastLoaded => (0..machines)
-                .min_by_key(|&m| (self.outstanding[m], m))
-                .expect("at least one machine"),
+            Placement::LeastLoaded => least_eligible(self),
             Placement::TenantAffinity { spill } => {
                 let home = self.tenant_home[tenant].unwrap_or(tenant % machines);
+                if !self.eligible(home) {
+                    return least_eligible(self);
+                }
                 let total: u64 = self.outstanding.iter().sum();
-                // Spill when the home's load exceeds `spill`× the fleet
-                // average: home·machines > spill·total, cross-multiplied
-                // so the comparison stays in integers.
                 let overloaded = total > 0
                     && (self.outstanding[home] as u128 * machines as u128)
                         > (spill as u128 * total as u128);
                 if overloaded {
-                    (0..machines)
-                        .min_by_key(|&m| (self.outstanding[m], m))
-                        .expect("at least one machine")
+                    least_eligible(self)
                 } else {
                     home
                 }
@@ -555,7 +1225,8 @@ impl FleetEpisode {
     }
 
     /// Processes one machine-level job completion: load accounting, split
-    /// reduction barriers, fleet-level completion records.
+    /// reduction barriers, fleet-level completion records and SLO/goodput
+    /// accounting.
     fn complete(&mut self, machine: usize, outcome: JobOutcome) {
         let (slot_arrival, rec) = self.slots[machine].resolve(outcome.job.0 as usize);
         // The slot map assumes the engine admitted every routed job: a
@@ -570,10 +1241,12 @@ impl FleetEpisode {
         // Outstanding flops are a strict routed-minus-completed ledger; a
         // completion exceeding what was routed means the accounting is
         // corrupt and every load-aware placement decision after it would
-        // be skewed. Debug builds fail loudly; release builds clamp.
+        // be skewed. Debug builds fail loudly; release builds clamp —
+        // and *count* the clamp, so the desync is never silent.
         self.outstanding[machine] = match self.outstanding[machine].checked_sub(outcome.flops) {
             Some(rest) => rest,
             None => {
+                self.diagnostics.outstanding_clamps += 1;
                 if cfg!(debug_assertions) {
                     panic!(
                         "machine {machine} outstanding-flops underflow: completed {} flops \
@@ -597,7 +1270,7 @@ impl FleetEpisode {
                 // interconnect; the m-split completes with its last part.
                 let red = self.reductions.remove(&rec).expect("present");
                 if red.reduce_bytes > 0 {
-                    self.icn.access(red.end, red.reduce_bytes)
+                    self.icn_access(red.end, red.reduce_bytes)
                 } else {
                     red.end
                 }
@@ -608,6 +1281,19 @@ impl FleetEpisode {
         self.jobs_completed += 1;
         self.last_finish = self.last_finish.max(finished);
         self.fingerprint = fold_fingerprint(self.fingerprint, finished.as_fs());
+        // Fleet-level SLO accounting: a job is good throughput iff it
+        // finished within its (router-arrival-relative) deadline;
+        // deadline-less jobs always count.
+        let missed =
+            self.deadlines[rec].is_some_and(|d| finished.since(self.records[rec].arrival) > d);
+        if missed {
+            self.deadline_misses += 1;
+            if self.scaler.is_some() {
+                self.win_misses.push_back(finished);
+            }
+        } else {
+            self.goodput_flops += self.records[rec].flops;
+        }
     }
 }
 
@@ -622,22 +1308,7 @@ mod tests {
     }
 
     fn episode(machines: usize) -> FleetEpisode {
-        FleetEpisode {
-            icn: LatencyBandwidthResource::new(SimDuration::ZERO, 1.0),
-            outstanding: vec![0; machines],
-            tenant_home: vec![None; 4],
-            rr: 0,
-            slots: (0..machines).map(|_| SlotMap::default()).collect(),
-            cursors: BinaryHeap::new(),
-            records: Vec::new(),
-            reductions: FxHashMap::default(),
-            jobs_completed: 0,
-            jobs_rejected: 0,
-            migrations: 0,
-            splits: 0,
-            last_finish: SimTime::ZERO,
-            fingerprint: 0,
-        }
+        FleetEpisode::new(&ClusterSpec::uniform(machines, 2), 4)
     }
 
     /// The lazily drained slot map materialises machine-local job ids in
@@ -667,17 +1338,21 @@ mod tests {
     fn outstanding_underflow_panics_in_debug() {
         let mut ep = episode(1);
         ep.outstanding[0] = 10;
-        ep.records.push(JobRecord {
-            index: 0,
-            tenant: 0,
-            arrival: t(0),
-            effective_arrival: t(0),
-            machines: vec![0],
-            split: None,
-            migrated: false,
-            finished_at: None,
-            flops: 100,
-        });
+        ep.push_record(
+            JobRecord {
+                index: 0,
+                tenant: 0,
+                arrival: t(0),
+                effective_arrival: t(0),
+                machines: vec![0],
+                split: None,
+                migrated: false,
+                requeues: 0,
+                finished_at: None,
+                flops: 100,
+            },
+            None,
+        );
         ep.push_slot(0, t(0), 0);
         ep.complete(
             0,
@@ -689,5 +1364,43 @@ mod tests {
                 flops: 100,
             },
         );
+    }
+
+    /// In release builds the same underflow clamps to zero *and* counts
+    /// in the diagnostics, so every healthy-episode test can pin the
+    /// counter at 0 and a desync can never pass silently.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn outstanding_underflow_clamps_and_counts_in_release() {
+        let mut ep = episode(1);
+        ep.outstanding[0] = 10;
+        ep.push_record(
+            JobRecord {
+                index: 0,
+                tenant: 0,
+                arrival: t(0),
+                effective_arrival: t(0),
+                machines: vec![0],
+                split: None,
+                migrated: false,
+                requeues: 0,
+                finished_at: None,
+                flops: 100,
+            },
+            None,
+        );
+        ep.push_slot(0, t(0), 0);
+        ep.complete(
+            0,
+            JobOutcome {
+                job: JobId(0),
+                tenant: 0,
+                arrival: t(0),
+                finished_at: t(7),
+                flops: 100,
+            },
+        );
+        assert_eq!(ep.outstanding[0], 0);
+        assert_eq!(ep.diagnostics.outstanding_clamps, 1);
     }
 }

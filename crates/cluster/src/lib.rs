@@ -24,6 +24,19 @@
 //!   per-machine serving reports, interconnect traffic and the cluster
 //!   fingerprint the CI strict gate pins.
 //!
+//! The fleet is also where failures live: a [`FaultSpec`] schedules
+//! deterministic machine fail-stops (with optional recovery) and
+//! interconnect degradation windows as first-class events on the global
+//! timeline. A failed machine's in-flight and queued jobs are evicted,
+//! checkpointed at their last completed layer, and re-placed on
+//! surviving machines after paying the state transfer over the
+//! interconnect — no admitted job is ever lost
+//! ([`report::FaultReport::jobs_lost`] is always 0). An optional
+//! [`AutoscalerSpec`] grows and shrinks the active placement set against
+//! sliding arrival-rate/deadline-miss windows. The failure layer keeps
+//! its own event fingerprint, so fault-free fleet schedules stay
+//! byte-identical to the pre-fault router.
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +67,11 @@ pub mod spec;
 pub mod split;
 
 pub use cluster::{Cluster, ClusterError};
-pub use report::{ClusterReport, JobRecord, MachineReport};
-pub use spec::{ClusterSpec, InterconnectSpec, MachineSpec, Placement, SplitKind, SplitSpec};
+pub use report::{
+    ClusterDiagnostics, ClusterReport, FaultReport, JobRecord, MachineReport, ScaleEvent,
+};
+pub use spec::{
+    AutoscalerSpec, ClusterSpec, DegradationWindow, FaultSpec, InterconnectSpec, MachineFault,
+    MachineSpec, Placement, SplitKind, SplitSpec,
+};
 pub use split::{split_job, SplitJob};

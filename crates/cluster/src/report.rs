@@ -19,8 +19,45 @@ pub struct MachineReport {
     pub nodes: usize,
     /// The machine-local serving report (leases, tenant stats, schedule
     /// fingerprint — everything a standalone [`maco_serve::Server`] run
-    /// reports).
+    /// reports). For a machine that failed and recovered this is the
+    /// merge of its incarnations' reports (sums and maxima; fingerprints
+    /// folded in incarnation order, lease logs concatenated — lease job
+    /// ids are incarnation-local).
     pub serve: ServeReport,
+    /// Engine incarnations this machine ran (1 + completed fail-stops).
+    pub incarnations: u32,
+}
+
+/// Merges the serving reports of one machine's successive incarnations (a
+/// failed machine's engine is retired at each fail-stop and a fresh one
+/// started for the recovery) into the single per-machine view the fleet
+/// report exposes. With one incarnation this is the identity.
+pub(crate) fn merge_serve_reports(reports: Vec<ServeReport>) -> ServeReport {
+    let mut iter = reports.into_iter();
+    let mut merged = iter.next().expect("at least one incarnation");
+    for r in iter {
+        debug_assert_eq!(merged.tenants.len(), r.tenants.len());
+        for (a, b) in merged.tenants.iter_mut().zip(r.tenants) {
+            a.submitted += b.submitted;
+            a.completed += b.completed;
+            a.rejected += b.rejected;
+            a.flops += b.flops;
+            a.latency_sum += b.latency_sum;
+            a.latency_max = a.latency_max.max(b.latency_max);
+            a.deadline_misses += b.deadline_misses;
+            a.peak_mtq = a.peak_mtq.max(b.peak_mtq);
+            a.peak_stq = a.peak_stq.max(b.peak_stq);
+        }
+        merged.jobs_completed += r.jobs_completed;
+        merged.jobs_rejected += r.jobs_rejected;
+        merged.makespan = merged.makespan.max(r.makespan);
+        merged.total_flops += r.total_flops;
+        merged.machine_peak_mtq = merged.machine_peak_mtq.max(r.machine_peak_mtq);
+        merged.machine_peak_stq = merged.machine_peak_stq.max(r.machine_peak_stq);
+        merged.leases.extend(r.leases);
+        merged.fingerprint = fold_fingerprint(merged.fingerprint, r.fingerprint);
+    }
+    merged
 }
 
 impl MachineReport {
@@ -55,6 +92,9 @@ pub struct JobRecord {
     /// Whether routing this job moved its tenant across machines (and
     /// paid the migration transfer).
     pub migrated: bool,
+    /// Times this job (or one of its split parts) was evicted by a
+    /// machine failure and re-placed on a surviving machine.
+    pub requeues: u32,
     /// Fleet-level completion time (all parts done, reductions included);
     /// `None` for jobs rejected at admission.
     pub finished_at: Option<SimTime>,
@@ -68,6 +108,74 @@ impl JobRecord {
     pub fn latency(&self) -> Option<SimDuration> {
         self.finished_at.map(|t| t.since(self.arrival))
     }
+}
+
+/// Router-health diagnostics: counters that are always zero in a healthy
+/// episode, surfaced so release builds cannot silently paper over
+/// accounting corruption.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterDiagnostics {
+    /// Times the outstanding-flops ledger clamped a checked-subtraction
+    /// underflow. Debug builds panic at the same point; release builds
+    /// clamp to zero *and count it here* so the desync is never silent —
+    /// every test asserts this stays 0.
+    pub outstanding_clamps: u64,
+}
+
+/// One autoscaler action on the active machine set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// When the decision was taken (a routed arrival's instant).
+    pub at: SimTime,
+    /// True = activated a standby machine; false = drained one.
+    pub grew: bool,
+    /// Active machine count after the action.
+    pub active_after: usize,
+}
+
+/// Failure/elasticity outcome of one fleet episode. With an empty
+/// [`crate::spec::FaultSpec`] and no autoscaler every counter is zero,
+/// `availability` is 1.0 and `fingerprint` is 0.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Machine fail-stop events processed.
+    pub failures: u64,
+    /// Machine recoveries processed.
+    pub recoveries: u64,
+    /// Evicted jobs (or split parts) re-placed on surviving machines.
+    pub jobs_replaced: u64,
+    /// Interconnect bytes charged for re-placement state transfer
+    /// (migration context + remaining weight bytes per evicted job).
+    pub replaced_bytes: u64,
+    /// Admitted jobs that finished nowhere — the fail-stop contract is
+    /// that this is **always 0**: every evicted remainder is re-placed.
+    pub jobs_lost: u64,
+    /// Alive machine-time fraction over the episode makespan (1.0 = no
+    /// downtime).
+    pub availability: f64,
+    /// Worst per-failure recovery latency: failure instant to the last
+    /// evicted remainder's effective re-arrival (0 for failures that
+    /// evicted nothing).
+    pub recovery_latency_max: SimDuration,
+    /// Mean per-failure recovery latency.
+    pub recovery_latency_mean: SimDuration,
+    /// Flops of jobs that completed within their deadline (jobs with no
+    /// deadline always count) — the SLO-weighted portion of
+    /// `total_flops`.
+    pub goodput_flops: u64,
+    /// Fleet-level deadline misses (router arrival → fleet completion,
+    /// reduction tails included).
+    pub deadline_misses: u64,
+    /// Autoscaler actions, in decision order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Largest active machine set the autoscaler ran (fleet size when no
+    /// autoscaler is configured).
+    pub peak_active: usize,
+    /// Order-sensitive fold of every fault event, eviction, re-placement
+    /// and scaling action — the failure layer's own determinism gate,
+    /// separate from the schedule fingerprint. 0 with no faults and no
+    /// autoscaler.
+    pub fingerprint: u64,
 }
 
 /// The outcome of one fleet episode.
@@ -95,6 +203,11 @@ pub struct ClusterReport {
     pub migrations: u64,
     /// Jobs the router split data-parallel.
     pub splits: u64,
+    /// Failure/elasticity metrics (all-zero and availability 1.0 for a
+    /// healthy, non-elastic fleet).
+    pub fault: FaultReport,
+    /// Router-health diagnostics (always zero in a healthy episode).
+    pub diagnostics: ClusterDiagnostics,
     /// Order-sensitive fold of every routing decision, completion and
     /// machine schedule fingerprint — byte-identical across same-seed
     /// runs.
@@ -155,6 +268,16 @@ impl ClusterReport {
         }
         let sum: u64 = done.iter().map(|d| d.as_fs()).sum();
         SimDuration::from_fs(sum / done.len() as u64)
+    }
+
+    /// SLO-weighted throughput in GFLOPS: deadline-respecting flops over
+    /// the makespan.
+    pub fn goodput_gflops(&self) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            self.fault.goodput_flops as f64 / self.makespan.as_ns()
+        }
     }
 
     /// The fingerprint as the 16-hex-digit string reports embed.

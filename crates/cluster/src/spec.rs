@@ -1,9 +1,10 @@
-//! Fleet declaration: machines, interconnect cost model, placement policy
-//! and the data-parallel split rule.
+//! Fleet declaration: machines, interconnect cost model, placement policy,
+//! the data-parallel split rule, the deterministic fault schedule and the
+//! elasticity (autoscaler) policy.
 
 use maco_core::system::SystemConfig;
 use maco_serve::ServeConfig;
-use maco_sim::SimDuration;
+use maco_sim::{SimDuration, SimTime, SplitMix64};
 
 /// One machine of the fleet: an independently configured [`SystemConfig`]
 /// (heterogeneous node counts and CCM bandwidths are allowed) plus its
@@ -157,7 +158,19 @@ impl SplitSpec {
 
     /// Split single-layer jobs of at least `min_flops` across up to
     /// `max_ways` machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_ways` is zero — that is never a meaningful split
+    /// rule (it used to silently disable splitting deep in the router's
+    /// `want_ways` arithmetic; use [`SplitSpec::disabled`] to say
+    /// "never split" explicitly).
     pub fn new(kind: SplitKind, min_flops: u64, max_ways: usize) -> Self {
+        assert!(
+            max_ways >= 1,
+            "SplitSpec::new: max_ways must be at least 1 (use SplitSpec::disabled() to \
+             turn splitting off)"
+        );
         SplitSpec {
             min_flops,
             max_ways,
@@ -169,6 +182,216 @@ impl SplitSpec {
 impl Default for SplitSpec {
     fn default() -> Self {
         SplitSpec::disabled()
+    }
+}
+
+/// One scheduled fail-stop machine failure on the global timeline.
+///
+/// At `at` the machine stops: its unprocessed in-flight and queued work is
+/// evicted and re-placed on surviving machines (service already committed
+/// to the timeline stands — see the failure-model notes in
+/// `docs/ARCHITECTURE.md`). With `recover_at` set, the machine rejoins
+/// the fleet cold (fresh engine, fresh system state) at that instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineFault {
+    /// Fleet index of the failing machine.
+    pub machine: usize,
+    /// Fail-stop instant.
+    pub at: SimTime,
+    /// Optional recovery instant (strictly after `at`); `None` = the
+    /// machine stays dead for the rest of the episode.
+    pub recover_at: Option<SimTime>,
+}
+
+/// One interconnect brown-out window: transfers *charged* while the window
+/// is active pay multiplied latency and divided bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationWindow {
+    /// Window start on the global timeline.
+    pub from: SimTime,
+    /// Window end (strictly after `from`).
+    pub until: SimTime,
+    /// Per-transfer latency multiplier (≥ 1; 1 = unchanged).
+    pub latency_mult: u32,
+    /// Bandwidth divisor (≥ 1; 1 = unchanged): serialisation takes this
+    /// many times longer.
+    pub bandwidth_div: u32,
+}
+
+/// A deterministic fault schedule: machine fail-stops (with optional
+/// recovery) and interconnect degradation windows, all first-class events
+/// on the fleet's global timeline. An empty schedule is a healthy fleet —
+/// the episode is then bit-identical to a fault-free run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSpec {
+    /// Machine failures, in any order (the episode sorts them by time,
+    /// spec order breaking ties).
+    pub machine_faults: Vec<MachineFault>,
+    /// Interconnect degradation windows (overlapping windows compose
+    /// multiplicatively).
+    pub degradations: Vec<DegradationWindow>,
+}
+
+impl FaultSpec {
+    /// The healthy fleet: no faults.
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// True when the schedule has no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.machine_faults.is_empty() && self.degradations.is_empty()
+    }
+
+    /// Adds one machine failure.
+    pub fn with_failure(
+        mut self,
+        machine: usize,
+        at: SimTime,
+        recover_at: Option<SimTime>,
+    ) -> Self {
+        self.machine_faults.push(MachineFault {
+            machine,
+            at,
+            recover_at,
+        });
+        self
+    }
+
+    /// Adds one interconnect degradation window.
+    pub fn with_degradation(mut self, window: DegradationWindow) -> Self {
+        self.degradations.push(window);
+        self
+    }
+
+    /// A seeded failure storm: kills `kills` *distinct* machines of a
+    /// `machines`-machine fleet at uniformly drawn instants in
+    /// `[from, until)`; each failed machine recovers `outage` later when
+    /// given (`None` = no recovery). Deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kills > machines` or the window is empty.
+    pub fn storm(
+        seed: u64,
+        machines: usize,
+        kills: usize,
+        from: SimTime,
+        until: SimTime,
+        outage: Option<SimDuration>,
+    ) -> Self {
+        assert!(kills <= machines, "cannot kill more machines than exist");
+        assert!(until > from, "empty failure window");
+        let mut rng = SplitMix64::new(seed);
+        // Partial Fisher–Yates over the machine indices: distinct victims.
+        let mut order: Vec<usize> = (0..machines).collect();
+        for i in 0..kills.min(machines.saturating_sub(1)) {
+            let j = i + rng.next_below((machines - i) as u64) as usize;
+            order.swap(i, j);
+        }
+        let span = until.since(from).as_fs();
+        let machine_faults = order[..kills]
+            .iter()
+            .map(|&machine| {
+                let at = from + SimDuration::from_fs(rng.next_below(span));
+                MachineFault {
+                    machine,
+                    at,
+                    recover_at: outage.map(|d| at + d),
+                }
+            })
+            .collect();
+        FaultSpec {
+            machine_faults,
+            degradations: Vec::new(),
+        }
+    }
+
+    /// Validates the schedule against a `machines`-machine fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range machine index, a recovery not strictly
+    /// after its failure, an empty degradation window or a zero
+    /// multiplier.
+    pub fn validate(&self, machines: usize) {
+        for f in &self.machine_faults {
+            assert!(
+                f.machine < machines,
+                "fault names machine {} of a {machines}-machine fleet",
+                f.machine
+            );
+            if let Some(r) = f.recover_at {
+                assert!(r > f.at, "recovery must be strictly after the failure");
+            }
+        }
+        for w in &self.degradations {
+            assert!(w.until > w.from, "empty degradation window");
+            assert!(
+                w.latency_mult >= 1 && w.bandwidth_div >= 1,
+                "degradation multipliers start at 1"
+            );
+        }
+    }
+}
+
+/// The elasticity policy: grows/shrinks the *active* machine set against a
+/// sliding-window arrival-rate and deadline-miss budget. Machines outside
+/// the active set are warm standbys: they take no new placements (existing
+/// work drains naturally) but count as healthy capacity the fleet can
+/// activate. Decisions are evaluated when arrivals are routed, which keeps
+/// the policy a pure function of previously processed events —
+/// deterministic like everything else on the timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscalerSpec {
+    /// Sliding decision window over router arrivals and deadline misses.
+    pub window: SimDuration,
+    /// Grow when windowed arrivals exceed this many per active machine.
+    pub grow_per_machine: u32,
+    /// Shrink when windowed arrivals would stay below this many per
+    /// active machine even with one machine fewer.
+    pub shrink_per_machine: u32,
+    /// Windowed deadline misses tolerated before growing regardless of
+    /// arrival rate (the SLO budget).
+    pub miss_budget: u32,
+    /// Lower bound on the active set; also the initial active set
+    /// (machines `0..min_machines`).
+    pub min_machines: usize,
+    /// Minimum time between scaling actions.
+    pub cooldown: SimDuration,
+}
+
+impl AutoscalerSpec {
+    /// A conservative default policy: 1 ms window, grow past 8 arrivals
+    /// per machine or any deadline miss, shrink below 2, one machine
+    /// minimum, 100 µs cooldown.
+    pub fn conservative(min_machines: usize) -> Self {
+        AutoscalerSpec {
+            window: SimDuration::from_ns(1_000_000),
+            grow_per_machine: 8,
+            shrink_per_machine: 2,
+            miss_budget: 0,
+            min_machines,
+            cooldown: SimDuration::from_ns(100_000),
+        }
+    }
+
+    /// Validates the policy against a `machines`-machine fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bounds are degenerate (zero minimum, minimum above
+    /// the fleet size, or a zero window).
+    pub fn validate(&self, machines: usize) {
+        assert!(
+            (1..=machines).contains(&self.min_machines),
+            "min_machines must be in 1..={machines}"
+        );
+        assert!(!self.window.is_zero(), "autoscaler window must be positive");
+        assert!(
+            self.grow_per_machine >= 1,
+            "grow_per_machine starts at 1 (0 would grow on every arrival)"
+        );
     }
 }
 
@@ -184,6 +407,11 @@ pub struct ClusterSpec {
     pub placement: Placement,
     /// The data-parallel split rule.
     pub split: SplitSpec,
+    /// The deterministic fault schedule (empty = healthy fleet; the
+    /// episode is then bit-identical to a fault-free run).
+    pub faults: FaultSpec,
+    /// The elasticity policy (`None` = the whole fleet is always active).
+    pub autoscaler: Option<AutoscalerSpec>,
 }
 
 impl ClusterSpec {
@@ -200,6 +428,8 @@ impl ClusterSpec {
             interconnect: InterconnectSpec::default(),
             placement: Placement::LeastLoaded,
             split: SplitSpec::disabled(),
+            faults: FaultSpec::none(),
+            autoscaler: None,
         }
     }
 
@@ -229,11 +459,23 @@ impl ClusterSpec {
     /// arrivals) and splits disabled. Every machine's admission queue is
     /// sized to `backlog` — the episode's request count — so the
     /// pre-flight capacity check admits the whole trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backlog` is zero — a zero queue capacity is never a
+    /// meaningful streaming fleet (it used to be silently clamped to 1,
+    /// which then surfaced as a confusing pre-flight capacity panic on
+    /// the first multi-request trace).
     pub fn streaming(machines: usize, nodes_each: usize, backlog: usize) -> Self {
+        assert!(
+            backlog >= 1,
+            "ClusterSpec::streaming: backlog must be at least 1 (size it to the \
+             episode's request count)"
+        );
         let mut spec = ClusterSpec::uniform(machines, nodes_each)
             .with_placement(Placement::TenantAffinity { spill: 1_000 });
         for m in &mut spec.machines {
-            m.serve.queue_capacity = backlog.max(1);
+            m.serve.queue_capacity = backlog;
         }
         spec
     }
@@ -247,6 +489,18 @@ impl ClusterSpec {
     /// Sets the split rule.
     pub fn with_split(mut self, split: SplitSpec) -> Self {
         self.split = split;
+        self
+    }
+
+    /// Sets the fault schedule.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the elasticity policy.
+    pub fn with_autoscaler(mut self, autoscaler: AutoscalerSpec) -> Self {
+        self.autoscaler = Some(autoscaler);
         self
     }
 
@@ -282,5 +536,58 @@ mod tests {
     #[should_panic(expected = "1..=16")]
     fn oversized_machines_are_rejected() {
         let _ = MachineSpec::new("big", 17);
+    }
+
+    /// Regression: `max_ways = 0` used to be accepted and then silently
+    /// disabled splitting inside the router's `want_ways` arithmetic.
+    #[test]
+    #[should_panic(expected = "max_ways must be at least 1")]
+    fn zero_max_ways_rejected_at_construction() {
+        let _ = SplitSpec::new(SplitKind::KSplit, 1, 0);
+    }
+
+    /// Regression: `backlog = 0` used to be silently clamped to 1, which
+    /// surfaced later as a confusing pre-flight capacity panic.
+    #[test]
+    #[should_panic(expected = "backlog must be at least 1")]
+    fn zero_streaming_backlog_rejected_at_construction() {
+        let _ = ClusterSpec::streaming(2, 4, 0);
+    }
+
+    #[test]
+    fn storm_is_seed_deterministic_with_distinct_victims() {
+        let from = SimTime::ZERO + SimDuration::from_ns(100);
+        let until = SimTime::ZERO + SimDuration::from_ns(5_000);
+        let a = FaultSpec::storm(9, 8, 4, from, until, Some(SimDuration::from_ns(700)));
+        let b = FaultSpec::storm(9, 8, 4, from, until, Some(SimDuration::from_ns(700)));
+        assert_eq!(a.machine_faults, b.machine_faults);
+        assert_eq!(a.machine_faults.len(), 4);
+        let mut victims: Vec<usize> = a.machine_faults.iter().map(|f| f.machine).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 4, "victims must be distinct");
+        for f in &a.machine_faults {
+            assert!(f.at >= from && f.at < until);
+            assert_eq!(f.recover_at, Some(f.at + SimDuration::from_ns(700)));
+        }
+        a.validate(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly after the failure")]
+    fn recovery_before_failure_rejected() {
+        FaultSpec::none()
+            .with_failure(
+                0,
+                SimTime::ZERO + SimDuration::from_ns(10),
+                Some(SimTime::ZERO),
+            )
+            .validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_machines must be in")]
+    fn autoscaler_zero_minimum_rejected() {
+        AutoscalerSpec::conservative(0).validate(4);
     }
 }

@@ -10,9 +10,11 @@
 //! [`ksplit_functional`] demonstrates on real data (and the cluster
 //! property suite proves at 128 random shapes).
 
-use maco_core::gemm_plus::{split_task_k, split_task_m, GemmPlusTask};
+use maco_core::gemm_plus::{split_task_k, split_task_m, GemmPlusTask, ReductionCheckpoint};
 use maco_isa::Precision;
-use maco_mmae::kernels::{matmul_into, matmul_ksplit_into, GemmOperands, PackScratch};
+use maco_mmae::kernels::{
+    matmul_into, matmul_ksplit_into, matmul_ksplit_resume_into, GemmOperands, PackScratch,
+};
 use maco_serve::JobSpec;
 
 use crate::spec::SplitKind;
@@ -113,6 +115,57 @@ pub fn unsplit_functional(ops: GemmOperands<'_>, precision: Precision) -> Vec<f6
     y
 }
 
+/// Functionally evaluates a k-split reduction that *loses a machine*
+/// mid-reduction the way the fleet recovers it: spans before `fail_at`
+/// complete and their chained partial is the checkpoint
+/// ([`ReductionCheckpoint::completed_prefix_k`] marks the resume offset),
+/// the failed span's in-flight work is discarded, and a surviving machine
+/// resumes the chain from the checkpoint through
+/// [`matmul_ksplit_resume_into`]. The result is bit-identical to the
+/// unfailed chain — and therefore to the unsplit kernel (the cluster
+/// property suite proves both at 128 random shapes).
+///
+/// # Panics
+///
+/// Panics if the spans do not cover `ops.k` exactly or `fail_at` is out
+/// of range.
+pub fn ksplit_recover_functional(
+    ops: GemmOperands<'_>,
+    precision: Precision,
+    splits: &[u64],
+    fail_at: usize,
+) -> Vec<f64> {
+    assert!(fail_at < splits.len(), "failed span out of range");
+    let mut ckpt = ReductionCheckpoint::new(splits.to_vec());
+    for i in 0..fail_at {
+        ckpt.complete(i);
+    }
+    // Checkpoint: the chained partial of the completed span prefix. The
+    // failed span contributed nothing durable — its partial dies with
+    // the machine.
+    let mut pack = PackScratch::default();
+    let mut y = vec![0.0; ops.m * ops.n];
+    let prefix = ckpt.lost_spans()[0];
+    debug_assert_eq!(
+        splits[..prefix].iter().sum::<u64>(),
+        ckpt.completed_prefix_k()
+    );
+    if prefix > 0 {
+        // Run only the completed prefix by chaining spans 0..prefix.
+        let k_done = ckpt.completed_prefix_k() as usize;
+        let a_prefix: Vec<f64> = (0..ops.m)
+            .flat_map(|r| ops.a[r * ops.k..r * ops.k + k_done].iter().copied())
+            .collect();
+        let b_prefix = &ops.b[..k_done * ops.n];
+        let part = GemmOperands::new(&a_prefix, b_prefix, ops.c, ops.m, ops.n, k_done);
+        matmul_ksplit_into(&mut pack, part, precision, &splits[..prefix], &mut y);
+    }
+    // Recovery: the surviving machine resumes the chain from the
+    // checkpoint, re-executing the lost span and everything after it.
+    matmul_ksplit_resume_into(&mut pack, ops, precision, splits, prefix, &mut y);
+    y
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +217,52 @@ mod tests {
         assert_eq!(one.parts.len(), 1);
         assert_eq!(one.scatter_bytes, 0);
         assert_eq!(one.reduce_bytes, 0);
+    }
+
+    /// Losing any machine mid-reduction and resuming from the completed
+    /// span prefix reproduces the unfailed chain bit for bit, at every
+    /// precision — the numeric contract the fleet's failover relies on.
+    #[test]
+    fn functional_ksplit_recovery_matches_unfailed() {
+        let (m, n, k) = (6, 7, 15);
+        let mut rng = SplitMix64::new(11);
+        let a: Vec<f64> = (0..m * k).map(|_| rng.next_signed_unit()).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| rng.next_signed_unit()).collect();
+        let c: Vec<f64> = (0..m * n).map(|_| rng.next_signed_unit()).collect();
+        let ops = GemmOperands::new(&a, &b, &c, m, n, k);
+        let splits = [6, 5, 4];
+        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            let unfailed = ksplit_functional(ops, p, &splits);
+            for fail_at in 0..splits.len() {
+                let recovered = ksplit_recover_functional(ops, p, &splits, fail_at);
+                assert!(
+                    unfailed
+                        .iter()
+                        .zip(&recovered)
+                        .all(|(w, s)| w.to_bits() == s.to_bits()),
+                    "{p:?} recovery from span {fail_at} diverged"
+                );
+            }
+        }
+    }
+
+    /// The checkpoint only trusts the *contiguous* completed prefix: a
+    /// span completed behind a lost one cannot be folded in early without
+    /// changing the accumulation order.
+    #[test]
+    fn checkpoint_prefix_ignores_spans_behind_a_gap() {
+        let mut ckpt = ReductionCheckpoint::new(vec![4, 3, 2, 1]);
+        ckpt.complete(0);
+        ckpt.complete(2); // completed, but behind the lost span 1
+        assert_eq!(ckpt.completed_prefix_k(), 4);
+        assert_eq!(ckpt.lost_spans(), vec![1, 2, 3]);
+        assert!(!ckpt.is_complete());
+        ckpt.complete(1);
+        ckpt.complete(3);
+        assert_eq!(ckpt.completed_prefix_k(), 10);
+        assert!(ckpt.is_complete());
+        assert!(ckpt.lost_spans().is_empty());
+        assert_eq!(ckpt.spans(), &[4, 3, 2, 1]);
     }
 
     #[test]

@@ -86,6 +86,8 @@ proptest! {
         );
         let report = fleet.run_jobs(specs).expect("fleet episode completes");
         prop_assert_eq!(report.jobs_completed as usize, raw.len());
+        prop_assert_eq!(report.diagnostics.outstanding_clamps, 0);
+        prop_assert_eq!(report.fault.jobs_lost, 0);
         for job in &report.jobs {
             match job.split {
                 None => prop_assert_eq!(job.machines.len(), 1, "unsplit on one machine"),
@@ -139,6 +141,7 @@ proptest! {
             Tenant::fleet(4),
         );
         let report = fleet.run_jobs(specs.clone()).expect("fleet completes");
+        prop_assert_eq!(report.diagnostics.outstanding_clamps, 0);
         prop_assert_eq!(report.total_flops, serial_flops);
         let submitted: u64 = specs.iter().map(JobSpec::flops).sum();
         prop_assert_eq!(report.total_flops, submitted);
@@ -166,6 +169,8 @@ proptest! {
         let c = fresh.run_jobs(specs).expect("fleet completes");
         prop_assert_eq!(a.fingerprint, c.fingerprint, "fresh cluster diverged");
         prop_assert_eq!(a.makespan, c.makespan);
+        prop_assert_eq!(a.diagnostics.outstanding_clamps, 0);
+        prop_assert_eq!(c.diagnostics.outstanding_clamps, 0);
     }
 
     /// The data-parallel k-split's functional result is bit-identical to
@@ -233,6 +238,12 @@ fn one_machine_cluster_matches_standalone_server() {
         fleet_report.interconnect_bytes, 0,
         "no cross-machine traffic"
     );
+    assert_eq!(fleet_report.diagnostics.outstanding_clamps, 0);
+    assert_eq!(fleet_report.fault.jobs_lost, 0);
+    assert!(
+        (fleet_report.fault.availability - 1.0).abs() < f64::EPSILON,
+        "healthy fleet is fully available"
+    );
     for (a, b) in machine.tenants.iter().zip(&solo.tenants) {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.flops, b.flops);
@@ -283,6 +294,7 @@ fn one_machine_cluster_matches_server_under_tie_storms() {
                 "{policy:?} seed {seed}"
             );
             assert_eq!(machine.makespan, solo.makespan, "{policy:?} seed {seed}");
+            assert_eq!(fleet_report.diagnostics.outstanding_clamps, 0);
         }
     }
 }
@@ -338,6 +350,10 @@ fn four_machine_fleet_beats_one_machine_at_equal_nodes() {
     assert!(r4.fairness() > 0.0 && r4.fairness() <= 1.0);
     assert!(r4.mean_latency() > SimDuration::ZERO);
     assert!(r4.interconnect_bytes > 0, "splits paid the interconnect");
+    assert_eq!(r1.diagnostics.outstanding_clamps, 0);
+    assert_eq!(r4.diagnostics.outstanding_clamps, 0);
+    assert_eq!(r4.fault.jobs_lost, 0);
+    assert_eq!(r4.fault.fingerprint, 0, "healthy fleet has no fault events");
 }
 
 /// Regression for the mid-episode overflow panic: an undersized machine
@@ -390,4 +406,6 @@ fn preflight_ignores_inadmissible_jobs() {
     let report = cluster.run_jobs(jobs).expect("episode completes");
     assert_eq!(report.jobs_completed, 1);
     assert_eq!(report.jobs_rejected, 4);
+    assert_eq!(report.diagnostics.outstanding_clamps, 0);
+    assert_eq!(report.fault.jobs_lost, 0);
 }

@@ -173,6 +173,75 @@ pub fn split_task_k(task: &GemmPlusTask, ways: usize) -> Vec<GemmPlusTask> {
         .collect()
 }
 
+/// Span-completion bookkeeping for one in-flight `k`-split reduction: which
+/// spans of [`partition_depth`] have reached their barrier. The fleet uses
+/// this to checkpoint a data-parallel reduction across a machine failure —
+/// the completed *prefix* of spans is exactly the partial sum a surviving
+/// machine can resume from (span order is the unsplit kernel's
+/// accumulation order, so the resumed chain stays bit-identical; see
+/// `maco_mmae::kernels::matmul_ksplit_resume_into`).
+#[derive(Debug, Clone)]
+pub struct ReductionCheckpoint {
+    spans: Vec<u64>,
+    done: Vec<bool>,
+}
+
+impl ReductionCheckpoint {
+    /// Starts tracking a reduction split into `spans` (one entry per
+    /// machine part, in span order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or zero-length span list.
+    pub fn new(spans: Vec<u64>) -> Self {
+        assert!(!spans.is_empty(), "need at least one reduction span");
+        assert!(spans.iter().all(|&s| s > 0), "empty reduction span");
+        let done = vec![false; spans.len()];
+        ReductionCheckpoint { spans, done }
+    }
+
+    /// The tracked spans, in reduction order.
+    pub fn spans(&self) -> &[u64] {
+        &self.spans
+    }
+
+    /// Marks span `idx` complete (its partial has reached the barrier).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn complete(&mut self, idx: usize) {
+        self.done[idx] = true;
+    }
+
+    /// Reduction depth covered by the *contiguous* completed prefix — the
+    /// `k` offset a resumed chain restarts from. Completed spans after a
+    /// gap do not count: the accumulation chain is ordered, so a partial
+    /// behind a lost span cannot be folded in early without changing the
+    /// rounding order.
+    pub fn completed_prefix_k(&self) -> u64 {
+        self.spans
+            .iter()
+            .zip(&self.done)
+            .take_while(|(_, &d)| d)
+            .map(|(&s, _)| s)
+            .sum()
+    }
+
+    /// Indices of spans that still need (re-)execution after resuming
+    /// from the completed prefix: everything past the prefix, completed
+    /// or not, in span order.
+    pub fn lost_spans(&self) -> Vec<usize> {
+        let prefix = self.done.iter().take_while(|&&d| d).count();
+        (prefix..self.spans.len()).collect()
+    }
+
+    /// Whether every span has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done.iter().all(|&d| d)
+    }
+}
+
 /// Splits one GEMM⁺ layer into data-parallel machine parts along the
 /// output rows (`m`-split): no reduction is needed to combine parts, each
 /// owns a disjoint row slab of the output. Degenerate slivers are dropped.

@@ -40,7 +40,7 @@ pub mod physical;
 pub mod runner;
 pub mod system;
 
-pub use gemm_plus::{GemmPlusReport, GemmPlusScratch, GemmPlusTask};
+pub use gemm_plus::{GemmPlusReport, GemmPlusScratch, GemmPlusTask, ReductionCheckpoint};
 pub use group::{partition_onto, NodePool};
 /// The mapping-layer fault the simulators propagate (re-exported so
 /// layers above `maco-core` can name it without a `maco-vm` dependency).

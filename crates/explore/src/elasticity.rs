@@ -1,0 +1,248 @@
+//! The availability axis: overprovisioning swept against a fixed
+//! failure storm.
+//!
+//! Where [`crate::scaling`] sweeps how a node budget is carved into
+//! machines, this module sweeps how many *spare* machines a fleet
+//! carries against the same deterministic storm: every point serves the
+//! same trace through `maco-cluster` while the same seeded
+//! [`FaultSpec::storm`] kills the same number of machines inside the
+//! baseline fleet's healthy makespan. The interesting output is the
+//! availability/goodput curve against spare count — the quantitative
+//! form of the overprovisioning question ("how many spares buy how many
+//! nines, and at what makespan cost?"). Lost jobs are asserted to be
+//! zero at every point: overprovisioning trades *latency*, never
+//! correctness, because the failover path re-places evicted work
+//! instead of dropping it.
+
+use maco_cluster::{Cluster, ClusterSpec, FaultSpec};
+use maco_serve::Tenant;
+use maco_sim::{fold_fingerprint, SimDuration, SimTime};
+use maco_workloads::trace::{self, TraceConfig};
+
+/// One provisioning level's outcome under the storm.
+#[derive(Debug, Clone)]
+pub struct ElasticityPoint {
+    /// Total machines in the fleet (baseline + spares).
+    pub machines: usize,
+    /// Spare machines beyond the baseline.
+    pub spares: usize,
+    /// Fraction of machine-uptime retained under the storm (1.0 = no
+    /// downtime observed over the makespan).
+    pub availability: f64,
+    /// Goodput in GFLOPS: deadline-respecting completed work over the
+    /// episode makespan.
+    pub goodput_gflops: f64,
+    /// Episode makespan under the storm.
+    pub makespan: SimDuration,
+    /// Worst observed failure-to-re-placement latency.
+    pub recovery_latency_max: SimDuration,
+    /// Jobs evicted off dead machines and re-placed on survivors.
+    pub jobs_replaced: u64,
+    /// Bytes the re-placements moved across the interconnect.
+    pub replaced_bytes: u64,
+    /// Deadline misses under the storm.
+    pub deadline_misses: u64,
+    /// The fleet schedule fingerprint.
+    pub fingerprint: u64,
+    /// The fault-timeline fingerprint.
+    pub fault_fingerprint: u64,
+}
+
+/// The collected overprovisioning sweep.
+#[derive(Debug, Clone)]
+pub struct ElasticityReport {
+    /// One row per spare count, in sweep order.
+    pub points: Vec<ElasticityPoint>,
+    /// Machines in the baseline (zero-spare) fleet.
+    pub baseline_machines: usize,
+    /// Machines the storm kills at every point.
+    pub kills: usize,
+    /// The healthy baseline fleet's makespan — the storm window.
+    pub healthy_makespan: SimDuration,
+    /// Order-sensitive fold of every point's schedule and fault
+    /// fingerprints.
+    pub fingerprint: u64,
+}
+
+impl ElasticityReport {
+    /// Availability at `spares` spare machines, if swept.
+    pub fn availability_at(&self, spares: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.spares == spares)
+            .map(|p| p.availability)
+    }
+
+    /// Goodput at `spares` spare machines, if swept.
+    pub fn goodput_at(&self, spares: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.spares == spares)
+            .map(|p| p.goodput_gflops)
+    }
+
+    /// Makespan inflation of the zero-spare point over the `spares`
+    /// point — how much latency the spares bought back (both points must
+    /// have been swept, and the compared point must have finite
+    /// makespan).
+    pub fn makespan_recovered_at(&self, spares: usize) -> Option<f64> {
+        let zero = self.points.iter().find(|p| p.spares == 0)?;
+        let at = self.points.iter().find(|p| p.spares == spares)?;
+        let denom = at.makespan.as_ns();
+        (denom > 0.0).then(|| zero.makespan.as_ns() / denom)
+    }
+}
+
+/// Runs the overprovisioning sweep: probes the healthy
+/// `baseline_machines`-machine fleet for its makespan, then for every
+/// entry of `spare_counts` serves the same trace on a
+/// `baseline_machines + spares` fleet while a seeded storm
+/// ([`FaultSpec::storm`] with `storm_seed`) kills `kills` machines
+/// inside the healthy makespan; `outage` of `Some(d)` lets each victim
+/// recover after `d`, `None` keeps it dead for the episode. Every fleet
+/// is built by `spec_of(machines)` with the storm attached, so custom
+/// placement/split/interconnect shapes ride along. Deterministic point
+/// to point; the report fingerprint pins the whole curve.
+///
+/// # Panics
+///
+/// Panics if `spare_counts` is empty, if the storm would kill the whole
+/// zero-spare fleet without recovery (the failover contract requires a
+/// survivor or a scheduled comeback), if any point loses a job, or on a
+/// fleet episode error (the system-managed mapping cannot fault for
+/// generated traces).
+pub fn availability_sweep(
+    baseline_machines: usize,
+    spare_counts: &[usize],
+    kills: usize,
+    storm_seed: u64,
+    outage: Option<SimDuration>,
+    trace_config: &TraceConfig,
+    spec_of: impl Fn(usize) -> ClusterSpec,
+) -> ElasticityReport {
+    assert!(!spare_counts.is_empty(), "empty overprovisioning sweep");
+    assert!(
+        kills < baseline_machines || outage.is_some(),
+        "storm leaves no survivor and schedules no recovery"
+    );
+    let trace = trace::generate(trace_config);
+    let tenants = Tenant::fleet(trace_config.tenants);
+
+    // The storm window is the *healthy baseline* fleet's makespan, so
+    // every provisioning level faces identical fault instants.
+    let mut healthy = Cluster::new(spec_of(baseline_machines), tenants.clone());
+    let healthy_makespan = healthy
+        .run_trace(&trace)
+        .expect("system-managed mapping cannot fault")
+        .makespan;
+    assert!(
+        healthy_makespan > SimDuration::ZERO,
+        "empty trace has no storm window"
+    );
+
+    let mut points = Vec::new();
+    for &spares in spare_counts {
+        let machines = baseline_machines + spares;
+        let storm = FaultSpec::storm(
+            storm_seed,
+            machines,
+            kills,
+            SimTime::ZERO,
+            SimTime::ZERO + healthy_makespan,
+            outage,
+        );
+        let mut fleet = Cluster::new(spec_of(machines).with_faults(storm), tenants.clone());
+        let report = fleet
+            .run_trace(&trace)
+            .expect("system-managed mapping cannot fault");
+        assert_eq!(
+            report.fault.jobs_lost, 0,
+            "overprovisioning sweep lost a job at {spares} spares"
+        );
+        points.push(ElasticityPoint {
+            machines,
+            spares,
+            availability: report.fault.availability,
+            goodput_gflops: report.goodput_gflops(),
+            makespan: report.makespan,
+            recovery_latency_max: report.fault.recovery_latency_max,
+            jobs_replaced: report.fault.jobs_replaced,
+            replaced_bytes: report.fault.replaced_bytes,
+            deadline_misses: report.fault.deadline_misses,
+            fingerprint: report.fingerprint,
+            fault_fingerprint: report.fault.fingerprint,
+        });
+    }
+    let fingerprint = points.iter().fold(0u64, |h, p| {
+        fold_fingerprint(fold_fingerprint(h, p.fingerprint), p.fault_fingerprint)
+    });
+    ElasticityReport {
+        points,
+        baseline_machines,
+        kills,
+        healthy_makespan,
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storm_trace() -> TraceConfig {
+        TraceConfig {
+            requests: 8,
+            ..TraceConfig::quick(7)
+        }
+    }
+
+    #[test]
+    fn spares_restore_availability_and_lose_nothing() {
+        let r = availability_sweep(2, &[0, 1, 2], 1, 11, None, &storm_trace(), |m| {
+            ClusterSpec::uniform(m, 2)
+        });
+        assert_eq!(r.points.len(), 3);
+        assert_eq!(r.baseline_machines, 2);
+        assert!(r.healthy_makespan > SimDuration::ZERO);
+        for p in &r.points {
+            assert_eq!(p.machines, 2 + p.spares);
+            assert!(
+                p.availability > 0.0 && p.availability < 1.0,
+                "a permanent kill always costs some machine-uptime"
+            );
+            assert_ne!(p.fault_fingerprint, 0, "the storm left a fault timeline");
+        }
+        // More machines dilute one permanent failure's uptime share.
+        assert!(r.availability_at(2) > r.availability_at(0));
+        assert!(r.goodput_at(0).is_some());
+        assert!(r.makespan_recovered_at(2).is_some());
+        assert!(r.availability_at(9).is_none());
+    }
+
+    #[test]
+    fn recovering_storms_are_swept_deterministically() {
+        let run = || {
+            availability_sweep(
+                2,
+                &[0, 1],
+                2,
+                13,
+                Some(SimDuration::from_us(20)),
+                &storm_trace(),
+                |m| ClusterSpec::uniform(m, 2),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert!(a.points.iter().all(|p| p.availability > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no survivor")]
+    fn killing_the_whole_baseline_without_recovery_is_rejected() {
+        let _ = availability_sweep(2, &[0], 2, 3, None, &storm_trace(), |m| {
+            ClusterSpec::uniform(m, 2)
+        });
+    }
+}

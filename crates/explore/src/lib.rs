@@ -22,7 +22,11 @@
 //!   the same machinery (`explore::figures::{fig6, fig7, fig8}`);
 //! * [`scaling`] — the cluster-size axis: how a fixed node budget carved
 //!   into 1/2/4 machines serves the same trace through `maco-cluster`
-//!   (the scale-out curve the `cluster_throughput` perf scenario pins).
+//!   (the scale-out curve the `cluster_throughput` perf scenario pins);
+//! * [`elasticity`] — the availability axis: spare machines swept against
+//!   a fixed seeded failure storm (`availability_sweep`), quantifying
+//!   what overprovisioning buys in availability/goodput at zero lost
+//!   jobs.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@
 
 #![deny(missing_docs)]
 
+pub mod elasticity;
 pub mod explorer;
 pub mod figures;
 pub mod grid;
@@ -56,6 +61,7 @@ pub mod report;
 pub mod roofline;
 pub mod scaling;
 
+pub use elasticity::{availability_sweep, ElasticityPoint, ElasticityReport};
 pub use explorer::{BaselineResult, Explorer, PointResult};
 pub use grid::{SweepGrid, SweepPoint};
 pub use report::SweepReport;

@@ -270,6 +270,32 @@ pub fn matmul_ksplit_into(
     splits: &[u64],
     y: &mut [f64],
 ) {
+    matmul_ksplit_resume_into(pack, ops, precision, splits, 0, y);
+}
+
+/// Resumes a `k`-split reduction chain from a checkpoint: runs spans
+/// `start..` of `splits`, assuming `y` already holds the chained partial
+/// of spans `..start` (for `start == 0`, `y` is ignored and the chain
+/// starts fresh from `ops.c`, making this identical to
+/// [`matmul_ksplit_into`]). This is the failure-recovery entry point: a
+/// surviving machine restarts a lost reduction from its last completed
+/// span prefix (see `maco_core::gemm_plus::ReductionCheckpoint`) and the
+/// resumed chain stays bit-identical to the unfailed run — span order is
+/// the unsplit kernel's accumulation order, and resuming re-enters the
+/// working-precision partials verbatim.
+///
+/// # Panics
+///
+/// Panics if the spans are empty, contain a zero, do not sum to `ops.k`,
+/// or `start` is out of range.
+pub fn matmul_ksplit_resume_into(
+    pack: &mut PackScratch,
+    ops: GemmOperands<'_>,
+    precision: Precision,
+    splits: &[u64],
+    start: usize,
+    y: &mut [f64],
+) {
     assert!(!splits.is_empty(), "need at least one reduction span");
     assert!(splits.iter().all(|&s| s > 0), "empty reduction span");
     assert_eq!(
@@ -277,8 +303,9 @@ pub fn matmul_ksplit_into(
         ops.k as u64,
         "spans must cover the reduction exactly"
     );
-    let mut k0 = 0usize;
-    for (i, &span) in splits.iter().enumerate() {
+    assert!(start <= splits.len(), "resume start beyond the span list");
+    let mut k0: usize = splits[..start].iter().sum::<u64>() as usize;
+    for (i, &span) in splits.iter().enumerate().skip(start) {
         let span = span as usize;
         // Gather this span's A columns (row-major A strides by k) and B
         // rows (contiguous).

@@ -60,4 +60,4 @@ pub use job::{validate_spec, AdmissionError, JobId, JobQueue, JobSpec, Tenant};
 pub use replica::{run_replicas, ReplicaOutcome};
 pub use report::{NodeLease, ServeReport, TenantReport};
 pub use sched::Policy;
-pub use server::{Engine, JobOutcome, ServeConfig, ServeError, Server};
+pub use server::{Engine, EvictedJob, JobOutcome, ServeConfig, ServeError, Server};

@@ -305,6 +305,33 @@ pub struct JobOutcome {
     pub flops: u64,
 }
 
+/// One job extracted from a machine by [`Engine::evict_all`] (fail-stop
+/// failure injection): the un-served *remainder* of the work plus enough
+/// bookkeeping for a composition layer to re-place it elsewhere.
+#[derive(Debug, Clone)]
+pub struct EvictedJob {
+    /// The machine-local job id. Admitted jobs keep their real id; pending
+    /// (pushed-but-not-admitted) arrivals get the id they *would have been
+    /// admitted as* — they are returned in `(arrival, push order)` pop
+    /// order, which is exactly admission order, so ids stay dense and any
+    /// external slot mapping keyed on admission rank resolves them too.
+    pub id: JobId,
+    /// The un-served remainder: the spec minus fully completed layers. An
+    /// interrupted in-flight layer restarts from its beginning — the layer
+    /// barrier is the stream-level checkpoint (k-split spans are the
+    /// sub-layer checkpoint, handled by the router's reduction barriers).
+    /// The arrival time is the spec's as pushed to this engine.
+    pub spec: JobSpec,
+    /// Layers whose service was already credited to this engine's flops
+    /// before the eviction (they are *not* in `spec.layers`).
+    pub completed_layers: usize,
+    /// Whether the job held nodes (a dispatched gang) at eviction.
+    pub was_running: bool,
+    /// Whether the job had been admitted (false = still in the pending
+    /// arrival stream).
+    pub admitted: bool,
+}
+
 /// All scheduler and co-simulation state of one serving episode, in
 /// steppable form.
 ///
@@ -591,6 +618,98 @@ impl Engine {
             leases: self.leases,
             fingerprint: self.fingerprint,
         }
+    }
+
+    /// Fail-stop eviction at instant `now`: extracts every unfinished
+    /// job's un-served remainder *without completing it* and leaves the
+    /// engine drained (empty queue, no in-flight gangs, no pending
+    /// arrivals, no armed wake), so [`Engine::finish`] can retire the
+    /// incarnation immediately.
+    ///
+    /// Deterministic order: admitted jobs (queued and in-flight) in
+    /// ascending machine-local id, then pending arrivals in
+    /// `(arrival, push order)` pop order — which is admission order, so
+    /// the synthetic ids assigned to pending arrivals stay dense (see
+    /// [`EvictedJob::id`]).
+    ///
+    /// In-flight gangs release their nodes and close their leases at
+    /// `now`; service already credited at completed layer barriers stays
+    /// credited (the evicted remainder excludes those layers), so a
+    /// composition layer re-placing the remainders conserves total flops
+    /// exactly. Work already *committed* to the timeline stands: a layer
+    /// whose completion event was processed before the eviction counts as
+    /// served even if its simulated finish time lies past `now` (the
+    /// event core processes completions atomically — same semantics as
+    /// completions leaping pending arrivals).
+    pub fn evict_all(&mut self, now: SimTime) -> Vec<EvictedJob> {
+        self.active.clear();
+        self.wake = None;
+        for id in self.queue.pending().to_vec() {
+            self.queue.remove(id);
+        }
+        let mut evicted = Vec::new();
+        for ji in 0..self.jobs.len() {
+            let (lease_range, group) = {
+                let job = &mut self.jobs[ji];
+                if job.finished {
+                    continue;
+                }
+                job.finished = true;
+                let range = job.lease_start..job.lease_start + job.group.len();
+                (range, std::mem::take(&mut job.group))
+            };
+            let was_running = !group.is_empty();
+            if was_running {
+                for lease in &mut self.leases[lease_range] {
+                    lease.until = now;
+                }
+                self.pool.release(&group, now);
+            }
+            let job = &self.jobs[ji];
+            evicted.push(EvictedJob {
+                id: JobId(ji as u64),
+                spec: JobSpec {
+                    tenant: job.spec.tenant,
+                    layers: job.spec.layers[job.layer..].to_vec(),
+                    arrival: job.spec.arrival,
+                    priority: job.spec.priority,
+                    deadline: job.spec.deadline,
+                    gang_width: job.spec.gang_width,
+                },
+                completed_layers: job.layer,
+                was_running,
+                admitted: true,
+            });
+        }
+        let mut next_id = self.jobs.len() as u64;
+        while let Some(Reverse(pending)) = self.arrivals.pop() {
+            evicted.push(EvictedJob {
+                id: JobId(next_id),
+                spec: pending.spec,
+                completed_layers: 0,
+                was_running: false,
+                admitted: false,
+            });
+            next_id += 1;
+        }
+        evicted
+    }
+
+    /// Ids of jobs currently holding nodes (dispatched, unfinished), in
+    /// ascending machine-local id order — the in-flight set an
+    /// [`Engine::evict_all`] at this instant would report as running.
+    pub fn running_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.finished && !j.group.is_empty())
+            .map(|(i, _)| JobId(i as u64))
+            .collect()
+    }
+
+    /// Ids of admitted jobs waiting in the queue, in admission order.
+    pub fn queued_jobs(&self) -> &[JobId] {
+        self.queue.pending()
     }
 
     /// Admission: validates, bounds the queue, registers the job. Takes

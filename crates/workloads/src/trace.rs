@@ -158,6 +158,25 @@ impl TraceConfig {
         }
     }
 
+    /// The failure-storm mix (the `cluster_failover` perf scenario and
+    /// the failover property suite): a dense burst that keeps every
+    /// machine holding queued *and* in-flight work through the middle of
+    /// the episode, so mid-burst fail-stops always have state to evict —
+    /// multi-layer DNN streams (layer-checkpointed restarts) alongside
+    /// heavy single-layer requests (split-eligible, mid-reduction
+    /// recovery). Deadlines stay on so goodput and the autoscaler's miss
+    /// window see real SLO pressure.
+    pub fn failover(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            tenants: 6,
+            requests: 48,
+            layer_cap: 3,
+            mean_interarrival: SimDuration::from_ns_f64(5_000.0),
+            ..TraceConfig::default()
+        }
+    }
+
     /// The 10⁵-request throughput stressor (the `serve_throughput_100k`
     /// perf scenario): an all-[micro](ModelKind::Micro) single-layer
     /// stream whose arrival rate is tuned so a small fleet keeps up —
