@@ -56,6 +56,7 @@ use maco_mmae::kernels::{GemmOperands, GemmScratch};
 use maco_mmae::Mmae;
 use maco_serve::{run_replicas, Policy, ServeConfig, Server, Tenant};
 use maco_sim::{SimDuration, SimTime};
+use maco_telemetry::{PhaseProfile, TraceSink};
 use maco_workloads::gemm::fill_random_matrix;
 use maco_workloads::trace::{self, TraceConfig};
 
@@ -157,17 +158,22 @@ fn serve_trace(quick: bool) -> (SystemConfig, Vec<Tenant>, Vec<trace::TraceReque
 /// Serving co-simulation under all three policies, single-threaded; the
 /// fingerprint folds the three schedule fingerprints.
 fn serve_bench(quick: bool) -> BenchResult {
-    let (system, tenants, trace) = serve_trace(quick);
+    let mut prof = PhaseProfile::new();
+    let (system, tenants, trace) = prof.time("gen", || serve_trace(quick));
     let t0 = Instant::now();
     let mut fp = 0u64;
     let mut jobs = 0u64;
     for policy in Policy::ALL {
-        let mut server = Server::new(
-            MacoSystem::new(system.clone()),
-            tenants.clone(),
-            ServeConfig::with_policy(policy),
-        );
-        let report = server.run_trace(&trace).expect("trace completes");
+        let mut server = prof.time("build", || {
+            Server::new(
+                MacoSystem::new(system.clone()),
+                tenants.clone(),
+                ServeConfig::with_policy(policy),
+            )
+        });
+        let report = prof
+            .time("run", || server.run_trace(&trace))
+            .expect("trace completes");
         fp = fold_bits(fp, report.fingerprint);
         fp = fold_bits(fp, report.makespan.as_fs());
         jobs += report.jobs_completed;
@@ -180,7 +186,7 @@ fn serve_bench(quick: bool) -> BenchResult {
             trace.len()
         ),
         fingerprint: format!("{fp:016x}"),
-        extra: String::new(),
+        extra: prof.json_fields(),
     }
 }
 
@@ -264,10 +270,15 @@ fn cluster_bench(quick: bool) -> BenchResult {
     let trace = trace::generate(&trace_config);
     let tenants = Tenant::fleet(trace_config.tenants);
     let t0 = Instant::now();
+    let mut prof = PhaseProfile::new();
     let mut one = Cluster::new(ClusterSpec::bandwidth_constrained(1, 16), tenants.clone());
-    let r1 = one.run_trace(&trace).expect("one-machine fleet completes");
+    let r1 = prof
+        .time("one_machine", || one.run_trace(&trace))
+        .expect("one-machine fleet completes");
     let mut four = Cluster::new(ClusterSpec::bandwidth_constrained(4, 4), tenants);
-    let r4 = four.run_trace(&trace).expect("4-machine fleet completes");
+    let r4 = prof
+        .time("four_machine", || four.run_trace(&trace))
+        .expect("4-machine fleet completes");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let speedup = r4.total_gflops() / r1.total_gflops().max(1e-9);
     let fp = fold_bits(fold_bits(0, r1.fingerprint), r4.fingerprint);
@@ -284,8 +295,9 @@ fn cluster_bench(quick: bool) -> BenchResult {
         ),
         fingerprint: format!("{fp:016x}"),
         extra: format!(
-            ", \"speedup_vs_one_machine\": {speedup:.2}, \"fleet_gflops\": {:.1}",
-            r4.total_gflops()
+            ", \"speedup_vs_one_machine\": {speedup:.2}, \"fleet_gflops\": {:.1}{}",
+            r4.total_gflops(),
+            prof.json_fields(),
         ),
     }
 }
@@ -315,13 +327,36 @@ fn failover_bench(quick: bool) -> BenchResult {
         .with_failure(2, kill_2, Some(kill_2 + SimDuration::from_us(100)));
     let spec = ClusterSpec::bandwidth_constrained(4, 4).with_faults(faults);
     let t0 = Instant::now();
-    let mut fleet = Cluster::new(spec, tenants);
-    let report = fleet.run_trace(&trace).expect("failover fleet completes");
+    let mut prof = PhaseProfile::new();
+    let mut fleet = Cluster::new(spec.clone(), tenants.clone());
+    let report = prof
+        .time("run", || fleet.run_trace(&trace))
+        .expect("failover fleet completes");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(report.fault.jobs_lost, 0, "failover dropped a job");
     assert_eq!(report.fault.failures, 2);
     assert_eq!(report.fault.recoveries, 1);
     let fp = fold_bits(report.fingerprint, report.fault.fingerprint);
+
+    // The same episode with the telemetry sink attached: tracing must
+    // never perturb simulated outcomes (the zero-cost contract's enabled
+    // half), and its own fingerprint pins the recorded event stream under
+    // the strict gate alongside the schedule and fault fingerprints.
+    let sink = TraceSink::on();
+    let mut traced = Cluster::new(spec, tenants);
+    traced.set_trace_sink(sink.clone());
+    let report_traced = prof
+        .time("traced_rerun", || traced.run_trace(&trace))
+        .expect("traced failover fleet completes");
+    assert_eq!(
+        report.fingerprint, report_traced.fingerprint,
+        "tracing perturbed the failover schedule"
+    );
+    assert_eq!(
+        report.fault.fingerprint, report_traced.fault.fingerprint,
+        "tracing perturbed the fault timeline"
+    );
+    let trace_fp = sink.fingerprint().expect("sink is on");
     BenchResult {
         name: "cluster_failover".to_string(),
         wall_ms,
@@ -335,12 +370,15 @@ fn failover_bench(quick: bool) -> BenchResult {
         ),
         fingerprint: format!("{fp:016x}"),
         extra: format!(
-            ", \"fault_fingerprint\": \"{:016x}\", \"recovery_latency_ns\": {:.0}, \
-             \"jobs_replaced\": {}, \"availability\": {:.4}",
+            ", \"fault_fingerprint\": \"{:016x}\", \"trace_fingerprint\": \"{trace_fp:016x}\", \
+             \"trace_events\": {}, \"recovery_latency_ns\": {:.0}, \
+             \"jobs_replaced\": {}, \"availability\": {:.4}{}",
             report.fault.fingerprint,
+            sink.recorded(),
             report.fault.recovery_latency_max.as_ns(),
             report.fault.jobs_replaced,
             report.fault.availability,
+            prof.json_fields(),
         ),
     }
 }
@@ -372,7 +410,9 @@ fn micro_fleet_run(requests: usize) -> (f64, u64, u64) {
 /// strict gate like every other scenario.
 fn throughput_100k_bench(quick: bool) -> BenchResult {
     let base = 10_000usize;
+    let mut prof = PhaseProfile::new();
     let (base_wall, base_fp, base_jobs) = micro_fleet_run(base);
+    prof.add_ms("base", base_wall * 1e3);
     if quick {
         return BenchResult {
             name: "serve_throughput_100k".to_string(),
@@ -381,11 +421,16 @@ fn throughput_100k_bench(quick: bool) -> BenchResult {
                 "micro fleet 4x4 nodes, {base} requests ({base_jobs} jobs), quick-scale"
             ),
             fingerprint: format!("{base_fp:016x}"),
-            extra: format!(", \"requests_per_sec\": {:.0}", base as f64 / base_wall),
+            extra: format!(
+                ", \"requests_per_sec\": {:.0}{}",
+                base as f64 / base_wall,
+                prof.json_fields()
+            ),
         };
     }
     let big = base * 10;
     let (big_wall, big_fp, big_jobs) = micro_fleet_run(big);
+    prof.add_ms("big", big_wall * 1e3);
     let scaling = big_wall / base_wall.max(1e-9);
     assert!(
         scaling < 20.0,
@@ -401,8 +446,9 @@ fn throughput_100k_bench(quick: bool) -> BenchResult {
         ),
         fingerprint: format!("{big_fp:016x}"),
         extra: format!(
-            ", \"requests_per_sec\": {:.0}, \"scaling_10x\": {scaling:.2}",
-            big as f64 / big_wall
+            ", \"requests_per_sec\": {:.0}, \"scaling_10x\": {scaling:.2}{}",
+            big as f64 / big_wall,
+            prof.json_fields()
         ),
     }
 }
@@ -501,6 +547,17 @@ fn main() {
                 entry.push_str(&format!(", \"fingerprint_match\": {matches}"));
                 if !matches {
                     mismatches.push(format!("{}: {} != {}", r.name, r.fingerprint, fpr));
+                }
+            }
+            // A trace fingerprint (benches that re-run with the telemetry
+            // sink on) is pinned exactly like the schedule fingerprints
+            // when both reports carry one.
+            if let (Some(prev_t), Some(cur_t)) = (
+                json_field(prev, "trace_fingerprint").map(str::to_string),
+                json_field(&entry, "trace_fingerprint").map(str::to_string),
+            ) {
+                if prev_t != cur_t {
+                    mismatches.push(format!("{} trace: {cur_t} != {prev_t}", r.name));
                 }
             }
         }

@@ -63,6 +63,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use maco_core::system::MacoSystem;
 use maco_serve::{validate_spec, Engine, JobOutcome, JobSpec, ServeReport, Tenant};
 use maco_sim::{FxHashMap, LatencyBandwidthResource, SimDuration, SimTime};
+use maco_telemetry::{Log2Histogram, TraceSink, ROUTER_TRACK, SCHED_ROW};
 use maco_workloads::trace::TraceRequest;
 
 use crate::report::{
@@ -82,6 +83,7 @@ pub struct Cluster {
     spec: ClusterSpec,
     tenants: Vec<Tenant>,
     systems: Vec<MacoSystem>,
+    sink: TraceSink,
 }
 
 impl Cluster {
@@ -103,7 +105,33 @@ impl Cluster {
             spec,
             tenants,
             systems,
+            sink: TraceSink::off(),
         }
+    }
+
+    /// Attaches a telemetry sink recording fleet events (routing,
+    /// migrations, faults, evictions, re-placements, autoscaling) and
+    /// every machine engine's job-lifecycle events onto one shared,
+    /// globally-ordered record stream. [`TraceSink::off`] (the default)
+    /// records nothing; tracing never perturbs simulated outcomes — the
+    /// schedule and fault fingerprints are bit-identical either way.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
+    }
+
+    /// The `(track id, display name)` pairs for Chrome-trace export
+    /// ([`maco_telemetry::Trace::to_chrome_json`]): one track per machine
+    /// (by fleet index, named from the spec) plus the router track.
+    pub fn track_labels(&self) -> Vec<(u32, String)> {
+        let mut tracks: Vec<(u32, String)> = self
+            .spec
+            .machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i as u32, m.name.clone()))
+            .collect();
+        tracks.push((ROUTER_TRACK, "router".to_string()));
+        tracks
     }
 
     /// The fleet declaration.
@@ -179,7 +207,11 @@ impl Cluster {
             .iter()
             .map(|m| Engine::new(m.system.nodes, &self.tenants, &m.serve))
             .collect();
+        for (i, engine) in engines.iter_mut().enumerate() {
+            engine.set_trace(self.sink.clone(), i as u32);
+        }
         let mut ep = FleetEpisode::new(&self.spec, self.tenants.len());
+        ep.sink = self.sink.clone();
 
         // A fault-free fleet of one has no routing freedom: every job
         // lands on machine 0, nothing migrates, nothing splits, nothing
@@ -322,6 +354,12 @@ impl Cluster {
             )
         };
         let jobs_lost = ep.records.len() as u64 - ep.jobs_completed - ep.jobs_rejected;
+        let mut latency_hist = Log2Histogram::new();
+        for rec in &ep.records {
+            if let Some(lat) = rec.latency() {
+                latency_hist.record(lat.as_fs() / maco_sim::time::FS_PER_NS);
+            }
+        }
         let fault = FaultReport {
             failures: ep.failures,
             recoveries: ep.recoveries,
@@ -350,6 +388,7 @@ impl Cluster {
             machines: machine_reports,
             fault,
             diagnostics: ep.diagnostics,
+            latency_hist,
             fingerprint: fp,
         })
     }
@@ -563,6 +602,10 @@ struct FleetEpisode {
     diagnostics: ClusterDiagnostics,
     /// The failure layer's own order-sensitive event fold.
     fault_fp: u64,
+    /// Telemetry sink for router/fleet events (off by default; overwritten
+    /// with the cluster's sink at episode start). Purely observational —
+    /// never consulted for any routing or fault decision.
+    sink: TraceSink,
 }
 
 impl FleetEpisode {
@@ -643,6 +686,7 @@ impl FleetEpisode {
             peak_active: active_n,
             diagnostics: ClusterDiagnostics::default(),
             fault_fp: 0,
+            sink: TraceSink::off(),
         }
     }
 
@@ -695,6 +739,12 @@ impl FleetEpisode {
         self.fault_fp = fold_fingerprint(self.fault_fp, code);
         self.fault_fp = fold_fingerprint(self.fault_fp, d as u64);
         self.fault_fp = fold_fingerprint(self.fault_fp, at.as_fs());
+        let name = if start {
+            "degrade/start"
+        } else {
+            "degrade/end"
+        };
+        self.sink.instant(name, ROUTER_TRACK, 0, at, d as u64, 0);
         self.win_active[d] = start;
         let mut lat: u64 = 1;
         let mut bw: u64 = 1;
@@ -729,6 +779,8 @@ impl FleetEpisode {
         if !self.alive[i] {
             return;
         }
+        self.sink
+            .instant("fault/fail", i as u32, SCHED_ROW, at, i as u64, 0);
         self.alive[i] = false;
         self.downs[i].push((at, None));
         self.failures += 1;
@@ -741,6 +793,9 @@ impl FleetEpisode {
             &mut engines[i],
             Engine::new(mspec.system.nodes, tenants, &mspec.serve),
         );
+        // The fresh incarnation records onto the same shared sink/track as
+        // the retired one — trace coverage survives the fail-stop.
+        engines[i].set_trace(self.sink.clone(), i as u32);
         self.retired[i].push(old.finish(&systems[i]));
         systems[i] = MacoSystem::new(mspec.system.clone());
         systems[i].reset_shared_resources();
@@ -809,6 +864,8 @@ impl FleetEpisode {
         if self.alive[i] {
             return;
         }
+        self.sink
+            .instant("fault/recover", i as u32, SCHED_ROW, at, i as u64, 0);
         self.alive[i] = true;
         if let Some(last) = self.downs[i].last_mut() {
             last.1 = Some(at);
@@ -840,6 +897,8 @@ impl FleetEpisode {
         self.fault_fp = fold_fingerprint(self.fault_fp, m as u64);
         self.fault_fp = fold_fingerprint(self.fault_fp, after as u64);
         self.fault_fp = fold_fingerprint(self.fault_fp, at.as_fs());
+        let name = if grew { "scale/grow" } else { "scale/shrink" };
+        self.sink.instant(name, ROUTER_TRACK, 0, at, m as u64, 0);
     }
 
     /// One autoscaler decision at a routed arrival: slide the windows,
@@ -910,6 +969,14 @@ impl FleetEpisode {
         self.fingerprint = fold_fingerprint(self.fingerprint, index as u64);
         if validate_spec(tenants.len(), &job).is_err() {
             self.jobs_rejected += 1;
+            self.sink.instant(
+                "route/reject",
+                ROUTER_TRACK,
+                0,
+                job.arrival,
+                index as u64,
+                job.tenant as u32,
+            );
             let deadline = job.deadline;
             self.push_record(
                 JobRecord {
@@ -954,6 +1021,14 @@ impl FleetEpisode {
                     flops,
                 },
                 deadline,
+            );
+            self.sink.instant(
+                "route/defer",
+                ROUTER_TRACK,
+                0,
+                job.arrival,
+                index as u64,
+                job.tenant as u32,
             );
             self.reroutes.push(Reverse(ReRoute {
                 at: wake,
@@ -1007,6 +1082,14 @@ impl FleetEpisode {
                     self.fingerprint = fold_fingerprint(self.fingerprint, m as u64);
                 }
                 self.fingerprint = fold_fingerprint(self.fingerprint, effective.as_fs());
+                self.sink.instant(
+                    "route/split",
+                    ROUTER_TRACK,
+                    0,
+                    effective,
+                    index as u64,
+                    job.tenant as u32,
+                );
                 self.reductions.insert(
                     index,
                     Reduction {
@@ -1073,6 +1156,15 @@ impl FleetEpisode {
         self.rekey(&engines[m], m);
         self.fingerprint = fold_fingerprint(self.fingerprint, m as u64);
         self.fingerprint = fold_fingerprint(self.fingerprint, effective.as_fs());
+        let name = if migrated { "route/migrate" } else { "route" };
+        self.sink.instant(
+            name,
+            ROUTER_TRACK,
+            0,
+            effective,
+            index as u64,
+            tenant as u32,
+        );
         self.push_record(
             JobRecord {
                 index,
@@ -1124,6 +1216,14 @@ impl FleetEpisode {
         self.fault_fp = fold_fingerprint(self.fault_fp, m as u64);
         self.fault_fp = fold_fingerprint(self.fault_fp, rec as u64);
         self.fault_fp = fold_fingerprint(self.fault_fp, at.as_fs());
+        self.sink.instant(
+            "replace",
+            m as u32,
+            SCHED_ROW,
+            at,
+            rec as u64,
+            self.records[rec].tenant as u32,
+        );
         if self.records[rec].machines.is_empty() {
             // A deferred arrival is only now effectively admitted.
             self.records[rec].effective_arrival = at;
@@ -1281,6 +1381,14 @@ impl FleetEpisode {
         self.jobs_completed += 1;
         self.last_finish = self.last_finish.max(finished);
         self.fingerprint = fold_fingerprint(self.fingerprint, finished.as_fs());
+        self.sink.instant(
+            "job/done",
+            ROUTER_TRACK,
+            0,
+            finished,
+            self.records[rec].index as u64,
+            self.records[rec].tenant as u32,
+        );
         // Fleet-level SLO accounting: a job is good throughput iff it
         // finished within its (router-arrival-relative) deadline;
         // deadline-less jobs always count.

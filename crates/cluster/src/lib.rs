@@ -75,3 +75,8 @@ pub use spec::{
     MachineSpec, Placement, SplitKind, SplitSpec,
 };
 pub use split::{split_job, SplitJob};
+
+/// Re-exported telemetry handle: attach with [`Cluster::set_trace_sink`]
+/// to record fleet events (routing, faults, re-placements, autoscaling)
+/// and every machine's job-lifecycle events on one shared timeline.
+pub use maco_telemetry::TraceSink;

@@ -1,8 +1,11 @@
 //! Fleet-wide reports: per-machine serving outcomes, global job records,
 //! interconnect traffic and the cluster fingerprint.
 
+use std::fmt;
+
 use maco_serve::ServeReport;
-use maco_sim::{SimDuration, SimTime};
+use maco_sim::{SimDuration, SimTime, Stats};
+use maco_telemetry::Log2Histogram;
 
 use crate::spec::SplitKind;
 
@@ -47,6 +50,7 @@ pub(crate) fn merge_serve_reports(reports: Vec<ServeReport>) -> ServeReport {
             a.deadline_misses += b.deadline_misses;
             a.peak_mtq = a.peak_mtq.max(b.peak_mtq);
             a.peak_stq = a.peak_stq.max(b.peak_stq);
+            a.latency_hist.merge(&b.latency_hist);
         }
         merged.jobs_completed += r.jobs_completed;
         merged.jobs_rejected += r.jobs_rejected;
@@ -55,6 +59,8 @@ pub(crate) fn merge_serve_reports(reports: Vec<ServeReport>) -> ServeReport {
         merged.machine_peak_mtq = merged.machine_peak_mtq.max(r.machine_peak_mtq);
         merged.machine_peak_stq = merged.machine_peak_stq.max(r.machine_peak_stq);
         merged.leases.extend(r.leases);
+        merged.queue_depth_hist.merge(&r.queue_depth_hist);
+        merged.machine_stats.merge(&r.machine_stats);
         merged.fingerprint = fold_fingerprint(merged.fingerprint, r.fingerprint);
     }
     merged
@@ -208,6 +214,10 @@ pub struct ClusterReport {
     pub fault: FaultReport,
     /// Router-health diagnostics (always zero in a healthy episode).
     pub diagnostics: ClusterDiagnostics,
+    /// Log2 histogram of end-to-end job latencies (router arrival → fleet
+    /// completion, reduction tails included) in integer nanoseconds — the
+    /// source of the fleet-level p50/p95/p99 figures.
+    pub latency_hist: Log2Histogram,
     /// Order-sensitive fold of every routing decision, completion and
     /// machine schedule fingerprint — byte-identical across same-seed
     /// runs.
@@ -280,8 +290,185 @@ impl ClusterReport {
         }
     }
 
+    /// Median end-to-end latency (log2-bucket upper bound).
+    pub fn latency_p50(&self) -> SimDuration {
+        SimDuration::from_ns(self.latency_hist.p50())
+    }
+
+    /// 95th-percentile end-to-end latency (log2-bucket upper bound).
+    pub fn latency_p95(&self) -> SimDuration {
+        SimDuration::from_ns(self.latency_hist.p95())
+    }
+
+    /// 99th-percentile end-to-end latency (log2-bucket upper bound).
+    pub fn latency_p99(&self) -> SimDuration {
+        SimDuration::from_ns(self.latency_hist.p99())
+    }
+
+    /// Tenant `t`'s machine-level completion-latency histogram, merged
+    /// across every machine (and engine incarnation) in the fleet.
+    pub fn tenant_latency_hist(&self, t: usize) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for m in &self.machines {
+            h.merge(&m.serve.tenants[t].latency_hist);
+        }
+        h
+    }
+
+    /// Fleet-wide hardware-counter rollup: every machine's
+    /// [`maco_core::system::MacoSystem::stats_snapshot`] merged by
+    /// addition ([`Stats::merge`]) — TLB lookups/misses, DRAM/NoC traffic
+    /// and CCM activity summed across the fleet.
+    pub fn fleet_stats(&self) -> Stats {
+        let mut s = Stats::new();
+        for m in &self.machines {
+            s.merge(&m.serve.machine_stats);
+        }
+        s
+    }
+
     /// The fingerprint as the 16-hex-digit string reports embed.
     pub fn fingerprint_hex(&self) -> String {
         format!("{:016x}", self.fingerprint)
+    }
+
+    /// The report as one flat JSON object (no external serializer): the
+    /// headline counters, fleet latency percentiles, availability,
+    /// goodput, the router diagnostics and per-tenant latency
+    /// percentiles. Deterministic field order; integer nanoseconds and
+    /// fixed-precision floats only.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        s.push_str(&format!("\"jobs_completed\": {}", self.jobs_completed));
+        s.push_str(&format!(", \"jobs_rejected\": {}", self.jobs_rejected));
+        s.push_str(&format!(
+            ", \"makespan_ns\": {}",
+            self.makespan.as_fs() / maco_sim::time::FS_PER_NS
+        ));
+        s.push_str(&format!(", \"total_gflops\": {:.3}", self.total_gflops()));
+        s.push_str(&format!(", \"fairness\": {:.6}", self.fairness()));
+        s.push_str(&format!(
+            ", \"latency_p50_ns\": {}",
+            self.latency_hist.p50()
+        ));
+        s.push_str(&format!(
+            ", \"latency_p95_ns\": {}",
+            self.latency_hist.p95()
+        ));
+        s.push_str(&format!(
+            ", \"latency_p99_ns\": {}",
+            self.latency_hist.p99()
+        ));
+        s.push_str(&format!(", \"migrations\": {}", self.migrations));
+        s.push_str(&format!(", \"splits\": {}", self.splits));
+        s.push_str(&format!(", \"failures\": {}", self.fault.failures));
+        s.push_str(&format!(
+            ", \"jobs_replaced\": {}",
+            self.fault.jobs_replaced
+        ));
+        s.push_str(&format!(", \"jobs_lost\": {}", self.fault.jobs_lost));
+        s.push_str(&format!(
+            ", \"availability\": {:.6}",
+            self.fault.availability
+        ));
+        s.push_str(&format!(
+            ", \"goodput_gflops\": {:.3}",
+            self.goodput_gflops()
+        ));
+        s.push_str(&format!(
+            ", \"deadline_misses\": {}",
+            self.fault.deadline_misses
+        ));
+        s.push_str(&format!(
+            ", \"outstanding_clamps\": {}",
+            self.diagnostics.outstanding_clamps
+        ));
+        s.push_str(", \"tenants\": [");
+        let tenants = self.machines.first().map_or(0, |m| m.serve.tenants.len());
+        for t in 0..tenants {
+            if t > 0 {
+                s.push_str(", ");
+            }
+            let h = self.tenant_latency_hist(t);
+            s.push_str(&format!(
+                "{{\"name\": \"{}\", \"completed\": {}, \"latency_p50_ns\": {}, \
+                 \"latency_p95_ns\": {}, \"latency_p99_ns\": {}}}",
+                self.machines[0].serve.tenants[t].name,
+                self.machines
+                    .iter()
+                    .map(|m| m.serve.tenants[t].completed)
+                    .sum::<u64>(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+            ));
+        }
+        s.push(']');
+        s.push_str(&format!(
+            ", \"fingerprint\": \"{}\"",
+            self.fingerprint_hex()
+        ));
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for ClusterReport {
+    /// Human-readable fleet summary: headline counters, fleet latency
+    /// percentiles, fault/elasticity outcome, router diagnostics, then
+    /// one line per tenant with fleet-merged latency percentiles. Integer
+    /// microseconds and fixed-precision floats only, so the dump is
+    /// byte-stable across platforms.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "machines={} completed={} rejected={} makespan_us={:.3} gflops={:.3} fairness={:.6}",
+            self.machines.len(),
+            self.jobs_completed,
+            self.jobs_rejected,
+            self.makespan.as_us(),
+            self.total_gflops(),
+            self.fairness(),
+        )?;
+        writeln!(
+            f,
+            "latency_us mean={:.3} p50<={:.3} p95<={:.3} p99<={:.3}",
+            self.mean_latency().as_us(),
+            self.latency_p50().as_us(),
+            self.latency_p95().as_us(),
+            self.latency_p99().as_us(),
+        )?;
+        writeln!(
+            f,
+            "migrations={} splits={} failures={} replaced={} lost={} availability={:.6} \
+             outstanding_clamps={}",
+            self.migrations,
+            self.splits,
+            self.fault.failures,
+            self.fault.jobs_replaced,
+            self.fault.jobs_lost,
+            self.fault.availability,
+            self.diagnostics.outstanding_clamps,
+        )?;
+        let tenants = self.machines.first().map_or(0, |m| m.serve.tenants.len());
+        for t in 0..tenants {
+            let h = self.tenant_latency_hist(t);
+            let completed: u64 = self
+                .machines
+                .iter()
+                .map(|m| m.serve.tenants[t].completed)
+                .sum();
+            writeln!(
+                f,
+                "tenant {:<12} completed={} latency_us p50<={:.3} p95<={:.3} p99<={:.3}",
+                self.machines[0].serve.tenants[t].name,
+                completed,
+                SimDuration::from_ns(h.p50()).as_us(),
+                SimDuration::from_ns(h.p95()).as_us(),
+                SimDuration::from_ns(h.p99()).as_us(),
+            )?;
+        }
+        write!(f, "fingerprint={}", self.fingerprint_hex())
     }
 }

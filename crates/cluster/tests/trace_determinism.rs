@@ -1,0 +1,134 @@
+//! Telemetry determinism contracts (128 cases each under the vendored
+//! proptest):
+//!
+//! * **observer invisibility** — attaching a [`TraceSink`] never perturbs
+//!   simulated outcomes: schedule and fault fingerprints are
+//!   byte-identical between a traced and an untraced run of the same
+//!   episode, faults included;
+//! * **trace determinism** — same seed, same episode, same *trace*
+//!   fingerprint, on fresh clusters and fresh sinks — and independent of
+//!   the ring capacity, since the fingerprint folds every record at
+//!   record time.
+
+use proptest::prelude::*;
+
+use maco_cluster::{Cluster, ClusterSpec, FaultSpec, Placement, SplitKind, SplitSpec, TraceSink};
+use maco_core::gemm_plus::GemmPlusTask;
+use maco_isa::Precision;
+use maco_serve::{JobSpec, Tenant};
+use maco_sim::{SimDuration, SimTime};
+
+/// The fleet suites' synthetic job generator, shape for shape.
+fn synthetic_jobs(raw: &[(u64, u64, u64, u64, u64)], tenants: usize) -> Vec<JobSpec> {
+    let mut arrival = SimTime::ZERO;
+    raw.iter()
+        .map(|&(tenant, dim, layers, width, gap)| {
+            arrival += SimDuration::from_ns(200 + gap);
+            let d = 32 * (1 + dim);
+            JobSpec {
+                tenant: tenant as usize % tenants,
+                layers: (0..1 + layers)
+                    .map(|i| GemmPlusTask::gemm(d, d + 32 * i, d, Precision::Fp32))
+                    .collect(),
+                arrival,
+                priority: (tenant % 4) as u8,
+                deadline: None,
+                gang_width: 1 + width as usize,
+            }
+        })
+        .collect()
+}
+
+/// A fleet spec drawn from sampled raw values, optionally with a k-split
+/// policy and (for multi-machine fleets) a mid-burst fail-stop with
+/// recovery, so traced episodes cover the fault/evict/re-place paths too.
+fn episode_spec(
+    machines: usize,
+    nodes: usize,
+    placement: u64,
+    split: bool,
+    fail: bool,
+    jobs: &[JobSpec],
+) -> ClusterSpec {
+    let mut spec = ClusterSpec::uniform(machines, nodes)
+        .with_placement(Placement::ALL[placement as usize % Placement::ALL.len()]);
+    if split {
+        spec = spec.with_split(SplitSpec::new(
+            SplitKind::KSplit,
+            2 * 64 * 64 * 64,
+            machines,
+        ));
+    }
+    if fail && machines >= 2 {
+        let kill = jobs[jobs.len() / 2].arrival;
+        spec = spec.with_faults(FaultSpec::none().with_failure(
+            1,
+            kill,
+            Some(kill + SimDuration::from_us(100)),
+        ));
+    }
+    spec
+}
+
+proptest! {
+    /// Sink-on vs sink-off: the traced episode's schedule and fault
+    /// fingerprints equal the untraced run's, byte for byte — the enabled
+    /// sink is a pure observer.
+    #[test]
+    fn tracing_never_perturbs_simulated_outcomes(
+        raw in proptest::collection::vec((0u64..6, 0u64..3, 0u64..2, 0u64..4, 0u64..2000), 2..5),
+        machines in 1usize..4,
+        nodes in 2usize..4,
+        placement in 0u64..3,
+        split in 0u64..2,
+        fail in 0u64..2,
+    ) {
+        let jobs = synthetic_jobs(&raw, 4);
+        let spec = episode_spec(machines, nodes, placement, split == 1, fail == 1, &jobs);
+
+        let mut plain = Cluster::new(spec.clone(), Tenant::fleet(4));
+        let untraced = plain.run_jobs(jobs.clone()).expect("untraced episode completes");
+
+        let sink = TraceSink::on();
+        let mut fleet = Cluster::new(spec, Tenant::fleet(4));
+        fleet.set_trace_sink(sink.clone());
+        let traced = fleet.run_jobs(jobs).expect("traced episode completes");
+
+        prop_assert_eq!(traced.fingerprint, untraced.fingerprint);
+        prop_assert_eq!(traced.fault.fingerprint, untraced.fault.fingerprint);
+        prop_assert_eq!(traced.jobs_completed, untraced.jobs_completed);
+        prop_assert!(sink.recorded() > 0, "an enabled sink must record the episode");
+    }
+
+    /// Same seed, same trace fingerprint — across fresh clusters, fresh
+    /// sinks and different ring capacities (the fingerprint folds at
+    /// record time, so retention never leaks into it).
+    #[test]
+    fn same_seed_yields_identical_trace_fingerprints(
+        raw in proptest::collection::vec((0u64..6, 0u64..3, 0u64..2, 0u64..4, 0u64..2000), 2..5),
+        machines in 1usize..4,
+        nodes in 2usize..4,
+        placement in 0u64..3,
+        split in 0u64..2,
+        fail in 0u64..2,
+    ) {
+        let jobs = synthetic_jobs(&raw, 4);
+        let spec = episode_spec(machines, nodes, placement, split == 1, fail == 1, &jobs);
+
+        let run = |capacity: usize| {
+            let sink = TraceSink::with_capacity(capacity);
+            let mut fleet = Cluster::new(spec.clone(), Tenant::fleet(4));
+            fleet.set_trace_sink(sink.clone());
+            let report = fleet.run_jobs(jobs.clone()).expect("traced episode completes");
+            let trace = sink.drain().expect("sink is on");
+            (report, trace)
+        };
+        let (r1, t1) = run(1 << 16);
+        let (r2, t2) = run(64);
+
+        prop_assert_eq!(t1.fingerprint, t2.fingerprint);
+        prop_assert_eq!(t1.recorded, t2.recorded);
+        prop_assert_eq!(r1.fingerprint, r2.fingerprint);
+        prop_assert_eq!(r1.fault.fingerprint, r2.fault.fingerprint);
+    }
+}

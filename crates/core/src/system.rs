@@ -25,7 +25,7 @@ use maco_mmae::translate::{PassKey, StreamTranslation, TranslationContext, Trans
 use maco_mmae::Mmae;
 use maco_noc::fabric::{FabricConfig, MeshFabric};
 use maco_noc::topology::NodeId;
-use maco_sim::{FxHashMap, LatencyBandwidthResource, SimDuration, SimTime};
+use maco_sim::{FxHashMap, LatencyBandwidthResource, SimDuration, SimTime, Stats};
 use maco_vm::matlb::Matlb;
 use maco_vm::page_table::{AddressSpace, PageFlags, TranslateFault};
 use maco_vm::{PhysAddr, VirtAddr, PAGE_SIZE};
@@ -286,6 +286,51 @@ impl MacoSystem {
     /// The ASID the system assigned to a node's resident context.
     pub fn node_asid(&self, node: usize) -> Asid {
         self.nodes[node].asid
+    }
+
+    /// A read-only counter snapshot of the shared resources and per-node
+    /// translation machinery, for the telemetry layer. Counters only (no
+    /// gauges), so snapshots from different machines — or successive
+    /// incarnations of one machine — merge by plain addition via
+    /// [`Stats::merge`]. Reading the snapshot never perturbs simulation
+    /// state.
+    pub fn stats_snapshot(&self) -> Stats {
+        let mut s = Stats::new();
+        let mut dtlb = (0u64, 0u64);
+        let mut stlb = (0u64, 0u64);
+        let mut instructions = 0u64;
+        for node in &self.nodes {
+            let mmu = node.cpu.mmu();
+            let (dl, dm) = mmu.dtlb_stats();
+            let (sl, sm) = mmu.stlb_stats();
+            dtlb = (dtlb.0 + dl, dtlb.1 + dm);
+            stlb = (stlb.0 + sl, stlb.1 + sm);
+            instructions += node.cpu.instructions_issued();
+        }
+        s.add("cpu.instructions", instructions);
+        s.add("dtlb.lookups", dtlb.0);
+        s.add("dtlb.misses", dtlb.1);
+        s.add("stlb.lookups", stlb.0);
+        s.add("stlb.misses", stlb.1);
+        s.add("dram.accesses", self.dram.accesses());
+        s.add("dram.bytes", self.dram.bytes());
+        s.add("noc.sends", self.fabric.sends());
+        s.add("noc.bytes", self.fabric.bytes());
+        s.add(
+            "ccm.bytes",
+            self.ccms
+                .iter()
+                .map(|c| c.bandwidth().bytes_transferred())
+                .sum(),
+        );
+        s.add(
+            "ccm.busy_ns",
+            self.ccms
+                .iter()
+                .map(|c| c.bandwidth().busy_time().as_fs() / maco_sim::time::FS_PER_NS)
+                .sum(),
+        );
+        s
     }
 
     /// Ensures `[base, base+bytes)` is mapped in the shared layout.

@@ -61,3 +61,7 @@ pub use replica::{run_replicas, ReplicaOutcome};
 pub use report::{NodeLease, ServeReport, TenantReport};
 pub use sched::Policy;
 pub use server::{Engine, EvictedJob, JobOutcome, ServeConfig, ServeError, Server};
+
+/// Re-exported telemetry handle: attach with [`Server::set_trace_sink`] /
+/// [`Engine::set_trace`] to record job-lifecycle events.
+pub use maco_telemetry::TraceSink;

@@ -1,7 +1,10 @@
 //! Serving-episode reports: per-tenant service quality, machine-level
 //! utilisation, fairness, and the schedule fingerprint.
 
-use maco_sim::{SimDuration, SimTime};
+use std::fmt;
+
+use maco_sim::{SimDuration, SimTime, Stats};
+use maco_telemetry::Log2Histogram;
 
 use crate::sched::Policy;
 
@@ -36,6 +39,10 @@ pub struct TenantReport {
     /// Peak STQ depth observed on nodes while submitting this tenant's
     /// tasks.
     pub peak_stq: usize,
+    /// Log2 histogram of completed-job latencies in integer nanoseconds —
+    /// mergeable across machines and engine incarnations, the source of
+    /// the p50/p95/p99 figures reports print.
+    pub latency_hist: Log2Histogram,
 }
 
 impl TenantReport {
@@ -45,6 +52,21 @@ impl TenantReport {
             Some(fs) => SimDuration::from_fs(fs),
             None => SimDuration::ZERO,
         }
+    }
+
+    /// Median completed-job latency (log2-bucket upper bound).
+    pub fn latency_p50(&self) -> SimDuration {
+        SimDuration::from_ns(self.latency_hist.p50())
+    }
+
+    /// 95th-percentile completed-job latency (log2-bucket upper bound).
+    pub fn latency_p95(&self) -> SimDuration {
+        SimDuration::from_ns(self.latency_hist.p95())
+    }
+
+    /// 99th-percentile completed-job latency (log2-bucket upper bound).
+    pub fn latency_p99(&self) -> SimDuration {
+        SimDuration::from_ns(self.latency_hist.p99())
     }
 
     /// Tenant throughput in GFLOPS over the episode makespan.
@@ -97,6 +119,13 @@ pub struct ServeReport {
     pub machine_peak_stq: usize,
     /// Node leases in dispatch order.
     pub leases: Vec<NodeLease>,
+    /// Log2 histogram of admission-queue depth, sampled at each admission.
+    pub queue_depth_hist: Log2Histogram,
+    /// Counter snapshot of the machine's shared resources at episode end
+    /// ([`maco_core::system::MacoSystem::stats_snapshot`]): TLB
+    /// lookups/misses, DRAM and NoC traffic, CCM bytes. Counters only, so
+    /// per-incarnation snapshots merge by addition.
+    pub machine_stats: Stats,
     /// Order-sensitive fold of every schedule event — byte-identical
     /// across same-seed, same-policy runs.
     pub fingerprint: u64,
@@ -140,6 +169,49 @@ impl ServeReport {
     }
 }
 
+impl fmt::Display for ServeReport {
+    /// Human-readable episode summary: headline counters, then one line
+    /// per tenant with mean/p50/p95/p99 latency. Integer microseconds and
+    /// fixed-precision floats only, so the dump is byte-stable across
+    /// platforms.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "policy={:?} completed={} rejected={} makespan_us={:.3} gflops={:.3} fairness={:.6}",
+            self.policy,
+            self.jobs_completed,
+            self.jobs_rejected,
+            self.makespan.as_us(),
+            self.total_gflops(),
+            self.fairness(),
+        )?;
+        writeln!(
+            f,
+            "queue_depth p50<={} p99<={} peak_mtq={} peak_stq={}",
+            self.queue_depth_hist.p50(),
+            self.queue_depth_hist.p99(),
+            self.machine_peak_mtq,
+            self.machine_peak_stq,
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "tenant {:<12} completed={}/{} flops={} latency_us mean={:.3} p50<={:.3} p95<={:.3} p99<={:.3} misses={}",
+                t.name,
+                t.completed,
+                t.submitted,
+                t.flops,
+                t.mean_latency().as_us(),
+                t.latency_p50().as_us(),
+                t.latency_p95().as_us(),
+                t.latency_p99().as_us(),
+                t.deadline_misses,
+            )?;
+        }
+        write!(f, "fingerprint={}", self.fingerprint_hex())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +229,7 @@ mod tests {
             deadline_misses: 0,
             peak_mtq: 1,
             peak_stq: 1,
+            latency_hist: Log2Histogram::new(),
         }
     }
 
@@ -170,6 +243,8 @@ mod tests {
             machine_peak_mtq: 1,
             machine_peak_stq: 1,
             leases: Vec::new(),
+            queue_depth_hist: Log2Histogram::new(),
+            machine_stats: Stats::new(),
             fingerprint: 0,
             tenants,
         }
@@ -199,6 +274,22 @@ mod tests {
         t.completed = 4;
         t.latency_sum = SimDuration::from_ns(400);
         assert_eq!(t.mean_latency(), SimDuration::from_ns(100));
+    }
+
+    #[test]
+    fn display_prints_per_tenant_percentiles() {
+        let mut t = tenant("a", 100, 1);
+        for ns in [900u64, 1000, 40_000] {
+            t.latency_hist.record(ns);
+        }
+        let r = report(vec![t]);
+        let s = r.to_string();
+        assert!(s.contains("tenant a"));
+        assert!(s.contains("p50<="));
+        assert!(s.contains("p95<="));
+        assert!(s.contains("p99<="));
+        assert!(s.contains("queue_depth"));
+        assert!(s.ends_with("fingerprint=0000000000000000"));
     }
 
     #[test]

@@ -48,7 +48,9 @@ use maco_core::gemm_plus::partition_shapes_into;
 use maco_core::group::NodePool;
 use maco_core::system::{InFlightGemm, MacoSystem, TaskAdmitError};
 use maco_core::TranslateFault;
+use maco_sim::time::FS_PER_NS;
 use maco_sim::{SimDuration, SimTime};
+use maco_telemetry::{Log2Histogram, TraceSink, SCHED_ROW};
 
 use crate::job::{validate_spec, AdmissionError, JobId, JobQueue, JobSpec, Tenant};
 use crate::report::{fold_fingerprint, NodeLease, ServeReport, TenantReport};
@@ -124,6 +126,7 @@ pub struct Server {
     system: MacoSystem,
     tenants: Vec<Tenant>,
     config: ServeConfig,
+    sink: TraceSink,
 }
 
 impl Server {
@@ -139,7 +142,16 @@ impl Server {
             system,
             tenants,
             config,
+            sink: TraceSink::off(),
         }
+    }
+
+    /// Attaches a trace sink; episodes run after this record job-lifecycle
+    /// events on track 0. The default sink is off (zero-cost no-ops), and
+    /// an attached sink never perturbs simulated outcomes — schedules are
+    /// bit-identical with the sink on or off.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
     }
 
     /// The underlying machine.
@@ -186,6 +198,7 @@ impl Server {
         specs.sort_by_key(|s| s.arrival);
         self.system.reset_shared_resources();
         let mut engine = Engine::new(self.system.node_count(), &self.tenants, &self.config);
+        engine.set_trace(self.sink.clone(), 0);
         for spec in specs {
             engine.push(spec);
         }
@@ -408,6 +421,13 @@ pub struct Engine {
     jobs_completed: u64,
     jobs_rejected: u64,
     total_flops: u64,
+    /// Telemetry sink (off by default: every record call is a no-op and
+    /// the engine is bit-identical to an uninstrumented one).
+    sink: TraceSink,
+    /// This engine's trace track (the machine index in a fleet).
+    track: u32,
+    /// Queue-depth samples, one per successful admission.
+    queue_hist: Log2Histogram,
 }
 
 impl Engine {
@@ -437,6 +457,7 @@ impl Engine {
                 deadline_misses: 0,
                 peak_mtq: 0,
                 peak_stq: 0,
+                latency_hist: Log2Histogram::new(),
             })
             .collect();
         Engine {
@@ -462,7 +483,19 @@ impl Engine {
             jobs_completed: 0,
             jobs_rejected: 0,
             total_flops: 0,
+            sink: TraceSink::off(),
+            track: 0,
+            queue_hist: Log2Histogram::new(),
         }
+    }
+
+    /// Attaches a trace sink, recording this engine's events on `track`
+    /// (the machine index in a fleet; Chrome export maps tracks to
+    /// processes). The sink only observes — schedules and fingerprints are
+    /// bit-identical whether it is on, off, or replaced mid-episode.
+    pub fn set_trace(&mut self, sink: TraceSink, track: u32) {
+        self.sink = sink;
+        self.track = track;
     }
 
     /// Feeds one future arrival into the engine. The pending stream pops
@@ -616,6 +649,8 @@ impl Engine {
                 .max()
                 .unwrap_or(0),
             leases: self.leases,
+            queue_depth_hist: self.queue_hist,
+            machine_stats: system.stats_snapshot(),
             fingerprint: self.fingerprint,
         }
     }
@@ -662,10 +697,27 @@ impl Engine {
             if was_running {
                 for lease in &mut self.leases[lease_range] {
                     lease.until = now;
+                    self.sink.span(
+                        "lease",
+                        self.track,
+                        lease.node as u32,
+                        lease.from,
+                        now,
+                        ji as u64,
+                        lease.tenant as u32,
+                    );
                 }
                 self.pool.release(&group, now);
             }
             let job = &self.jobs[ji];
+            self.sink.instant(
+                "job/evict",
+                self.track,
+                SCHED_ROW,
+                now,
+                ji as u64,
+                job.spec.tenant as u32,
+            );
             evicted.push(EvictedJob {
                 id: JobId(ji as u64),
                 spec: JobSpec {
@@ -683,6 +735,14 @@ impl Engine {
         }
         let mut next_id = self.jobs.len() as u64;
         while let Some(Reverse(pending)) = self.arrivals.pop() {
+            self.sink.instant(
+                "job/evict",
+                self.track,
+                SCHED_ROW,
+                now,
+                next_id,
+                pending.spec.tenant as u32,
+            );
             evicted.push(EvictedJob {
                 id: JobId(next_id),
                 spec: pending.spec,
@@ -715,6 +775,15 @@ impl Engine {
     /// Admission: validates, bounds the queue, registers the job. Takes
     /// the spec by value — the hot path never clones a layer stream.
     fn submit(&mut self, spec: JobSpec) {
+        let would_be = self.jobs.len() as u64;
+        self.sink.instant(
+            "job/arrive",
+            self.track,
+            SCHED_ROW,
+            spec.arrival,
+            would_be,
+            spec.tenant as u32,
+        );
         if spec.tenant < self.stats.len() {
             self.stats[spec.tenant].submitted += 1;
         }
@@ -723,11 +792,28 @@ impl Engine {
             if spec.tenant < self.stats.len() {
                 self.stats[spec.tenant].rejected += 1;
             }
+            self.sink.instant(
+                "job/reject",
+                self.track,
+                SCHED_ROW,
+                spec.arrival,
+                would_be,
+                spec.tenant as u32,
+            );
             return;
         }
         let id = JobId(self.jobs.len() as u64);
         match self.queue.admit(id) {
             Ok(()) => {
+                self.sink.instant(
+                    "job/admit",
+                    self.track,
+                    SCHED_ROW,
+                    spec.arrival,
+                    id.0,
+                    spec.tenant as u32,
+                );
+                self.queue_hist.record(self.queue.pending().len() as u64);
                 let width = spec
                     .gang_width
                     .clamp(1, self.config.max_gang.min(self.pool.capacity()));
@@ -746,6 +832,14 @@ impl Engine {
             Err(AdmissionError::QueueFull) => {
                 self.jobs_rejected += 1;
                 self.stats[spec.tenant].rejected += 1;
+                self.sink.instant(
+                    "job/reject",
+                    self.track,
+                    SCHED_ROW,
+                    spec.arrival,
+                    would_be,
+                    spec.tenant as u32,
+                );
             }
             Err(_) => unreachable!("validated above"),
         }
@@ -832,6 +926,14 @@ impl Engine {
                 .expect("select checked the fit");
             self.queue.remove(JobId(pick));
             let tenant = self.jobs[ji].spec.tenant;
+            self.sink.instant(
+                "job/dispatch",
+                self.track,
+                SCHED_ROW,
+                now,
+                pick,
+                tenant as u32,
+            );
             self.jobs[ji].lease_start = self.leases.len();
             for &node in &group {
                 self.leases.push(NodeLease {
@@ -929,6 +1031,15 @@ impl Engine {
     ) -> Result<Option<JobOutcome>, ServeError> {
         let member_end = done.task.now() + done.epilogue_tail;
         let ji = done.job;
+        self.sink.span(
+            "layer",
+            self.track,
+            done.task.node() as u32,
+            done.layer_start,
+            member_end,
+            ji as u64,
+            self.jobs[ji].spec.tenant as u32,
+        );
         self.fingerprint = [
             self.jobs[ji].spec.tenant as u64,
             done.layer as u64,
@@ -974,7 +1085,24 @@ impl Engine {
         let deadline_missed = job.spec.deadline.is_some_and(|d| latency > d);
         for lease in &mut self.leases[lease_range] {
             lease.until = layer_end;
+            self.sink.span(
+                "lease",
+                self.track,
+                lease.node as u32,
+                lease.from,
+                layer_end,
+                ji as u64,
+                tenant as u32,
+            );
         }
+        self.sink.instant(
+            "job/complete",
+            self.track,
+            SCHED_ROW,
+            layer_end,
+            ji as u64,
+            tenant as u32,
+        );
         self.pool.release(&group, layer_end);
         self.jobs_completed += 1;
         self.last_finish = self.last_finish.max(layer_end);
@@ -982,6 +1110,7 @@ impl Engine {
         st.completed += 1;
         st.latency_sum += latency;
         st.latency_max = st.latency_max.max(latency);
+        st.latency_hist.record(latency.as_fs() / FS_PER_NS);
         if deadline_missed {
             st.deadline_misses += 1;
         }

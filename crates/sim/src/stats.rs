@@ -161,6 +161,23 @@ mod tests {
     }
 
     #[test]
+    fn display_golden_fixed_precision() {
+        // Golden dump: counters first (key order, width-40 keys), then
+        // gauges at fixed `{:.6}` precision so `to_string()` is
+        // byte-stable across platforms and libm versions.
+        let mut s = Stats::new();
+        s.add("dram.accesses", 12);
+        s.add("noc.sends", 3);
+        s.set_gauge("noc.utilization", 0.5);
+        s.set_gauge("tlb.hit_rate", 1.0 / 3.0);
+        let golden = "dram.accesses                            12\n\
+                      noc.sends                                3\n\
+                      noc.utilization                          0.500000\n\
+                      tlb.hit_rate                             0.333333\n";
+        assert_eq!(s.to_string(), golden);
+    }
+
+    #[test]
     fn clear_empties() {
         let mut s = Stats::new();
         s.incr("x");

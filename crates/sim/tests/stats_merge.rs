@@ -1,0 +1,67 @@
+//! Property suite for [`Stats::merge`]: the merge laws (counters add,
+//! gauges last-write) must be associative and deterministic, because the
+//! cluster rolls per-machine stats up into fleet views in whatever
+//! grouping the report code finds convenient.
+
+use maco_sim::Stats;
+use proptest::prelude::*;
+
+/// Builds a `Stats` from raw draws over a small fixed key universe.
+/// Counter keys and gauge keys overlap deliberately — merge must keep the
+/// two namespaces independent.
+fn stats_from(raw: &[(usize, u64, u64)]) -> Stats {
+    const KEYS: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    let mut s = Stats::new();
+    for &(key, count, milli) in raw {
+        let key = KEYS[key % KEYS.len()];
+        s.add(key, count);
+        s.set_gauge(key, milli as f64 / 1000.0);
+    }
+    s
+}
+
+proptest! {
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): counter sums are associative and the
+    /// last-written gauge wins either way.
+    #[test]
+    fn merge_is_associative(
+        ra in proptest::collection::vec((0usize..5, 0u64..1000, 0u64..5000), 1..8),
+        rb in proptest::collection::vec((0usize..5, 0u64..1000, 0u64..5000), 1..8),
+        rc in proptest::collection::vec((0usize..5, 0u64..1000, 0u64..5000), 1..8),
+    ) {
+        let (a, b, c) = (stats_from(&ra), stats_from(&rb), stats_from(&rc));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.to_string(), right.to_string());
+    }
+
+    /// Merging the same inputs twice gives identical results and identical
+    /// deterministic dumps; merging an empty sink is the identity.
+    #[test]
+    fn merge_is_deterministic_with_empty_identity(
+        ra in proptest::collection::vec((0usize..5, 0u64..1000, 0u64..5000), 1..8),
+        rb in proptest::collection::vec((0usize..5, 0u64..1000, 0u64..5000), 1..8),
+    ) {
+        let (a, b) = (stats_from(&ra), stats_from(&rb));
+
+        let mut once = a.clone();
+        once.merge(&b);
+        let mut again = a.clone();
+        again.merge(&b);
+        prop_assert_eq!(&once, &again);
+        prop_assert_eq!(once.to_string(), again.to_string());
+
+        let mut with_empty = a.clone();
+        with_empty.merge(&Stats::new());
+        prop_assert_eq!(&with_empty, &a);
+    }
+}

@@ -1,0 +1,242 @@
+//! Fixed-bucket log2 histograms: deterministic integer bucketing with
+//! mergeable counts and integer percentile read-out.
+//!
+//! Bucket `b` holds values whose bit length is `b`: bucket 0 holds the
+//! value 0, bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`. 65 buckets cover
+//! the full `u64` range. Bucketing, merging and percentiles are
+//! all-integer, so histograms recorded on different machines (or by
+//! successive engine incarnations of one machine) merge associatively and
+//! reproduce bit-identically across platforms.
+
+use std::fmt;
+
+/// Number of buckets: value 0, plus one per possible `u64` bit length.
+pub const BUCKETS: usize = 65;
+
+/// A log2 histogram over `u64` samples (latencies in ns, queue depths, …).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+        }
+    }
+
+    /// The bucket index a value lands in (its bit length).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper edge of a bucket (the largest value it can hold).
+    pub fn bucket_upper_edge(bucket: usize) -> u64 {
+        debug_assert!(bucket < BUCKETS);
+        if bucket >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw bucket counts (index = bit length of the sample).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    /// Merging is commutative and associative, so per-machine histograms
+    /// roll up into a fleet view in any grouping.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// The `num/den` percentile as the inclusive upper edge of the bucket
+    /// containing the `ceil(count · num / den)`-th smallest sample — an
+    /// upper bound on the true percentile that is exact in log2 terms and
+    /// deterministic across merge orders. Returns 0 for an empty
+    /// histogram.
+    pub fn percentile(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0 && num <= den, "percentile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as u128 * num as u128).div_ceil(den as u128) as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_edge(b);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median (upper-edge bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(1, 2)
+    }
+
+    /// 95th percentile (upper-edge bound).
+    pub fn p95(&self) -> u64 {
+        self.percentile(19, 20)
+    }
+
+    /// 99th percentile (upper-edge bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99, 100)
+    }
+
+    /// Largest non-empty bucket's upper edge (0 when empty).
+    pub fn max_edge(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, Self::bucket_upper_edge)
+    }
+}
+
+impl fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Log2Histogram")
+            .field("count", &self.count)
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+impl fmt::Display for Log2Histogram {
+    /// `count=N p50≤X p95≤Y p99≤Z` — all integers, stable across
+    /// platforms.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "count={} p50<={} p95<={} p99<={}",
+            self.count,
+            self.p50(),
+            self.p95(),
+            self.p99()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_upper_edge(0), 0);
+        assert_eq!(Log2Histogram::bucket_upper_edge(1), 1);
+        assert_eq!(Log2Histogram::bucket_upper_edge(2), 3);
+        assert_eq!(Log2Histogram::bucket_upper_edge(64), u64::MAX);
+    }
+
+    #[test]
+    fn every_value_within_its_bucket_bounds() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let b = Log2Histogram::bucket_of(v);
+            assert!(v <= Log2Histogram::bucket_upper_edge(b));
+            if b > 0 {
+                assert!(v > Log2Histogram::bucket_upper_edge(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_bound_the_samples() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        // True p50 is 500 → bucket 9 (256..511) → edge 511.
+        assert_eq!(h.p50(), 511);
+        // True p95 is 950 → bucket 10 (512..1023) → edge 1023.
+        assert_eq!(h.p95(), 1023);
+        assert_eq!(h.p99(), 1023);
+        assert_eq!(h.max_edge(), 1023);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max_edge(), 0);
+        let mut one = Log2Histogram::new();
+        one.record(0);
+        assert_eq!(one.p50(), 0);
+        assert_eq!(one.p99(), 0);
+        let mut max = Log2Histogram::new();
+        max.record(u64::MAX);
+        assert_eq!(max.p50(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_and_commutative() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in [1u64, 5, 9, 100] {
+            a.record(v);
+        }
+        for v in [2u64, 700, 70_000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 7);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let mut h = Log2Histogram::new();
+        for v in [3u64, 3, 3, 200] {
+            h.record(v);
+        }
+        assert_eq!(h.to_string(), "count=4 p50<=3 p95<=255 p99<=255");
+    }
+}

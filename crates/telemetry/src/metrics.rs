@@ -1,0 +1,98 @@
+//! The metrics layer: [`maco_sim::Stats`] counters/gauges unified with
+//! named [`Log2Histogram`] distributions under one mergeable container.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use maco_sim::Stats;
+
+use crate::hist::Log2Histogram;
+
+/// Counters, gauges and distributions for one component, machine or fleet.
+/// Merging follows the same laws as its parts: counters add, gauges
+/// last-write, histograms add bucket-wise — so per-machine sets roll up
+/// into a fleet set deterministically in any grouping that preserves
+/// gauge order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricSet {
+    /// Named counters and gauges.
+    pub stats: Stats,
+    /// Named distributions (keys are static interned names, matching the
+    /// `Stats` convention).
+    pub hists: BTreeMap<&'static str, Log2Histogram>,
+}
+
+impl MetricSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample into the named histogram (created on first use).
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().record(value);
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn hist(&self, name: &str) -> Option<&Log2Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Merges another set into this one (counters add, gauges take
+    /// `other`'s value, histograms add bucket-wise).
+    pub fn merge(&mut self, other: &MetricSet) {
+        self.stats.merge(&other.stats);
+        for (name, hist) in &other.hists {
+            self.hists.entry(name).or_default().merge(hist);
+        }
+    }
+}
+
+impl fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.stats)?;
+        for (name, hist) in &self.hists {
+            writeln!(f, "{name:<40} {hist}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = MetricSet::new();
+        a.stats.add("jobs", 2);
+        a.stats.set_gauge("util", 0.5);
+        a.record("latency_ns", 100);
+        a.record("latency_ns", 200);
+
+        let mut b = MetricSet::new();
+        b.stats.add("jobs", 3);
+        b.stats.set_gauge("util", 0.75);
+        b.record("latency_ns", 400);
+        b.record("queue_depth", 3);
+
+        a.merge(&b);
+        assert_eq!(a.stats.get("jobs"), 5);
+        assert_eq!(a.stats.gauge("util"), Some(0.75));
+        assert_eq!(a.hist("latency_ns").unwrap().count(), 3);
+        assert_eq!(a.hist("queue_depth").unwrap().count(), 1);
+        assert!(a.hist("absent").is_none());
+    }
+
+    #[test]
+    fn display_lists_stats_then_hists() {
+        let mut m = MetricSet::new();
+        m.stats.incr("events");
+        m.record("depth", 2);
+        let s = m.to_string();
+        let ev = s.find("events").unwrap();
+        let d = s.find("depth").unwrap();
+        assert!(ev < d);
+        assert!(s.contains("count=1 p50<=3"));
+    }
+}

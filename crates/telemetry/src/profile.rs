@@ -1,0 +1,93 @@
+//! Wall-clock phase profiling for the bench harness.
+//!
+//! [`PhaseProfile`] times named phases of a benchmark scenario
+//! (generation, simulation, reporting) and serialises them as **flat**
+//! scalar JSON fields (`, "phase_<name>_ms": 1.234`) so `perf_baseline`
+//! can append them to a `BENCH_perf*.json` entry without nesting (its
+//! before/after comparator slices entries flat). Wall-clock only — phase
+//! timers never touch virtual time and have no effect on any fingerprint.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Named wall-clock phase timers, in first-use order.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfile {
+    phases: Vec<(&'static str, f64)>,
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, recording its wall-clock as phase `name`. Repeated phases
+    /// accumulate.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add_ms(name, start.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+
+    /// Adds `ms` milliseconds to phase `name` (created on first use).
+    pub fn add_ms(&mut self, name: &'static str, ms: f64) {
+        if let Some(entry) = self.phases.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 += ms;
+        } else {
+            self.phases.push((name, ms));
+        }
+    }
+
+    /// Total milliseconds of phase `name` (0 if never timed).
+    pub fn ms(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, ms)| *ms)
+    }
+
+    /// Phases in first-use order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.phases.iter().copied()
+    }
+
+    /// Flat JSON fields, ready to append inside a BENCH entry:
+    /// `, "phase_gen_ms": 1.2, "phase_run_ms": 34.5`. Empty string when no
+    /// phase was timed.
+    pub fn json_fields(&self) -> String {
+        let mut out = String::new();
+        for (name, ms) in &self.phases {
+            let _ = write!(out, ", \"phase_{name}_ms\": {ms:.3}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_serialise_flat() {
+        let mut p = PhaseProfile::new();
+        let v = p.time("gen", || 41 + 1);
+        assert_eq!(v, 42);
+        p.add_ms("gen", 1.0);
+        p.add_ms("run", 2.5);
+        assert!(p.ms("gen") >= 1.0);
+        assert_eq!(p.ms("absent"), 0.0);
+        let json = p.json_fields();
+        assert!(json.starts_with(", \"phase_gen_ms\": "));
+        assert!(json.contains(", \"phase_run_ms\": 2.500"));
+        assert!(!json.contains('{'), "fields must stay flat scalars");
+        let names: Vec<_> = p.phases().map(|(n, _)| n).collect();
+        assert_eq!(names, ["gen", "run"]);
+    }
+
+    #[test]
+    fn empty_profile_serialises_to_nothing() {
+        assert_eq!(PhaseProfile::new().json_fields(), "");
+    }
+}

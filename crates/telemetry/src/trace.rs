@@ -1,0 +1,355 @@
+//! The virtual-time span/event tracer.
+//!
+//! Sites record [`TraceRecord`]s through a [`TraceSink`] — a cheap,
+//! cloneable handle that is either *off* (a `None`; every call is an
+//! inlined no-op, so a disabled sink is zero-cost and the simulation is
+//! bit-identical to an uninstrumented build) or *on* (a shared ring-buffer
+//! [`Tracer`]). Records carry static interned names and are keyed by
+//! `(start, seq)`: `seq` is a global record counter, so the full stream
+//! reproduces the deterministic event-processing order even when several
+//! records share a timestamp — the same tie-law discipline as the event
+//! core's heaps.
+//!
+//! The tracer folds every record into an order-sensitive **trace
+//! fingerprint** at record time (the same [`fold_fingerprint`] the
+//! schedule/fault gates use), so the fingerprint covers all records ever
+//! recorded even if the ring has dropped the oldest ones.
+
+use std::cell::RefCell;
+use std::hash::Hasher;
+use std::rc::Rc;
+
+use maco_sim::{fold_fingerprint, FxHasher, SimDuration, SimTime};
+
+/// Pseudo-track for fleet-level router events (route/split/migrate/scale)
+/// that belong to no single machine.
+pub const ROUTER_TRACK: u32 = u32::MAX;
+
+/// Pseudo-row for machine-level events that belong to no single node
+/// (arrivals, admission, dispatch decisions).
+pub const SCHED_ROW: u32 = u32::MAX;
+
+/// Default ring capacity: enough for every record of the largest committed
+/// scenario (`cluster_failover`) with room to spare, ~4 MiB resident.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One traced span or instant, keyed by `(start, seq)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Static interned event name (`"job/admit"`, `"layer"`, `"lease"`, …).
+    pub name: &'static str,
+    /// Track (machine index; [`ROUTER_TRACK`] for fleet events). Maps to
+    /// the Chrome `pid`.
+    pub track: u32,
+    /// Row within the track (node index; [`SCHED_ROW`] for machine-level
+    /// events). Maps to the Chrome `tid`.
+    pub row: u32,
+    /// Span start (or the instant, for zero-duration records).
+    pub start: SimTime,
+    /// Span duration; zero means an instant event.
+    pub dur: SimDuration,
+    /// Global record sequence number — the deterministic tie-break for
+    /// records sharing a timestamp.
+    pub seq: u64,
+    /// The job (engine-local or fleet-level index) this record concerns.
+    pub job: u64,
+    /// Submitting tenant index.
+    pub tenant: u32,
+}
+
+impl TraceRecord {
+    /// True for zero-duration (instant) records.
+    pub fn is_instant(&self) -> bool {
+        self.dur.is_zero()
+    }
+}
+
+/// Hashes a static name into the fingerprint domain.
+fn name_code(name: &'static str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(name.as_bytes());
+    h.finish()
+}
+
+/// The ring-buffered record store behind an enabled [`TraceSink`].
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Vec<TraceRecord>,
+    capacity: usize,
+    /// Index of the oldest retained record within `ring` (ring is full
+    /// once `ring.len() == capacity`).
+    head: usize,
+    recorded: u64,
+    fingerprint: u64,
+}
+
+impl Tracer {
+    fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs at least one slot");
+        Self {
+            ring: Vec::new(),
+            capacity,
+            head: 0,
+            recorded: 0,
+            fingerprint: 0,
+        }
+    }
+
+    fn push(&mut self, mut rec: TraceRecord) {
+        rec.seq = self.recorded;
+        self.recorded += 1;
+        self.fingerprint = fold_fingerprint(self.fingerprint, name_code(rec.name));
+        self.fingerprint = fold_fingerprint(
+            self.fingerprint,
+            ((rec.track as u64) << 32) | rec.row as u64,
+        );
+        self.fingerprint = fold_fingerprint(self.fingerprint, rec.start.as_fs());
+        self.fingerprint = fold_fingerprint(self.fingerprint, rec.dur.as_fs());
+        self.fingerprint = fold_fingerprint(self.fingerprint, rec.job);
+        self.fingerprint = fold_fingerprint(self.fingerprint, rec.tenant as u64);
+        if self.ring.len() < self.capacity {
+            self.ring.push(rec);
+        } else {
+            // Overwrite the oldest retained record; the fingerprint above
+            // already covered it, so dropping is lossy for export only.
+            self.ring[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn into_trace(self) -> Trace {
+        let retained = self.ring.len() as u64;
+        let mut records = self.ring;
+        records.rotate_left(self.head);
+        Trace {
+            records,
+            fingerprint: self.fingerprint,
+            recorded: self.recorded,
+            dropped: self.recorded - retained,
+        }
+    }
+}
+
+/// A cheap handle through which instrumentation sites record. Clones share
+/// one [`Tracer`], so one sink handed to a whole fleet yields a single
+/// globally-ordered record stream.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    tracer: Option<Rc<RefCell<Tracer>>>,
+}
+
+impl TraceSink {
+    /// The disabled sink: every record call is a no-op and simulation
+    /// outcomes are bit-identical to an uninstrumented run.
+    pub fn off() -> Self {
+        Self { tracer: None }
+    }
+
+    /// An enabled sink with the default ring capacity.
+    pub fn on() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled sink retaining at most `capacity` records for export.
+    /// The trace fingerprint covers *all* records regardless of capacity,
+    /// so the fingerprint is capacity-independent.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            tracer: Some(Rc::new(RefCell::new(Tracer::with_capacity(capacity)))),
+        }
+    }
+
+    /// True when records will be retained.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Records an instant event (zero duration).
+    #[inline]
+    pub fn instant(
+        &self,
+        name: &'static str,
+        track: u32,
+        row: u32,
+        at: SimTime,
+        job: u64,
+        tenant: u32,
+    ) {
+        if let Some(tracer) = &self.tracer {
+            tracer.borrow_mut().push(TraceRecord {
+                name,
+                track,
+                row,
+                start: at,
+                dur: SimDuration::ZERO,
+                seq: 0,
+                job,
+                tenant,
+            });
+        }
+    }
+
+    /// Records a span from `start` to `end` (clamped to zero if `end`
+    /// precedes `start`, which no call site does).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        name: &'static str,
+        track: u32,
+        row: u32,
+        start: SimTime,
+        end: SimTime,
+        job: u64,
+        tenant: u32,
+    ) {
+        if let Some(tracer) = &self.tracer {
+            tracer.borrow_mut().push(TraceRecord {
+                name,
+                track,
+                row,
+                start,
+                dur: end.saturating_since(start),
+                seq: 0,
+                job,
+                tenant,
+            });
+        }
+    }
+
+    /// The trace fingerprint so far (`None` when the sink is off).
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.tracer.as_ref().map(|t| t.borrow().fingerprint)
+    }
+
+    /// Total records accepted so far (0 when the sink is off).
+    pub fn recorded(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, |t| t.borrow().recorded)
+    }
+
+    /// Takes the accumulated trace out of the sink, leaving this handle
+    /// (and every clone) recording into a fresh empty tracer of the same
+    /// capacity. Returns `None` for a disabled sink.
+    pub fn drain(&self) -> Option<Trace> {
+        let tracer = self.tracer.as_ref()?;
+        let capacity = tracer.borrow().capacity;
+        let done = tracer.replace(Tracer::with_capacity(capacity));
+        Some(done.into_trace())
+    }
+}
+
+/// A finished trace: retained records in recording order, the fingerprint
+/// over every record ever accepted, and drop accounting.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Retained records, oldest first (recording order — already sorted by
+    /// `(start, seq)` up to the tie law of the recording sites).
+    pub records: Vec<TraceRecord>,
+    /// Order-sensitive fold over **all** records ever recorded (including
+    /// any the ring dropped). This is the trace's own determinism gate —
+    /// separate from schedule and fault fingerprints.
+    pub fingerprint: u64,
+    /// Total records accepted.
+    pub recorded: u64,
+    /// Records the ring dropped (oldest-first) and could not export.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Number of retained (exportable) records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The fingerprint as the 16-hex-digit string reports embed.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn off_sink_is_inert() {
+        let sink = TraceSink::off();
+        sink.instant("x", 0, 0, t(1), 0, 0);
+        sink.span("y", 0, 0, t(1), t(2), 0, 0);
+        assert!(!sink.is_on());
+        assert_eq!(sink.fingerprint(), None);
+        assert_eq!(sink.recorded(), 0);
+        assert!(sink.drain().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let sink = TraceSink::on();
+        let other = sink.clone();
+        sink.instant("a", 0, 0, t(1), 1, 0);
+        other.instant("b", 1, 2, t(2), 2, 1);
+        let trace = sink.drain().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.records[0].name, "a");
+        assert_eq!(trace.records[1].name, "b");
+        assert_eq!(trace.records[0].seq, 0);
+        assert_eq!(trace.records[1].seq, 1);
+        assert_eq!(trace.dropped, 0);
+        // Drain resets the shared tracer for every clone.
+        assert_eq!(other.recorded(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_but_fingerprint_covers_all() {
+        let small = TraceSink::with_capacity(2);
+        let large = TraceSink::with_capacity(16);
+        for i in 0..5u64 {
+            small.instant("e", 0, 0, t(i), i, 0);
+            large.instant("e", 0, 0, t(i), i, 0);
+        }
+        let s = small.drain().unwrap();
+        let l = large.drain().unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.records[0].job, 3);
+        assert_eq!(s.records[1].job, 4);
+        assert_eq!(l.len(), 5);
+        assert_eq!(l.dropped, 0);
+        // Capacity never leaks into the fingerprint.
+        assert_eq!(s.fingerprint, l.fingerprint);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let a = TraceSink::on();
+        a.instant("x", 0, 0, t(1), 1, 0);
+        a.instant("y", 0, 0, t(2), 2, 0);
+        let b = TraceSink::on();
+        b.instant("y", 0, 0, t(2), 2, 0);
+        b.instant("x", 0, 0, t(1), 1, 0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn span_duration_and_instant_flag() {
+        let sink = TraceSink::on();
+        sink.span("s", 0, 3, t(10), t(25), 7, 2);
+        sink.instant("i", 0, 3, t(30), 7, 2);
+        let trace = sink.drain().unwrap();
+        assert_eq!(trace.records[0].dur, SimDuration::from_ns(15));
+        assert!(!trace.records[0].is_instant());
+        assert!(trace.records[1].is_instant());
+        assert_eq!(trace.records[0].row, 3);
+        assert_eq!(trace.records[0].tenant, 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Observability demo: run the failover storm with the telemetry sink
+//! attached, prove tracing never perturbs simulated outcomes, export the
+//! recorded timeline as Chrome `trace_event` JSON and validate the export
+//! by parsing it back (structure, event counts, per-track timestamp
+//! monotonicity). Load the written file in chrome://tracing or Perfetto
+//! to see one process track per machine (plus the router) with fault,
+//! eviction and re-placement events on the machines they happened on.
+//!
+//! ```sh
+//! cargo run --release --example trace
+//! ```
+
+use maco::cluster::{Cluster, ClusterSpec, FaultSpec, TraceSink};
+use maco::serve::Tenant;
+use maco::sim::{SimDuration, SimTime};
+use maco::telemetry::{validate_chrome_json, ROUTER_TRACK};
+use maco::workloads::trace::{self, TraceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_config = TraceConfig::failover(2026);
+    let requests = trace::generate(&trace_config);
+    let tenants = Tenant::fleet(trace_config.tenants);
+
+    // Two mid-burst kills: machine 1 dies for good, machine 2 suffers a
+    // 100 us outage and rejoins.
+    let span_us = 5 * trace_config.requests as u64;
+    let kill_1 = SimTime::ZERO + SimDuration::from_us(span_us / 4);
+    let kill_2 = SimTime::ZERO + SimDuration::from_us(span_us / 2);
+    let faults = FaultSpec::none()
+        .with_failure(1, kill_1, None)
+        .with_failure(2, kill_2, Some(kill_2 + SimDuration::from_us(100)));
+    let spec = ClusterSpec::bandwidth_constrained(4, 4).with_faults(faults);
+
+    // Reference run with the sink off, then the same episode traced.
+    let mut plain = Cluster::new(spec.clone(), tenants.clone());
+    let reference = plain.run_trace(&requests)?;
+
+    let sink = TraceSink::on();
+    let mut fleet = Cluster::new(spec, tenants);
+    fleet.set_trace_sink(sink.clone());
+    let report = fleet.run_trace(&requests)?;
+    assert_eq!(
+        report.fingerprint, reference.fingerprint,
+        "tracing perturbed the schedule"
+    );
+    assert_eq!(
+        report.fault.fingerprint, reference.fault.fingerprint,
+        "tracing perturbed the fault timeline"
+    );
+    assert_eq!(report.fault.jobs_lost, 0);
+
+    let recorded = sink.drain().expect("sink is on");
+    println!(
+        "maco trace demo: {} requests, {} machines, {} records (fingerprint {})",
+        requests.len(),
+        fleet.machines(),
+        recorded.len(),
+        recorded.fingerprint_hex(),
+    );
+    assert_eq!(recorded.dropped, 0, "default ring must hold this scenario");
+
+    // The fault events must sit on the tracks of the machines that
+    // failed; every re-placement lands on a survivor (machine 1 is dead
+    // from its kill onwards and can never be a re-placement target).
+    let on = |name: &str, track: u32| {
+        recorded
+            .records
+            .iter()
+            .filter(|r| r.name == name && r.track == track)
+            .count()
+    };
+    assert_eq!(on("fault/fail", 1), 1, "machine 1 records its kill");
+    assert_eq!(on("fault/fail", 2), 1, "machine 2 records its kill");
+    assert_eq!(on("fault/recover", 2), 1, "machine 2 records its recovery");
+    assert!(
+        on("job/evict", 1) + on("job/evict", 2) > 0,
+        "kills mid-burst must evict work"
+    );
+    let replaces: Vec<u32> = recorded
+        .records
+        .iter()
+        .filter(|r| r.name == "replace")
+        .map(|r| r.track)
+        .collect();
+    assert!(!replaces.is_empty(), "evicted work must be re-placed");
+    assert!(
+        replaces.iter().all(|&t| t != 1),
+        "the permanently dead machine can never receive a re-placement"
+    );
+    assert!(
+        recorded
+            .records
+            .iter()
+            .any(|r| r.name == "route" && r.track == ROUTER_TRACK),
+        "router decisions live on the router track"
+    );
+    println!(
+        "  fault/evict/replace events on the right tracks ({} evictions, {} re-placements)",
+        on("job/evict", 1) + on("job/evict", 2),
+        replaces.len(),
+    );
+
+    // Export, then prove the export well-formed by parsing it back.
+    let json = recorded.to_chrome_json(&fleet.track_labels());
+    let summary = validate_chrome_json(&json)?;
+    assert_eq!(
+        summary.events(),
+        recorded.len(),
+        "every retained record exports exactly once"
+    );
+    // 4 machines + the router, all present in the export.
+    assert_eq!(summary.tracks, 5);
+    println!(
+        "  chrome export: {} spans, {} instants, {} metadata rows, {} tracks — valid",
+        summary.spans, summary.instants, summary.metadata, summary.tracks,
+    );
+
+    let path = std::env::temp_dir().join("maco_trace_failover.json");
+    std::fs::write(&path, &json)?;
+    println!(
+        "  wrote {} ({} bytes) — open in chrome://tracing or ui.perfetto.dev",
+        path.display(),
+        json.len(),
+    );
+    Ok(())
+}

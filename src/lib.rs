@@ -22,6 +22,9 @@
 //! * [`explore`] — declarative design-space sweeps: `SweepGrid` →
 //!   `Explorer` → Pareto frontiers, roofline gaps and the named
 //!   Fig. 6/7/8 experiments.
+//! * [`telemetry`] — the observability layer: the deterministic
+//!   virtual-time tracer (Chrome `trace_event` export), mergeable log2
+//!   latency histograms and wall-clock phase profiles.
 //!
 //! # Quickstart
 //!
@@ -49,5 +52,6 @@ pub use maco_mmae as mmae;
 pub use maco_noc as noc;
 pub use maco_serve as serve;
 pub use maco_sim as sim;
+pub use maco_telemetry as telemetry;
 pub use maco_vm as vm;
 pub use maco_workloads as workloads;
