@@ -14,10 +14,19 @@
 //! * `serve_throughput_mt4` — the same trace sharded over 4 OS threads by
 //!   the replica runner (its `speedup_vs_1t` field is wall-clock only;
 //!   per-shard simulated outcomes are bit-identical to single-thread);
+//! * `serve_int8_mixed` — the quantized serving co-simulation: the same
+//!   16-node trace shape under the `TraceConfig::quantized` INT8/FP16
+//!   tenant ladder, all three policies, fingerprinting every schedule so
+//!   the mixed-precision serving path is pinned like the FP32 one;
 //! * `explore_sweep` — a `maco-explore` design-space sweep (nodes ×
 //!   prediction × stash/lock with all four baseline comparators), whose
 //!   sweep fingerprint pins the explorer's simulated outcomes under the
 //!   strict gate exactly like the serving schedules;
+//! * `autotune_sweep` — the roofline autotuner validation sweep
+//!   (`maco_explore::autotune`): at every (precision, size, CCM
+//!   bandwidth) grid point the autotuned tiling is simulated against
+//!   every fixed candidate and asserted unbeaten; the sweep fingerprint
+//!   pins chosen tilings and every simulated makespan;
 //! * `cluster_throughput` — scale-out serving through `maco-cluster`: the
 //!   fleet trace on one 16-node machine vs a 4×4-node fleet at the
 //!   bandwidth-constrained uncore point, with `speedup_vs_one_machine`
@@ -50,7 +59,7 @@ use std::time::Instant;
 
 use maco_cluster::{Cluster, ClusterSpec, FaultSpec};
 use maco_core::system::{MacoSystem, SystemConfig};
-use maco_explore::{Explorer, SweepGrid};
+use maco_explore::{autotune_sweep_full, autotune_sweep_quick, Explorer, SweepGrid};
 use maco_isa::Precision;
 use maco_mmae::kernels::{GemmOperands, GemmScratch};
 use maco_mmae::Mmae;
@@ -81,6 +90,14 @@ fn kernel_bench(precision: Precision, n: usize, reps: u32) -> BenchResult {
     fill_random_matrix(101, n, n, &mut a);
     fill_random_matrix(102, n, n, &mut b);
     fill_random_matrix(103, n, n, &mut c);
+    if precision == Precision::Int8 {
+        // The random fill draws from [-0.5, 0.5), which quantizes to an
+        // all-zero i8 problem; spread it across the full signed range so
+        // the integer kernel does representative work.
+        for m in [&mut a, &mut b, &mut c] {
+            m.iter_mut().for_each(|v| *v *= 254.0);
+        }
+    }
     let mut scratch = GemmScratch::new();
     let mut y = Vec::new();
     let ops = GemmOperands::new(&a, &b, &c, n, n, n);
@@ -109,6 +126,7 @@ fn precision_tag(p: Precision) -> &'static str {
         Precision::Fp64 => "fp64",
         Precision::Fp32 => "fp32",
         Precision::Fp16 => "fp16",
+        Precision::Int8 => "int8",
     }
 }
 
@@ -215,6 +233,51 @@ fn serve_replica_bench(quick: bool, threads: usize) -> (BenchResult, f64) {
     (bench, speedup)
 }
 
+/// Quantized serving co-simulation: the serve-bench trace shape under the
+/// `TraceConfig::quantized` INT8/FP16 tenant ladder, all three policies.
+/// The fingerprint folds the three schedule fingerprints exactly like
+/// `serve_throughput`, so the strict gate pins the mixed-precision
+/// serving path end to end.
+fn serve_int8_bench(quick: bool) -> BenchResult {
+    let config = TraceConfig {
+        tenants: 8,
+        requests: if quick { 10 } else { 16 },
+        layer_cap: if quick { 2 } else { 3 },
+        ..TraceConfig::quantized(0xBE7C)
+    };
+    let trace = trace::generate(&config);
+    let tenants = Tenant::fleet(config.tenants);
+    let mut prof = PhaseProfile::new();
+    let t0 = Instant::now();
+    let mut fp = 0u64;
+    let mut jobs = 0u64;
+    let mut flops = 0u64;
+    for policy in Policy::ALL {
+        let mut server = Server::new(
+            MacoSystem::new(SystemConfig::default()),
+            tenants.clone(),
+            ServeConfig::with_policy(policy),
+        );
+        let report = prof
+            .time("run", || server.run_trace(&trace))
+            .expect("trace completes");
+        fp = fold_bits(fp, report.fingerprint);
+        fp = fold_bits(fp, report.makespan.as_fs());
+        jobs += report.jobs_completed;
+        flops = report.total_flops;
+    }
+    BenchResult {
+        name: "serve_int8_mixed".to_string(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        detail: format!(
+            "16-node INT8/FP16 tenant ladder, {} requests x 3 policies, {jobs} jobs",
+            trace.len()
+        ),
+        fingerprint: format!("{fp:016x}"),
+        extra: format!(", \"total_flops\": {flops}{}", prof.json_fields()),
+    }
+}
+
 /// Design-space sweep through `maco-explore`: node count × prediction ×
 /// stash/lock, every point also running the four baseline comparators. The
 /// bench fingerprint is the sweep fingerprint itself, so the strict gate
@@ -250,6 +313,35 @@ fn explore_bench(quick: bool) -> BenchResult {
         ),
         fingerprint: report.fingerprint_hex(),
         extra: format!(", \"pareto_points\": {frontier}"),
+    }
+}
+
+/// The roofline autotuner validation sweep: every (precision, size, CCM
+/// bandwidth) grid point simulates the autotuned tiling against every
+/// fixed candidate tiling and asserts the autotuned machine is unbeaten
+/// (the tentpole acceptance bar, re-checked on every baseline run, not
+/// just under `cargo test`). The bench fingerprint is the sweep
+/// fingerprint — chosen tilings and all simulated makespans — so the
+/// strict gate pins the model's choices and the machines they drive.
+fn autotune_bench(quick: bool) -> BenchResult {
+    let t0 = Instant::now();
+    let sweep = if quick {
+        autotune_sweep_quick()
+    } else {
+        autotune_sweep_full()
+    };
+    sweep.assert_unbeaten();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let candidates: usize = sweep.points.iter().map(|p| p.candidates.len()).sum();
+    BenchResult {
+        name: "autotune_sweep".to_string(),
+        wall_ms,
+        detail: format!(
+            "{} grid points, {candidates} fixed-candidate sims, autotuned unbeaten everywhere",
+            sweep.points.len()
+        ),
+        fingerprint: format!("{:016x}", sweep.fingerprint),
+        extra: format!(", \"grid_points\": {}", sweep.points.len()),
     }
 }
 
@@ -500,6 +592,7 @@ fn main() {
         kernel_bench(Precision::Fp64, kn, kreps),
         kernel_bench(Precision::Fp32, kn, kreps),
         kernel_bench(Precision::Fp16, kn, kreps),
+        kernel_bench(Precision::Int8, kn, kreps),
     ];
     eprintln!("perf_baseline: timing single-node fig6 sweep {fig6_sizes:?}...");
     results.push(system_bench("single_node_fig6", 1, fig6_sizes));
@@ -511,8 +604,12 @@ fn main() {
     let (mt, speedup) = serve_replica_bench(quick, 4);
     eprintln!("perf_baseline: replica speedup vs 1 thread: {speedup:.2}x");
     results.push(mt);
+    eprintln!("perf_baseline: timing quantized INT8/FP16 serving (3 policies)...");
+    results.push(serve_int8_bench(quick));
     eprintln!("perf_baseline: timing design-space sweep (maco-explore)...");
     results.push(explore_bench(quick));
+    eprintln!("perf_baseline: validating the autotuner sweep (maco-explore)...");
+    results.push(autotune_bench(quick));
     eprintln!("perf_baseline: timing scale-out fleet serving (maco-cluster)...");
     results.push(cluster_bench(quick));
     eprintln!("perf_baseline: timing failover under mid-burst machine kills...");

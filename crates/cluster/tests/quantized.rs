@@ -1,0 +1,72 @@
+//! Mixed-precision fleet serving: the `TraceConfig::quantized` INT8/FP16
+//! tenant mix routed through `maco-cluster`.
+//!
+//! The fleet adds routing, data-parallel splits and failure handling on
+//! top of the per-machine server; none of it may lose flops or
+//! determinism when requests carry per-tenant precisions. 128 cases each
+//! under the vendored proptest.
+
+use proptest::prelude::*;
+
+use maco_cluster::{Cluster, ClusterSpec};
+use maco_isa::Precision;
+use maco_serve::{JobSpec, Tenant};
+use maco_workloads::trace::{self, TraceConfig, TraceRequest};
+
+/// A cheap mixed INT8/FP16 stream on the micro request shapes.
+fn quantized_micro(seed: u64, requests: usize) -> (TraceConfig, Vec<TraceRequest>) {
+    let config = TraceConfig {
+        tenant_precisions: vec![Precision::Int8, Precision::Fp16],
+        ..TraceConfig::micro(seed, requests)
+    };
+    let t = trace::generate(&config);
+    (config, t)
+}
+
+proptest! {
+    /// A mixed INT8/FP16 trace served by a fleet conserves flops exactly
+    /// against the serial per-job sum, whatever the fleet shape.
+    #[test]
+    fn fleet_conserves_mixed_precision_flops_vs_serial(
+        seed in 0u64..1_000_000,
+        requests in 4usize..14,
+        machines in 1usize..4,
+        nodes in 2usize..5,
+    ) {
+        let (config, t) = quantized_micro(seed, requests);
+        let serial: u64 = t.iter().map(|r| JobSpec::from_request(r).flops()).sum();
+        let mut fleet = Cluster::new(
+            ClusterSpec::uniform(machines, nodes),
+            Tenant::fleet(config.tenants),
+        );
+        let report = fleet.run_trace(&t).expect("episode completes");
+        prop_assert_eq!(report.jobs_completed, t.len() as u64);
+        prop_assert_eq!(report.total_flops, serial);
+    }
+
+    /// Same-seed mixed-precision episodes reproduce the fleet schedule
+    /// fingerprint byte for byte on freshly built clusters.
+    #[test]
+    fn fleet_reproduces_mixed_precision_fingerprints_same_seed(
+        seed in 0u64..1_000_000,
+        requests in 4usize..12,
+        machines in 1usize..4,
+    ) {
+        let (config, t) = quantized_micro(seed, requests);
+        let run = |t: &[TraceRequest]| {
+            let mut fleet = Cluster::new(
+                ClusterSpec::uniform(machines, 4),
+                Tenant::fleet(config.tenants),
+            );
+            fleet.run_trace(t).expect("episode completes")
+        };
+        let a = run(&t);
+        let b = run(&t);
+        prop_assert_eq!(a.fingerprint, b.fingerprint);
+        prop_assert_eq!(a.makespan, b.makespan);
+        // Regenerated same-seed trace → same fingerprint end to end.
+        let (_, again) = quantized_micro(seed, requests);
+        let c = run(&again);
+        prop_assert_eq!(a.fingerprint, c.fingerprint, "trace generation drifted");
+    }
+}

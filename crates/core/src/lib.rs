@@ -16,6 +16,10 @@
 //!   (Fig. 5(c)).
 //! * [`group`] — node-group allocation and Fig. 5(a) partitioning onto
 //!   explicit groups, for schedulers that space-share the machine.
+//! * [`autotune`] — the analytic tiling autotuner: prices buffer-feasible
+//!   tilings per (precision, shape, configuration) with the simulator's
+//!   own step-cost structure and picks the cheapest
+//!   ([`MacoBuilder::autotune_tiling`]).
 //! * [`runner`] — a builder-style high-level API for examples and
 //!   harnesses.
 //!
@@ -33,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod autotune;
 pub mod gemm_plus;
 pub mod group;
 pub mod node;
@@ -40,6 +45,7 @@ pub mod physical;
 pub mod runner;
 pub mod system;
 
+pub use autotune::{candidate_tilings, choose_tiling, model_cost_fs};
 pub use gemm_plus::{GemmPlusReport, GemmPlusScratch, GemmPlusTask, ReductionCheckpoint};
 pub use group::{partition_onto, NodePool};
 /// The mapping-layer fault the simulators propagate (re-exported so

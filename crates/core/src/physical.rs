@@ -24,19 +24,20 @@ pub struct UnitPhysical {
     pub power_w: f64,
     /// Fused MAC units.
     pub fmacs: u32,
-    /// SIMD lanes per FMAC at each precision (FP64, FP32, FP16); zero
-    /// means the precision is unsupported.
-    pub lanes: [u32; 3],
+    /// SIMD lanes per FMAC at each precision (FP64, FP32, FP16, INT8);
+    /// zero means the precision is unsupported.
+    pub lanes: [u32; 4],
 }
 
 impl UnitPhysical {
-    /// Theoretical peak in GFLOPS at `precision` (`2 × freq × FMACs ×
-    /// lanes`, Table IV note a).
+    /// Theoretical peak in GFLOPS (GOPS for INT8) at `precision`
+    /// (`2 × freq × FMACs × lanes`, Table IV note a).
     pub fn peak_gflops(&self, precision: Precision) -> Option<f64> {
         let lanes = match precision {
             Precision::Fp64 => self.lanes[0],
             Precision::Fp32 => self.lanes[1],
             Precision::Fp16 => self.lanes[2],
+            Precision::Int8 => self.lanes[3],
         };
         if lanes == 0 {
             None
@@ -89,7 +90,8 @@ impl Default for PhysicalModel {
                 area_mm2: 6.25,
                 power_w: 2.0,
                 fmacs: 8,
-                lanes: [1, 2, 0],
+                // The CPU core has neither FP16 nor INT8 dot units.
+                lanes: [1, 2, 0, 0],
             },
             mmae: UnitPhysical {
                 name: "MMAE",
@@ -97,7 +99,8 @@ impl Default for PhysicalModel {
                 area_mm2: 1.58,
                 power_w: 1.5,
                 fmacs: 16,
-                lanes: [1, 2, 4],
+                // INT8 packs eight lanes per PE datapath (640 GOPS peak).
+                lanes: [1, 2, 4, 8],
             },
             breakdown: MmaeAreaBreakdown {
                 buffers_pct: 36.7,
@@ -193,6 +196,9 @@ mod tests {
         assert!((m.mmae.peak_gflops(Precision::Fp64).unwrap() - 80.0).abs() < 0.01);
         assert!((m.mmae.peak_gflops(Precision::Fp32).unwrap() - 160.0).abs() < 0.01);
         assert!((m.mmae.peak_gflops(Precision::Fp16).unwrap() - 320.0).abs() < 0.01);
+        // The quantized rung continues the 2× ladder: 640 GOPS.
+        assert!((m.mmae.peak_gflops(Precision::Int8).unwrap() - 640.0).abs() < 0.01);
+        assert_eq!(m.cpu.peak_gflops(Precision::Int8), None, "CPU has no INT8");
     }
 
     #[test]

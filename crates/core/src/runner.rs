@@ -197,6 +197,20 @@ impl MacoBuilder {
         self
     }
 
+    /// Replaces the fixed tiling with the autotuner's choice for an
+    /// `m×n×k` GEMM at `precision` on the configuration assembled so far:
+    /// every buffer-feasible candidate is priced with the analytic
+    /// step-cost model ([`crate::autotune::choose_tiling`]) and the
+    /// cheapest wins. Call this *after* the knobs that affect the choice
+    /// (`sa`, `lanes_override`, `ccm_gbps`, `ccm_fanout`, buffer sizes via
+    /// [`MacoBuilder::configure`]) — the choice is a pure function of the
+    /// configuration at the moment of the call. Never panics: if no
+    /// candidate double-buffers, the configured tiling is kept.
+    pub fn autotune_tiling(mut self, m: u64, n: u64, k: u64, precision: Precision) -> Self {
+        self.config.mmae.tiling = crate::autotune::choose_tiling(&self.config, m, n, k, precision);
+        self
+    }
+
     /// Direct access to the full configuration for less common knobs.
     pub fn configure(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
         f(&mut self.config);
@@ -415,6 +429,28 @@ mod tests {
             let maco = Maco::builder().nodes(n).build();
             assert_eq!(maco.system.config().nodes, n);
         }
+    }
+
+    #[test]
+    fn builder_autotunes_per_precision() {
+        // 64 KB arrays: FP64 tops out at 64³ tiles, INT8 reaches 128³.
+        let fp64 = Maco::builder()
+            .nodes(1)
+            .autotune_tiling(1024, 1024, 1024, Precision::Fp64)
+            .build();
+        assert_eq!(fp64.config().mmae.tiling.ttr, 64);
+        let int8 = Maco::builder()
+            .nodes(1)
+            .autotune_tiling(1024, 1024, 1024, Precision::Int8)
+            .build();
+        assert_eq!(int8.config().mmae.tiling.ttr, 128);
+        // An autotuned machine still runs.
+        let mut maco = Maco::builder()
+            .nodes(1)
+            .autotune_tiling(256, 256, 256, Precision::Int8)
+            .build();
+        let r = maco.gemm(256, 256, 256, Precision::Int8).unwrap();
+        assert_eq!(r.nodes.len(), 1);
     }
 
     #[test]

@@ -69,11 +69,12 @@ impl Default for CpuConfig {
 impl CpuConfig {
     /// Theoretical peak in GFLOPS at `precision` (`2 × freq × FMACs`,
     /// FP32/FP16 via 2-way SIMD over the 64-bit FMAC datapaths — Table IV
-    /// reports 35.2 FP64 / 71 FP32).
+    /// reports 35.2 FP64 / 71 FP32). The CPU has no dedicated INT8 dot
+    /// units; quantized epilogues run on the 2-way SIMD paths.
     pub fn peak_gflops(&self, precision: Precision) -> f64 {
         let lanes = match precision {
             Precision::Fp64 => 1.0,
-            Precision::Fp32 | Precision::Fp16 => 2.0,
+            Precision::Fp32 | Precision::Fp16 | Precision::Int8 => 2.0,
         };
         2.0 * self.clock.freq_ghz() * self.fmacs as f64 * lanes
     }

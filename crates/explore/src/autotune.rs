@@ -1,0 +1,226 @@
+//! Autotuner validation sweep: the model's choice replayed against full
+//! simulations of every candidate.
+//!
+//! `maco_core::autotune` prices candidate tilings with an *analytic* model
+//! of the engine's step cost and picks the cheapest. This module is the
+//! ground truth for that choice: for every grid point — (precision, GEMM
+//! size, CCM bandwidth) — it simulates the GEMM once per buffer-feasible
+//! candidate tiling *and* once with the autotuned machine, on fresh
+//! single-node systems, and records whether the autotuned makespan is
+//! unbeaten. [`AutotuneSweepReport::assert_unbeaten`] is the acceptance
+//! check the test suite and the `autotune_sweep` perf scenario pin: the
+//! autotuned tiling must match the best fixed tiling at **every** grid
+//! point (exact `u64` femtosecond comparison — the simulator is
+//! deterministic and the autotuned tiling is itself one of the candidates,
+//! so equality with the per-point minimum is the correctness bar, not a
+//! tolerance band).
+
+use maco_core::autotune::{candidate_tilings, choose_tiling};
+use maco_core::runner::Maco;
+use maco_core::system::SystemConfig;
+use maco_isa::Precision;
+use maco_mmae::config::TilingConfig;
+use maco_sim::{fold_fingerprint, SimDuration};
+
+/// One fixed candidate tiling's simulated outcome at a grid point.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateOutcome {
+    /// The candidate's square second-level tile extent.
+    pub tile: u64,
+    /// Simulated makespan of the GEMM under this fixed tiling.
+    pub makespan: SimDuration,
+}
+
+/// One (precision, size, bandwidth) grid point of the validation sweep.
+#[derive(Debug, Clone)]
+pub struct AutotunePoint {
+    /// Serving precision.
+    pub precision: Precision,
+    /// Square GEMM extent (`m = n = k = size`).
+    pub size: u64,
+    /// Per-slice CCM service bandwidth in GB/s.
+    pub ccm_gbps: f64,
+    /// The tiling the analytic model chose for this point.
+    pub chosen: TilingConfig,
+    /// Simulated makespan of the autotuned machine.
+    pub autotuned: SimDuration,
+    /// Every buffer-feasible fixed candidate, simulated, in the
+    /// autotuner's own (decreasing-extent) candidate order.
+    pub candidates: Vec<CandidateOutcome>,
+}
+
+impl AutotunePoint {
+    /// The best simulated makespan over the fixed candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has no candidates (the sweep never emits such
+    /// a point).
+    pub fn best_fixed(&self) -> SimDuration {
+        self.candidates
+            .iter()
+            .map(|c| c.makespan)
+            .min()
+            .expect("a swept point has candidates")
+    }
+
+    /// True when no fixed candidate beats the autotuned machine.
+    pub fn unbeaten(&self) -> bool {
+        self.autotuned <= self.best_fixed()
+    }
+}
+
+/// The collected validation sweep.
+#[derive(Debug, Clone)]
+pub struct AutotuneSweepReport {
+    /// One row per grid point, in sweep order (bandwidth-major, then
+    /// size, then precision in [`Precision::ALL`] order).
+    pub points: Vec<AutotunePoint>,
+    /// Order-sensitive fold of every point's chosen tile and simulated
+    /// makespans — pins both the model's decisions and the simulator's
+    /// timings.
+    pub fingerprint: u64,
+}
+
+impl AutotuneSweepReport {
+    /// Asserts the autotuned machine is unbeaten at every grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending point's full candidate table if any
+    /// fixed tiling strictly beats the autotuned one.
+    pub fn assert_unbeaten(&self) {
+        for p in &self.points {
+            assert!(
+                p.unbeaten(),
+                "fixed tiling beats autotuned ttr={} at {} {}³ ccm={} GB/s: \
+                 autotuned {} fs vs candidates {:?}",
+                p.chosen.ttr,
+                p.precision,
+                p.size,
+                p.ccm_gbps,
+                p.autotuned.as_fs(),
+                p.candidates
+                    .iter()
+                    .map(|c| (c.tile, c.makespan.as_fs()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    /// The grid point for (`precision`, `size`, `ccm_gbps`), if swept.
+    pub fn point(&self, precision: Precision, size: u64, ccm_gbps: f64) -> Option<&AutotunePoint> {
+        self.points
+            .iter()
+            .find(|p| p.precision == precision && p.size == size && p.ccm_gbps == ccm_gbps)
+    }
+}
+
+fn simulate(precision: Precision, size: u64, ccm_gbps: f64, tiling: TilingConfig) -> SimDuration {
+    let mut maco = Maco::builder()
+        .nodes(1)
+        .ccm_gbps(ccm_gbps)
+        .tiling(tiling)
+        .build();
+    maco.gemm(size, size, size, precision)
+        .expect("system-managed mapping cannot fault")
+        .makespan
+}
+
+/// Runs the validation sweep over `sizes × bandwidths × Precision::ALL`.
+///
+/// Every point builds fresh single-node machines (one per candidate plus
+/// the autotuned one), so the sweep is deterministic and the report
+/// fingerprint pins the whole grid.
+///
+/// # Panics
+///
+/// Panics if `sizes` or `bandwidths` is empty, or on a degenerate
+/// configuration with no buffer-feasible candidate.
+pub fn autotune_sweep(sizes: &[u64], bandwidths: &[f64]) -> AutotuneSweepReport {
+    assert!(
+        !sizes.is_empty() && !bandwidths.is_empty(),
+        "empty sweep grid"
+    );
+    let mut points = Vec::new();
+    for &ccm_gbps in bandwidths {
+        for &size in sizes {
+            for precision in Precision::ALL {
+                let config = SystemConfig {
+                    ccm_gbps,
+                    ..SystemConfig::default()
+                };
+                let chosen = choose_tiling(&config, size, size, size, precision);
+                let candidates: Vec<CandidateOutcome> = candidate_tilings(&config, precision)
+                    .into_iter()
+                    .map(|t| CandidateOutcome {
+                        tile: t.ttr,
+                        makespan: simulate(precision, size, ccm_gbps, t),
+                    })
+                    .collect();
+                assert!(!candidates.is_empty(), "no feasible candidate tiling");
+                let autotuned = simulate(precision, size, ccm_gbps, chosen);
+                points.push(AutotunePoint {
+                    precision,
+                    size,
+                    ccm_gbps,
+                    chosen,
+                    autotuned,
+                    candidates,
+                });
+            }
+        }
+    }
+    let fingerprint = points.iter().fold(0u64, |h, p| {
+        let h = fold_fingerprint(h, p.precision.encode());
+        let h = fold_fingerprint(h, p.size);
+        let h = fold_fingerprint(h, p.ccm_gbps.to_bits());
+        let h = fold_fingerprint(h, p.chosen.ttr);
+        let h = fold_fingerprint(h, p.autotuned.as_fs());
+        p.candidates.iter().fold(h, |h, c| {
+            fold_fingerprint(fold_fingerprint(h, c.tile), c.makespan.as_fs())
+        })
+    });
+    AutotuneSweepReport {
+        points,
+        fingerprint,
+    }
+}
+
+/// The full validation grid the test suite runs: two sizes crossed with
+/// the paper's default CCM bandwidth and a starved knee point, all four
+/// precisions.
+pub fn autotune_sweep_full() -> AutotuneSweepReport {
+    autotune_sweep(&[256, 512], &[4.0, 20.0])
+}
+
+/// The CI-quick grid (one size, both bandwidth points) the
+/// `autotune_sweep` perf scenario pins.
+pub fn autotune_sweep_quick() -> AutotuneSweepReport {
+    autotune_sweep(&[256], &[4.0, 20.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_the_grid_and_is_deterministic() {
+        let a = autotune_sweep_quick();
+        // 1 size × 2 bandwidths × 4 precisions.
+        assert_eq!(a.points.len(), 8);
+        for p in &a.points {
+            assert!(!p.candidates.is_empty());
+            assert!(p.autotuned > SimDuration::ZERO);
+        }
+        assert!(a.point(Precision::Int8, 256, 20.0).is_some());
+        assert!(a.point(Precision::Int8, 1024, 20.0).is_none());
+        let b = autotune_sweep_quick();
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn autotuned_is_unbeaten_on_the_quick_grid() {
+        autotune_sweep_quick().assert_unbeaten();
+    }
+}

@@ -20,6 +20,11 @@
 //!   fingerprint the CI strict gate pins;
 //! * [`figures`] — Fig. 6, Fig. 7 and Fig. 8 as named experiments built on
 //!   the same machinery (`explore::figures::{fig6, fig7, fig8}`);
+//! * [`autotune`] — the autotuner validation sweep: the analytic tiling
+//!   choice (`maco_core::autotune`) replayed against full simulations of
+//!   every candidate tiling, asserting the autotuned machine is unbeaten
+//!   at every (precision, size, bandwidth) grid point (the
+//!   `autotune_sweep` perf scenario pins its fingerprint);
 //! * [`scaling`] — the cluster-size axis: how a fixed node budget carved
 //!   into 1/2/4 machines serves the same trace through `maco-cluster`
 //!   (the scale-out curve the `cluster_throughput` perf scenario pins);
@@ -52,6 +57,7 @@
 
 #![deny(missing_docs)]
 
+pub mod autotune;
 pub mod elasticity;
 pub mod explorer;
 pub mod figures;
@@ -61,6 +67,9 @@ pub mod report;
 pub mod roofline;
 pub mod scaling;
 
+pub use autotune::{
+    autotune_sweep, autotune_sweep_full, autotune_sweep_quick, AutotuneSweepReport,
+};
 pub use elasticity::{availability_sweep, ElasticityPoint, ElasticityReport};
 pub use explorer::{BaselineResult, Explorer, PointResult};
 pub use grid::{SweepGrid, SweepPoint};

@@ -1,0 +1,127 @@
+//! Autotuner properties (vendored proptest, 128 cases each) plus the
+//! full-grid validation sweep.
+//!
+//! The choosing contract: for *any* configuration — square or ragged
+//! systolic arrays, shrunken buffer arrays, starved or generous CCMs —
+//! [`maco_core::autotune::choose_tiling`] returns without panicking, is a
+//! pure function of its inputs, and its pick either double-buffers at the
+//! target precision or is the configured fallback tiling. The full-grid
+//! sweep then replays the model's choices against complete simulations:
+//! no fixed candidate may beat the autotuned machine anywhere.
+
+use proptest::prelude::*;
+
+use maco_core::autotune::{candidate_tilings, choose_tiling, model_cost_fs};
+use maco_core::runner::Maco;
+use maco_core::system::SystemConfig;
+use maco_explore::autotune::autotune_sweep_full;
+use maco_isa::Precision;
+use maco_mmae::buffers::BufferPlan;
+
+const SIZES: [u64; 4] = [33, 96, 256, 1024];
+const BUFFER_BYTES: [u64; 4] = [256, 4096, 65_536, 262_144];
+const CCM_GBPS: [f64; 4] = [0.5, 4.0, 20.0, 64.0];
+
+fn config_from(
+    sa_rows: usize,
+    sa_cols: usize,
+    buffer: usize,
+    ccm_gbps: f64,
+    ccm_fanout: usize,
+) -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    cfg.mmae.sa_rows = sa_rows;
+    cfg.mmae.sa_cols = sa_cols;
+    cfg.mmae.a_buffer_bytes = BUFFER_BYTES[buffer];
+    cfg.mmae.b_buffer_bytes = BUFFER_BYTES[buffer];
+    cfg.mmae.c_buffer_bytes = BUFFER_BYTES[buffer];
+    cfg.ccm_gbps = ccm_gbps;
+    cfg.ccm_fanout = ccm_fanout;
+    cfg
+}
+
+proptest! {
+    /// `choose_tiling` never panics and always returns a runnable choice:
+    /// either a double-buffering candidate or the configured fallback.
+    #[test]
+    fn chosen_tiling_is_always_valid(
+        sa_rows in 1usize..9,
+        sa_cols in 1usize..9,
+        buffer in 0usize..4,
+        ccm in 0usize..4,
+        ccm_fanout in 1usize..6,
+        size in 0usize..4,
+        mi in 0usize..4,
+        precision in 0usize..4,
+    ) {
+        let cfg = config_from(sa_rows, sa_cols, buffer, CCM_GBPS[ccm], ccm_fanout);
+        let p = Precision::ALL[precision];
+        let (m, n, k) = (SIZES[mi], SIZES[size], SIZES[(size + mi) % 4]);
+        let chosen = choose_tiling(&cfg, m, n, k, p);
+        chosen.validate();
+        let feasible = candidate_tilings(&cfg, p);
+        if feasible.contains(&chosen) {
+            let plan = BufferPlan::plan(&cfg.mmae, &chosen, p).expect("candidate plans");
+            prop_assert!(plan.double_buffered);
+        } else {
+            prop_assert_eq!(chosen, cfg.mmae.tiling, "fallback must be the configured tiling");
+            prop_assert!(feasible.is_empty(), "a feasible candidate must win over the fallback");
+        }
+    }
+
+    /// The choice is a pure function of (config, shape, precision), and
+    /// its modeled cost is the candidate minimum.
+    #[test]
+    fn chosen_tiling_is_deterministic_and_attains_the_minimum(
+        sa_rows in 1usize..9,
+        buffer in 1usize..4,
+        ccm in 1usize..3,
+        size in 0usize..4,
+        precision in 0usize..4,
+    ) {
+        let cfg = config_from(sa_rows, sa_rows, buffer, CCM_GBPS[ccm], 4);
+        let p = Precision::ALL[precision];
+        let s = SIZES[size];
+        let chosen = choose_tiling(&cfg, s, s, s, p);
+        prop_assert_eq!(chosen, choose_tiling(&cfg, s, s, s, p));
+        if let Some(best) = candidate_tilings(&cfg, p)
+            .iter()
+            .map(|t| model_cost_fs(&cfg, s, s, s, p, t))
+            .min()
+        {
+            prop_assert_eq!(model_cost_fs(&cfg, s, s, s, p, &chosen), best);
+        }
+    }
+}
+
+/// An autotuned machine runs end to end at every precision (including
+/// partitioned multi-node GEMMs), with the tiling the model picked.
+#[test]
+fn autotuned_machines_run_at_every_precision() {
+    for p in Precision::ALL {
+        let mut maco = Maco::builder()
+            .nodes(2)
+            .autotune_tiling(96, 96, 96, p)
+            .build();
+        let tiling = maco.config().mmae.tiling;
+        assert_eq!(tiling, choose_tiling(maco.config(), 96, 96, 96, p));
+        let report = maco.gemm(96, 96, 96, p).expect("mapped");
+        assert_eq!(report.nodes.len(), 2);
+    }
+}
+
+/// The acceptance sweep: at every (precision, size, bandwidth) grid
+/// point, the autotuned machine's simulated makespan is never beaten by
+/// any fixed candidate tiling.
+#[test]
+fn autotuned_is_unbeaten_across_the_full_grid() {
+    let sweep = autotune_sweep_full();
+    assert_eq!(
+        sweep.points.len(),
+        16,
+        "2 sizes × 2 bandwidths × 4 precisions"
+    );
+    sweep.assert_unbeaten();
+    // And the sweep itself is reproducible.
+    assert_eq!(sweep.fingerprint, autotune_sweep_full().fingerprint);
+}

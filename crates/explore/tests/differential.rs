@@ -19,7 +19,7 @@ use maco_isa::Precision;
 const SIZES: [u64; 3] = [64, 128, 256];
 const CCM_GBPS: [f64; 3] = [10.0, 20.0, 40.0];
 const FANOUT: [usize; 2] = [2, 4];
-const PRECISIONS: [Precision; 3] = [Precision::Fp64, Precision::Fp32, Precision::Fp16];
+const PRECISIONS: [Precision; 4] = Precision::ALL;
 
 proptest! {
     /// Any single sweep point reproduces a direct simulation exactly.
@@ -29,7 +29,7 @@ proptest! {
         size in 0usize..3,
         ccm in 0usize..3,
         fanout in 0usize..2,
-        precision in 0usize..3,
+        precision in 0usize..4,
         prediction in 0u64..2,
         stash_lock in 0u64..2,
     ) {
@@ -85,12 +85,13 @@ fn multi_axis_grid_points_each_match_direct_simulation() {
     let grid = SweepGrid {
         nodes: vec![1, 3],
         sizes: vec![96, 192],
+        precisions: vec![Precision::Fp32, Precision::Int8],
         prediction: vec![true, false],
         ccm_gbps: vec![8.0, 20.0],
         ..SweepGrid::default()
     };
     let sweep = Explorer::new().baselines(false).run(&grid);
-    assert_eq!(sweep.points.len(), 16);
+    assert_eq!(sweep.points.len(), 32);
     for p in &sweep.points {
         let config = SystemConfig {
             nodes: p.point.nodes,

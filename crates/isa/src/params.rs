@@ -404,15 +404,19 @@ mod tests {
     }
 
     #[test]
-    fn gemm_rejects_bad_precision_bits() {
-        let mut regs = GemmParams::new(0, 0, 0, 0, 4, 4, 4, Precision::Fp64)
-            .unwrap()
-            .pack();
-        regs[5] |= 0b11; // precision=3 is unallocated
-        assert!(matches!(
-            GemmParams::unpack(&regs),
-            Err(ParamError::BadPrecision(3))
-        ));
+    fn gemm_precision_bits_roundtrip_all_patterns() {
+        // Every 2-bit precision pattern is allocated (0b11 is Int8), so
+        // overwriting the field with any pattern must decode to the matching
+        // precision and survive a pack/unpack round-trip.
+        for p in Precision::ALL {
+            let mut regs = GemmParams::new(0, 0, 0, 0, 4, 4, 4, Precision::Fp64)
+                .unwrap()
+                .pack();
+            regs[5] = (regs[5] & !0b11) | p.encode();
+            let decoded = GemmParams::unpack(&regs).unwrap();
+            assert_eq!(decoded.precision, p);
+            assert_eq!(GemmParams::unpack(&decoded.pack()).unwrap(), decoded);
+        }
     }
 
     #[test]

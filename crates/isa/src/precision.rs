@@ -3,12 +3,15 @@
 //! The paper extends the classical systolic dataflow with SIMD-like compute
 //! modes (Fig. 2(b–d)): each PE performs one FP64 MAC, two FP32 MACs or four
 //! FP16 MACs per cycle. Peak performance therefore scales as
-//! 80 / 160 / 320 GFLOPS per MMAE (Table IV).
+//! 80 / 160 / 320 GFLOPS per MMAE (Table IV). The reproduction extends the
+//! ladder one rung further with an INT8 quantized mode in the style of the
+//! narrow-datapath exemplar RTL (8-bit operands, 32-bit accumulators):
+//! eight INT8 MACs per PE fill the same 64-bit datapath, for 640 GOPS peak.
 
 use std::fmt;
 use std::str::FromStr;
 
-/// Floating-point precision of a GEMM task.
+/// Compute precision of a GEMM task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Precision {
     /// 64-bit IEEE-754, one MAC per PE per cycle (Fig. 2(b)).
@@ -18,11 +21,19 @@ pub enum Precision {
     Fp32,
     /// 16-bit IEEE-754 binary16, four-way SIMD per PE (Fig. 2(d)).
     Fp16,
+    /// 8-bit signed-integer operands with 32-bit integer accumulation,
+    /// eight-way SIMD per PE (the quantized-serving mode).
+    Int8,
 }
 
 impl Precision {
     /// All precisions, in decreasing width.
-    pub const ALL: [Precision; 3] = [Precision::Fp64, Precision::Fp32, Precision::Fp16];
+    pub const ALL: [Precision; 4] = [
+        Precision::Fp64,
+        Precision::Fp32,
+        Precision::Fp16,
+        Precision::Int8,
+    ];
 
     /// Element size in bytes.
     pub const fn bytes(self) -> u64 {
@@ -30,16 +41,25 @@ impl Precision {
             Precision::Fp64 => 8,
             Precision::Fp32 => 4,
             Precision::Fp16 => 2,
+            Precision::Int8 => 1,
         }
     }
 
-    /// SIMD lanes per processing element (Fig. 2(b–d)).
+    /// SIMD lanes per processing element (Fig. 2(b–d); INT8 packs eight
+    /// lanes into the same 64-bit PE datapath).
     pub const fn lanes(self) -> u64 {
         match self {
             Precision::Fp64 => 1,
             Precision::Fp32 => 2,
             Precision::Fp16 => 4,
+            Precision::Int8 => 8,
         }
+    }
+
+    /// True for the integer (quantized) mode, whose MACs are exact i8×i8
+    /// products accumulated in i32 rather than rounded floating point.
+    pub const fn is_integer(self) -> bool {
+        matches!(self, Precision::Int8)
     }
 
     /// Encodes into the 2-bit field used by [`GemmParams`](crate::params::GemmParams).
@@ -48,16 +68,19 @@ impl Precision {
             Precision::Fp64 => 0,
             Precision::Fp32 => 1,
             Precision::Fp16 => 2,
+            Precision::Int8 => 3,
         }
     }
 
-    /// Decodes from the 2-bit parameter field.
+    /// Decodes from the 2-bit parameter field. Every 2-bit pattern is now
+    /// allocated (`0b11` is INT8), so this never fails for masked input;
+    /// the `Option` return is kept for layout stability of callers.
     pub const fn decode(bits: u64) -> Option<Precision> {
         match bits & 0b11 {
             0 => Some(Precision::Fp64),
             1 => Some(Precision::Fp32),
             2 => Some(Precision::Fp16),
-            _ => None,
+            _ => Some(Precision::Int8),
         }
     }
 }
@@ -68,6 +91,7 @@ impl fmt::Display for Precision {
             Precision::Fp64 => "fp64",
             Precision::Fp32 => "fp32",
             Precision::Fp16 => "fp16",
+            Precision::Int8 => "int8",
         };
         f.write_str(s)
     }
@@ -79,7 +103,11 @@ pub struct ParsePrecisionError(String);
 
 impl fmt::Display for ParsePrecisionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown precision `{}`, expected fp64/fp32/fp16", self.0)
+        write!(
+            f,
+            "unknown precision `{}`, expected fp64/fp32/fp16/int8",
+            self.0
+        )
     }
 }
 
@@ -93,6 +121,7 @@ impl FromStr for Precision {
             "fp64" | "f64" | "double" => Ok(Precision::Fp64),
             "fp32" | "f32" | "single" => Ok(Precision::Fp32),
             "fp16" | "f16" | "half" => Ok(Precision::Fp16),
+            "int8" | "i8" | "quantized" => Ok(Precision::Int8),
             _ => Err(ParsePrecisionError(s.to_string())),
         }
     }
@@ -111,11 +140,27 @@ mod tests {
     }
 
     #[test]
-    fn encode_decode_roundtrip() {
+    fn encode_decode_roundtrip_is_exhaustive() {
+        // Every precision round-trips, and every 2-bit pattern decodes to
+        // exactly one precision that re-encodes to the same bits — the
+        // field has no unallocated patterns left.
         for p in Precision::ALL {
             assert_eq!(Precision::decode(p.encode()), Some(p));
         }
-        assert_eq!(Precision::decode(3), None);
+        for bits in 0u64..4 {
+            let p = Precision::decode(bits).expect("all 2-bit patterns are allocated");
+            assert_eq!(p.encode(), bits);
+        }
+        // Masking: high bits are ignored.
+        assert_eq!(Precision::decode(0b111), Precision::decode(0b11));
+    }
+
+    #[test]
+    fn int8_is_the_only_integer_mode() {
+        assert!(Precision::Int8.is_integer());
+        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            assert!(!p.is_integer());
+        }
     }
 
     #[test]
@@ -123,12 +168,20 @@ mod tests {
         assert_eq!("fp64".parse::<Precision>().unwrap(), Precision::Fp64);
         assert_eq!("F32".parse::<Precision>().unwrap(), Precision::Fp32);
         assert_eq!("half".parse::<Precision>().unwrap(), Precision::Fp16);
+        assert_eq!("int8".parse::<Precision>().unwrap(), Precision::Int8);
+        assert_eq!("I8".parse::<Precision>().unwrap(), Precision::Int8);
         assert!("fp8".parse::<Precision>().is_err());
+        assert!("fp8"
+            .parse::<Precision>()
+            .unwrap_err()
+            .to_string()
+            .contains("int8"));
     }
 
     #[test]
     fn display_names() {
         assert_eq!(Precision::Fp16.to_string(), "fp16");
+        assert_eq!(Precision::Int8.to_string(), "int8");
         assert_eq!(Precision::default(), Precision::Fp64);
     }
 }

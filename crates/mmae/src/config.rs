@@ -155,6 +155,8 @@ mod tests {
         assert!((c.peak_gflops(Precision::Fp64) - 80.0).abs() < 0.01);
         assert!((c.peak_gflops(Precision::Fp32) - 160.0).abs() < 0.01);
         assert!((c.peak_gflops(Precision::Fp16) - 320.0).abs() < 0.01);
+        // INT8 doubles the FP16 lane count: 640 GOPS peak per MMAE.
+        assert!((c.peak_gflops(Precision::Int8) - 640.0).abs() < 0.01);
         assert_eq!(c.total_buffer_bytes(), 192 * 1024);
         assert_eq!(c.pe_count(), 16);
     }
@@ -165,6 +167,7 @@ mod tests {
         assert_eq!(c.macs_per_cycle(Precision::Fp64), 16);
         assert_eq!(c.macs_per_cycle(Precision::Fp32), 32);
         assert_eq!(c.macs_per_cycle(Precision::Fp16), 64);
+        assert_eq!(c.macs_per_cycle(Precision::Int8), 128);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! * **typed inner loops** — FP32/FP16 operands are rounded *once* into
 //!   packed `f32` panels ([`PackScratch`]) instead of per MAC, and the inner
 //!   loops run on `f32` slices (two rounding calls per element total,
-//!   down from `2k` per output element);
+//!   down from `2k` per output element); INT8 operands quantize once into
+//!   `Wrapping<i32>` panels and the inner loops run exact integer MACs;
 //! * **i-k-j loop order** — the inner loop walks one row of B and one row
 //!   of the accumulator with unit stride (the naive j-inner order strides B
 //!   by `n` every step), which is what lets the compiler vectorise;
@@ -22,6 +23,8 @@
 //! Equivalence to the naive triple loop is enforced by
 //! `tests/kernel_equivalence.rs` (bit-identical across all precisions and
 //! edge shapes) on top of the golden-model suite.
+
+use std::num::Wrapping;
 
 use maco_isa::Precision;
 
@@ -61,13 +64,18 @@ impl<'a> GemmOperands<'a> {
 }
 
 /// Packed-operand staging for the typed kernels: FP32/FP16 inputs rounded
-/// once into `f32` panels. Reused across tile passes; grows monotonically
-/// to the largest tile seen and never shrinks.
+/// once into `f32` panels, INT8 inputs quantized once into `i32` panels
+/// (wrapping, so debug and release builds accumulate identically). Reused
+/// across tile passes; grows monotonically to the largest tile seen and
+/// never shrinks.
 #[derive(Debug, Default)]
 pub struct PackScratch {
     a32: Vec<f32>,
     b32: Vec<f32>,
     acc32: Vec<f32>,
+    ai: Vec<Wrapping<i32>>,
+    bi: Vec<Wrapping<i32>>,
+    acci: Vec<Wrapping<i32>>,
 }
 
 /// The reusable arena threaded through `SystolicArray::tile_matmul_with`
@@ -151,6 +159,14 @@ fn to_f16_lane(x: f64) -> f32 {
     f16_bits_to_f32(f32_to_f16_bits(x as f32))
 }
 
+/// Quantizes one `f64` to the symmetric signed-8-bit operand the INT8 PEs
+/// consume: round to nearest, saturate at ±127 (the `-128` code is unused,
+/// as in symmetric quantization schemes). NaN quantizes to 0.
+#[inline]
+fn to_i8_lane(x: f64) -> Wrapping<i32> {
+    Wrapping(x.round().clamp(-127.0, 127.0) as i32)
+}
+
 fn pack_f32(src: &[f64], dst: &mut Vec<f32>) {
     dst.clear();
     dst.extend(src.iter().map(|&x| x as f32));
@@ -159,6 +175,18 @@ fn pack_f32(src: &[f64], dst: &mut Vec<f32>) {
 fn pack_f16(src: &[f64], dst: &mut Vec<f32>) {
     dst.clear();
     dst.extend(src.iter().map(|&x| to_f16_lane(x)));
+}
+
+fn pack_i8(src: &[f64], dst: &mut Vec<Wrapping<i32>>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&x| to_i8_lane(x)));
+}
+
+/// Re-enters INT8 working-precision partials (i32 values held exactly in
+/// `f64` storage) into the accumulator without re-quantization.
+fn pack_i32_verbatim(src: &[f64], dst: &mut Vec<Wrapping<i32>>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&x| Wrapping(x as i32)));
 }
 
 /// Computes `Y = A×B + C` into `y` (`m×n`, any prior contents overwritten)
@@ -197,6 +225,18 @@ pub fn matmul_into(
             kernel_ikj(&pack.a32, &pack.b32, &mut pack.acc32, ops.m, ops.n, ops.k);
             for (yo, &acc) in y.iter_mut().zip(&pack.acc32) {
                 *yo = acc as f64;
+            }
+        }
+        Precision::Int8 => {
+            // Quantized i8 inputs, exact i32 accumulation. Like FP16, the
+            // partial-sum input rounds through the operand precision on
+            // the first pass.
+            pack_i8(ops.a, &mut pack.ai);
+            pack_i8(ops.b, &mut pack.bi);
+            pack_i8(ops.c, &mut pack.acci);
+            kernel_ikj(&pack.ai, &pack.bi, &mut pack.acci, ops.m, ops.n, ops.k);
+            for (yo, &acc) in y.iter_mut().zip(&pack.acci) {
+                *yo = acc.0 as f64;
             }
         }
     }
@@ -246,6 +286,18 @@ pub fn matmul_resume_into(
             kernel_ikj(&pack.a32, &pack.b32, &mut pack.acc32, ops.m, ops.n, ops.k);
             for (yo, &acc) in y.iter_mut().zip(&pack.acc32) {
                 *yo = acc as f64;
+            }
+        }
+        Precision::Int8 => {
+            // Operands quantize through i8; the accumulator resumes from
+            // the i32 working-precision partials verbatim (an i32 value
+            // round-trips f64 → i32 exactly).
+            pack_i8(ops.a, &mut pack.ai);
+            pack_i8(ops.b, &mut pack.bi);
+            pack_i32_verbatim(y, &mut pack.acci);
+            kernel_ikj(&pack.ai, &pack.bi, &mut pack.acci, ops.m, ops.n, ops.k);
+            for (yo, &acc) in y.iter_mut().zip(&pack.acci) {
+                *yo = acc.0 as f64;
             }
         }
     }
@@ -369,6 +421,22 @@ pub fn naive_reference(ops: GemmOperands<'_>, precision: Precision) -> Vec<f64> 
                 }
             }
         }
+        Precision::Int8 => {
+            for i in 0..m {
+                for j in 0..n {
+                    // Exact i32 accumulator over quantized i8 inputs; the
+                    // i8×i8→i32 triple loop the property suite pins the
+                    // packed kernels against.
+                    let mut acc = to_i8_lane(c[i * n + j]);
+                    for l in 0..k {
+                        let av = to_i8_lane(a[i * k + l]);
+                        let bv = to_i8_lane(b[l * n + j]);
+                        acc += av * bv;
+                    }
+                    y[i * n + j] = acc.0 as f64;
+                }
+            }
+        }
     }
     y
 }
@@ -396,7 +464,7 @@ mod tests {
 
     #[test]
     fn optimized_matches_naive_bitwise_all_precisions() {
-        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+        for p in Precision::ALL {
             for &(m, n, k) in &[(4, 4, 4), (5, 6, 7), (16, 12, 20), (1, 1, 1), (9, 3, 33)] {
                 let (y, r) = run_both(m, n, k, p);
                 for (i, (yi, ri)) in y.iter().zip(&r).enumerate() {
@@ -412,7 +480,7 @@ mod tests {
 
     #[test]
     fn ksplit_chain_matches_unsplit_bitwise() {
-        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+        for p in Precision::ALL {
             for splits in [vec![20u64], vec![10, 10], vec![1, 5, 14], vec![7, 13]] {
                 let (m, n, k) = (9, 6, 20);
                 let a = random(11, m * k);
@@ -451,6 +519,21 @@ mod tests {
             to_f16_lane(0.1) as f64,
             "fp16 rounds C through binary16"
         );
+        matmul_into(&mut pack, ops, Precision::Int8, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 1.0, 2.0], "int8 quantizes C to nearest");
+    }
+
+    #[test]
+    fn int8_lane_quantization_saturates_and_rounds() {
+        assert_eq!(to_i8_lane(0.4).0, 0);
+        assert_eq!(to_i8_lane(0.6).0, 1);
+        assert_eq!(to_i8_lane(-0.6).0, -1);
+        assert_eq!(to_i8_lane(126.7).0, 127);
+        assert_eq!(to_i8_lane(1e9).0, 127, "saturates above +127");
+        assert_eq!(to_i8_lane(-1e9).0, -127, "symmetric: -128 is unused");
+        assert_eq!(to_i8_lane(f64::NAN).0, 0, "NaN quantizes to zero");
+        assert_eq!(to_i8_lane(f64::INFINITY).0, 127);
+        assert_eq!(to_i8_lane(f64::NEG_INFINITY).0, -127);
     }
 
     #[test]

@@ -6,23 +6,46 @@
 //! (`c + Σ a·b` in ascending reduction order, at the precision's rounding)
 //! must stay *identical* to the retained naive i-j-l triple loop
 //! ([`maco_mmae::kernels::naive_reference`]). These properties compare them
-//! bit for bit — no tolerance — across all three precisions, random
+//! bit for bit — no tolerance — across all four precisions, random
 //! shapes, and the edge shapes (including an empty reduction) where
-//! register-block remainders and ragged tiles live.
+//! register-block remainders and ragged tiles live. INT8 gets a dedicated
+//! suite on top: operands straddling the ±127 saturation rail, and the
+//! `k`-split resume chain restarted from every span prefix.
 
 use proptest::prelude::*;
 
 use maco_isa::Precision;
 use maco_mmae::config::TilingConfig;
-use maco_mmae::kernels::{naive_reference, GemmOperands, GemmScratch};
+use maco_mmae::kernels::{
+    matmul_into, matmul_ksplit_into, matmul_ksplit_resume_into, naive_reference, GemmOperands,
+    GemmScratch, PackScratch,
+};
 use maco_mmae::{Mmae, MmaeConfig, SystolicArray};
 use maco_sim::SplitMix64;
 
-const PRECISIONS: [Precision; 3] = [Precision::Fp64, Precision::Fp32, Precision::Fp16];
+const PRECISIONS: [Precision; 4] = Precision::ALL;
 
 fn random(seed: u64, len: usize) -> Vec<f64> {
     let mut rng = SplitMix64::new(seed);
     (0..len).map(|_| rng.next_signed_unit() * 4.0).collect()
+}
+
+/// INT8 stress operands: magnitudes spanning [-140, 140] so a fair share
+/// clamps at the ±127 saturation rail, with the exact rail values pinned
+/// at fixed strides (and rounding-boundary halves in between).
+fn random_saturating(seed: u64, len: usize) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len)
+        .map(|i| {
+            let draw = rng.next_signed_unit() * 140.0;
+            match i % 7 {
+                0 => 127.0,
+                3 => -127.0,
+                5 => draw.trunc() + 0.5,
+                _ => draw,
+            }
+        })
+        .collect()
 }
 
 fn assert_bit_identical(y: &[f64], r: &[f64], what: &str) {
@@ -74,6 +97,70 @@ fn tile_kernel_bit_identical_on_empty_reduction() {
     }
 }
 
+/// INT8 edge shapes with operands straddling the saturation rail: the
+/// packed kernel's one-pass quantization must clamp exactly like the
+/// naive reference's per-element quantization, including `k = 0` (C
+/// quantized through i8, nothing accumulated).
+#[test]
+fn int8_edge_shapes_saturate_bit_identically() {
+    let sa = SystolicArray::new(4, 4);
+    let dims = [1usize, 7, 16, 33];
+    for &m in &dims {
+        for &n in &dims {
+            for &k in [0usize, 1, 7, 16, 33].iter() {
+                let a = random_saturating((m * 131 + n) as u64, m * k);
+                let b = random_saturating((n * 137 + k) as u64, k * n);
+                let c = random_saturating((k * 141 + m) as u64, m * n);
+                let y = sa.tile_matmul(&a, &b, &c, m, n, k, Precision::Int8);
+                let r = naive_reference(GemmOperands::new(&a, &b, &c, m, n, k), Precision::Int8);
+                assert_bit_identical(&y, &r, &format!("int8 saturating {m}x{n}x{k}"));
+            }
+        }
+    }
+}
+
+/// INT8 `k`-split chains restarted from **every** span prefix reproduce
+/// the unsplit kernel bit for bit — the recovery path a surviving machine
+/// takes after losing a data-parallel reduction partner. The partial fed
+/// to the resume is itself produced by the chained kernels (exactly what a
+/// checkpoint holds: i32 working-precision partials stored as f64).
+#[test]
+fn int8_ksplit_resume_bit_identical_from_every_prefix() {
+    let mut pack = PackScratch::default();
+    for (m, n, splits) in [
+        (7usize, 5usize, vec![1u64, 4, 2]),
+        (16, 16, vec![8, 8]),
+        (4, 9, vec![3, 3, 3, 3, 3, 3, 3, 3, 3]),
+        (33, 3, vec![16, 17]),
+    ] {
+        let k = splits.iter().sum::<u64>() as usize;
+        let a = random_saturating((m * 31 + k) as u64, m * k);
+        let b = random_saturating((n * 43 + k) as u64, k * n);
+        let c = random_saturating((m * 59 + n) as u64, m * n);
+        let ops = GemmOperands::new(&a, &b, &c, m, n, k);
+
+        let mut unsplit = vec![0.0; m * n];
+        matmul_into(&mut pack, ops, Precision::Int8, &mut unsplit);
+
+        for start in 0..=splits.len() {
+            // The checkpointed partial: the chain over spans `..start`,
+            // itself built with the split kernels on the truncated
+            // reduction.
+            let k0 = splits[..start].iter().sum::<u64>() as usize;
+            let mut y = vec![0.0; m * n];
+            if start > 0 {
+                let a_prefix: Vec<f64> = (0..m)
+                    .flat_map(|r| a[r * k..r * k + k0].iter().copied())
+                    .collect();
+                let prefix = GemmOperands::new(&a_prefix, &b[..k0 * n], &c, m, n, k0);
+                matmul_ksplit_into(&mut pack, prefix, Precision::Int8, &splits[..start], &mut y);
+            }
+            matmul_ksplit_resume_into(&mut pack, ops, Precision::Int8, &splits, start, &mut y);
+            assert_bit_identical(&y, &unsplit, &format!("{m}x{n}x{k} resume@{start}"));
+        }
+    }
+}
+
 proptest! {
     /// Random shapes: the optimized tile kernel is bit-identical to the
     /// naive reference at every precision.
@@ -94,6 +181,37 @@ proptest! {
             for (yi, ri) in y.iter().zip(&r) {
                 prop_assert_eq!(yi.to_bits(), ri.to_bits());
             }
+        }
+    }
+
+    /// Random shapes and seeds, INT8, saturating operands: packed kernel
+    /// versus naive quantized triple loop, plus a random two-way `k`-split
+    /// resumed at the cut.
+    #[test]
+    fn int8_saturating_random_shapes_and_splits(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        cut in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let sa = SystolicArray::new(4, 4);
+        let a = random_saturating(seed, m * k);
+        let b = random_saturating(seed ^ 0x7777, k * n);
+        let c = random_saturating(seed ^ 0x8888, m * n);
+        let ops = GemmOperands::new(&a, &b, &c, m, n, k);
+        let y = sa.tile_matmul(&a, &b, &c, m, n, k, Precision::Int8);
+        let r = naive_reference(ops, Precision::Int8);
+        for (yi, ri) in y.iter().zip(&r) {
+            prop_assert_eq!(yi.to_bits(), ri.to_bits());
+        }
+        let cut = cut % k + 1;
+        let splits = if cut == k { vec![k as u64] } else { vec![cut as u64, (k - cut) as u64] };
+        let mut pack = PackScratch::default();
+        let mut ys = vec![0.0; m * n];
+        matmul_ksplit_into(&mut pack, ops, Precision::Int8, &splits, &mut ys);
+        for (yi, ri) in ys.iter().zip(&r) {
+            prop_assert_eq!(yi.to_bits(), ri.to_bits());
         }
     }
 

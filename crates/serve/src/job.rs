@@ -101,7 +101,9 @@ impl JobSpec {
     }
 
     /// Converts a generated [`TraceRequest`] into a job: each GEMM layer
-    /// becomes a GEMM⁺ layer with the epilogue kernel its class implies.
+    /// becomes a GEMM⁺ layer at the request's serving precision (FP32 for
+    /// every trace family that predates quantized serving) with the
+    /// epilogue kernel its class implies.
     pub fn from_request(request: &TraceRequest) -> Self {
         let layers = request
             .layers
@@ -111,7 +113,7 @@ impl JobSpec {
                     layer.shape.m,
                     layer.shape.n,
                     layer.shape.k,
-                    maco_isa::Precision::Fp32,
+                    request.precision,
                 );
                 if let Some(kernel) = epilogue_kernel(layer.epilogue) {
                     task = task.with_epilogue(kernel);

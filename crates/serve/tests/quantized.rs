@@ -1,0 +1,147 @@
+//! Mixed-precision serving properties: the `TraceConfig::quantized`
+//! family (even tenants INT8, odd tenants FP16) through the server.
+//!
+//! Two invariants ride every property: the served flop total equals the
+//! serial sum over the submitted jobs (gang partitioning and precision
+//! plumbing lose nothing), and same-seed runs reproduce schedule
+//! fingerprints byte for byte — quantized serving must be exactly as
+//! deterministic as the FP32 path it extends.
+
+use proptest::prelude::*;
+
+use maco_core::system::{MacoSystem, SystemConfig};
+use maco_isa::Precision;
+use maco_serve::{JobSpec, Policy, ServeConfig, Server, Tenant};
+use maco_workloads::trace::{self, TraceConfig, TraceRequest};
+
+fn small_system(nodes: usize) -> MacoSystem {
+    MacoSystem::new(SystemConfig {
+        nodes,
+        ..SystemConfig::default()
+    })
+}
+
+/// A cheap mixed INT8/FP16 stream: the micro request shapes (so 128
+/// debug-mode cases stay fast) under the quantized tenant→precision
+/// ladder.
+fn quantized_micro(seed: u64, requests: usize) -> (TraceConfig, Vec<TraceRequest>) {
+    let config = TraceConfig {
+        tenant_precisions: vec![Precision::Int8, Precision::Fp16],
+        ..TraceConfig::micro(seed, requests)
+    };
+    let t = trace::generate(&config);
+    (config, t)
+}
+
+/// The full-size quantized acceptance trace.
+fn quantized_trace() -> (TraceConfig, Vec<TraceRequest>) {
+    let config = TraceConfig {
+        requests: 12,
+        layer_cap: 2,
+        ..TraceConfig::quantized(0x1A7)
+    };
+    let t = trace::generate(&config);
+    (config, t)
+}
+
+proptest! {
+    /// A mixed INT8/FP16 trace conserves flops exactly against the serial
+    /// sum, under every policy, and the tenant attribution covers it.
+    #[test]
+    fn mixed_precision_trace_conserves_flops_vs_serial(
+        seed in 0u64..1_000_000,
+        requests in 4usize..16,
+        nodes in 2usize..6,
+        policy in 0u64..3,
+    ) {
+        let (config, t) = quantized_micro(seed, requests);
+        let serial: u64 = t.iter().map(|r| JobSpec::from_request(r).flops()).sum();
+        let mut server = Server::new(
+            small_system(nodes),
+            Tenant::fleet(config.tenants),
+            ServeConfig::with_policy(Policy::ALL[policy as usize % Policy::ALL.len()]),
+        );
+        let report = server.run_trace(&t).expect("episode completes");
+        prop_assert_eq!(report.jobs_completed, t.len() as u64);
+        prop_assert_eq!(report.total_flops, serial);
+        let per_tenant: u64 = report.tenants.iter().map(|t| t.flops).sum();
+        prop_assert_eq!(per_tenant, serial, "tenant attribution covers everything");
+    }
+
+    /// Same-seed quantized traces reproduce schedule fingerprints byte
+    /// for byte on fresh servers.
+    #[test]
+    fn mixed_precision_same_seed_same_fingerprint(
+        seed in 0u64..1_000_000,
+        requests in 4usize..12,
+        nodes in 2usize..6,
+    ) {
+        let (config, t) = quantized_micro(seed, requests);
+        let run = |t: &[TraceRequest]| {
+            let mut server = Server::new(
+                small_system(nodes),
+                Tenant::fleet(config.tenants),
+                ServeConfig::default(),
+            );
+            server.run_trace(t).expect("episode completes")
+        };
+        let a = run(&t);
+        let b = run(&t);
+        prop_assert_eq!(a.fingerprint, b.fingerprint);
+        prop_assert_eq!(a.makespan, b.makespan);
+        // Regenerating the trace from the same seed reproduces it too.
+        let (_, again) = quantized_micro(seed, requests);
+        let c = run(&again);
+        prop_assert_eq!(a.fingerprint, c.fingerprint, "trace generation drifted");
+    }
+}
+
+/// The quantized family's precision ladder survives the serve plumbing
+/// end to end: every job runs its layers at the submitting tenant's
+/// configured precision, and the trace genuinely mixes INT8 and FP16.
+#[test]
+fn quantized_trace_serves_each_tenant_at_its_configured_precision() {
+    let (config, t) = quantized_trace();
+    let mut saw = [false; 2];
+    for request in &t {
+        let expect = config.precision_for(request.tenant);
+        assert_eq!(request.precision, expect, "tenant {}", request.tenant);
+        let spec = JobSpec::from_request(request);
+        for layer in &spec.layers {
+            assert_eq!(layer.precision, expect);
+        }
+        saw[if expect == Precision::Int8 { 0 } else { 1 }] = true;
+    }
+    assert!(saw[0] && saw[1], "trace must mix INT8 and FP16 tenants");
+
+    let mut server = Server::new(
+        small_system(16),
+        Tenant::fleet(config.tenants),
+        ServeConfig::default(),
+    );
+    let report = server.run_trace(&t).expect("episode completes");
+    assert_eq!(report.jobs_completed, t.len() as u64);
+    assert_eq!(report.jobs_rejected, 0);
+    assert!(report.total_gflops() > 0.0);
+}
+
+/// Precision is a tenant attribute, never an RNG draw: the quantized
+/// trace is field-identical to the plain same-seed trace except for
+/// `precision`, so pre-quantization schedules (arrivals, shapes, gangs)
+/// carry over unchanged.
+#[test]
+fn quantized_trace_only_changes_precision_fields() {
+    let plain = trace::generate(&TraceConfig::default());
+    let quant = trace::generate(&TraceConfig::quantized(TraceConfig::default().seed));
+    assert_eq!(plain.len(), quant.len());
+    for (p, q) in plain.iter().zip(&quant) {
+        assert_eq!(p.tenant, q.tenant);
+        assert_eq!(p.arrival, q.arrival);
+        assert_eq!(p.priority, q.priority);
+        assert_eq!(p.deadline, q.deadline);
+        assert_eq!(p.gang_width, q.gang_width);
+        assert_eq!(p.layers.len(), q.layers.len());
+        assert_eq!(p.precision, Precision::Fp32);
+        assert!(q.precision == Precision::Int8 || q.precision == Precision::Fp16);
+    }
+}

@@ -9,6 +9,7 @@
 //! [`SplitMix64`] (no `ln`/`exp`), so traces are identical across
 //! platforms and libm versions.
 
+use maco_isa::Precision;
 use maco_sim::{SimDuration, SimTime, SplitMix64};
 
 use crate::bert::{bert, BertConfig};
@@ -74,6 +75,9 @@ pub struct TraceRequest {
     pub deadline: Option<SimDuration>,
     /// Requested gang width (number of co-scheduled nodes).
     pub gang_width: usize,
+    /// Compute precision the tenant serves at (a tenant attribute, not a
+    /// random draw — see [`TraceConfig::tenant_precisions`]).
+    pub precision: Precision,
 }
 
 impl TraceRequest {
@@ -107,6 +111,13 @@ pub struct TraceConfig {
     /// Deadline granted to every request, as a multiple of
     /// `mean_interarrival` (None = best-effort tenants).
     pub deadline_factor: Option<u32>,
+    /// Per-tenant serving precisions: tenant `t` serves at
+    /// `tenant_precisions[t % len]`. Empty — the default — means every
+    /// tenant serves at FP32, exactly as before the quantized family
+    /// existed. Precision is derived from the tenant index, **never**
+    /// drawn from the RNG, so non-empty assignments leave every other
+    /// field of the trace byte-identical to the empty-assignment trace.
+    pub tenant_precisions: Vec<Precision>,
 }
 
 impl Default for TraceConfig {
@@ -124,6 +135,7 @@ impl Default for TraceConfig {
             // an SLO a few thousand gaps wide lets light requests meet it
             // and queued-behind-heavy ones miss it.
             deadline_factor: Some(5_000),
+            tenant_precisions: Vec::new(),
         }
     }
 }
@@ -193,6 +205,30 @@ impl TraceConfig {
             model_mix: [0, 0, 0],
             micro_weight: 1,
             deadline_factor: None,
+            tenant_precisions: Vec::new(),
+        }
+    }
+
+    /// The quantized-inference mix (the `serve_int8_mixed` perf scenario):
+    /// the default 8-tenant serving trace with tenants alternating between
+    /// INT8 and FP16 serving — even tenants run quantized, odd tenants at
+    /// half precision. Because precision is a tenant attribute and not a
+    /// random draw, this trace is byte-identical to the default trace in
+    /// every field except `precision`.
+    pub fn quantized(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            tenant_precisions: vec![Precision::Int8, Precision::Fp16],
+            ..TraceConfig::default()
+        }
+    }
+
+    /// The precision tenant `t` serves at under this configuration.
+    pub fn precision_for(&self, tenant: usize) -> Precision {
+        if self.tenant_precisions.is_empty() {
+            Precision::Fp32
+        } else {
+            self.tenant_precisions[tenant % self.tenant_precisions.len()]
         }
     }
 }
@@ -285,6 +321,7 @@ pub fn generate(config: &TraceConfig) -> Vec<TraceRequest> {
                 .deadline_factor
                 .map(|f| SimDuration::from_fs(mean_fs.saturating_mul(f as u64))),
             gang_width: model.default_gang_width(),
+            precision: config.precision_for(tenant),
         });
     }
     out
@@ -449,6 +486,51 @@ mod tests {
             assert_eq!(req.gang_width, 1);
             assert!(req.deadline.is_none());
             assert_eq!(req.flops(), 2 * 64 * 64 * 64);
+        }
+    }
+
+    #[test]
+    fn default_trace_serves_every_tenant_at_fp32() {
+        for req in generate(&TraceConfig::default()) {
+            assert_eq!(req.precision, Precision::Fp32);
+        }
+    }
+
+    #[test]
+    fn quantized_preset_alternates_int8_and_fp16_by_tenant() {
+        let config = TraceConfig::quantized(0x5EED);
+        let trace = generate(&config);
+        let mut seen_int8 = false;
+        let mut seen_fp16 = false;
+        for req in &trace {
+            let expect = if req.tenant % 2 == 0 {
+                Precision::Int8
+            } else {
+                Precision::Fp16
+            };
+            assert_eq!(req.precision, expect, "tenant {}", req.tenant);
+            seen_int8 |= req.precision == Precision::Int8;
+            seen_fp16 |= req.precision == Precision::Fp16;
+        }
+        assert!(seen_int8 && seen_fp16, "both precisions appear in the mix");
+    }
+
+    #[test]
+    fn precision_assignment_never_perturbs_the_rest_of_the_trace() {
+        // Same seed, with and without tenant precisions: every field but
+        // `precision` must be byte-identical (precision is not an RNG
+        // draw, so the quantized family cannot shift existing traces).
+        let plain = generate(&TraceConfig::default());
+        let quant = generate(&TraceConfig::quantized(TraceConfig::default().seed));
+        assert_eq!(plain.len(), quant.len());
+        for (p, q) in plain.iter().zip(&quant) {
+            assert_eq!(p.tenant, q.tenant);
+            assert_eq!(p.arrival, q.arrival);
+            assert_eq!(p.model, q.model);
+            assert_eq!(p.priority, q.priority);
+            assert_eq!(p.layers, q.layers);
+            assert_eq!(p.deadline, q.deadline);
+            assert_eq!(p.gang_width, q.gang_width);
         }
     }
 
