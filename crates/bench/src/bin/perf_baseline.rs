@@ -38,7 +38,13 @@
 //! * `serve_throughput_100k` — the event-core throughput stressor: 10⁵
 //!   all-micro single-layer requests (10⁴ in quick mode) streamed through
 //!   a 4×4-node fleet, asserting near-linear wall-clock scaling in trace
-//!   length (full mode measures 10⁴ vs 10⁵).
+//!   length (full mode measures 10⁴ vs 10⁵);
+//! * `placement_sfc` — the communication-avoiding placement head-to-head
+//!   (`maco_explore::placement`): every tile→node ordering on a partial
+//!   4×4 mesh scored by NoC hop·flits, and `Placement::SfcLocality`
+//!   against the three classic fleet policies scored by attributed
+//!   interconnect bytes per job; the wins are asserted on every run and
+//!   the sweep fingerprint pins both halves under the strict gate.
 //!
 //! Every bench also records a *fingerprint* folding the simulated results
 //! (output bits for kernels, makespans and efficiencies for system runs).
@@ -57,9 +63,11 @@
 
 use std::time::Instant;
 
-use maco_cluster::{Cluster, ClusterSpec, FaultSpec};
+use maco_cluster::{Cluster, ClusterSpec, FaultSpec, Placement};
 use maco_core::system::{MacoSystem, SystemConfig};
+use maco_core::TileOrder;
 use maco_explore::{autotune_sweep_full, autotune_sweep_quick, Explorer, SweepGrid};
+use maco_explore::{placement_sweep, PlacementReport};
 use maco_isa::Precision;
 use maco_mmae::kernels::{GemmOperands, GemmScratch};
 use maco_mmae::Mmae;
@@ -545,6 +553,57 @@ fn throughput_100k_bench(quick: bool) -> BenchResult {
     }
 }
 
+/// The communication-avoiding placement head-to-head: the
+/// `maco-explore` placement sweep (tile→node orderings on a partial 4×4
+/// mesh by NoC hop·flits; `SfcLocality` vs the classic fleet policies by
+/// attributed interconnect bytes per job). Both wins are asserted on
+/// every baseline run — not just under `cargo test` — and the sweep
+/// fingerprint pins every hop·flit count and byte-metric fingerprint
+/// under the strict gate.
+fn placement_bench(quick: bool) -> BenchResult {
+    let trace_config = TraceConfig {
+        requests: if quick { 16 } else { 48 },
+        ..TraceConfig::fleet(if quick { 7 } else { 0xF1EE7 })
+    };
+    let t0 = Instant::now();
+    let report: PlacementReport = placement_sweep(4, &trace_config);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    report.assert_communication_avoiding();
+    let row = report.hop_flits_of(TileOrder::Row).expect("row swept");
+    let hilbert = report
+        .hop_flits_of(TileOrder::Hilbert)
+        .expect("hilbert swept");
+    let sfc = report
+        .bytes_per_job_of(Placement::SfcLocality)
+        .expect("sfc swept");
+    let worst = report
+        .fleet
+        .iter()
+        .map(|p| p.bytes_per_job)
+        .fold(0.0f64, f64::max);
+    let sfc_fp = report
+        .fleet
+        .iter()
+        .find(|p| p.placement == Placement::SfcLocality)
+        .map(|p| p.interconnect_fingerprint)
+        .expect("sfc swept");
+    BenchResult {
+        name: "placement_sfc".to_string(),
+        wall_ms,
+        detail: format!(
+            "hilbert {hilbert} vs row {row} hop·flits; sfc-locality {sfc:.0} vs \
+             worst classic {worst:.0} bytes/job over {} requests",
+            trace_config.requests,
+        ),
+        fingerprint: format!("{:016x}", report.fingerprint),
+        extra: format!(
+            ", \"sfc_interconnect_fingerprint\": \"{sfc_fp:016x}\", \
+             \"hilbert_hop_flits\": {hilbert}, \"row_hop_flits\": {row}, \
+             \"sfc_bytes_per_job\": {sfc:.1}, \"worst_bytes_per_job\": {worst:.1}"
+        ),
+    }
+}
+
 /// Pulls `"field": value` out of the object slice for one bench entry in a
 /// previous report (the format is our own, so a scan is enough).
 fn json_field<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
@@ -616,6 +675,8 @@ fn main() {
     results.push(failover_bench(quick));
     eprintln!("perf_baseline: timing the 100k-request event-core stressor...");
     results.push(throughput_100k_bench(quick));
+    eprintln!("perf_baseline: timing placement head-to-head...");
+    results.push(placement_bench(quick));
 
     let mut mismatches = Vec::new();
     let mut json = String::new();

@@ -61,6 +61,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use maco_core::system::MacoSystem;
+use maco_noc::sfc::hilbert_order;
+use maco_noc::topology::MeshShape;
 use maco_serve::{validate_spec, Engine, JobOutcome, JobSpec, ServeReport, Tenant};
 use maco_sim::{FxHashMap, LatencyBandwidthResource, SimDuration, SimTime};
 use maco_telemetry::{Log2Histogram, TraceSink, ROUTER_TRACK, SCHED_ROW};
@@ -375,6 +377,16 @@ impl Cluster {
             peak_active: ep.peak_active,
             fingerprint: ep.fault_fp,
         };
+        // The byte-metric fingerprint: every job's attributed bytes in
+        // record order, then every machine's total — pinned by the
+        // `placement_sfc` perf scenario.
+        let mut icn_fp = 0u64;
+        for rec in &ep.records {
+            icn_fp = fold_fingerprint(icn_fp, rec.interconnect_bytes);
+        }
+        for &b in &ep.machine_bytes {
+            icn_fp = fold_fingerprint(icn_fp, b);
+        }
         Ok(ClusterReport {
             jobs: ep.records,
             jobs_completed: ep.jobs_completed,
@@ -383,6 +395,8 @@ impl Cluster {
             total_flops: machine_reports.iter().map(|m| m.serve.total_flops).sum(),
             interconnect_bytes: ep.icn.bandwidth().bytes_transferred(),
             interconnect_busy: ep.icn.bandwidth().busy_time(),
+            machine_interconnect_bytes: ep.machine_bytes,
+            interconnect_fingerprint: icn_fp,
             migrations: ep.migrations,
             splits: ep.splits,
             machines: machine_reports,
@@ -464,6 +478,11 @@ struct ReRoute {
     seq: u64,
     rec: usize,
     spec: JobSpec,
+    /// `(source machine, wire bytes)` of the eviction state transfer
+    /// that produced this re-route — attributed (link-weighted) once the
+    /// destination is known in `replace()`. `None` for deferred
+    /// arrivals, which moved no state.
+    xfer: Option<(usize, u64)>,
 }
 
 impl PartialEq for ReRoute {
@@ -525,6 +544,37 @@ impl SlotMap {
     }
 }
 
+/// Ranks `machines` fleet positions along a generalized Hilbert curve
+/// over the near-square grid `cols × rows` with `cols = ⌈√machines⌉`
+/// (machine `m` at grid cell `(m % cols, m / cols)` — rack/row order).
+/// Returns `(rank, order, cols)`: `rank[m]` is machine `m`'s curve
+/// position, `order[r]` the machine at curve position `r`, and `cols`
+/// the grid width (the byte metrics count link crossings on this same
+/// grid). Cells past the last machine are skipped, so rank and order
+/// are permutations of `0..machines`.
+fn fleet_curve(machines: usize) -> (Vec<usize>, Vec<usize>, usize) {
+    let mut cols: usize = 1;
+    while cols * cols < machines {
+        cols += 1;
+    }
+    let rows = machines.div_ceil(cols.max(1)).max(1);
+    let (Ok(c), Ok(r)) = (u8::try_from(cols), u8::try_from(rows)) else {
+        // Fleets beyond a 255-wide grid keep identity order.
+        let id: Vec<usize> = (0..machines).collect();
+        return (id.clone(), id, cols);
+    };
+    let mut rank = vec![0usize; machines];
+    let mut order = Vec::with_capacity(machines);
+    for cell in hilbert_order(MeshShape::new(c, r)) {
+        let m = usize::from(cell.y) * cols + usize::from(cell.x);
+        if m < machines {
+            rank[m] = order.len();
+            order.push(m);
+        }
+    }
+    (rank, order, cols)
+}
+
 /// Mutable router state of one fleet episode.
 struct FleetEpisode {
     icn: LatencyBandwidthResource,
@@ -550,6 +600,21 @@ struct FleetEpisode {
     jobs_rejected: u64,
     migrations: u64,
     splits: u64,
+    /// Per machine: attributed interconnect traffic in byte·link
+    /// crossings over the fleet grid, charged to the transfer's hub —
+    /// the old home for a migration, the scatter / all-reduce anchor,
+    /// the failed machine for an eviction. Sums to the per-job totals
+    /// in `records`.
+    machine_bytes: Vec<u64>,
+    /// Per machine: its rank along the fleet space-filling curve (a
+    /// generalized Hilbert walk of the near-square machine grid). Pure
+    /// precomputed data, consulted only by [`Placement::SfcLocality`].
+    sfc_rank: Vec<usize>,
+    /// Curve position → machine (inverse permutation of `sfc_rank`).
+    sfc_order: Vec<usize>,
+    /// Width of the near-square machine grid behind `sfc_rank` — also
+    /// the topology the byte metrics count link crossings on.
+    grid_cols: usize,
     last_finish: SimTime,
     fingerprint: u64,
 
@@ -638,6 +703,7 @@ impl FleetEpisode {
             });
         }
         events.sort_by_key(|e| e.at);
+        let (sfc_rank, sfc_order, grid_cols) = fleet_curve(machines);
         let scaler = spec.autoscaler;
         let active: Vec<bool> = (0..machines)
             .map(|m| scaler.is_none_or(|a| m < a.min_machines))
@@ -657,6 +723,10 @@ impl FleetEpisode {
             jobs_rejected: 0,
             migrations: 0,
             splits: 0,
+            machine_bytes: vec![0; machines],
+            sfc_rank,
+            sfc_order,
+            grid_cols,
             last_finish: SimTime::ZERO,
             fingerprint: 0,
             faults: VecDeque::from(events),
@@ -729,6 +799,64 @@ impl FleetEpisode {
         } else {
             let service = self.icn.service_time(bytes) * self.bw_div;
             self.icn.access_train(at, service, bytes) + self.icn.latency() * (self.lat_mult - 1)
+        }
+    }
+
+    /// Fleet links a transfer between machines `a` and `b` crosses: the
+    /// Manhattan distance on the near-square machine grid (`grid_cols`
+    /// wide, machine `m` at `(m % cols, m / cols)`) — the same grid the
+    /// SFC walks. The byte *metrics* weight every transfer by this
+    /// factor; the shared-bus *timing* model ([`FleetEpisode::icn_access`])
+    /// stays distance-free, so attribution never moves an event.
+    fn fleet_hops(&self, a: usize, b: usize) -> u64 {
+        let c = self.grid_cols;
+        ((a % c).abs_diff(b % c) + (a / c).abs_diff(b / c)) as u64
+    }
+
+    /// Attributes `link_bytes` byte·link-crossings to job record `rec`
+    /// and its hub machine. Pure bookkeeping: no event moves, so every
+    /// pre-existing fingerprint is unchanged.
+    fn attribute(&mut self, rec: usize, hub: usize, link_bytes: u64) {
+        self.records[rec].interconnect_bytes += link_bytes;
+        self.machine_bytes[hub] += link_bytes;
+    }
+
+    /// Link-crossing bytes of a `total`-byte fan (split scatter or
+    /// all-reduce) between `machines[0]` — the hub — and the remotes:
+    /// the payload is an even per-remote share (remainder spread over
+    /// the first remotes), each share weighted by the links between the
+    /// hub and that remote. Compact fan-outs therefore cross fewer
+    /// links for the same wire bytes.
+    fn fan_link_bytes(&self, total: u64, machines: &[usize]) -> u64 {
+        let Some((&hub, remotes)) = machines.split_first() else {
+            return 0;
+        };
+        if remotes.is_empty() {
+            return 0;
+        }
+        let n = remotes.len() as u64;
+        let (base, rem) = (total / n, total % n);
+        remotes
+            .iter()
+            .enumerate()
+            .map(|(j, &m)| (base + u64::from((j as u64) < rem)) * self.fleet_hops(hub, m))
+            .sum()
+    }
+
+    /// Distance between two machines along the fleet curve (consulted by
+    /// [`Placement::SfcLocality`] only).
+    fn curve_dist(&self, a: usize, b: usize) -> usize {
+        self.sfc_rank[a].abs_diff(self.sfc_rank[b])
+    }
+
+    /// The SFC policy's home machine for `tenant`: its current home if
+    /// that machine can still take work — the home *follows* the weights,
+    /// so a spilled tenant is not dragged back just to migrate out again —
+    /// else the tenant's static curve slot.
+    fn sfc_home(&self, tenant: usize, machines: usize) -> usize {
+        match self.tenant_home[tenant] {
+            Some(h) if self.eligible(h) => h,
+            _ => self.sfc_order[tenant % machines],
         }
     }
 
@@ -820,6 +948,12 @@ impl FleetEpisode {
                 .map(|l| l.k * l.n * l.precision.bytes())
                 .sum();
             let bytes = cspec.interconnect.migration_bytes + weight_bytes;
+            // State transfer is charged exactly once, *here* at eviction;
+            // `replace()` only *attributes* it (the link weight needs the
+            // destination) and adds no wire bytes — deferral costs
+            // waiting, not bytes (differential-tested against a
+            // hand-computed total in `two_kill_storm_bytes_match_the_
+            // hand_computed_total`).
             let effective = self.icn_access(at, bytes);
             self.replaced_bytes += bytes;
             self.jobs_replaced += 1;
@@ -833,6 +967,7 @@ impl FleetEpisode {
                 seq: self.reroute_seq,
                 rec,
                 spec: ej.spec,
+                xfer: Some((i, bytes)),
             }));
             self.reroute_seq += 1;
             latest = latest.max(effective);
@@ -990,6 +1125,7 @@ impl FleetEpisode {
                     requeues: 0,
                     finished_at: None,
                     flops: job.flops(),
+                    interconnect_bytes: 0,
                 },
                 deadline,
             );
@@ -1019,6 +1155,7 @@ impl FleetEpisode {
                     requeues: 0,
                     finished_at: None,
                     flops,
+                    interconnect_bytes: 0,
                 },
                 deadline,
             );
@@ -1035,6 +1172,7 @@ impl FleetEpisode {
                 seq: self.reroute_seq,
                 rec,
                 spec: job,
+                xfer: None,
             }));
             self.reroute_seq += 1;
             return;
@@ -1057,13 +1195,39 @@ impl FleetEpisode {
                 } else {
                     (0..machines).filter(|&m| self.eligible(m)).collect()
                 };
-                order.sort_by_key(|&m| (self.outstanding[m], m));
+                if spec.placement == Placement::SfcLocality {
+                    // Curve-compact fan-out anchored on the tenant's home:
+                    // the anchor stays `targets[0]` (so the home does not
+                    // churn to the least-loaded machine and pay a
+                    // migration on the tenant's next affine job) and the
+                    // remaining parts pack along the curve.
+                    let anchor = self.sfc_home(job.tenant, machines);
+                    order.sort_by_key(|&m| (self.curve_dist(m, anchor), self.outstanding[m], m));
+                } else {
+                    order.sort_by_key(|&m| (self.outstanding[m], m));
+                }
                 let targets: Vec<usize> = order[..split.parts.len()].to_vec();
+                // Link-weighted scatter traffic, attributed to the job
+                // and its anchor machine (the hub the operands fan out
+                // from): a curve-compact fan-out crosses fewer links for
+                // the same wire bytes.
+                let scatter_link = self.fan_link_bytes(split.scatter_bytes, &targets);
                 let effective = if split.scatter_bytes > 0 {
+                    self.machine_bytes[targets[0]] += scatter_link;
                     self.icn_access(job.arrival, split.scatter_bytes)
                 } else {
                     job.arrival
                 };
+                if spec.placement == Placement::SfcLocality {
+                    self.sink.instant(
+                        "place/sfc",
+                        ROUTER_TRACK,
+                        0,
+                        effective,
+                        index as u64,
+                        targets[0] as u32,
+                    );
+                }
                 for (part, &m) in split.parts.into_iter().zip(&targets) {
                     // Built field by field: the part owns its single
                     // layer, so no clone of the parent layer stream.
@@ -1115,6 +1279,7 @@ impl FleetEpisode {
                         requeues: 0,
                         finished_at: None,
                         flops,
+                        interconnect_bytes: scatter_link,
                     },
                     job.deadline,
                 );
@@ -1124,20 +1289,35 @@ impl FleetEpisode {
 
         // Machine-affine placement.
         let m = self.place(spec.placement, machines, job.tenant);
-        let migrated = self.tenant_home[job.tenant].is_some_and(|h| h != m);
+        if spec.placement == Placement::SfcLocality {
+            self.sink.instant(
+                "place/sfc",
+                ROUTER_TRACK,
+                0,
+                job.arrival,
+                index as u64,
+                m as u32,
+            );
+        }
+        let home = self.tenant_home[job.tenant];
+        let migrated = home.is_some_and(|h| h != m);
+        let mut link_bytes = 0;
         let effective = if migrated {
             // The tenant's context and this job's weights move over the
             // interconnect before the job can start on the new machine.
+            // Attributed (link-weighted) to the job and the old home —
+            // the hub the state streams off.
             let weight_bytes: u64 = job
                 .layers
                 .iter()
                 .map(|l| l.k * l.n * l.precision.bytes())
                 .sum();
             self.migrations += 1;
-            self.icn_access(
-                job.arrival,
-                spec.interconnect.migration_bytes + weight_bytes,
-            )
+            let bytes = spec.interconnect.migration_bytes + weight_bytes;
+            let h = home.expect("migrated implies a previous home");
+            link_bytes = bytes * self.fleet_hops(h, m);
+            self.machine_bytes[h] += link_bytes;
+            self.icn_access(job.arrival, bytes)
         } else {
             job.arrival
         };
@@ -1177,6 +1357,7 @@ impl FleetEpisode {
                 requeues: 0,
                 finished_at: None,
                 flops,
+                interconnect_bytes: link_bytes,
             },
             deadline,
         );
@@ -1196,12 +1377,24 @@ impl FleetEpisode {
                 seq: self.reroute_seq,
                 rec: r.rec,
                 spec: r.spec,
+                xfer: r.xfer,
             }));
             self.reroute_seq += 1;
             return;
         }
         let machines = engines.len();
         let m = self.place(spec.placement, machines, r.spec.tenant);
+        if spec.placement == Placement::SfcLocality {
+            self.sink
+                .instant("place/sfc", ROUTER_TRACK, 0, r.at, r.rec as u64, m as u32);
+        }
+        // The eviction's wire bytes were charged at fail(); now that the
+        // destination is known, weight them by the links crossed and
+        // attribute them to the job and the failed (hub) machine.
+        if let Some((src, bytes)) = r.xfer {
+            let link = bytes * self.fleet_hops(src, m);
+            self.attribute(r.rec, src, link);
+        }
         self.tenant_home[r.spec.tenant] = Some(m);
         self.outstanding[m] += r.spec.flops();
         self.push_slot(m, r.at, r.rec);
@@ -1275,6 +1468,20 @@ impl FleetEpisode {
                         home
                     }
                 }
+                Placement::SfcLocality => {
+                    let home = self.sfc_home(tenant, machines);
+                    if self.sfc_overloaded(home, machines) {
+                        // Spill along the curve: the nearest other machine
+                        // (by curve distance, then load) keeps the
+                        // tenant's traffic mesh-compact.
+                        (0..machines)
+                            .filter(|&m| m != home)
+                            .min_by_key(|&m| (self.curve_dist(m, home), self.outstanding[m], m))
+                            .unwrap_or(home)
+                    } else {
+                        home
+                    }
+                }
             };
         }
         let n_elig = self.eligible_count();
@@ -1310,7 +1517,35 @@ impl FleetEpisode {
                     home
                 }
             }
+            Placement::SfcLocality => {
+                let home = self.sfc_home(tenant, machines);
+                if !self.eligible(home) {
+                    // The static curve slot is down/drained: snap to the
+                    // curve-nearest eligible machine.
+                    return (0..machines)
+                        .filter(|&m| self.eligible(m))
+                        .min_by_key(|&m| (self.curve_dist(m, home), self.outstanding[m], m))
+                        .expect("at least one eligible machine");
+                }
+                if self.sfc_overloaded(home, machines) {
+                    (0..machines)
+                        .filter(|&m| self.eligible(m) && m != home)
+                        .min_by_key(|&m| (self.curve_dist(m, home), self.outstanding[m], m))
+                        .unwrap_or(home)
+                } else {
+                    home
+                }
+            }
         }
+    }
+
+    /// [`Placement::SfcLocality`]'s overload test: the home spills when
+    /// its outstanding flops exceed twice the fleet average — the same
+    /// cross-multiplied integer comparison `TenantAffinity { spill: 2 }`
+    /// uses, so the two policies differ only in *where* they spill.
+    fn sfc_overloaded(&self, home: usize, machines: usize) -> bool {
+        let total: u64 = self.outstanding.iter().sum();
+        total > 0 && (self.outstanding[home] as u128 * machines as u128) > (2 * total as u128)
     }
 
     /// Registers one routed job with the machine's [`SlotMap`], mirroring
@@ -1370,6 +1605,13 @@ impl FleetEpisode {
                 // interconnect; the m-split completes with its last part.
                 let red = self.reductions.remove(&rec).expect("present");
                 if red.reduce_bytes > 0 {
+                    // Link-weighted all-reduce traffic, attributed to
+                    // the job and its anchor (first target) machine —
+                    // the hub the partial results stream into.
+                    let parts = std::mem::take(&mut self.records[rec].machines);
+                    let link = self.fan_link_bytes(red.reduce_bytes, &parts);
+                    self.records[rec].machines = parts;
+                    self.attribute(rec, self.records[rec].machines[0], link);
                     self.icn_access(red.end, red.reduce_bytes)
                 } else {
                     red.end
@@ -1458,6 +1700,7 @@ mod tests {
                 requeues: 0,
                 finished_at: None,
                 flops: 100,
+                interconnect_bytes: 0,
             },
             None,
         );
@@ -1494,6 +1737,7 @@ mod tests {
                 requeues: 0,
                 finished_at: None,
                 flops: 100,
+                interconnect_bytes: 0,
             },
             None,
         );

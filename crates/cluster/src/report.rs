@@ -106,6 +106,17 @@ pub struct JobRecord {
     pub finished_at: Option<SimTime>,
     /// Total GEMM flops.
     pub flops: u64,
+    /// Interconnect traffic attributed to this job, in **byte·link
+    /// crossings** over the near-square fleet grid: its migration state
+    /// transfers, split operand scatter, all-reduce combine, and
+    /// eviction state transfers — each charged exactly once, weighted by
+    /// the fleet links between source and destination machine. On a
+    /// fleet whose machines are all one link apart this equals the raw
+    /// wire bytes; in general a byte crossing two links counts twice,
+    /// which is what communication-avoiding placement minimises.
+    /// Summing over jobs gives the same total as
+    /// [`ClusterReport::machine_interconnect_bytes`].
+    pub interconnect_bytes: u64,
 }
 
 impl JobRecord {
@@ -200,11 +211,22 @@ pub struct ClusterReport {
     pub makespan: SimDuration,
     /// Total GEMM flops served across the fleet.
     pub total_flops: u64,
-    /// Bytes moved across the inter-machine interconnect (migrations,
-    /// scatters, reductions).
+    /// Raw wire bytes moved across the inter-machine interconnect
+    /// (migrations, scatters, reductions) — the serialisation/timing
+    /// ledger, independent of which machines the bytes moved between.
     pub interconnect_bytes: u64,
     /// Cumulative interconnect busy time (serialisation only).
     pub interconnect_busy: SimDuration,
+    /// Per-machine attributed interconnect traffic in byte·link
+    /// crossings, in fleet index order, charged to each transfer's hub
+    /// machine (old home of a migration, scatter/all-reduce anchor,
+    /// failed machine of an eviction). Sums to the per-job totals in
+    /// `jobs`; see [`JobRecord::interconnect_bytes`].
+    pub machine_interconnect_bytes: Vec<u64>,
+    /// The byte-metric fingerprint: an order-sensitive fold of every
+    /// job's attributed bytes (arrival order) then every machine's total
+    /// — pinned by the `placement_sfc` perf scenario.
+    pub interconnect_fingerprint: u64,
     /// Cross-machine tenant migrations the router charged.
     pub migrations: u64,
     /// Jobs the router split data-parallel.
@@ -267,6 +289,20 @@ impl ClusterReport {
             1.0
         } else {
             (sum * sum) / (xs.len() as f64 * sq)
+        }
+    }
+
+    /// Mean attributed interconnect traffic (byte·link crossings, see
+    /// [`JobRecord::interconnect_bytes`]) per non-rejected job — the
+    /// communication-avoiding placement figure of merit (lower is
+    /// better at equal served work).
+    pub fn interconnect_bytes_per_job(&self) -> f64 {
+        let routed = self.jobs.len() as u64 - self.jobs_rejected;
+        if routed == 0 {
+            0.0
+        } else {
+            let attributed: u64 = self.jobs.iter().map(|j| j.interconnect_bytes).sum();
+            attributed as f64 / routed as f64
         }
     }
 
@@ -362,6 +398,18 @@ impl ClusterReport {
         ));
         s.push_str(&format!(", \"migrations\": {}", self.migrations));
         s.push_str(&format!(", \"splits\": {}", self.splits));
+        s.push_str(&format!(
+            ", \"interconnect_bytes\": {}",
+            self.interconnect_bytes
+        ));
+        s.push_str(&format!(
+            ", \"interconnect_bytes_per_job\": {:.3}",
+            self.interconnect_bytes_per_job()
+        ));
+        s.push_str(&format!(
+            ", \"interconnect_fingerprint\": \"{:016x}\"",
+            self.interconnect_fingerprint
+        ));
         s.push_str(&format!(", \"failures\": {}", self.fault.failures));
         s.push_str(&format!(
             ", \"jobs_replaced\": {}",
@@ -450,6 +498,13 @@ impl fmt::Display for ClusterReport {
             self.fault.jobs_lost,
             self.fault.availability,
             self.diagnostics.outstanding_clamps,
+        )?;
+        writeln!(
+            f,
+            "interconnect bytes={} bytes_per_job={:.3} fingerprint={:016x}",
+            self.interconnect_bytes,
+            self.interconnect_bytes_per_job(),
+            self.interconnect_fingerprint,
         )?;
         let tenants = self.machines.first().map_or(0, |m| m.serve.tenants.len());
         for t in 0..tenants {

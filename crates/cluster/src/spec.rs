@@ -98,11 +98,22 @@ pub enum Placement {
         /// Overload factor triggering a spill (≥ 1; higher = stickier).
         spill: u32,
     },
+    /// Communication-avoiding placement: machines are ranked along a
+    /// generalized Hilbert space-filling curve over the fleet's
+    /// near-square grid, a tenant's home is its curve position (following
+    /// the weights after any migration, so a spilled tenant is not
+    /// dragged back), overload spills to the curve-nearest machine with
+    /// headroom, and split fan-out stays curve-compact anchored on the
+    /// tenant's home. Minimises migration + scatter/all-reduce bytes;
+    /// compare head-to-head via `maco_explore::placement_sweep`.
+    SfcLocality,
 }
 
 impl Placement {
-    /// The three policies at representative settings, in a stable order
-    /// (benchmarks and tests sweep this).
+    /// The three classic policies at representative settings, in a stable
+    /// order (benchmarks and tests sweep this; the fingerprints pinned
+    /// against it predate [`Placement::SfcLocality`], which is swept
+    /// separately by the placement experiment).
     pub const ALL: [Placement; 3] = [
         Placement::RoundRobin,
         Placement::LeastLoaded,
@@ -115,6 +126,7 @@ impl Placement {
             Placement::RoundRobin => "round-robin",
             Placement::LeastLoaded => "least-loaded",
             Placement::TenantAffinity { .. } => "tenant-affinity",
+            Placement::SfcLocality => "sfc-locality",
         }
     }
 }

@@ -108,6 +108,13 @@ pub fn partition_columns(n: u64, nodes: usize) -> Vec<u64> {
 /// output across nodes along its larger extent (columns for square/wide
 /// outputs, rows for the tall outputs im2col produces), so no node
 /// receives a degenerate sliver.
+///
+/// The uneven-split contract (shared by every partition helper in this
+/// module): parts differ by at most one unit — the remainder goes to
+/// the lowest-indexed nodes — and sum *exactly* to the split extent, so
+/// no output row or column is ever lost to remainder handling.
+/// Zero-size slivers arise only when there are more nodes than extent
+/// units, and those (and only those) are dropped.
 pub fn partition_shapes(m: u64, n: u64, k: u64, nodes: usize) -> Vec<(u64, u64, u64)> {
     let mut shapes = Vec::new();
     partition_shapes_into(m, n, k, nodes, &mut shapes);
@@ -139,6 +146,16 @@ pub fn partition_shapes_into(
             });
         }
     }
+    debug_assert!(
+        {
+            let part = |&(sm, sn, _): &(u64, u64, u64)| if split_cols { sn } else { sm };
+            let sum: u64 = shapes.iter().map(part).sum();
+            let max = shapes.iter().map(part).max().unwrap_or(0);
+            let min = shapes.iter().map(part).min().unwrap_or(0);
+            sum == extent && max - min <= 1
+        },
+        "uneven split must cover the extent exactly in near-equal parts"
+    );
 }
 
 /// Splits a reduction extent `k` into at most `ways` consecutive non-empty
@@ -152,10 +169,16 @@ pub fn partition_depth(k: u64, ways: usize) -> Vec<u64> {
     let ways = (ways as u64).max(1);
     let base = k / ways;
     let extra = k % ways;
-    (0..ways)
+    let spans: Vec<u64> = (0..ways)
         .map(|i| base + u64::from(i < extra))
         .filter(|&d| d > 0)
-        .collect()
+        .collect();
+    debug_assert!(
+        spans.iter().sum::<u64>() == k
+            && spans.iter().max().unwrap_or(&0) - spans.iter().min().unwrap_or(&0) <= 1,
+        "uneven split must cover the extent exactly in near-equal spans"
+    );
+    spans
 }
 
 /// Splits one GEMM⁺ layer into data-parallel machine parts along the
@@ -462,6 +485,53 @@ mod tests {
             task.flops()
         );
         assert!(msplit.iter().all(|p| p.k == task.k && p.n == task.n));
+    }
+
+    /// The uneven-split contract, swept over every non-dividing
+    /// `(nodes, extent)` shape: m- and k-splits conserve flops exactly,
+    /// parts differ by at most one unit, sum exactly to the extent, and
+    /// only zero-size slivers (nodes > extent) are ever dropped.
+    #[test]
+    fn uneven_splits_conserve_flops_on_every_shape() {
+        for nodes in 1..17usize {
+            for extent in [1u64, 7, 33, 128] {
+                let near_equal = |parts: &[u64], whole: u64| {
+                    assert_eq!(parts.iter().sum::<u64>(), whole, "{nodes}x{extent}");
+                    let (max, min) = (parts.iter().max().unwrap(), parts.iter().min().unwrap());
+                    assert!(max - min <= 1, "{nodes}x{extent}: ragged split");
+                    assert!(*min > 0, "{nodes}x{extent}: zero sliver kept");
+                    assert_eq!(parts.len(), nodes.min(whole as usize), "{nodes}x{extent}");
+                };
+
+                let task = GemmPlusTask::gemm(64, 64, extent, Precision::Fp32);
+                let ksplit = split_task_k(&task, nodes);
+                assert_eq!(
+                    ksplit.iter().map(GemmPlusTask::flops).sum::<u64>(),
+                    task.flops(),
+                    "{nodes}-way k-split of k={extent} lost flops"
+                );
+                near_equal(&ksplit.iter().map(|p| p.k).collect::<Vec<_>>(), extent);
+
+                let task = GemmPlusTask::gemm(extent, 64, 64, Precision::Fp32);
+                let msplit = split_task_m(&task, nodes);
+                assert_eq!(
+                    msplit.iter().map(GemmPlusTask::flops).sum::<u64>(),
+                    task.flops(),
+                    "{nodes}-way m-split of m={extent} lost flops"
+                );
+                near_equal(&msplit.iter().map(|p| p.m).collect::<Vec<_>>(), extent);
+
+                // Fig. 5(a) node partitions of wide and tall outputs: the
+                // split extent is covered exactly in both orientations.
+                let wide = partition_shapes(1, extent, 8, nodes);
+                near_equal(&wide.iter().map(|&(_, n, _)| n).collect::<Vec<_>>(), extent);
+                assert!(wide.iter().all(|&(m, _, k)| m == 1 && k == 8));
+                let tall_m = extent.max(2);
+                let tall = partition_shapes(tall_m, 1, 8, nodes);
+                near_equal(&tall.iter().map(|&(m, _, _)| m).collect::<Vec<_>>(), tall_m);
+                assert!(tall.iter().all(|&(_, n, k)| n == 1 && k == 8));
+            }
+        }
     }
 
     #[test]

@@ -123,9 +123,16 @@ impl NodePool {
 }
 
 /// Partitions an `m×n×k` GEMM across the members of `group` per Fig. 5(a):
-/// the output's larger extent is split as evenly as possible, degenerate
-/// slivers are dropped, and the j-th slice is assigned to `group[j]`.
-/// Returns `(node, (m, n, k))` pairs; at most `group.len()` of them.
+/// the output's larger extent is split as evenly as possible and the j-th
+/// slice is assigned to `group[j]`. Returns `(node, (m, n, k))` pairs; at
+/// most `group.len()` of them.
+///
+/// "Degenerate slivers are dropped" means *zero-size* parts only — they
+/// arise exactly when the group has more members than the split extent
+/// has units, leaving the tail of the group idle for that layer. Uneven
+/// remainders are **not** dropped: slice extents differ by at most one
+/// and sum exactly to the split extent, so every output element is
+/// assigned (the contract of [`crate::gemm_plus::partition_shapes`]).
 pub fn partition_onto(m: u64, n: u64, k: u64, group: &[usize]) -> Vec<(usize, (u64, u64, u64))> {
     let mut shapes = Vec::new();
     partition_shapes_into(m, n, k, group.len(), &mut shapes);

@@ -48,6 +48,9 @@ pub mod system;
 pub use autotune::{candidate_tilings, choose_tiling, model_cost_fs};
 pub use gemm_plus::{GemmPlusReport, GemmPlusScratch, GemmPlusTask, ReductionCheckpoint};
 pub use group::{partition_onto, NodePool};
+/// The tile→node placement knob (re-exported so layers above `maco-core`
+/// can sweep orderings without a `maco-noc` dependency).
+pub use maco_noc::sfc::TileOrder;
 /// The mapping-layer fault the simulators propagate (re-exported so
 /// layers above `maco-core` can name it without a `maco-vm` dependency).
 pub use maco_vm::page_table::TranslateFault;

@@ -22,6 +22,7 @@
 
 use maco_isa::Precision;
 use maco_mmae::config::TilingConfig;
+use maco_noc::sfc::TileOrder;
 use maco_noc::topology::MeshShape;
 use maco_vm::page_table::TranslateFault;
 
@@ -33,9 +34,10 @@ use crate::system::{MacoSystem, SystemConfig, SystemReport};
 /// Every architectural knob the paper's evaluation sweeps — node count,
 /// CCM service bandwidth and fan-out, mesh dimensions, DRAM channels,
 /// MMAE geometry/tiling, predictive translation and the stash & lock
-/// mapping scheme — is settable here, and each setter validates its
-/// argument immediately rather than deferring the failure to
-/// [`MacoBuilder::build`].
+/// mapping scheme — is settable here, and each setter validates its own
+/// argument immediately. The one *cross-knob* constraint (the node count
+/// must fit the mesh) is checked in [`MacoBuilder::build`], so `.nodes()`
+/// and `.mesh()` compose in any order.
 ///
 /// ```
 /// use maco_core::runner::Maco;
@@ -170,19 +172,26 @@ impl MacoBuilder {
 
     /// Sets the mesh fabric dimensions (`cols × rows` routers).
     ///
+    /// The node count is *not* checked here: `.mesh()` and `.nodes()` may
+    /// be called in either order, and [`MacoBuilder::build`] verifies the
+    /// pair is consistent (shrinking the mesh used to require calling
+    /// `.nodes()` first — an ordering footgun).
+    ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero, or if the already-configured node
-    /// count no longer fits the shrunken mesh.
+    /// Panics if either dimension is zero.
     pub fn mesh(mut self, cols: u8, rows: u8) -> Self {
         assert!(cols > 0 && rows > 0, "degenerate {cols}x{rows} mesh");
-        let shape = MeshShape::new(cols, rows);
-        assert!(
-            self.config.nodes <= shape.node_count(),
-            "{} nodes do not fit a {cols}x{rows} mesh",
-            self.config.nodes
-        );
-        self.config.fabric.shape = shape;
+        self.config.fabric.shape = MeshShape::new(cols, rows);
+        self
+    }
+
+    /// Sets how logical node indices map onto mesh positions
+    /// ([`TileOrder::Row`] by default — the historical row-major
+    /// assignment; `Morton`/`Hilbert` pack active nodes into
+    /// mesh-compact blocks, reducing `noc.hop_flits` on partial meshes).
+    pub fn tile_order(mut self, order: TileOrder) -> Self {
+        self.config.tile_order = order;
         self
     }
 
@@ -218,7 +227,21 @@ impl MacoBuilder {
     }
 
     /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured node count does not fit the configured
+    /// mesh — the one cross-knob constraint, checked here so `.nodes()`
+    /// and `.mesh()` compose in any order.
     pub fn build(self) -> Maco {
+        let shape = self.config.fabric.shape;
+        assert!(
+            self.config.nodes <= shape.node_count(),
+            "{} nodes do not fit a {}x{} mesh: lower .nodes(..) or enlarge .mesh(..)",
+            self.config.nodes,
+            shape.cols,
+            shape.rows
+        );
         Maco {
             system: MacoSystem::new(self.config),
         }
@@ -365,7 +388,35 @@ mod tests {
     #[test]
     #[should_panic(expected = "16 nodes do not fit a 2x2 mesh")]
     fn builder_rejects_mesh_smaller_than_the_node_count() {
-        let _ = Maco::builder().nodes(16).mesh(2, 2);
+        let _ = Maco::builder().nodes(16).mesh(2, 2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "16 nodes do not fit a 2x2 mesh")]
+    fn builder_rejects_inconsistent_knobs_in_mesh_first_order_too() {
+        let _ = Maco::builder().mesh(2, 2).build();
+    }
+
+    #[test]
+    fn builder_mesh_and_nodes_compose_in_either_order() {
+        // Shrinking the mesh before lowering the node count used to panic
+        // inside `.mesh()`; the consistency check now lives in `.build()`.
+        let a = Maco::builder().mesh(2, 2).nodes(4).build();
+        let b = Maco::builder().nodes(4).mesh(2, 2).build();
+        assert_eq!(a.config().fabric.shape, b.config().fabric.shape);
+        assert_eq!(a.config().nodes, b.config().nodes);
+    }
+
+    #[test]
+    fn builder_tile_order_reaches_the_config() {
+        use maco_noc::sfc::TileOrder;
+        let maco = Maco::builder()
+            .nodes(4)
+            .tile_order(TileOrder::Hilbert)
+            .build();
+        assert_eq!(maco.config().tile_order, TileOrder::Hilbert);
+        // Default stays row-major so existing fingerprints are untouched.
+        assert_eq!(Maco::builder().build().config().tile_order, TileOrder::Row);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use maco_mmae::tiling::{block_passes, tiles_into, BlockPass, Tile};
 use maco_mmae::translate::{PassKey, StreamTranslation, TranslationContext, TranslationMemo};
 use maco_mmae::Mmae;
 use maco_noc::fabric::{FabricConfig, MeshFabric};
+use maco_noc::sfc::TileOrder;
 use maco_noc::topology::NodeId;
 use maco_sim::{FxHashMap, LatencyBandwidthResource, SimDuration, SimTime, Stats};
 use maco_vm::matlb::Matlb;
@@ -33,7 +34,8 @@ use maco_vm::{PhysAddr, VirtAddr, PAGE_SIZE};
 /// Full-system configuration.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
-    /// Active compute nodes (1..=16), placed row-major on the mesh.
+    /// Active compute nodes (1..=16), placed on the mesh in the order
+    /// [`SystemConfig::tile_order`] dictates (row-major by default).
     pub nodes: usize,
     /// Per-node MMAE configuration.
     pub mmae: MmaeConfig,
@@ -77,6 +79,13 @@ pub struct SystemConfig {
     /// `false` forces every node to replay every stream (the equivalence
     /// tests run both).
     pub translation_mirror: bool,
+    /// How logical node indices map onto mesh positions.
+    /// [`TileOrder::Row`] (the default) reproduces the historical
+    /// row-major assignment bit for bit; Morton/Hilbert pack active
+    /// nodes into mesh-compact blocks so partial meshes (< 16 nodes)
+    /// cross fewer links per CCM access (communication-avoiding
+    /// placement — see `noc.hop_flits` in the stats snapshot).
+    pub tile_order: TileOrder,
 }
 
 impl Default for SystemConfig {
@@ -99,6 +108,7 @@ impl Default for SystemConfig {
             walk_read: SimDuration::from_ps(1_550),
             dma_mshr: 4,
             translation_mirror: true,
+            tile_order: TileOrder::Row,
         }
     }
 }
@@ -231,6 +241,9 @@ impl MacoSystem {
             "more nodes than mesh positions"
         );
         let slices = config.l3.slices;
+        // `TileOrder::Row` here is `shape.node_at(i)` bit for bit, so the
+        // default placement (and every pinned fingerprint) is unchanged.
+        let placement = config.tile_order.ordering(config.fabric.shape);
         let nodes = (0..config.nodes)
             .map(|i| NodeState {
                 cpu: CpuCore::new(config.cpu),
@@ -238,7 +251,7 @@ impl MacoSystem {
                 matlb: Matlb::new(config.mmae.matlb_entries),
                 stq: SlaveTaskQueue::new(config.mmae.stq_entries),
                 asid: Asid::new(i as u16 + 1),
-                pos: config.fabric.shape.node_at(i),
+                pos: placement[i],
             })
             .collect();
         let count = config.fabric.shape.node_count();
@@ -316,6 +329,7 @@ impl MacoSystem {
         s.add("dram.bytes", self.dram.bytes());
         s.add("noc.sends", self.fabric.sends());
         s.add("noc.bytes", self.fabric.bytes());
+        s.add("noc.hop_flits", self.fabric.hop_flits());
         s.add(
             "ccm.bytes",
             self.ccms

@@ -31,7 +31,12 @@
 //! * [`elasticity`] — the availability axis: spare machines swept against
 //!   a fixed seeded failure storm (`availability_sweep`), quantifying
 //!   what overprovisioning buys in availability/goodput at zero lost
-//!   jobs.
+//!   jobs;
+//! * [`placement`] — the communication-avoiding placement head-to-head:
+//!   every `TileOrder` on a partial mesh scored by NoC hop·flits, and
+//!   `Placement::SfcLocality` against the classic fleet policies scored
+//!   by attributed interconnect bytes per job (the `placement_sfc` perf
+//!   scenario pins its fingerprint).
 //!
 //! # Example
 //!
@@ -63,6 +68,7 @@ pub mod explorer;
 pub mod figures;
 pub mod grid;
 pub mod pareto;
+pub mod placement;
 pub mod report;
 pub mod roofline;
 pub mod scaling;
@@ -73,6 +79,7 @@ pub use autotune::{
 pub use elasticity::{availability_sweep, ElasticityPoint, ElasticityReport};
 pub use explorer::{BaselineResult, Explorer, PointResult};
 pub use grid::{SweepGrid, SweepPoint};
+pub use placement::{placement_sweep, FleetPlacementPoint, MeshOrderPoint, PlacementReport};
 pub use report::SweepReport;
 pub use roofline::{roofline, RooflineBound};
 pub use scaling::{cluster_scaling, ClusterScalePoint, ClusterScalingReport};

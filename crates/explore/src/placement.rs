@@ -1,0 +1,239 @@
+//! The placement axis: communication-avoiding assignment, head-to-head.
+//!
+//! Two halves of the same question — where should work land so its
+//! traffic crosses the fewest links? — at the two scales the stack
+//! schedules:
+//!
+//! * **mesh half** — the Fig. 5(a) tile→node assignment swept over
+//!   [`TileOrder::ALL`] on a *partial* mesh (a few active nodes of a
+//!   4×4 fabric), scoring NoC hop·flit traffic (`noc.hop_flits`). The
+//!   win comes from packing the active subset into a mesh-compact
+//!   block instead of a row-major line.
+//! * **fleet half** — [`Placement::SfcLocality`] against the three
+//!   classic policies on the bandwidth-constrained fleet, scoring
+//!   attributed interconnect bytes per job (byte·link crossings over
+//!   the machine grid; see `maco_cluster::JobRecord::interconnect_bytes`).
+//!
+//! The `placement_sfc` perf scenario pins this sweep's fingerprint.
+
+use maco_cluster::{Cluster, ClusterSpec, Placement, SplitKind, SplitSpec};
+use maco_core::{Maco, TileOrder};
+use maco_isa::Precision;
+use maco_serve::Tenant;
+use maco_sim::{fold_fingerprint, SimDuration};
+use maco_workloads::trace::{self, TraceConfig};
+
+/// One tile ordering's outcome on the partial mesh.
+#[derive(Debug, Clone)]
+pub struct MeshOrderPoint {
+    /// The tile→node ordering.
+    pub order: TileOrder,
+    /// NoC hop·flit traffic of the workload (Σ manhattan-hops × bytes).
+    pub hop_flits: u64,
+    /// Wire bytes on the NoC — identical across orderings (placement
+    /// changes distances, never payloads).
+    pub noc_bytes: u64,
+    /// Workload makespan under this ordering.
+    pub makespan: SimDuration,
+}
+
+/// One fleet policy's outcome on the bandwidth-constrained fleet.
+#[derive(Debug, Clone)]
+pub struct FleetPlacementPoint {
+    /// The job→machine policy.
+    pub placement: Placement,
+    /// Attributed interconnect traffic per routed job, in byte·link
+    /// crossings (the communication-avoiding figure of merit).
+    pub bytes_per_job: f64,
+    /// Raw wire bytes over the shared interconnect.
+    pub wire_bytes: u64,
+    /// Cross-machine tenant migrations charged.
+    pub migrations: u64,
+    /// Jobs split data-parallel.
+    pub splits: u64,
+    /// Fleet makespan.
+    pub makespan: SimDuration,
+    /// The episode's byte-metric fingerprint.
+    pub interconnect_fingerprint: u64,
+}
+
+/// The collected head-to-head placement sweep.
+#[derive(Debug, Clone)]
+pub struct PlacementReport {
+    /// One row per [`TileOrder`], in `TileOrder::ALL` order.
+    pub mesh: Vec<MeshOrderPoint>,
+    /// One row per fleet policy: the three classics then `SfcLocality`.
+    pub fleet: Vec<FleetPlacementPoint>,
+    /// Order-sensitive fold of every mesh hop·flit count and every fleet
+    /// byte-metric fingerprint.
+    pub fingerprint: u64,
+}
+
+impl PlacementReport {
+    /// Hop·flit traffic under `order`, if swept.
+    pub fn hop_flits_of(&self, order: TileOrder) -> Option<u64> {
+        self.mesh
+            .iter()
+            .find(|p| p.order == order)
+            .map(|p| p.hop_flits)
+    }
+
+    /// Attributed bytes per job under `placement`, if swept.
+    pub fn bytes_per_job_of(&self, placement: Placement) -> Option<f64> {
+        self.fleet
+            .iter()
+            .find(|p| p.placement == placement)
+            .map(|p| p.bytes_per_job)
+    }
+
+    /// The communication-avoiding claims, checked: Hilbert moves
+    /// strictly fewer hop·flits than row order on the partial mesh, and
+    /// `SfcLocality` attributes strictly fewer bytes per job than every
+    /// classic policy on the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the offending numbers) if either claim fails.
+    pub fn assert_communication_avoiding(&self) {
+        let row = self.hop_flits_of(TileOrder::Row).expect("row swept");
+        let hilbert = self
+            .hop_flits_of(TileOrder::Hilbert)
+            .expect("hilbert swept");
+        assert!(
+            hilbert < row,
+            "Hilbert must move strictly fewer hop·flits than row order \
+             ({hilbert} vs {row})"
+        );
+        let sfc = self
+            .bytes_per_job_of(Placement::SfcLocality)
+            .expect("sfc swept");
+        for p in &self.fleet {
+            if p.placement == Placement::SfcLocality {
+                continue;
+            }
+            assert!(
+                sfc < p.bytes_per_job,
+                "SfcLocality must attribute strictly fewer bytes/job than {} \
+                 ({sfc:.1} vs {:.1})",
+                p.placement.name(),
+                p.bytes_per_job,
+            );
+        }
+    }
+}
+
+/// The fleet the head-to-head runs on: eight 4-node machines on the
+/// bandwidth-constrained design point, with 4-way k-splits so a compact
+/// fan-out has room to beat a scattered one (full-fleet fans tie by
+/// construction — every machine is a target).
+pub fn head_to_head_fleet(placement: Placement) -> ClusterSpec {
+    ClusterSpec::bandwidth_constrained(8, 4)
+        .with_split(SplitSpec::new(SplitKind::KSplit, 1_000_000_000, 4))
+        .with_placement(placement)
+}
+
+/// Runs the head-to-head placement sweep.
+///
+/// The mesh half builds one machine per [`TileOrder`] — `active_nodes`
+/// of a 4×4 mesh — and runs a 4-layer GEMM⁺ stream partitioned across
+/// the active nodes. The fleet half serves the trace `trace_config`
+/// generates through [`head_to_head_fleet`] under each policy.
+/// Deterministic point to point (each machine and fleet is built
+/// fresh), so the report fingerprint pins the whole comparison.
+///
+/// # Panics
+///
+/// Panics if `active_nodes` is not in `1..=16`, or propagates a fleet
+/// episode's error (the system-managed mapping cannot fault for
+/// generated traces).
+pub fn placement_sweep(active_nodes: usize, trace_config: &TraceConfig) -> PlacementReport {
+    let mut fingerprint = 0u64;
+    let mut mesh = Vec::new();
+    for order in TileOrder::ALL {
+        let mut maco = Maco::builder()
+            .nodes(active_nodes)
+            .mesh(4, 4)
+            .tile_order(order)
+            .build();
+        let layers: Vec<_> = (0..4)
+            .map(|_| maco_core::GemmPlusTask::gemm(256, 1024, 256, Precision::Fp32))
+            .collect();
+        let report = maco
+            .dnn(&layers)
+            .expect("system-managed mapping cannot fault");
+        let stats = maco.system_mut().stats_snapshot();
+        let point = MeshOrderPoint {
+            order,
+            hop_flits: stats.get("noc.hop_flits"),
+            noc_bytes: stats.get("noc.bytes"),
+            makespan: report.elapsed,
+        };
+        fingerprint = fold_fingerprint(fingerprint, point.hop_flits);
+        mesh.push(point);
+    }
+
+    let tenants = Tenant::fleet(trace_config.tenants);
+    let requests = trace::generate(trace_config);
+    let mut fleet = Vec::new();
+    for placement in [
+        Placement::RoundRobin,
+        Placement::LeastLoaded,
+        Placement::TenantAffinity { spill: 2 },
+        Placement::SfcLocality,
+    ] {
+        let mut cluster = Cluster::new(head_to_head_fleet(placement), tenants.clone());
+        let report = cluster
+            .run_trace(&requests)
+            .expect("system-managed mapping cannot fault");
+        let point = FleetPlacementPoint {
+            placement,
+            bytes_per_job: report.interconnect_bytes_per_job(),
+            wire_bytes: report.interconnect_bytes,
+            migrations: report.migrations,
+            splits: report.splits,
+            makespan: report.makespan,
+            interconnect_fingerprint: report.interconnect_fingerprint,
+        };
+        fingerprint = fold_fingerprint(fingerprint, point.interconnect_fingerprint);
+        fleet.push(point);
+    }
+
+    PlacementReport {
+        mesh,
+        fleet,
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_trace() -> TraceConfig {
+        TraceConfig {
+            requests: 16,
+            ..TraceConfig::fleet(7)
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = placement_sweep(4, &quick_trace());
+        let b = placement_sweep(4, &quick_trace());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.mesh.len(), 3);
+        assert_eq!(a.fleet.len(), 4);
+    }
+
+    #[test]
+    fn wire_bytes_are_placement_independent_on_the_mesh() {
+        let r = placement_sweep(4, &quick_trace());
+        let bytes: Vec<u64> = r.mesh.iter().map(|p| p.noc_bytes).collect();
+        assert!(bytes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn hilbert_and_sfc_win_their_halves() {
+        placement_sweep(4, &quick_trace()).assert_communication_avoiding();
+    }
+}

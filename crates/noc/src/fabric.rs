@@ -61,6 +61,7 @@ pub struct MeshFabric {
     links: Vec<Option<BandwidthResource>>,
     sends: u64,
     bytes: u64,
+    hop_flits: u64,
 }
 
 /// Slot of an output port in a router's link-table stripe.
@@ -94,6 +95,7 @@ impl MeshFabric {
             links,
             sends: 0,
             bytes: 0,
+            hop_flits: 0,
         }
     }
 
@@ -127,6 +129,7 @@ impl MeshFabric {
     pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: SimTime) -> SimTime {
         self.sends += 1;
         self.bytes += bytes;
+        self.hop_flits += u64::from(src.manhattan(dst)) * bytes;
         if src == dst {
             // Local turnaround through the router's local port.
             return now + self.config.hop_latency;
@@ -174,6 +177,7 @@ impl MeshFabric {
     pub fn send_bulk(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: SimTime) -> SimTime {
         self.sends += 1;
         self.bytes += bytes;
+        self.hop_flits += u64::from(src.manhattan(dst)) * bytes;
         if src == dst {
             return now + self.config.hop_latency;
         }
@@ -217,6 +221,13 @@ impl MeshFabric {
         self.bytes
     }
 
+    /// Hop·flit traffic: Σ over payload sends of `manhattan(src, dst) ×
+    /// bytes` — the link-crossings metric tile placement minimises. Local
+    /// (`src == dst`) turnarounds cross no link and count zero.
+    pub fn hop_flits(&self) -> u64 {
+        self.hop_flits
+    }
+
     /// The highest utilisation among all links over `elapsed` — the
     /// congestion indicator reported by the Fig. 7 harness.
     pub fn max_link_utilization(&self, elapsed: SimDuration) -> f64 {
@@ -248,6 +259,7 @@ impl MeshFabric {
         }
         self.sends = 0;
         self.bytes = 0;
+        self.hop_flits = 0;
     }
 }
 
@@ -341,6 +353,18 @@ mod tests {
         let a = f.send(n(0, 0), n(1, 0), 64, SimTime::ZERO);
         assert_eq!(a, SimTime::from_ns(2));
         assert_eq!(f.bytes(), 64);
+    }
+
+    #[test]
+    fn hop_flits_weight_bytes_by_distance() {
+        let mut f = fabric();
+        f.send(n(0, 0), n(1, 0), 64, SimTime::ZERO); // 1 hop
+        f.send_bulk(n(0, 0), n(3, 3), 100, SimTime::ZERO); // 6 hops
+        f.send(n(2, 2), n(2, 2), 999, SimTime::ZERO); // local: 0 hops
+        f.send_control(n(0, 0), n(3, 0), SimTime::ZERO); // no payload
+        assert_eq!(f.hop_flits(), 64 + 6 * 100);
+        f.reset();
+        assert_eq!(f.hop_flits(), 0);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   contention emerges naturally. This is what produces the multi-node
 //!   efficiency loss of Fig. 7.
 //!
+//! On top of the topology, [`sfc`] provides space-filling-curve orderings
+//! ([`TileOrder`]: row-major, Morton, generalized Hilbert) used by
+//! `maco-core` to place logical tiles on mesh-adjacent nodes, and the
+//! fabric counts hop·flit traffic so placement quality is measurable.
+//!
 //! # Example
 //!
 //! ```
@@ -33,10 +38,12 @@ pub mod fabric;
 pub mod packet;
 pub mod router;
 pub mod routing;
+pub mod sfc;
 pub mod topology;
 
 pub use fabric::{FabricConfig, MeshFabric};
 pub use packet::{Packet, PacketKind};
 pub use router::MeshSim;
 pub use routing::{xy_next_hop, xy_route};
+pub use sfc::{hilbert_order, morton_order, TileOrder};
 pub use topology::{MeshShape, NodeId, Port};

@@ -1,0 +1,311 @@
+//! Space-filling-curve orderings over the mesh.
+//!
+//! "Space Filling Curves is All You Need" observes that traversing GEMM
+//! tiles along an SFC makes communication-avoiding schedules simple:
+//! consecutive curve positions are (almost always) mesh-adjacent, so work
+//! items that are neighbours in issue order land on routers that are
+//! neighbours in the fabric. [`TileOrder`] packages three orderings of a
+//! [`MeshShape`]'s cells behind one knob:
+//!
+//! * [`TileOrder::Row`] — the row-major order every existing experiment
+//!   uses (`shape.node_at(i)` bit for bit; the default, so all pinned
+//!   fingerprints are unaffected);
+//! * [`TileOrder::Morton`] — Z-order by bit interleaving, cheap and
+//!   cache-oblivious but with long jumps at power-of-two boundaries;
+//! * [`TileOrder::Hilbert`] — a generalized Hilbert curve built by
+//!   rectangular decomposition, defined for **every** `cols × rows` shape
+//!   (not just square powers of two). Consecutive positions are
+//!   mesh-adjacent everywhere except a single diagonal step that
+//!   odd×odd rectangles force.
+//!
+//! Every ordering is a bijection onto the shape's cells (property-tested
+//! across shapes), and on degenerate 1×N / N×1 meshes all three collapse
+//! to the same straight line — row order.
+
+use crate::topology::{MeshShape, NodeId};
+
+/// How logical indices (tiles, compute nodes) map onto mesh positions.
+///
+/// The default is [`TileOrder::Row`], which reproduces the historical
+/// row-major assignment exactly; the curves are opt-in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TileOrder {
+    /// Row-major: index `i` sits at `(i % cols, i / cols)` — today's
+    /// Fig. 5(a) assignment, bit for bit.
+    #[default]
+    Row,
+    /// Z-order (bit-interleaved) traversal.
+    Morton,
+    /// Generalized Hilbert traversal (rectangular decomposition).
+    Hilbert,
+}
+
+impl TileOrder {
+    /// All orderings, in a stable sweep order.
+    pub const ALL: [TileOrder; 3] = [TileOrder::Row, TileOrder::Morton, TileOrder::Hilbert];
+
+    /// Display tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            TileOrder::Row => "row",
+            TileOrder::Morton => "morton",
+            TileOrder::Hilbert => "hilbert",
+        }
+    }
+
+    /// The full visit order over `shape`'s cells: a permutation of every
+    /// `NodeId` the shape contains, with `ordering(shape)[i]` the mesh
+    /// position of logical index `i`.
+    pub fn ordering(self, shape: MeshShape) -> Vec<NodeId> {
+        match self {
+            TileOrder::Row => (0..shape.node_count()).map(|i| shape.node_at(i)).collect(),
+            TileOrder::Morton => morton_order(shape),
+            TileOrder::Hilbert => hilbert_order(shape),
+        }
+    }
+
+    /// The mesh position of logical index `i` under this ordering.
+    ///
+    /// `TileOrder::Row` delegates straight to [`MeshShape::node_at`], so
+    /// the default order is the historical assignment bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the shape.
+    pub fn position(self, shape: MeshShape, i: usize) -> NodeId {
+        match self {
+            TileOrder::Row => shape.node_at(i),
+            _ => {
+                assert!(i < shape.node_count(), "index outside the mesh");
+                self.ordering(shape)[i]
+            }
+        }
+    }
+}
+
+/// Spreads the low 8 bits of `v` so a zero bit separates each pair
+/// (enough for the `u8` mesh coordinates).
+fn spread_bits(v: u8) -> u32 {
+    let mut x = u32::from(v);
+    x = (x | (x << 4)) & 0x0F0F;
+    x = (x | (x << 2)) & 0x3333;
+    x = (x | (x << 1)) & 0x5555;
+    x
+}
+
+/// Z-order: all cells of `shape` sorted by their interleaved-bit Morton
+/// key. Keys are unique per cell, so the sort is a deterministic
+/// bijection; on a 1×N or N×1 shape the key is monotone in the single
+/// varying coordinate, so the order collapses to the row-major line.
+pub fn morton_order(shape: MeshShape) -> Vec<NodeId> {
+    let mut cells: Vec<NodeId> = (0..shape.node_count()).map(|i| shape.node_at(i)).collect();
+    cells.sort_unstable_by_key(|n| spread_bits(n.x) | (spread_bits(n.y) << 1));
+    cells
+}
+
+/// Generalized Hilbert curve over an arbitrary `cols × rows` rectangle
+/// (the gilbert rectangular decomposition). Always visits every cell
+/// exactly once; consecutive cells are mesh-adjacent except for the one
+/// diagonal step an odd×odd rectangle forces. A 1×N or N×1 shape is a
+/// single straight run — row order.
+pub fn hilbert_order(shape: MeshShape) -> Vec<NodeId> {
+    let w = i64::from(shape.cols);
+    let h = i64::from(shape.rows);
+    let mut out = Vec::with_capacity(shape.node_count());
+    if w >= h {
+        gilbert(&mut out, 0, 0, w, 0, 0, h);
+    } else {
+        gilbert(&mut out, 0, 0, 0, h, w, 0);
+    }
+    out
+}
+
+/// One gilbert subdivision step: fills the rectangle spanned by vectors
+/// `(ax, ay)` and `(bx, by)` from corner `(x, y)`, recursing on halves
+/// until a single row/column remains.
+#[allow(clippy::too_many_arguments)]
+fn gilbert(out: &mut Vec<NodeId>, x: i64, y: i64, ax: i64, ay: i64, bx: i64, by: i64) {
+    let w = (ax + ay).abs();
+    let h = (bx + by).abs();
+    let (dax, day) = (ax.signum(), ay.signum());
+    let (dbx, dby) = (bx.signum(), by.signum());
+    let push = |out: &mut Vec<NodeId>, px: i64, py: i64| {
+        debug_assert!(px >= 0 && py >= 0, "gilbert left the rectangle");
+        out.push(NodeId::new(px as u8, py as u8));
+    };
+    if h == 1 {
+        let (mut px, mut py) = (x, y);
+        for _ in 0..w {
+            push(out, px, py);
+            px += dax;
+            py += day;
+        }
+        return;
+    }
+    if w == 1 {
+        let (mut px, mut py) = (x, y);
+        for _ in 0..h {
+            push(out, px, py);
+            px += dbx;
+            py += dby;
+        }
+        return;
+    }
+    let (mut ax2, mut ay2) = (ax / 2, ay / 2);
+    let (mut bx2, mut by2) = (bx / 2, by / 2);
+    let w2 = (ax2 + ay2).abs();
+    let h2 = (bx2 + by2).abs();
+    if 2 * w > 3 * h {
+        if w2 % 2 != 0 && w > 2 {
+            // Prefer the even split: the two halves then meet on a shared
+            // edge and the curve crosses without a jump.
+            ax2 += dax;
+            ay2 += day;
+        }
+        gilbert(out, x, y, ax2, ay2, bx, by);
+        gilbert(out, x + ax2, y + ay2, ax - ax2, ay - ay2, bx, by);
+    } else {
+        if h2 % 2 != 0 && h > 2 {
+            bx2 += dbx;
+            by2 += dby;
+        }
+        gilbert(out, x, y, bx2, by2, ax2, ay2);
+        gilbert(out, x + bx2, y + by2, ax, ay, bx - bx2, by - by2);
+        gilbert(
+            out,
+            x + (ax - dax) + (bx2 - dbx),
+            y + (ay - day) + (by2 - dby),
+            -bx2,
+            -by2,
+            -(ax - ax2),
+            -(ay - ay2),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every ordering visits every cell of `shape` exactly once.
+    fn assert_bijection(order: TileOrder, shape: MeshShape) {
+        let cells = order.ordering(shape);
+        assert_eq!(cells.len(), shape.node_count(), "{order:?} on {shape:?}");
+        let mut seen = vec![false; shape.node_count()];
+        for n in &cells {
+            assert!(shape.contains(*n), "{order:?} left {shape:?}: {n:?}");
+            let i = shape.index_of(*n);
+            assert!(!seen[i], "{order:?} revisits {n:?} on {shape:?}");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn all_orders_are_bijections_on_every_supported_shape() {
+        for cols in 1..=8u8 {
+            for rows in 1..=8u8 {
+                let shape = MeshShape::new(cols, rows);
+                for order in TileOrder::ALL {
+                    assert_bijection(order, shape);
+                }
+            }
+        }
+        // A few larger and lopsided shapes beyond the exhaustive window.
+        for (cols, rows) in [(16, 1), (1, 16), (16, 16), (13, 5), (3, 11)] {
+            let shape = MeshShape::new(cols, rows);
+            for order in TileOrder::ALL {
+                assert_bijection(order, shape);
+            }
+        }
+    }
+
+    #[test]
+    fn row_order_is_node_at_bit_for_bit() {
+        for (cols, rows) in [(4, 4), (5, 3), (1, 7), (16, 1)] {
+            let shape = MeshShape::new(cols, rows);
+            for i in 0..shape.node_count() {
+                assert_eq!(TileOrder::Row.position(shape, i), shape.node_at(i));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_meshes_reduce_to_row_order() {
+        for shape in [
+            MeshShape::new(1, 9),
+            MeshShape::new(9, 1),
+            MeshShape::new(1, 1),
+        ] {
+            let row = TileOrder::Row.ordering(shape);
+            assert_eq!(
+                TileOrder::Morton.ordering(shape),
+                row,
+                "morton on {shape:?}"
+            );
+            assert_eq!(
+                TileOrder::Hilbert.ordering(shape),
+                row,
+                "hilbert on {shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hilbert_steps_are_mesh_adjacent_on_even_shapes() {
+        for (cols, rows) in [(4, 4), (8, 8), (2, 6), (6, 4), (4, 2)] {
+            let shape = MeshShape::new(cols, rows);
+            let cells = hilbert_order(shape);
+            for pair in cells.windows(2) {
+                assert_eq!(
+                    pair[0].manhattan(pair[1]),
+                    1,
+                    "non-adjacent hilbert step on {cols}x{rows}: {pair:?}"
+                );
+            }
+        }
+    }
+
+    /// Odd×odd rectangles force exactly one diagonal; everything else on
+    /// the curve stays unit-stride.
+    #[test]
+    fn hilbert_is_almost_everywhere_adjacent_on_odd_shapes() {
+        for (cols, rows) in [(3, 3), (5, 5), (7, 3), (5, 7)] {
+            let shape = MeshShape::new(cols, rows);
+            let cells = hilbert_order(shape);
+            let jumps = cells
+                .windows(2)
+                .filter(|p| p[0].manhattan(p[1]) > 1)
+                .count();
+            assert!(
+                jumps <= 1 && cells.windows(2).all(|p| p[0].manhattan(p[1]) <= 2),
+                "{cols}x{rows} hilbert has {jumps} jumps"
+            );
+        }
+    }
+
+    /// The first four Hilbert positions on the paper's 4×4 mesh form a
+    /// 2×2 block — this is why four active nodes see strictly less
+    /// node↔CCM-slice distance than the row-major line `(0,0)..(3,0)`.
+    #[test]
+    fn hilbert_packs_the_first_quadrant_on_4x4() {
+        let shape = MeshShape::new(4, 4);
+        let cells = hilbert_order(shape);
+        let mut first: Vec<(u8, u8)> = cells[..4].iter().map(|n| (n.x, n.y)).collect();
+        first.sort_unstable();
+        assert_eq!(first, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn morton_interleaves_on_4x4() {
+        let shape = MeshShape::new(4, 4);
+        let cells = morton_order(shape);
+        let first: Vec<(u8, u8)> = cells[..4].iter().map(|n| (n.x, n.y)).collect();
+        assert_eq!(first, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index outside the mesh")]
+    fn position_rejects_out_of_range_indices() {
+        let _ = TileOrder::Hilbert.position(MeshShape::new(2, 2), 4);
+    }
+}

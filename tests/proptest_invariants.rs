@@ -11,6 +11,7 @@ use maco::mmae::systolic::{reference_gemm, SystolicArray};
 use maco::mmae::tiling::{block_passes, tiles_in_pass};
 use maco::mmae::Mmae;
 use maco::noc::routing::xy_route;
+use maco::noc::sfc::TileOrder;
 use maco::noc::topology::{MeshShape, NodeId};
 use maco::vm::matlb::TileAccessPattern;
 use maco::vm::VirtAddr;
@@ -184,5 +185,59 @@ proptest! {
         for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
             prop_assert!(sa.tile_cycles(m, n, k, p) >= sa.ideal_cycles(m, n, k, p));
         }
+    }
+
+    /// Every tile→node ordering is a bijection onto the mesh — each cell
+    /// visited exactly once — for arbitrary rectangular shapes (square,
+    /// wide, tall), so no placement can drop or double-book a node.
+    #[test]
+    fn tile_orders_are_bijections_on_arbitrary_meshes(
+        cols in 1u8..17,
+        rows in 1u8..17,
+    ) {
+        let shape = MeshShape::new(cols, rows);
+        for order in TileOrder::ALL {
+            let cells = order.ordering(shape);
+            prop_assert_eq!(cells.len(), shape.node_count());
+            let mut seen = vec![false; shape.node_count()];
+            for c in &cells {
+                let i = usize::from(c.y) * usize::from(cols) + usize::from(c.x);
+                prop_assert!(!seen[i], "{} visits ({}, {}) twice", order.name(), c.x, c.y);
+                seen[i] = true;
+            }
+        }
+    }
+
+    /// On degenerate `1×N` / `N×1` meshes every space-filling curve
+    /// reduces to row order — the identity assignment.
+    #[test]
+    fn degenerate_meshes_reduce_to_row_order(
+        len in 1u8..33,
+        tall in 0u64..2,
+    ) {
+        let shape = if tall == 1 {
+            MeshShape::new(1, len)
+        } else {
+            MeshShape::new(len, 1)
+        };
+        let row = TileOrder::Row.ordering(shape);
+        for order in [TileOrder::Morton, TileOrder::Hilbert] {
+            prop_assert_eq!(order.ordering(shape), row.clone(), "{}", order.name());
+        }
+    }
+
+    /// `TileOrder::Row` reproduces the historical `node_at` assignment
+    /// bit for bit on every supported shape — the guarantee every pinned
+    /// fingerprint rests on.
+    #[test]
+    fn row_order_is_the_historical_assignment(
+        cols in 1u8..17,
+        rows in 1u8..17,
+        idx in 0usize..256,
+    ) {
+        let shape = MeshShape::new(cols, rows);
+        let i = idx % shape.node_count();
+        prop_assert_eq!(TileOrder::Row.position(shape, i), shape.node_at(i));
+        prop_assert_eq!(TileOrder::Row.ordering(shape)[i], shape.node_at(i));
     }
 }
